@@ -1,0 +1,577 @@
+(* The evaluation harness: regenerates every table/figure of the paper
+   plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- fig5-opencl  -- run one experiment
+
+   Experiments:
+     fig5-opencl                Figure 5, Rodinia bars (E1)
+     fig5-ncs                   Figure 5, Inception/NCS bar (E2)
+     async-ablation             §5 async-forwarding ablation (E3)
+     virt-technique-comparison  §2 design-space comparison (E4)
+     sharing-policies           §4.3 rate limiting / WFQ / quotas (E5)
+     migration                  §4.3 record/replay migration (E6)
+     swapping                   §4.3 buffer-granularity swapping (E7)
+     automation-metrics         §5 developer-effort metrics (E8)
+     transport-sweep            pluggable-transport ablation
+     microbench                 Bechamel microbenchmarks (E9)
+*)
+
+module Transport = Ava_transport.Transport
+module Swap = Ava_remoting.Swap
+
+open Ava_sim
+open Ava_core
+open Ava_workloads
+
+let section title = Fmt.pr "@.=== %s ===@." title
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+(* ---------------------------------------------------------------- E1 -- *)
+
+let fig5_opencl () =
+  section "E1 | Figure 5 (OpenCL): Rodinia end-to-end relative runtime";
+  Fmt.pr "paper: <= 1.16 max, ~1.08 average (AvA vs native GTX 1080)@.";
+  hr ();
+  let rows = Driver.fig5_opencl () in
+  List.iter (fun r -> Fmt.pr "%a@." Driver.pp_row r) rows;
+  hr ();
+  Fmt.pr "mean relative runtime: %.3f   (paper ~1.08)@." (Driver.mean rows);
+  Fmt.pr "max  relative runtime: %.3f   (paper <=1.16)@."
+    (List.fold_left (fun acc r -> Float.max acc r.Driver.relative) 0.0 rows)
+
+(* ---------------------------------------------------------------- E2 -- *)
+
+let fig5_ncs () =
+  section "E2 | Figure 5 (NCS): Inception v3 relative runtime";
+  Fmt.pr "paper: ~1.01 (AvA vs native Movidius stick)@.";
+  hr ();
+  let r = Driver.fig5_ncs () in
+  Fmt.pr "%a@." Driver.pp_row r
+
+(* ---------------------------------------------------------------- E3 -- *)
+
+let async_ablation () =
+  section "E3 | Async-forwarding ablation (Preliminary Results, par. 2)";
+  Fmt.pr
+    "paper: async spec gives 8.6%% speedup over unoptimized; ~5%% overhead \
+     vs native@.";
+  hr ();
+  let rows = Driver.async_ablation () in
+  List.iter (fun r -> Fmt.pr "%a@." Driver.pp_ablation_row r) rows;
+  hr ();
+  let speedup r =
+    float_of_int (r.Driver.ab_sync_ns - r.Driver.ab_async_ns)
+    /. float_of_int r.Driver.ab_sync_ns
+  in
+  let overhead r =
+    float_of_int r.Driver.ab_async_ns /. float_of_int r.Driver.ab_native_ns
+  in
+  Fmt.pr "mean speedup from async annotations: %.1f%%   (paper 8.6%%)@."
+    (100.0 *. Stats.mean (List.map speedup rows));
+  Fmt.pr "mean overhead of optimized spec:     %.1f%%   (paper ~5-8%%)@."
+    (100.0 *. (Stats.mean (List.map overhead rows) -. 1.0))
+
+(* ---------------------------------------------------------------- E4 -- *)
+
+(* Microworkloads exercising the extremes of the design space. *)
+let micro_transfer (module CL : Ava_simcl.Api.S) =
+  let s = Clutil.open_session (module CL) in
+  let m = Clutil.buffer s (4 * 1024 * 1024) in
+  for _ = 1 to 8 do
+    Clutil.write ~blocking:true s m (Bytes.create (4 * 1024 * 1024));
+    ignore (Clutil.read s m ~size:(4 * 1024 * 1024))
+  done;
+  Clutil.finish s
+
+let micro_launch (module CL : Ava_simcl.Api.S) =
+  let s = Clutil.open_session (module CL) in
+  let kernels = Clutil.build_kernels s [ ("tiny", 1.0e5 /. 1024.0, 0.0) ] in
+  let k = List.hd kernels in
+  for _ = 1 to 500 do
+    Clutil.launch s k ~global:1024 ~local:64
+  done;
+  Clutil.finish s
+
+let micro_mixed (module CL : Ava_simcl.Api.S) =
+  let s = Clutil.open_session (module CL) in
+  let m = Clutil.buffer s (1024 * 1024) in
+  let kernels = Clutil.build_kernels s [ ("work", 2.0e6 /. 65536.0, 0.0) ] in
+  let k = List.hd kernels in
+  Clutil.set_arg s k 0 (Ava_simcl.Types.Arg_mem m);
+  for _ = 1 to 100 do
+    Clutil.write s m (Bytes.create (256 * 1024));
+    Clutil.launch s k ~global:65536 ~local:256;
+    ignore (Clutil.read s m ~size:4096)
+  done;
+  Clutil.finish s
+
+let virt_comparison () =
+  section "E4 | Virtualization-technique comparison (Motivation)";
+  Fmt.pr
+    "paper: full virtualization loses orders of magnitude; pass-through is \
+     native;@.       API remoting over interposable transport is the \
+     practical middle.@.";
+  hr ();
+  Fmt.pr "%-16s %12s %12s %12s %12s %12s@." "workload" "native" "passthru"
+    "full-virt" "ava" "user-rpc";
+  let techniques =
+    [
+      None;
+      Some Host.Passthrough;
+      Some Host.Full_virt;
+      Some (Host.Ava Transport.Shm_ring);
+      Some Host.User_rpc;
+    ]
+  in
+  List.iter
+    (fun (name, program) ->
+      let times =
+        List.map (fun t -> Driver.time_cl ?technique:t program) techniques
+      in
+      match times with
+      | [ native; pass; fv; ava; rpc ] ->
+          let rel t = float_of_int t /. float_of_int native in
+          Fmt.pr "%-16s %12s %11.2fx %11.2fx %11.2fx %11.2fx@." name
+            (Time.to_string native) (rel pass) (rel fv) (rel ava) (rel rpc)
+      | _ -> assert false)
+    [
+      ("transfer-heavy", micro_transfer);
+      ("launch-heavy", micro_launch);
+      ("mixed", micro_mixed);
+    ]
+
+(* ---------------------------------------------------------------- E5 -- *)
+
+let run_contending_guests ?(kernel_flops = 2.0e9) host specs =
+  let e = host.Host.engine in
+  let finished = Hashtbl.create 8 in
+  List.iter
+    (fun (guest, name) ->
+      Engine.spawn e (fun () ->
+          let module CL = (val guest.Host.g_api) in
+          let s = Clutil.open_session (module CL) in
+          let kernels =
+            Clutil.build_kernels s [ ("spin", kernel_flops /. 65536.0, 0.0) ]
+          in
+          let k = List.hd kernels in
+          for _ = 1 to 60 do
+            Clutil.launch s k ~global:65536 ~local:256
+          done;
+          Clutil.finish s;
+          Hashtbl.replace finished name (Engine.now e)))
+    specs;
+  Engine.run e;
+  finished
+
+let sharing_policies () =
+  section "E5 | Router policies: rate limiting, WFQ shares, quotas (§4.3)";
+  hr ();
+  (* (a) WFQ weights. *)
+  let e = Engine.create () in
+  let host = Host.create_cl_host e in
+  let mk w name = (Host.add_cl_vm host ~weight:w ~name, name) in
+  let guests = [ mk 8.0 "w8"; mk 4.0 "w4"; mk 2.0 "w2"; mk 1.0 "w1" ] in
+  let finished = run_contending_guests host guests in
+  Fmt.pr "WFQ: 4 VMs, equal demand, weights 8:4:2:1 — completion times:@.";
+  List.iter
+    (fun (_, name) ->
+      Fmt.pr "  %-4s finished at %s@." name
+        (Time.to_string (Hashtbl.find finished name)))
+    guests;
+  (* (b) rate limit. *)
+  let e = Engine.create () in
+  let host = Host.create_cl_host e in
+  let fast = (Host.add_cl_vm host ~name:"unlimited", "unlimited") in
+  let slow =
+    (Host.add_cl_vm host ~rate_per_s:2000.0 ~name:"limited", "limited")
+  in
+  let finished =
+    run_contending_guests ~kernel_flops:2.0e7 host [ fast; slow ]
+  in
+  Fmt.pr "Rate limit: 2 VMs, one capped at 2000 calls/s:@.";
+  List.iter
+    (fun (_, name) ->
+      Fmt.pr "  %-10s finished at %s@." name
+        (Time.to_string (Hashtbl.find finished name)))
+    [ fast; slow ];
+  (* (c) device-time quota. *)
+  let e = Engine.create () in
+  let host = Host.create_cl_host e in
+  let free = (Host.add_cl_vm host ~name:"no-quota", "no-quota") in
+  let capped =
+    ( Host.add_cl_vm host ~quota_cost:500_000.0 ~quota_window:(Time.ms 10)
+        ~name:"quota",
+      "quota" )
+  in
+  let finished =
+    run_contending_guests ~kernel_flops:2.0e7 host [ free; capped ]
+  in
+  Fmt.pr "Quota: 2 VMs, one budgeted per 10ms window:@.";
+  List.iter
+    (fun (_, name) ->
+      Fmt.pr "  %-10s finished at %s@." name
+        (Time.to_string (Hashtbl.find finished name)))
+    [ free; capped ]
+
+(* ---------------------------------------------------------------- E6 -- *)
+
+let migration_bench () =
+  section "E6 | VM migration by record/replay (§4.3)";
+  hr ();
+  Fmt.pr "%-10s %-12s %-10s %-10s %-12s@." "buffers" "state" "pause"
+    "replayed" "copied";
+  List.iter
+    (fun n_buffers ->
+      let e = Engine.create () in
+      let result = ref None in
+      Engine.spawn e (fun () ->
+          let host = Host.create_cl_host e in
+          let guest = Host.add_cl_vm host ~name:"g" in
+          let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
+          let module CL = (val guest.Host.g_api) in
+          let s = Clutil.open_session (module CL) in
+          let size = 2 * 1024 * 1024 in
+          let bufs = List.init n_buffers (fun _ -> Clutil.buffer s size) in
+          List.iter
+            (fun m -> Clutil.write ~blocking:true s m (Bytes.create size))
+            bufs;
+          Clutil.finish s;
+          let dest = Ava_device.Gpu.create e in
+          let dest_kd = Ava_simcl.Kdriver.create dest in
+          let report = Migration.migrate host ~vm_id ~dest_kd in
+          result := Some report);
+      Engine.run e;
+      let r = Option.get !result in
+      Fmt.pr "%-10d %-12s %-10s %-10d %-12s@." n_buffers
+        (Printf.sprintf "%dMB" (n_buffers * 2))
+        (Time.to_string r.Migration.pause_ns)
+        r.Migration.replayed_calls
+        (Printf.sprintf "%dMB" (r.Migration.bytes_copied / 1024 / 1024)))
+    [ 1; 4; 16; 64 ]
+
+(* ---------------------------------------------------------------- E7 -- *)
+
+let swapping_bench () =
+  section "E7 | Buffer-granularity memory swapping (§4.3)";
+  Fmt.pr "workload: guest cycles over 8 x 4MiB buffers, 4 rounds@.";
+  hr ();
+  Fmt.pr "%-16s %-12s %-10s %-10s %-10s@." "device budget" "oversubscr."
+    "time" "evictions" "restores";
+  List.iter
+    (fun budget_mib ->
+      let e = Engine.create () in
+      let done_at = ref 0 in
+      let stats = ref (0, 0) in
+      Engine.spawn e (fun () ->
+          let host =
+            Host.create_cl_host e ~swap_capacity:(budget_mib * 1024 * 1024)
+          in
+          let guest = Host.add_cl_vm host ~name:"g" in
+          let module CL = (val guest.Host.g_api) in
+          let s = Clutil.open_session (module CL) in
+          let size = 4 * 1024 * 1024 in
+          let bufs = List.init 8 (fun _ -> Clutil.buffer s size) in
+          for _round = 1 to 4 do
+            List.iter
+              (fun m -> Clutil.write s m (Bytes.create 4096))
+              bufs;
+            Clutil.finish s
+          done;
+          let sw = Option.get host.Host.swap in
+          stats := (Swap.evictions sw, Swap.restores sw);
+          done_at := Engine.now e);
+      Engine.run e;
+      let evictions, restores = !stats in
+      Fmt.pr "%-16s %-12s %-10s %-10d %-10d@."
+        (Printf.sprintf "%dMiB" budget_mib)
+        (Printf.sprintf "%.1fx" (32.0 /. float_of_int budget_mib))
+        (Time.to_string !done_at) evictions restores)
+    [ 32; 16; 8 ]
+
+(* ------------------------------------------- swap granularity ablation -- *)
+
+let swap_granularity () =
+  section "Ablation | Swap granularity: buffer objects vs 4KiB pages (§4.3)";
+  Fmt.pr
+    "paper: buffer-object granularity reduces overhead relative to page-      or chunk-based management@.";
+  hr ();
+  Fmt.pr "%-18s %-12s %-12s@." "granularity" "time" "evictions";
+  let run page_granularity =
+    let e = Engine.create () in
+    let done_at = ref 0 and evictions = ref 0 in
+    Engine.spawn e (fun () ->
+        let host =
+          Host.create_cl_host e
+            ~swap_capacity:(12 * 1024 * 1024)
+            ~swap_page_granularity:page_granularity
+        in
+        let guest = Host.add_cl_vm host ~name:"g" in
+        let module CL = (val guest.Host.g_api) in
+        let s = Clutil.open_session (module CL) in
+        let size = 4 * 1024 * 1024 in
+        let bufs = List.init 6 (fun _ -> Clutil.buffer s size) in
+        for _round = 1 to 4 do
+          List.iter (fun m -> Clutil.write s m (Bytes.create 4096)) bufs;
+          Clutil.finish s
+        done;
+        evictions := Swap.evictions (Option.get host.Host.swap);
+        done_at := Engine.now e);
+    Engine.run e;
+    (!done_at, !evictions)
+  in
+  let t_buf, e_buf = run false in
+  let t_page, e_page = run true in
+  Fmt.pr "%-18s %-12s %-12d@." "buffer-object" (Time.to_string t_buf) e_buf;
+  Fmt.pr "%-18s %-12s %-12d@." "4KiB pages" (Time.to_string t_page) e_page;
+  Fmt.pr "buffer granularity is %.2fx faster under identical eviction           pressure@."
+    (float_of_int t_page /. float_of_int t_buf)
+
+(* ------------------------------------------------ batching ablation -- *)
+
+let batching_ablation () =
+  section "Ablation | rCUDA-style API batching (named in §4.2)";
+  Fmt.pr
+    "zero-device-work calls (clSetKernelArg, retains) piggyback on the next \
+     device-work call@.";
+  hr ();
+  Fmt.pr "%-12s %11s %11s %8s %11s %11s %8s@." "benchmark" "shm-ring"
+    "+batching" "gain" "network" "+batching" "gain";
+  List.iter
+    (fun name ->
+      let b = Option.get (Rodinia.find name) in
+      let native = Driver.time_cl b.Rodinia.run in
+      let run tech batching =
+        Driver.time_cl ~technique:tech ~batching b.Rodinia.run
+      in
+      let ring = run (Host.Ava Transport.Shm_ring) false in
+      let ring_b = run (Host.Ava Transport.Shm_ring) true in
+      let net = run (Host.Ava Transport.Network) false in
+      let net_b = run (Host.Ava Transport.Network) true in
+      let rel t = float_of_int t /. float_of_int native in
+      let gain a b = 100.0 *. (float_of_int (a - b) /. float_of_int a) in
+      Fmt.pr "%-12s %10.3fx %10.3fx %7.2f%% %10.3fx %10.3fx %7.2f%%@." name
+        (rel ring) (rel ring_b) (gain ring ring_b) (rel net) (rel net_b)
+        (gain net net_b))
+    [ "gaussian"; "hotspot"; "pathfinder"; "nw"; "nn" ]
+
+(* ------------------------------------------------ policy-overhead -- *)
+
+let policy_overhead () =
+  section "Ablation | Router policy fast-path overhead";
+  Fmt.pr
+    "non-binding policies (generous rate limit + quota) must cost ~nothing@.";
+  hr ();
+  Fmt.pr "%-12s %14s %14s %10s@." "benchmark" "no policies"
+    "policies armed" "delta";
+  List.iter
+    (fun name ->
+      let b = Option.get (Rodinia.find name) in
+      let plain =
+        Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring) b.Rodinia.run
+      in
+      let armed =
+        let e = Engine.create () in
+        let finished = ref 0 in
+        Engine.spawn e (fun () ->
+            let host = Host.create_cl_host e in
+            let guest =
+              Host.add_cl_vm host ~rate_per_s:10_000_000.0
+                ~quota_cost:1e12 ~quota_window:(Time.ms 100) ~name:"g"
+            in
+            b.Rodinia.run guest.Host.g_api;
+            finished := Engine.now e);
+        Engine.run e;
+        !finished
+      in
+      Fmt.pr "%-12s %14s %14s %9.2f%%@." name (Time.to_string plain)
+        (Time.to_string armed)
+        (100.0 *. (float_of_int (armed - plain) /. float_of_int plain)))
+    [ "bfs"; "nn"; "gaussian" ]
+
+(* ---------------------------------------------------------------- E8 -- *)
+
+let automation_metrics () =
+  section "E8 | CAvA automation metrics (developer effort, §5)";
+  Fmt.pr
+    "paper: one developer, 39 OpenCL + 10 MVNC functions in days; manual \
+     stacks take 25 kLoC / person-years@.";
+  hr ();
+  let simcl =
+    Ava_codegen.Metrics.analyze ~header_source:Ava_spec.Specs.simcl_header
+      ~spec_source:Ava_spec.Specs.simcl_spec
+      (Ava_spec.Specs.load_simcl ())
+  in
+  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report simcl;
+  let mvnc =
+    Ava_codegen.Metrics.analyze ~header_source:Ava_spec.Specs.mvnc_header
+      ~spec_source:Ava_spec.Specs.mvnc_spec
+      (Ava_spec.Specs.load_mvnc ())
+  in
+  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report mvnc;
+  let qat =
+    Ava_codegen.Metrics.analyze ~header_source:Ava_spec.Specs.qat_header
+      ~spec_source:Ava_spec.Specs.qat_spec
+      (Ava_spec.Specs.load_qat ())
+  in
+  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report qat
+
+(* ------------------------------------------------ consolidation scaling -- *)
+
+let consolidation () =
+  section "Extension | Consolidation scaling: N tenants on one GPU";
+  Fmt.pr
+    "the paper's motivation: pass-through dedicates the device; AvA \
+     multiplexes it@.";
+  hr ();
+  Fmt.pr "%-8s %14s %14s %16s@." "tenants" "makespan" "per-VM slowdown"
+    "GPU utilization";
+  let solo = ref 0 in
+  List.iter
+    (fun n ->
+      let e = Engine.create () in
+      let host = Host.create_cl_host e in
+      let finished = ref [] in
+      for idx = 1 to n do
+        let guest =
+          Host.add_cl_vm host ~name:(Printf.sprintf "vm%d" idx)
+        in
+        Engine.spawn e (fun () ->
+            let module CL = (val guest.Host.g_api) in
+            let s = Clutil.open_session (module CL) in
+            let kernels =
+              Clutil.build_kernels s [ ("work", 1.5e9 /. 65536.0, 0.0) ]
+            in
+            let k = List.hd kernels in
+            for _ = 1 to 30 do
+              Clutil.launch s k ~global:65536 ~local:256
+            done;
+            Clutil.finish s;
+            finished := Engine.now e :: !finished)
+      done;
+      Engine.run e;
+      let makespan = List.fold_left Stdlib.max 0 !finished in
+      if n = 1 then solo := makespan;
+      let busy = Ava_device.Gpu.busy_ns host.Host.gpu in
+      Fmt.pr "%-8d %14s %13.2fx %15.1f%%@." n (Time.to_string makespan)
+        (float_of_int makespan /. float_of_int !solo)
+        (100.0 *. float_of_int busy /. float_of_int makespan))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------- transport ablation -- *)
+
+let transport_sweep () =
+  section "Ablation | Pluggable transports (incl. disaggregation)";
+  hr ();
+  Fmt.pr "%-12s %12s %12s %12s %12s@." "benchmark" "native" "shm-ring"
+    "network" "user-rpc";
+  List.iter
+    (fun name ->
+      let b = Option.get (Rodinia.find name) in
+      let native = Driver.time_cl b.Rodinia.run in
+      let shm =
+        Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring) b.Rodinia.run
+      in
+      let net =
+        Driver.time_cl ~technique:(Host.Ava Transport.Network) b.Rodinia.run
+      in
+      let rpc = Driver.time_cl ~technique:Host.User_rpc b.Rodinia.run in
+      let rel t = float_of_int t /. float_of_int native in
+      Fmt.pr "%-12s %12s %11.2fx %11.2fx %11.2fx@." name
+        (Time.to_string native) (rel shm) (rel net) (rel rpc))
+    [ "bfs"; "nn"; "srad" ]
+
+(* ---------------------------------------------------------------- E9 -- *)
+
+let microbench () =
+  section "E9 | Bechamel microbenchmarks: remoting fast-path costs";
+  let open Bechamel in
+  let wire_values =
+    [
+      Ava_remoting.Wire.Str "clEnqueueWriteBuffer";
+      Ava_remoting.Wire.int 42;
+      Ava_remoting.Wire.Handle 4097L;
+      Ava_remoting.Wire.Blob (Bytes.create 4096);
+      Ava_remoting.Wire.List
+        [ Ava_remoting.Wire.int 1; Ava_remoting.Wire.int 2 ];
+    ]
+  in
+  let encoded = Ava_remoting.Wire.encode wire_values in
+  let spec = Ava_spec.Specs.load_simcl () in
+  let plan = Result.get_ok (Ava_codegen.Plan.compile spec) in
+  let read_plan =
+    Option.get (Ava_codegen.Plan.find plan "clEnqueueReadBuffer")
+  in
+  let env = [ ("blocking_read", 1); ("offset", 0); ("size", 65536) ] in
+  let tests =
+    [
+      Test.make ~name:"wire-encode"
+        (Staged.stage (fun () -> ignore (Ava_remoting.Wire.encode wire_values)));
+      Test.make ~name:"wire-decode"
+        (Staged.stage (fun () -> ignore (Ava_remoting.Wire.decode encoded)));
+      Test.make ~name:"plan-sync-decision"
+        (Staged.stage (fun () ->
+             ignore (Ava_codegen.Plan.is_sync read_plan ~env)));
+      Test.make ~name:"plan-payload-size"
+        (Staged.stage (fun () ->
+             ignore (Ava_codegen.Plan.request_bytes read_plan ~env)));
+      Test.make ~name:"spec-parse-simcl"
+        (Staged.stage (fun () -> ignore (Ava_spec.Specs.load_simcl ())));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              instance raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Fmt.pr "  %-24s %10.1f ns/op@." name est
+          | _ -> Fmt.pr "  %-24s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------- driver -- *)
+
+let experiments =
+  [
+    ("fig5-opencl", fig5_opencl);
+    ("fig5-ncs", fig5_ncs);
+    ("async-ablation", async_ablation);
+    ("virt-technique-comparison", virt_comparison);
+    ("sharing-policies", sharing_policies);
+    ("migration", migration_bench);
+    ("swapping", swapping_bench);
+    ("automation-metrics", automation_metrics);
+    ("swap-granularity", swap_granularity);
+    ("batching-ablation", batching_ablation);
+    ("consolidation", consolidation);
+    ("policy-overhead", policy_overhead);
+    ("transport-sweep", transport_sweep);
+    ("microbench", microbench);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  match args with
+  | [] ->
+      Fmt.pr "AvA evaluation harness: running all experiments@.";
+      List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Fmt.epr "unknown experiment %S; available: %s@." name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names

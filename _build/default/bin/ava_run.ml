@@ -1,0 +1,165 @@
+(* ava_run: run workloads on simulated virtualization stacks.
+
+     ava_run list
+     ava_run cl --benchmark bfs --technique ava-ring
+     ava_run cl --benchmark all --technique ava-ring --baseline
+     ava_run nc --inferences 20 *)
+
+open Cmdliner
+
+module Transport = Ava_transport.Transport
+
+open Ava_core
+open Ava_workloads
+
+let techniques =
+  [
+    ("native", None);
+    ("passthrough", Some Host.Passthrough);
+    ("fullvirt", Some Host.Full_virt);
+    ("ava-ring", Some (Host.Ava Transport.Shm_ring));
+    ("ava-net", Some (Host.Ava Transport.Network));
+    ("user-rpc", Some Host.User_rpc);
+  ]
+
+let technique_conv =
+  Arg.enum (List.map (fun (name, t) -> (name, (name, t))) techniques)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "benchmarks:@.";
+    List.iter
+      (fun (b : Rodinia.benchmark) ->
+        Fmt.pr "  %-12s %s@." b.Rodinia.name b.Rodinia.description)
+      Rodinia.all;
+    Fmt.pr "  %-12s %s@." "inception" "Inception v3 on the Movidius NCS";
+    Fmt.pr "techniques: %s@."
+      (String.concat ", " (List.map fst techniques));
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and techniques.")
+    Term.(const run $ const ())
+
+let run_one ~baseline (name, technique) (b : Rodinia.benchmark) =
+  let subject =
+    match technique with
+    | None -> Driver.time_cl b.Rodinia.run
+    | Some t -> Driver.time_cl ~technique:t b.Rodinia.run
+  in
+  if baseline && technique <> None then begin
+    let native = Driver.time_cl b.Rodinia.run in
+    Fmt.pr "%-12s %-12s %-12s native=%-12s relative=%.3f@." b.Rodinia.name
+      name
+      (Ava_sim.Time.to_string subject)
+      (Ava_sim.Time.to_string native)
+      (float_of_int subject /. float_of_int native)
+  end
+  else
+    Fmt.pr "%-12s %-12s %-12s@." b.Rodinia.name name
+      (Ava_sim.Time.to_string subject)
+
+let cl_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark name, or 'all'.")
+  in
+  let tech_arg =
+    Arg.(
+      value
+      & opt technique_conv ("ava-ring", Some (Host.Ava Transport.Shm_ring))
+      & info [ "t"; "technique" ] ~docv:"TECH"
+          ~doc:"Virtualization technique.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ] ~doc:"Also run natively and report the ratio.")
+  in
+  let run bench tech baseline =
+    match bench with
+    | "all" ->
+        List.iter (run_one ~baseline tech) Rodinia.all;
+        0
+    | name -> (
+        match Rodinia.find name with
+        | Some b ->
+            run_one ~baseline tech b;
+            0
+        | None ->
+            Fmt.epr "unknown benchmark %S; try 'ava_run list'@." name;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "cl" ~doc:"Run a Rodinia-shaped SimCL benchmark.")
+    Term.(const run $ bench_arg $ tech_arg $ baseline_arg)
+
+let nc_cmd =
+  let inf_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n"; "inferences" ] ~docv:"N" ~doc:"Inference count.")
+  in
+  let run inferences =
+    let native = Driver.time_nc (Inception.run ~inferences) in
+    let virt =
+      Driver.time_nc ~virtualized:true (Inception.run ~inferences)
+    in
+    Fmt.pr "inception (%d inferences): native=%s ava=%s relative=%.4f@."
+      inferences
+      (Ava_sim.Time.to_string native)
+      (Ava_sim.Time.to_string virt)
+      (float_of_int virt /. float_of_int native);
+    0
+  in
+  Cmd.v
+    (Cmd.info "nc" ~doc:"Run Inception v3 on the simulated Movidius NCS.")
+    Term.(const run $ inf_arg)
+
+let qa_cmd =
+  let mb_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "m"; "megabytes" ] ~docv:"MB" ~doc:"Data volume to compress.")
+  in
+  let run megabytes =
+    let program (module QA : Ava_simqa.Api.S) =
+      let inst = Result.get_ok (QA.qaStartInstance ~index:0) in
+      let s =
+        Result.get_ok
+          (QA.qaCreateSession inst Ava_simqa.Types.Dir_compress ~level:6)
+      in
+      let chunk = Bytes.make (1024 * 1024) 'z' in
+      for _ = 1 to megabytes do
+        ignore (Result.get_ok (QA.qaCompress s ~src:chunk))
+      done
+    in
+    let time virtualized =
+      let e = Ava_sim.Engine.create () in
+      Ava_sim.Engine.run_process e (fun () ->
+          if virtualized then begin
+            let host = Host.create_qa_host e in
+            let guest = Host.add_qa_vm host ~name:"g" in
+            program guest.Host.qg_api
+          end
+          else program (fst (Host.native_qa e)));
+      Ava_sim.Engine.now e
+    in
+    let native = time false and virt = time true in
+    Fmt.pr "qat compress %dMB: native=%s ava=%s relative=%.4f@." megabytes
+      (Ava_sim.Time.to_string native)
+      (Ava_sim.Time.to_string virt)
+      (float_of_int virt /. float_of_int native);
+    0
+  in
+  Cmd.v
+    (Cmd.info "qa" ~doc:"Run a compression workload on the simulated QAT card.")
+    Term.(const run $ mb_arg)
+
+let () =
+  let info =
+    Cmd.info "ava_run" ~version:"1.0"
+      ~doc:"Run accelerator workloads over simulated virtualization stacks."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; cl_cmd; nc_cmd; qa_cmd ]))

@@ -1,0 +1,1 @@
+examples/compression.ml: Ava_core Ava_sim Ava_simqa Bytes Char Engine Fmt Host List Time

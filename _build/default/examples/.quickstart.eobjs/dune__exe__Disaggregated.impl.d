@@ -1,0 +1,1 @@
+examples/disaggregated.ml: Ava_core Ava_sim Ava_transport Ava_workloads Driver Fmt Host List Option Rodinia Time

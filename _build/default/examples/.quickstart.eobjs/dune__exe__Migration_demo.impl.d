@@ -1,0 +1,1 @@
+examples/migration_demo.ml: Ava_core Ava_device Ava_hv Ava_sim Ava_simcl Bytes Char Engine Fmt Host List Migration Time

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Ava_core Ava_hv Ava_sim Ava_workloads Clutil Engine Fmt Hashtbl Host List Time

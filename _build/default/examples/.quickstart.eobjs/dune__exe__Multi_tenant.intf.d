@@ -1,0 +1,1 @@
+examples/multi_tenant.mli:

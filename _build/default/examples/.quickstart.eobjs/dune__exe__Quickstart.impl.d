@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ava_core Ava_sim Ava_simcl Bytes Engine Fmt Host Int32 List Time

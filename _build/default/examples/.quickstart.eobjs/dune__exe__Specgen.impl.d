@@ -1,0 +1,1 @@
+examples/specgen.ml: Ast Ava_codegen Ava_spec Cheader Fmt Infer List Specs String Validate

@@ -1,0 +1,88 @@
+(* Quickstart: virtualize SimCL with AvA and run a kernel.
+
+     dune exec examples/quickstart.exe
+
+   The guest program is written against the ordinary SimCL API; the only
+   AvA-specific step is deploying the stack and asking for a guest
+   module.  The same program then runs natively for comparison. *)
+
+open Ava_sim
+open Ava_simcl.Types
+open Ava_core
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (error_to_string e)
+
+(* An ordinary OpenCL-style program: C = A + B on the device. *)
+let vector_add (module CL : Ava_simcl.Api.S) n =
+  let platform = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let device = List.hd (ok (CL.clGetDeviceIDs platform Device_gpu)) in
+  let ctx = ok (CL.clCreateContext [ device ]) in
+  let queue = ok (CL.clCreateCommandQueue ctx device ~profiling:false) in
+  let buf size = ok (CL.clCreateBuffer ctx ~size) in
+  let a = buf (4 * n) and b = buf (4 * n) and c = buf (4 * n) in
+  let data v =
+    let bytes = Bytes.create (4 * n) in
+    for i = 0 to n - 1 do
+      Bytes.set_int32_le bytes (4 * i) (Int32.of_int (v * i))
+    done;
+    bytes
+  in
+  let upload mem bytes =
+    ignore
+      (ok
+         (CL.clEnqueueWriteBuffer queue mem ~blocking:false ~offset:0
+            ~src:bytes ~wait_list:[] ~want_event:false))
+  in
+  upload a (data 1);
+  upload b (data 2);
+  let program = ok (CL.clCreateProgramWithSource ctx ~source:"builtin vec_add") in
+  ok (CL.clBuildProgram program ~options:"");
+  let kernel = ok (CL.clCreateKernel program ~name:"vec_add") in
+  ok (CL.clSetKernelArg kernel ~index:0 (Arg_mem a));
+  ok (CL.clSetKernelArg kernel ~index:1 (Arg_mem b));
+  ok (CL.clSetKernelArg kernel ~index:2 (Arg_mem c));
+  ignore
+    (ok
+       (CL.clEnqueueNDRangeKernel queue kernel ~global_work_size:n
+          ~local_work_size:64 ~wait_list:[] ~want_event:false));
+  let result, _ =
+    ok
+      (CL.clEnqueueReadBuffer queue c ~blocking:true ~offset:0 ~size:(4 * n)
+         ~wait_list:[] ~want_event:false)
+  in
+  ok (CL.clFinish queue);
+  (* Spot-check the arithmetic went through the device. *)
+  let at i = Int32.to_int (Bytes.get_int32_le result (4 * i)) in
+  assert (at 10 = 30 && at 100 = 300);
+  at (n - 1)
+
+let () =
+  let n = 65536 in
+  (* Run natively... *)
+  let engine = Engine.create () in
+  let last_native =
+    Engine.run_process engine (fun () ->
+        let api, _gpu = Host.native_cl engine in
+        vector_add api n)
+  in
+  let native_ns = Engine.now engine in
+  (* ...and under AvA remoting through the hypervisor router. *)
+  let engine = Engine.create () in
+  let last_virtual =
+    Engine.run_process engine (fun () ->
+        let host = Host.create_cl_host engine in
+        let guest = Host.add_cl_vm host ~name:"quickstart-vm" in
+        vector_add guest.Host.g_api n)
+  in
+  let virtual_ns = Engine.now engine in
+  Fmt.pr "vector_add over %d elements:@." n;
+  Fmt.pr "  native:        %-10s (last element %d)@."
+    (Time.to_string native_ns) last_native;
+  Fmt.pr "  AvA-virtual:   %-10s (last element %d)@."
+    (Time.to_string virtual_ns) last_virtual;
+  Fmt.pr "  relative cost: %.3fx@."
+    (float_of_int virtual_ns /. float_of_int native_ns);
+  assert (last_native = last_virtual);
+  Fmt.pr "results identical through the remoting stack.@."

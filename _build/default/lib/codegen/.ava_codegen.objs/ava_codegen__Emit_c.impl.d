@@ -1,0 +1,1 @@
+lib/codegen/emit_c.ml: Ava_spec Buffer List Printf String

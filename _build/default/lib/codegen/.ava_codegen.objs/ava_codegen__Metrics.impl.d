@@ -1,0 +1,1 @@
+lib/codegen/metrics.ml: Ast Ava_spec Cheader Emit_c Fmt Infer List Stdlib String

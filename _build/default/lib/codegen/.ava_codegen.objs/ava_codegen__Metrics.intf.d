@@ -1,0 +1,1 @@
+lib/codegen/metrics.mli: Ava_spec Format

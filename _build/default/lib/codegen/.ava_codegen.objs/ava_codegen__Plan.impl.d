@@ -1,0 +1,1 @@
+lib/codegen/plan.ml: Ava_spec Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/codegen/plan.mli: Ava_spec

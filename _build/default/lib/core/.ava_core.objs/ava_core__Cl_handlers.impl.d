@@ -1,0 +1,1 @@
+lib/core/cl_handlers.ml: Ava_remoting Ava_simcl Bytes Char Codec Int64 List

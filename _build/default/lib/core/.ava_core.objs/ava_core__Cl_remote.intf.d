@@ -1,0 +1,1 @@
+lib/core/cl_remote.mli: Ava_remoting Ava_simcl

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Ava_remoting Ava_simcl Ava_simnc Bytes Char Int64 List String

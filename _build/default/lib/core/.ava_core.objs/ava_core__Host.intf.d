@@ -1,0 +1,1 @@
+lib/core/host.mli: Ava_codegen Ava_device Ava_hv Ava_remoting Ava_sim Ava_simcl Ava_simnc Ava_simqa Ava_spec Ava_transport Cl_handlers Engine Gpu Hashtbl Nc_handlers Ncs Qa_handlers Time Timing

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Ava_remoting Ava_sim Ava_simcl Ava_spec Bytes Cl_handlers Engine Fmt Hashtbl Host Int64 List String Time

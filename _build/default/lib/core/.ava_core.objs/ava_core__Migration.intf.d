@@ -1,0 +1,1 @@
+lib/core/migration.mli: Ava_remoting Ava_sim Ava_simcl Format Host Time

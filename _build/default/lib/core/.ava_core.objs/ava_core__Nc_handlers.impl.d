@@ -1,0 +1,1 @@
+lib/core/nc_handlers.ml: Ava_remoting Ava_simnc Bytes Codec

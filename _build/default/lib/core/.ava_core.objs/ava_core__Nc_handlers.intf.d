@@ -1,0 +1,1 @@
+lib/core/nc_handlers.mli: Ava_device Ava_remoting Ava_simnc

@@ -1,0 +1,1 @@
+lib/core/nc_remote.ml: Ava_remoting Ava_simnc Bytes Codec Int64 List String

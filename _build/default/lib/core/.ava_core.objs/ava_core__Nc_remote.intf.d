@@ -1,0 +1,1 @@
+lib/core/nc_remote.mli: Ava_remoting Ava_simnc

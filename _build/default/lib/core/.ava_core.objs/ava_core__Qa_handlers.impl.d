@@ -1,0 +1,1 @@
+lib/core/qa_handlers.ml: Ava_remoting Ava_simqa Bytes Codec

@@ -1,0 +1,1 @@
+lib/core/qa_handlers.mli: Ava_remoting Ava_simqa

@@ -1,0 +1,1 @@
+lib/core/qa_remote.ml: Ava_remoting Ava_simqa Bytes Codec Int64 List

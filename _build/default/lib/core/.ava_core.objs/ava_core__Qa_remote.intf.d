@@ -1,0 +1,1 @@
+lib/core/qa_remote.mli: Ava_remoting Ava_simqa

@@ -1,0 +1,1 @@
+lib/core/report.ml: Ava_device Ava_hv Ava_remoting Ava_sim Devmem Dma Engine Fmt Gpu Host List Option Time

@@ -1,0 +1,1 @@
+lib/core/report.mli: Ava_sim Format Host Time

@@ -1,0 +1,310 @@
+(* Stack assembly: deploy every virtualization technique of §2 over the
+   same silos, plus the full AvA remoting stack of §3-4.
+
+   A {!cl_host} owns the physical GPU, the hypervisor, the router and the
+   API server; [add_vm] attaches one guest and returns a SimCL module the
+   guest application uses exactly like the vendor library.  {!nc_host} is
+   the Movidius equivalent. *)
+
+module Transport = Ava_transport.Transport
+module Plan = Ava_codegen.Plan
+module Stub = Ava_remoting.Stub
+module Server = Ava_remoting.Server
+module Router = Ava_remoting.Router
+module Migrate = Ava_remoting.Migrate
+module Swap = Ava_remoting.Swap
+
+open Ava_sim
+open Ava_device
+
+(* The attachment techniques of the design space (§2). *)
+type technique =
+  | Passthrough  (** dedicated device, native driver in the guest *)
+  | Full_virt  (** trap-based MMIO interposition *)
+  | Ava of Transport.kind  (** AvA remoting through the router *)
+  | User_rpc  (** API remoting that bypasses the hypervisor (vCUDA-style) *)
+
+let technique_to_string = function
+  | Passthrough -> "pass-through"
+  | Full_virt -> "full-virtualization"
+  | Ava k -> "ava/" ^ Transport.kind_to_string k
+  | User_rpc -> "user-rpc"
+
+(* --- SimCL hosts --------------------------------------------------------- *)
+
+type cl_host = {
+  engine : Engine.t;
+  gpu : Gpu.t;
+  hv : Ava_hv.Hypervisor.t;
+  plan : Plan.t;
+  spec : Ava_spec.Ast.api_spec;
+  router : Router.t;
+  server : Cl_handlers.state Server.t;
+  kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
+  swap : Swap.t option;
+  recorders : (int, Migrate.t) Hashtbl.t;
+  trace : Ava_sim.Trace.t;
+}
+
+type cl_guest = {
+  g_vm : Ava_hv.Vm.t;
+  g_api : (module Ava_simcl.Api.S);
+  g_stub : Stub.t option;  (** None for pass-through / full-virt guests *)
+  g_technique : technique;
+}
+
+(* Strip every async annotation: the unoptimized specification of the
+   §5 ablation (every call waits for its reply). *)
+let sync_everything (spec : Ava_spec.Ast.api_spec) =
+  {
+    spec with
+    Ava_spec.Ast.fns =
+      List.map
+        (fun f -> { f with Ava_spec.Ast.f_sync = Ava_spec.Ast.Sync })
+        spec.Ava_spec.Ast.fns;
+  }
+
+let load_cl_plan ?(sync_only = false) () =
+  let spec = Ava_spec.Specs.load_simcl () in
+  let spec = if sync_only then sync_everything spec else spec in
+  match Plan.compile spec with
+  | Ok plan -> (spec, plan)
+  | Error e -> failwith ("simcl plan compilation failed: " ^ e)
+
+(* [swap_capacity] enables swapping with the given device-memory budget
+   in bytes; [swap_page_granularity] switches the data movement from one
+   transfer per buffer object to one per 4 KiB page (the page/chunk-based
+   schemes of [32,33,55] the paper argues against).  [sync_only] deploys
+   the unoptimized (no-async-forwarding) spec for the §5 ablation. *)
+let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
+    ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
+    ?(tracing = false) engine =
+  let trace = Ava_sim.Trace.create ~enabled:tracing () in
+  let gpu = Gpu.create ~timing:gpu_timing engine in
+  let hv = Ava_hv.Hypervisor.create ~virt engine in
+  let spec, plan = load_cl_plan ~sync_only () in
+  let kd = Ava_simcl.Kdriver.create gpu in
+  let swap =
+    Option.map
+      (fun capacity ->
+        let dma_move ~key:_ ~bytes =
+          if swap_page_granularity then begin
+            (* One descriptor + transfer per page: the per-operation
+               setup cost is paid (size / 4K) times. *)
+            let pages = (bytes + 4095) / 4096 in
+            for _ = 1 to pages do
+              Dma.transfer (Gpu.dma gpu) ~bytes:4096
+            done
+          end
+          else Dma.transfer (Gpu.dma gpu) ~bytes
+        in
+        Swap.create ~capacity ~evict:dma_move ~restore:dma_move)
+      swap_capacity
+  in
+  let server =
+    Server.create ~trace engine ~plan
+      ~make_state:(Cl_handlers.make_state ?swap kd)
+  in
+  Cl_handlers.register server;
+  let router = Router.create ~trace engine ~virt ~plan in
+  let recorders = Hashtbl.create 8 in
+  (* Record successfully executed calls per the spec's record classes. *)
+  Server.set_call_hook server (fun ~vm_id ~status c ->
+      if status = 0 then
+        match
+          (Hashtbl.find_opt recorders vm_id, Plan.find plan c.Ava_remoting.Message.call_fn)
+        with
+        | Some recorder, Some call_plan ->
+            let allocated =
+              match call_plan.Plan.cp_record with
+              | Ava_spec.Ast.Object_alloc ->
+                  Option.map
+                    (fun ctx -> Server.Ctx.last_fresh ctx)
+                    (Server.vm_ctx server ~vm_id)
+              | _ -> None
+            in
+            Migrate.observe ?allocated recorder call_plan c
+        | _ -> ());
+  { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace }
+
+(* Attach one guest VM with the chosen technique and policies.
+   [batching] enables rCUDA-style API batching in the guest stub. *)
+let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
+    ?rate_per_s ?weight ?quota_cost ?quota_window t ~name =
+  let batch_limit = if batching then 16 else 1 in
+  let vm = Ava_hv.Hypervisor.create_vm t.hv ~name in
+  let vm_id = Ava_hv.Vm.id vm in
+  Hashtbl.replace t.recorders vm_id (Migrate.create ());
+  match technique with
+  | Passthrough ->
+      let kd = Ava_hv.Hypervisor.attach_passthrough t.hv t.gpu in
+      let api, _ = Ava_simcl.Native.create kd in
+      { g_vm = vm; g_api = api; g_stub = None; g_technique = technique }
+  | Full_virt ->
+      let kd = Ava_hv.Hypervisor.attach_fullvirt t.hv t.gpu in
+      let api, _ = Ava_simcl.Native.create kd in
+      { g_vm = vm; g_api = api; g_stub = None; g_technique = technique }
+  | User_rpc ->
+      (* Guest connects straight to the API server: no router, no
+         hypervisor interposition. *)
+      let guest_end, server_end =
+        Transport.user_rpc t.engine ~virt:(Ava_hv.Hypervisor.virt t.hv)
+      in
+      ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
+      let stub =
+        Stub.create ~batch_limit t.engine ~vm_id ~plan:t.plan ~ep:guest_end
+      in
+      let api, remote = Cl_remote.create stub in
+      ignore remote;
+      { g_vm = vm; g_api = api; g_stub = Some stub; g_technique = technique }
+  | Ava kind ->
+      let virt = Ava_hv.Hypervisor.virt t.hv in
+      (* Hop 1: guest <-> router over the chosen transport. *)
+      let guest_end, router_guest_end = Transport.make kind t.engine ~virt in
+      (* Hop 2: router <-> server over a host-internal queue. *)
+      let router_server_end, server_end = Transport.direct t.engine in
+      ignore
+        (Router.attach_vm ?rate_per_s ?weight:(Option.map Fun.id weight)
+           ?quota_cost ?quota_window t.router vm ~guest_side:router_guest_end
+           ~server_side:router_server_end);
+      ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
+      let stub =
+        Stub.create ~batch_limit t.engine ~vm_id ~plan:t.plan ~ep:guest_end
+      in
+      let api, remote = Cl_remote.create stub in
+      ignore remote;
+      { g_vm = vm; g_api = api; g_stub = Some stub; g_technique = technique }
+
+(* A bare-metal SimCL stack: the native baseline every relative number in
+   the evaluation is normalized to. *)
+let native_cl ?(gpu_timing = Timing.gtx1080) engine =
+  let gpu = Gpu.create ~timing:gpu_timing engine in
+  let kd = Ava_simcl.Kdriver.create gpu in
+  let api, _ = Ava_simcl.Native.create kd in
+  (api, gpu)
+
+let recorder t ~vm_id = Hashtbl.find_opt t.recorders vm_id
+
+(* --- MVNC hosts ----------------------------------------------------------- *)
+
+type nc_host = {
+  nc_engine : Engine.t;
+  nc_dev : Ncs.t;
+  nc_hv : Ava_hv.Hypervisor.t;
+  nc_plan : Plan.t;
+  nc_router : Router.t;
+  nc_server : Nc_handlers.state Server.t;
+}
+
+type nc_guest = {
+  ng_vm : Ava_hv.Vm.t;
+  ng_api : (module Ava_simnc.Api.S);
+  ng_stub : Stub.t option;
+}
+
+let load_nc_plan () =
+  let spec = Ava_spec.Specs.load_mvnc () in
+  match Plan.compile spec with
+  | Ok plan -> (spec, plan)
+  | Error e -> failwith ("mvnc plan compilation failed: " ^ e)
+
+let create_nc_host ?(virt = Timing.default_virt)
+    ?(ncs_timing = Timing.movidius) engine =
+  let dev = Ncs.create ~timing:ncs_timing engine in
+  let hv = Ava_hv.Hypervisor.create ~virt engine in
+  let _spec, plan = load_nc_plan () in
+  let server =
+    Server.create engine ~plan ~make_state:(Nc_handlers.make_state dev)
+  in
+  Nc_handlers.register server;
+  let router = Router.create engine ~virt ~plan in
+  {
+    nc_engine = engine;
+    nc_dev = dev;
+    nc_hv = hv;
+    nc_plan = plan;
+    nc_router = router;
+    nc_server = server;
+  }
+
+let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
+  let vm = Ava_hv.Hypervisor.create_vm t.nc_hv ~name in
+  let vm_id = Ava_hv.Vm.id vm in
+  let virt = Ava_hv.Hypervisor.virt t.nc_hv in
+  let guest_end, router_guest_end = Transport.make transport t.nc_engine ~virt in
+  let router_server_end, server_end = Transport.direct t.nc_engine in
+  ignore
+    (Router.attach_vm ?rate_per_s ?weight t.nc_router vm
+       ~guest_side:router_guest_end ~server_side:router_server_end);
+  ignore (Server.attach_vm t.nc_server ~vm_id ~ep:server_end);
+  let stub = Stub.create t.nc_engine ~vm_id ~plan:t.nc_plan ~ep:guest_end in
+  let api, remote = Nc_remote.create stub in
+  ignore remote;
+  { ng_vm = vm; ng_api = api; ng_stub = Some stub }
+
+let native_nc ?(ncs_timing = Timing.movidius) engine =
+  let dev = Ncs.create ~timing:ncs_timing engine in
+  let api, _ = Ava_simnc.Native.create dev in
+  (api, dev)
+
+(* --- SimQA hosts ----------------------------------------------------------- *)
+
+type qa_host = {
+  qa_engine : Engine.t;
+  qa_dev : Ava_simqa.Device.t;
+  qa_hv : Ava_hv.Hypervisor.t;
+  qa_plan : Plan.t;
+  qa_router : Router.t;
+  qa_server : Qa_handlers.state Server.t;
+}
+
+type qa_guest = {
+  qg_vm : Ava_hv.Vm.t;
+  qg_api : (module Ava_simqa.Api.S);
+  qg_stub : Stub.t option;
+}
+
+let load_qa_plan () =
+  let spec = Ava_spec.Specs.load_qat () in
+  match Plan.compile spec with
+  | Ok plan -> (spec, plan)
+  | Error e -> failwith ("qat plan compilation failed: " ^ e)
+
+let create_qa_host ?(virt = Timing.default_virt)
+    ?(qat_timing = Ava_simqa.Device.dh895xcc) engine =
+  let dev = Ava_simqa.Device.create ~timing:qat_timing engine in
+  let hv = Ava_hv.Hypervisor.create ~virt engine in
+  let _spec, plan = load_qa_plan () in
+  let server =
+    Server.create engine ~plan ~make_state:(Qa_handlers.make_state dev)
+  in
+  Qa_handlers.register server;
+  let router = Router.create engine ~virt ~plan in
+  {
+    qa_engine = engine;
+    qa_dev = dev;
+    qa_hv = hv;
+    qa_plan = plan;
+    qa_router = router;
+    qa_server = server;
+  }
+
+let add_qa_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
+  let vm = Ava_hv.Hypervisor.create_vm t.qa_hv ~name in
+  let vm_id = Ava_hv.Vm.id vm in
+  let virt = Ava_hv.Hypervisor.virt t.qa_hv in
+  let guest_end, router_guest_end = Transport.make transport t.qa_engine ~virt in
+  let router_server_end, server_end = Transport.direct t.qa_engine in
+  ignore
+    (Router.attach_vm ?rate_per_s ?weight t.qa_router vm
+       ~guest_side:router_guest_end ~server_side:router_server_end);
+  ignore (Server.attach_vm t.qa_server ~vm_id ~ep:server_end);
+  let stub = Stub.create t.qa_engine ~vm_id ~plan:t.qa_plan ~ep:guest_end in
+  let api, remote = Qa_remote.create stub in
+  ignore remote;
+  { qg_vm = vm; qg_api = api; qg_stub = Some stub }
+
+let native_qa ?(qat_timing = Ava_simqa.Device.dh895xcc) engine =
+  let dev = Ava_simqa.Device.create ~timing:qat_timing engine in
+  let api, _ = Ava_simqa.Native.create dev in
+  (api, dev)

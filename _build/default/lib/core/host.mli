@@ -1,0 +1,165 @@
+(** Stack assembly: deploy every virtualization technique of §2 over the
+    same silos, plus the full AvA remoting stack of §3-4.
+
+    A {!cl_host} owns the physical GPU, the hypervisor, the router and
+    the API server; {!add_cl_vm} attaches one guest and returns a SimCL
+    module the guest application uses exactly like the vendor library.
+    {!nc_host} and {!qa_host} are the Movidius and QuickAssist
+    equivalents. *)
+
+module Transport = Ava_transport.Transport
+module Plan = Ava_codegen.Plan
+module Stub = Ava_remoting.Stub
+module Server = Ava_remoting.Server
+module Router = Ava_remoting.Router
+module Migrate = Ava_remoting.Migrate
+module Swap = Ava_remoting.Swap
+
+open Ava_sim
+open Ava_device
+
+(** The attachment techniques of the design space (§2). *)
+type technique =
+  | Passthrough  (** dedicated device, native driver in the guest *)
+  | Full_virt  (** trap-based MMIO interposition *)
+  | Ava of Transport.kind  (** AvA remoting through the router *)
+  | User_rpc  (** API remoting that bypasses the hypervisor (vCUDA-style) *)
+
+val technique_to_string : technique -> string
+
+(** {1 SimCL hosts} *)
+
+type cl_host = {
+  engine : Engine.t;
+  gpu : Gpu.t;
+  hv : Ava_hv.Hypervisor.t;
+  plan : Plan.t;
+  spec : Ava_spec.Ast.api_spec;
+  router : Router.t;
+  server : Cl_handlers.state Server.t;
+  kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
+  swap : Swap.t option;
+  recorders : (int, Migrate.t) Hashtbl.t;  (** per-VM migration recorders *)
+  trace : Ava_sim.Trace.t;
+      (** router/server call trace (enabled with [~tracing:true]) *)
+}
+
+type cl_guest = {
+  g_vm : Ava_hv.Vm.t;
+  g_api : (module Ava_simcl.Api.S);
+  g_stub : Stub.t option;  (** [None] for pass-through / full-virt guests *)
+  g_technique : technique;
+}
+
+val sync_everything : Ava_spec.Ast.api_spec -> Ava_spec.Ast.api_spec
+(** Strip every async annotation: the unoptimized spec of the §5
+    ablation. *)
+
+val load_cl_plan :
+  ?sync_only:bool -> unit -> Ava_spec.Ast.api_spec * Plan.t
+
+val create_cl_host :
+  ?virt:Timing.virt ->
+  ?gpu_timing:Timing.gpu ->
+  ?swap_capacity:int ->
+  ?swap_page_granularity:bool ->
+  ?sync_only:bool ->
+  ?tracing:bool ->
+  Engine.t ->
+  cl_host
+(** [swap_capacity] enables swapping with the given device-memory budget
+    in bytes; [swap_page_granularity] switches its data movement to one
+    transfer per 4 KiB page (the page/chunk schemes the paper argues
+    against).  [sync_only] deploys the unoptimized no-async spec. *)
+
+val add_cl_vm :
+  ?technique:technique ->
+  ?batching:bool ->
+  ?rate_per_s:float ->
+  ?weight:float ->
+  ?quota_cost:float ->
+  ?quota_window:Time.t ->
+  cl_host ->
+  name:string ->
+  cl_guest
+(** Attach one guest VM (default technique: AvA over the shm ring) with
+    optional router policies.  [batching] enables rCUDA-style API
+    batching in the guest stub. *)
+
+val native_cl :
+  ?gpu_timing:Timing.gpu -> Engine.t -> (module Ava_simcl.Api.S) * Gpu.t
+(** A bare-metal SimCL stack: the baseline every relative number is
+    normalized to. *)
+
+val recorder : cl_host -> vm_id:int -> Migrate.t option
+
+(** {1 MVNC hosts} *)
+
+type nc_host = {
+  nc_engine : Engine.t;
+  nc_dev : Ncs.t;
+  nc_hv : Ava_hv.Hypervisor.t;
+  nc_plan : Plan.t;
+  nc_router : Router.t;
+  nc_server : Nc_handlers.state Server.t;
+}
+
+type nc_guest = {
+  ng_vm : Ava_hv.Vm.t;
+  ng_api : (module Ava_simnc.Api.S);
+  ng_stub : Stub.t option;
+}
+
+val load_nc_plan : unit -> Ava_spec.Ast.api_spec * Plan.t
+
+val create_nc_host :
+  ?virt:Timing.virt -> ?ncs_timing:Timing.ncs -> Engine.t -> nc_host
+
+val add_nc_vm :
+  ?transport:Transport.kind ->
+  ?rate_per_s:float ->
+  ?weight:float ->
+  nc_host ->
+  name:string ->
+  nc_guest
+
+val native_nc :
+  ?ncs_timing:Timing.ncs -> Engine.t -> (module Ava_simnc.Api.S) * Ncs.t
+
+(** {1 SimQA hosts (the §5 future-work API)} *)
+
+type qa_host = {
+  qa_engine : Engine.t;
+  qa_dev : Ava_simqa.Device.t;
+  qa_hv : Ava_hv.Hypervisor.t;
+  qa_plan : Plan.t;
+  qa_router : Router.t;
+  qa_server : Qa_handlers.state Server.t;
+}
+
+type qa_guest = {
+  qg_vm : Ava_hv.Vm.t;
+  qg_api : (module Ava_simqa.Api.S);
+  qg_stub : Stub.t option;
+}
+
+val load_qa_plan : unit -> Ava_spec.Ast.api_spec * Plan.t
+
+val create_qa_host :
+  ?virt:Timing.virt ->
+  ?qat_timing:Ava_simqa.Device.timing ->
+  Engine.t ->
+  qa_host
+
+val add_qa_vm :
+  ?transport:Transport.kind ->
+  ?rate_per_s:float ->
+  ?weight:float ->
+  qa_host ->
+  name:string ->
+  qa_guest
+
+val native_qa :
+  ?qat_timing:Ava_simqa.Device.timing ->
+  Engine.t ->
+  (module Ava_simqa.Api.S) * Ava_simqa.Device.t

@@ -1,0 +1,135 @@
+(* The AvA-generated API server dispatch for MVNC. *)
+
+module Wire = Ava_remoting.Wire
+module Server = Ava_remoting.Server
+
+open Ava_simnc.Types
+open Codec
+
+type state = {
+  api : (module Ava_simnc.Api.S);
+  native : Ava_simnc.Native.st;
+}
+
+let make_state ncs ~vm_id:_ =
+  let api, native = Ava_simnc.Native.create ncs in
+  { api; native }
+
+let err (s : status) : int * Wire.value * Wire.value list =
+  (status_to_code s, Wire.Unit, [])
+
+let ok_unit = (0, Wire.Unit, [])
+let ok_ret ret outs = (0, ret, outs)
+
+exception Unknown_handle
+
+let resolve ctx v =
+  match Server.Ctx.resolve ctx v with
+  | Some h -> h
+  | None -> raise Unknown_handle
+
+let guard f ctx st args =
+  match f ctx st args with
+  | result -> result
+  | exception Unknown_handle -> (Server.status_unknown_handle, Wire.Unit, [])
+  | exception Bad_args -> (Server.status_bad_arguments, Wire.Unit, [])
+
+let of_result r k = match r with Ok v -> k v | Error e -> err e
+
+let bind_fresh ctx ~host =
+  let vid = Server.Ctx.fresh ctx in
+  Server.Ctx.bind ctx ~guest:vid ~host;
+  vid
+
+let register server =
+  let reg name f = Server.register server name (guard f) in
+
+  reg "mvncGetDeviceName" (fun _ctx st args ->
+      match args with
+      | [ idx; _; _size ] ->
+          let module NC = (val st.api) in
+          of_result (NC.mvncGetDeviceName ~index:(to_i idx)) (fun name ->
+              ok_ret (i 0) [ b (Bytes.of_string name) ])
+      | _ -> raise Bad_args);
+
+  reg "mvncOpenDevice" (fun ctx st args ->
+      match args with
+      | [ name; _len; _out ] ->
+          let module NC = (val st.api) in
+          of_result (NC.mvncOpenDevice ~name:(Bytes.to_string (to_b name)))
+            (fun host -> ok_ret (h (bind_fresh ctx ~host)) [])
+      | _ -> raise Bad_args);
+
+  reg "mvncCloseDevice" (fun ctx st args ->
+      match args with
+      | [ d ] ->
+          let module NC = (val st.api) in
+          of_result (NC.mvncCloseDevice (resolve ctx (to_h d))) (fun () ->
+              ok_unit)
+      | _ -> raise Bad_args);
+
+  reg "mvncAllocateGraph" (fun ctx st args ->
+      match args with
+      | [ d; _out; data; _len ] ->
+          let module NC = (val st.api) in
+          of_result
+            (NC.mvncAllocateGraph (resolve ctx (to_h d))
+               ~graph_data:(to_b data))
+            (fun host -> ok_ret (h (bind_fresh ctx ~host)) [])
+      | _ -> raise Bad_args);
+
+  reg "mvncDeallocateGraph" (fun ctx st args ->
+      match args with
+      | [ g ] ->
+          let module NC = (val st.api) in
+          of_result (NC.mvncDeallocateGraph (resolve ctx (to_h g)))
+            (fun () -> ok_unit)
+      | _ -> raise Bad_args);
+
+  reg "mvncLoadTensor" (fun ctx st args ->
+      match args with
+      | [ g; tensor; _len ] ->
+          let module NC = (val st.api) in
+          of_result
+            (NC.mvncLoadTensor (resolve ctx (to_h g)) ~tensor:(to_b tensor))
+            (fun () -> ok_unit)
+      | _ -> raise Bad_args);
+
+  reg "mvncGetResult" (fun ctx st args ->
+      match args with
+      | [ g; _out; _max ] ->
+          let module NC = (val st.api) in
+          of_result (NC.mvncGetResult (resolve ctx (to_h g))) (fun data ->
+              ok_ret (i 0) [ b data; i (Bytes.length data) ])
+      | _ -> raise Bad_args);
+
+  reg "mvncGetGraphOption" (fun ctx st args ->
+      match args with
+      | [ g; opt; _ ] ->
+          let module NC = (val st.api) in
+          of_result
+            (NC.mvncGetGraphOption (resolve ctx (to_h g))
+               (graph_option_of_int (to_i opt)))
+            (fun v -> ok_ret (i 0) [ i v ])
+      | _ -> raise Bad_args);
+
+  reg "mvncSetGraphOption" (fun ctx st args ->
+      match args with
+      | [ g; opt; v ] ->
+          let module NC = (val st.api) in
+          of_result
+            (NC.mvncSetGraphOption (resolve ctx (to_h g))
+               (graph_option_of_int (to_i opt))
+               (to_i v))
+            (fun () -> ok_unit)
+      | _ -> raise Bad_args);
+
+  reg "mvncGetDeviceOption" (fun ctx st args ->
+      match args with
+      | [ d; opt; _ ] ->
+          let module NC = (val st.api) in
+          of_result
+            (NC.mvncGetDeviceOption (resolve ctx (to_h d))
+               (device_option_of_int (to_i opt)))
+            (fun v -> ok_ret (i 0) [ i v ])
+      | _ -> raise Bad_args)

@@ -1,0 +1,11 @@
+(** The AvA-generated API server dispatch for MVNC. *)
+
+type state = {
+  api : (module Ava_simnc.Api.S);
+  native : Ava_simnc.Native.st;
+}
+
+val make_state : Ava_device.Ncs.t -> vm_id:int -> state
+
+val register : state Ava_remoting.Server.t -> unit
+(** Install all 10 handlers. *)

@@ -1,0 +1,11 @@
+(** The AvA-generated API server dispatch for SimQA. *)
+
+type state = {
+  api : (module Ava_simqa.Api.S);
+  native : Ava_simqa.Native.st;
+}
+
+val make_state : Ava_simqa.Device.t -> vm_id:int -> state
+
+val register : state Ava_remoting.Server.t -> unit
+(** Install all 8 handlers. *)

@@ -1,0 +1,105 @@
+(* Deployment report: one readable snapshot of a running AvA stack — the
+   administrator's view the paper's §4.3 administration interface
+   implies.  Aggregates guest-library, router, server and device
+   statistics. *)
+
+module Stub = Ava_remoting.Stub
+module Router = Ava_remoting.Router
+module Server = Ava_remoting.Server
+module Swap = Ava_remoting.Swap
+
+open Ava_sim
+open Ava_device
+
+type guest_stats = {
+  gs_name : string;
+  gs_vm_id : int;
+  gs_technique : string;
+  gs_api_calls : int;  (** calls seen by the router *)
+  gs_bytes : int;  (** wire bytes through the router, both ways *)
+  gs_device_time_est : int;  (** accumulated cost-unit estimates *)
+  gs_sync_calls : int;
+  gs_async_calls : int;
+  gs_batches : int;
+  gs_upcalls : int;
+  gs_in_flight : int;
+  gs_pending_errors : int;
+}
+
+type t = {
+  r_at : Time.t;
+  r_guests : guest_stats list;
+  r_forwarded : int;
+  r_rejected_router : int;
+  r_executed : int;
+  r_rejected_server : int;
+  r_paced : Time.t;
+  r_kernels : int;
+  r_gpu_busy : Time.t;
+  r_gpu_mem_used : int;
+  r_dma_bytes : int;
+  r_swap : (int * int * int) option;  (** resident, evictions, restores *)
+}
+
+let guest_stats (guest : Host.cl_guest) =
+  let vm = guest.Host.g_vm in
+  let stub = guest.Host.g_stub in
+  let stat f default = Option.fold ~none:default ~some:f stub in
+  {
+    gs_name = Ava_hv.Vm.name vm;
+    gs_vm_id = Ava_hv.Vm.id vm;
+    gs_technique = Host.technique_to_string guest.Host.g_technique;
+    gs_api_calls = Ava_hv.Vm.api_calls vm;
+    gs_bytes = Ava_hv.Vm.bytes_transferred vm;
+    gs_device_time_est = Ava_hv.Vm.device_time_ns vm;
+    gs_sync_calls = stat Stub.sync_calls 0;
+    gs_async_calls = stat Stub.async_calls 0;
+    gs_batches = stat Stub.batches_sent 0;
+    gs_upcalls = stat Stub.upcalls_received 0;
+    gs_in_flight = stat Stub.in_flight 0;
+    gs_pending_errors = stat Stub.pending_errors 0;
+  }
+
+let snapshot (host : Host.cl_host) guests =
+  {
+    r_at = Engine.now host.Host.engine;
+    r_guests = List.map guest_stats guests;
+    r_forwarded = Router.forwarded host.Host.router;
+    r_rejected_router = Router.rejected host.Host.router;
+    r_executed = Server.executed host.Host.server;
+    r_rejected_server = Server.rejected host.Host.server;
+    r_paced = Router.paced_ns host.Host.router;
+    r_kernels = Gpu.kernels_executed host.Host.gpu;
+    r_gpu_busy = Gpu.busy_ns host.Host.gpu;
+    r_gpu_mem_used = Devmem.used (Gpu.mem host.Host.gpu);
+    r_dma_bytes = Dma.bytes_moved (Gpu.dma host.Host.gpu);
+    r_swap =
+      Option.map
+        (fun sw -> (Swap.resident_bytes sw, Swap.evictions sw, Swap.restores sw))
+        host.Host.swap;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "deployment report at %a@." Time.pp r.r_at;
+  Fmt.pf ppf
+    "  router: %d forwarded, %d rejected, %a scheduler pacing@."
+    r.r_forwarded r.r_rejected_router Time.pp r.r_paced;
+  Fmt.pf ppf "  server: %d executed, %d rejected@." r.r_executed
+    r.r_rejected_server;
+  Fmt.pf ppf "  device: %d kernels, busy %a, %d B resident, %d B over DMA@."
+    r.r_kernels Time.pp r.r_gpu_busy r.r_gpu_mem_used r.r_dma_bytes;
+  (match r.r_swap with
+  | Some (resident, evictions, restores) ->
+      Fmt.pf ppf "  swap: %d B resident, %d evictions, %d restores@."
+        resident evictions restores
+  | None -> ());
+  List.iter
+    (fun g ->
+      Fmt.pf ppf
+        "  vm%-3d %-10s %-16s calls=%-6d sync=%-5d async=%-5d batches=%-4d \
+         upcalls=%-3d bytes=%d@."
+        g.gs_vm_id g.gs_name g.gs_technique g.gs_api_calls g.gs_sync_calls
+        g.gs_async_calls g.gs_batches g.gs_upcalls g.gs_bytes)
+    r.r_guests
+
+let to_string r = Fmt.str "%a" pp r

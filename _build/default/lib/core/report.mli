@@ -1,0 +1,41 @@
+(** Deployment report: one readable snapshot of a running AvA stack —
+    the administrator's view implied by §4.3's administration interface.
+    Aggregates guest-library, router, server and device statistics. *)
+
+open Ava_sim
+
+type guest_stats = {
+  gs_name : string;
+  gs_vm_id : int;
+  gs_technique : string;
+  gs_api_calls : int;  (** calls seen by the router *)
+  gs_bytes : int;  (** wire bytes through the router, both ways *)
+  gs_device_time_est : int;  (** accumulated cost-unit estimates *)
+  gs_sync_calls : int;
+  gs_async_calls : int;
+  gs_batches : int;
+  gs_upcalls : int;
+  gs_in_flight : int;
+  gs_pending_errors : int;
+}
+
+type t = {
+  r_at : Time.t;
+  r_guests : guest_stats list;
+  r_forwarded : int;
+  r_rejected_router : int;
+  r_executed : int;
+  r_rejected_server : int;
+  r_paced : Time.t;
+  r_kernels : int;
+  r_gpu_busy : Time.t;
+  r_gpu_mem_used : int;
+  r_dma_bytes : int;
+  r_swap : (int * int * int) option;
+      (** resident bytes, evictions, restores *)
+}
+
+val guest_stats : Host.cl_guest -> guest_stats
+val snapshot : Host.cl_host -> Host.cl_guest list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

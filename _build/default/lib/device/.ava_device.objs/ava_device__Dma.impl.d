@@ -1,0 +1,1 @@
+lib/device/dma.ml: Ava_sim Engine Semaphore Time Timing

@@ -1,0 +1,1 @@
+lib/device/dma.mli: Ava_sim Time Timing

@@ -1,0 +1,1 @@
+lib/device/gpu.ml: Ava_sim Bytes Channel Devmem Dma Engine Float Hashtbl Int64 Ivar Mmio Time Timing

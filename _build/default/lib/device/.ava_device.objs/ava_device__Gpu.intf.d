@@ -1,0 +1,1 @@
+lib/device/gpu.mli: Ava_sim Bytes Devmem Dma Engine Ivar Mmio Time Timing

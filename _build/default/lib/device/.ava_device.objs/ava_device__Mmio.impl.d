@@ -1,0 +1,1 @@
+lib/device/mmio.ml: Ava_sim Engine Hashtbl Option Timing

@@ -1,0 +1,1 @@
+lib/device/mmio.mli: Timing

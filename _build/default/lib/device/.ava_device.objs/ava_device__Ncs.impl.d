@@ -1,0 +1,1 @@
+lib/device/ncs.ml: Ava_sim Bytes Char Engine Hashtbl List Semaphore Time Timing

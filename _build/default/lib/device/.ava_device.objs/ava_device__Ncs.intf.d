@@ -1,0 +1,1 @@
+lib/device/ncs.mli: Ava_sim Engine Time Timing

@@ -1,0 +1,1 @@
+lib/device/timing.ml: Ava_sim Time

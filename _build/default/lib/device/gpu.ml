@@ -1,0 +1,164 @@
+(* The simulated GPU.
+
+   Hardware state is a register file, a device-memory heap, a DMA engine
+   and a command processor fed by a hardware ring.  Kernel execution time
+   follows a roofline model: launch overhead plus
+   max(flops / peak_flops, bytes / memory_bandwidth).
+
+   Kernels may carry a semantic action (a host closure over buffer
+   contents) so that tests and examples can check computational results
+   end-to-end through every virtualization stack; pure timing workloads
+   omit it. *)
+
+open Ava_sim
+
+let doorbell_addr = 0x10
+let status_addr = 0x14
+
+type buffer = {
+  buf_id : int;
+  offset : int;
+  size : int;
+  mutable data : Bytes.t;
+}
+
+type kernel_work = {
+  kernel_name : string;
+  work_items : int;
+  flops_per_item : float;
+  bytes_per_item : float;
+  action : (unit -> unit) option;
+}
+
+type completion = {
+  queued_at : Time.t;
+  mutable started_at : Time.t;
+  mutable finished_at : Time.t;
+  done_ : unit Ivar.t;
+}
+
+type t = {
+  engine : Engine.t;
+  timing : Timing.gpu;
+  mmio : Mmio.t;
+  dma : Dma.t;
+  mem : Devmem.t;
+  ring : (kernel_work * completion) Channel.t;
+  buffers : (int, buffer) Hashtbl.t;
+  mutable next_buf_id : int;
+  mutable busy_ns : Time.t;
+  mutable kernels_executed : int;
+  mutable doorbells : int;
+}
+
+let kernel_duration (timing : Timing.gpu) work =
+  let flops = float_of_int work.work_items *. work.flops_per_item in
+  let bytes = float_of_int work.work_items *. work.bytes_per_item in
+  let compute_s = flops /. timing.Timing.flops_per_s in
+  let memory_s = bytes /. timing.Timing.mem_bytes_per_s in
+  Time.add timing.Timing.kernel_launch_ns
+    (Time.of_float_s (Float.max compute_s memory_s))
+
+let create ?(timing = Timing.gtx1080) engine =
+  let t =
+    {
+      engine;
+      timing;
+      mmio = Mmio.create ();
+      dma = Dma.of_gpu_timing timing;
+      mem = Devmem.create timing.Timing.mem_capacity;
+      ring = Channel.create ~capacity:1024 ();
+      buffers = Hashtbl.create 64;
+      next_buf_id = 1;
+      busy_ns = 0;
+      kernels_executed = 0;
+      doorbells = 0;
+    }
+  in
+  Mmio.on_write t.mmio ~addr:doorbell_addr (fun _ ->
+      t.doorbells <- t.doorbells + 1);
+  (* Command processor: drain the ring forever. *)
+  Engine.spawn engine ~name:"gpu-cp" (fun () ->
+      let rec loop () =
+        let work, completion = Channel.recv t.ring in
+        completion.started_at <- Engine.now engine;
+        let d = kernel_duration timing work in
+        Engine.delay d;
+        (match work.action with Some f -> f () | None -> ());
+        t.busy_ns <- t.busy_ns + d;
+        t.kernels_executed <- t.kernels_executed + 1;
+        completion.finished_at <- Engine.now engine;
+        Mmio.write t.mmio ~addr:status_addr
+          (Int64.of_int t.kernels_executed);
+        Ivar.fill completion.done_ ();
+        loop ()
+      in
+      loop ());
+  t
+
+let engine t = t.engine
+let timing t = t.timing
+let mmio t = t.mmio
+let dma t = t.dma
+let mem t = t.mem
+let busy_ns t = t.busy_ns
+let kernels_executed t = t.kernels_executed
+let doorbells t = t.doorbells
+
+(* Buffer management (device-side objects backed by real bytes). *)
+
+let create_buffer t ~size =
+  match Devmem.alloc t.mem size with
+  | Error `Out_of_memory -> Error `Out_of_memory
+  | Ok offset ->
+      let id = t.next_buf_id in
+      t.next_buf_id <- id + 1;
+      (* Zeroed: simulated device memory must read deterministically. *)
+      let buf = { buf_id = id; offset; size; data = Bytes.make size '\000' } in
+      Hashtbl.replace t.buffers id buf;
+      Ok buf
+
+let find_buffer t id = Hashtbl.find_opt t.buffers id
+
+let destroy_buffer t id =
+  match Hashtbl.find_opt t.buffers id with
+  | None -> invalid_arg "Gpu.destroy_buffer: unknown buffer"
+  | Some buf ->
+      Devmem.free t.mem buf.offset;
+      Hashtbl.remove t.buffers id
+
+let live_buffers t = Hashtbl.length t.buffers
+
+(* Submit a kernel to the hardware ring; the returned completion's
+   [done_] ivar fills when execution finishes.  The caller (kernel
+   driver) is responsible for doorbell MMIO and interrupt latency. *)
+let submit t work =
+  let completion =
+    {
+      queued_at = Engine.now t.engine;
+      started_at = 0;
+      finished_at = 0;
+      done_ = Ivar.create ();
+    }
+  in
+  Channel.send t.ring (work, completion);
+  completion
+
+(* Host <-> device data movement; blocks for the DMA duration.
+   [per_page_ns] lets full virtualization charge shadow-paging costs. *)
+let write_buffer ?(per_page_ns = 0) t ~buf ~offset ~src =
+  let len = Bytes.length src in
+  if offset < 0 || offset + len > buf.size then
+    invalid_arg "Gpu.write_buffer: out of range";
+  Dma.transfer ~per_page_ns t.dma ~bytes:len;
+  Bytes.blit src 0 buf.data offset len
+
+let read_buffer ?(per_page_ns = 0) t ~buf ~offset ~len =
+  if offset < 0 || offset + len > buf.size then
+    invalid_arg "Gpu.read_buffer: out of range";
+  Dma.transfer ~per_page_ns t.dma ~bytes:len;
+  Bytes.sub buf.data offset len
+
+let utilization t ~elapsed =
+  if elapsed <= 0 then 0.0
+  else Time.to_float_ns t.busy_ns /. Time.to_float_ns elapsed

@@ -1,0 +1,84 @@
+(** The simulated GPU.
+
+    Hardware state is a register file, a device-memory heap, a DMA
+    engine and a command processor fed by a FIFO hardware ring.  Kernel
+    execution time follows a roofline model: launch overhead plus
+    [max(flops / peak_flops, bytes / memory_bandwidth)].
+
+    Kernels may carry a semantic action (a host closure over buffer
+    contents) so tests and examples can check computational results
+    end-to-end through every virtualization stack; pure timing workloads
+    omit it. *)
+
+open Ava_sim
+
+val doorbell_addr : int
+val status_addr : int
+
+type buffer = {
+  buf_id : int;
+  offset : int;  (** offset in device memory *)
+  size : int;
+  mutable data : Bytes.t;  (** real backing store *)
+}
+
+type kernel_work = {
+  kernel_name : string;
+  work_items : int;
+  flops_per_item : float;
+  bytes_per_item : float;
+  action : (unit -> unit) option;  (** semantic effect, if any *)
+}
+
+(** Per-command lifecycle timestamps (OpenCL-style profiling). *)
+type completion = {
+  queued_at : Time.t;
+  mutable started_at : Time.t;
+  mutable finished_at : Time.t;
+  done_ : unit Ivar.t;
+}
+
+type t
+
+val kernel_duration : Timing.gpu -> kernel_work -> Time.t
+(** Roofline execution time for one launch. *)
+
+val create : ?timing:Timing.gpu -> Engine.t -> t
+(** Also spawns the command-processor process. *)
+
+val engine : t -> Engine.t
+val timing : t -> Timing.gpu
+val mmio : t -> Mmio.t
+val dma : t -> Dma.t
+val mem : t -> Devmem.t
+
+val busy_ns : t -> Time.t
+val kernels_executed : t -> int
+val doorbells : t -> int
+
+(** {1 Buffers} *)
+
+val create_buffer : t -> size:int -> (buffer, [ `Out_of_memory ]) result
+val find_buffer : t -> int -> buffer option
+
+val destroy_buffer : t -> int -> unit
+(** @raise Invalid_argument on an unknown buffer id. *)
+
+val live_buffers : t -> int
+
+(** {1 Execution and data movement} *)
+
+val submit : t -> kernel_work -> completion
+(** Enqueue a command on the hardware ring; [done_] fills at completion.
+    The caller (kernel driver) is responsible for doorbell MMIO and
+    interrupt latency. *)
+
+val write_buffer : ?per_page_ns:Time.t -> t -> buf:buffer -> offset:int -> src:bytes -> unit
+(** Host-to-device DMA; blocks for the transfer duration. *)
+
+val read_buffer :
+  ?per_page_ns:Time.t -> t -> buf:buffer -> offset:int -> len:int -> bytes
+(** Device-to-host DMA; blocks and returns a copy of the data. *)
+
+val utilization : t -> elapsed:Time.t -> float
+(** Busy fraction over an elapsed window. *)

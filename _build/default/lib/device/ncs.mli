@@ -1,0 +1,44 @@
+(** The simulated Intel Movidius Neural Compute Stick.
+
+    A USB-attached inference accelerator: graphs upload over USB and
+    compile on-stick; inference streams a tensor in, runs the layer
+    schedule, streams the result back.  One inference runs at a time.
+
+    The stick computes a real, deterministic function of its input
+    (a per-layer rotation-xor) so results can be validated through
+    virtualization stacks. *)
+
+open Ava_sim
+
+type graph = {
+  graph_id : int;
+  graph_bytes : int;
+  layer_flops : float list;  (** per-layer multiply-accumulate count *)
+}
+
+type t
+
+val create : ?timing:Timing.ncs -> Engine.t -> t
+
+val engine : t -> Engine.t
+val inferences : t -> int
+val busy_ns : t -> Time.t
+val live_graphs : t -> int
+
+val usb_transfer : t -> bytes:int -> unit
+(** Occupy the USB pipe for one transaction; blocks. *)
+
+val load_graph : t -> graph_bytes:int -> layer_flops:float list -> graph
+(** Upload and compile a graph; blocks for transfer + parse time. *)
+
+val find_graph : t -> int -> graph option
+
+val unload_graph : t -> int -> unit
+(** @raise Invalid_argument on an unknown graph id. *)
+
+val apply_layers : graph -> bytes -> bytes
+(** The deterministic "network" function, exposed for reference checks. *)
+
+val infer : t -> graph -> input:bytes -> output_bytes:int -> bytes
+(** One inference: tensor in over USB, layer schedule on-stick, result
+    back over USB.  Blocks; serialized with other inferences. *)

@@ -1,0 +1,82 @@
+(* Timing parameter sets for the simulated hardware.
+
+   Values are calibrated against published microbenchmarks: PCIe 3.0 x16
+   sustains ~12 GB/s, a VM exit plus device emulation costs single-digit
+   microseconds, an OpenCL kernel launch costs ~10 us end-to-end, and a
+   GTX 1080 peaks at ~8.9 TFLOP/s with ~320 GB/s memory bandwidth. *)
+
+open Ava_sim
+
+type gpu = {
+  mmio_write_ns : Time.t;  (** native posted MMIO register write *)
+  mmio_read_ns : Time.t;  (** native uncached MMIO read *)
+  ioctl_ns : Time.t;  (** user/kernel crossing into the kernel driver *)
+  dma_setup_ns : Time.t;  (** descriptor setup per DMA transfer *)
+  pcie_bytes_per_s : float;  (** host<->device DMA bandwidth *)
+  kernel_launch_ns : Time.t;  (** command-processor dispatch overhead *)
+  flops_per_s : float;  (** peak compute rate *)
+  mem_bytes_per_s : float;  (** device memory bandwidth *)
+  mem_capacity : int;  (** device memory size in bytes *)
+  irq_ns : Time.t;  (** completion interrupt delivery *)
+}
+
+let gtx1080 =
+  {
+    mmio_write_ns = Time.ns 150;
+    mmio_read_ns = Time.ns 400;
+    ioctl_ns = Time.of_float_us 1.2;
+    dma_setup_ns = Time.of_float_us 2.0;
+    pcie_bytes_per_s = 12.0e9;
+    kernel_launch_ns = Time.of_float_us 8.0;
+    flops_per_s = 8.9e12;
+    mem_bytes_per_s = 320.0e9;
+    mem_capacity = 8 * 1024 * 1024 * 1024;
+    irq_ns = Time.of_float_us 3.0;
+  }
+
+(* A small test GPU: tiny memory so swap/OOM paths are easy to exercise. *)
+let test_gpu =
+  { gtx1080 with mem_capacity = 64 * 1024 * 1024 }
+
+type ncs = {
+  usb_bytes_per_s : float;  (** USB 3.0 effective bandwidth to the stick *)
+  usb_latency_ns : Time.t;  (** per-transaction USB round trip *)
+  ncs_flops_per_s : float;  (** Myriad 2 effective inference rate *)
+  graph_parse_ns_per_kb : Time.t;  (** on-stick graph compilation cost *)
+}
+
+let movidius =
+  {
+    usb_bytes_per_s = 350.0e6;
+    usb_latency_ns = Time.of_float_us 125.0;
+    ncs_flops_per_s = 100.0e9;
+    graph_parse_ns_per_kb = Time.of_float_us 2.0;
+  }
+
+type virt = {
+  trap_ns : Time.t;  (** VM exit + emulate + resume per trapped access *)
+  shadow_page_ns : Time.t;  (** shadow page-table/bounce handling per 4 KiB *)
+  ring_notify_ns : Time.t;  (** doorbell/eventfd kick across the VM boundary *)
+  ring_bytes_per_s : float;  (** shared-memory copy bandwidth *)
+  router_check_ns : Time.t;  (** hypervisor router verification per call *)
+  rpc_latency_ns : Time.t;  (** user-space RPC (vCUDA-style) per message *)
+  rpc_bytes_per_s : float;  (** user-space RPC streaming bandwidth *)
+  net_latency_ns : Time.t;  (** disaggregated transport one-way latency *)
+  net_bytes_per_s : float;  (** disaggregated transport bandwidth *)
+}
+
+let default_virt =
+  {
+    trap_ns = Time.of_float_us 6.0;
+    shadow_page_ns = Time.of_float_us 4.0;
+    ring_notify_ns = Time.of_float_us 5.0;
+    (* Zero-copy ring: bulk payloads are pinned guest pages mapped into
+       the shared region, so the per-byte cost is page bookkeeping, not a
+       memcpy. *)
+    ring_bytes_per_s = 32.0e9;
+    router_check_ns = Time.ns 400;
+    rpc_latency_ns = Time.of_float_us 12.0;
+    rpc_bytes_per_s = 4.0e9;
+    net_latency_ns = Time.of_float_us 15.0;
+    net_bytes_per_s = 5.0e9;
+  }

@@ -1,0 +1,1 @@
+lib/hv/hypervisor.ml: Ava_device Ava_sim Ava_simcl Engine Gpu List Mmio Timing Vm

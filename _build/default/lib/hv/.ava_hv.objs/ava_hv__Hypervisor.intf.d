@@ -1,0 +1,1 @@
+lib/hv/hypervisor.mli: Ava_device Ava_sim Ava_simcl Engine Gpu Timing Vm

@@ -1,0 +1,1 @@
+lib/hv/vm.ml: Ava_sim Fmt Time

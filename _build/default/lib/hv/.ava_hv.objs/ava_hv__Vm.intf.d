@@ -1,0 +1,1 @@
+lib/hv/vm.mli: Ava_sim Format Time

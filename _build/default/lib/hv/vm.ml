@@ -1,0 +1,31 @@
+(* A guest virtual machine: an identity plus resource accounting.
+
+   The simulator does not model guest kernels in detail; a VM is the unit
+   of isolation, scheduling and accounting that the hypervisor (and AvA's
+   router) reason about. *)
+
+open Ava_sim
+
+type t = {
+  vm_id : int;
+  name : string;
+  mutable api_calls : int;
+  mutable bytes_transferred : int;
+  mutable device_time_ns : Time.t;  (** accounted accelerator time *)
+}
+
+let create ~vm_id ~name =
+  { vm_id; name; api_calls = 0; bytes_transferred = 0; device_time_ns = 0 }
+
+let id t = t.vm_id
+let name t = t.name
+
+let charge_call t = t.api_calls <- t.api_calls + 1
+let charge_bytes t n = t.bytes_transferred <- t.bytes_transferred + n
+let charge_device_time t d = t.device_time_ns <- t.device_time_ns + d
+
+let api_calls t = t.api_calls
+let bytes_transferred t = t.bytes_transferred
+let device_time_ns t = t.device_time_ns
+
+let pp ppf t = Fmt.pf ppf "vm%d(%s)" t.vm_id t.name

@@ -1,0 +1,26 @@
+(** A guest virtual machine: an identity plus resource accounting.
+
+    The simulator does not model guest kernels in detail; a VM is the
+    unit of isolation, scheduling and accounting that the hypervisor
+    (and AvA's router) reason about. *)
+
+open Ava_sim
+
+type t
+
+val create : vm_id:int -> name:string -> t
+
+val id : t -> int
+val name : t -> string
+
+(** {1 Accounting (charged by the router)} *)
+
+val charge_call : t -> unit
+val charge_bytes : t -> int -> unit
+val charge_device_time : t -> Time.t -> unit
+
+val api_calls : t -> int
+val bytes_transferred : t -> int
+val device_time_ns : t -> Time.t
+
+val pp : Format.formatter -> t -> unit

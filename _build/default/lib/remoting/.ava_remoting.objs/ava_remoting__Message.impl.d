@@ -1,0 +1,1 @@
+lib/remoting/message.ml: Fmt Int64 List Wire

@@ -1,0 +1,1 @@
+lib/remoting/message.mli: Format Wire

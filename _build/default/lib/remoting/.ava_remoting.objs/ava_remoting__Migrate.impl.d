@@ -1,0 +1,1 @@
+lib/remoting/migrate.ml: Ava_codegen Ava_spec Int64 List Message String Wire

@@ -1,0 +1,1 @@
+lib/remoting/migrate.mli: Ava_codegen Ava_spec Message Wire

@@ -1,0 +1,1 @@
+lib/remoting/policy.ml: Ava_sim Engine Float Hashtbl Queue Time

@@ -1,0 +1,1 @@
+lib/remoting/policy.mli: Ava_sim Engine Time

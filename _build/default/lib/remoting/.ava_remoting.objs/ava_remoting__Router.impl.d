@@ -1,0 +1,1 @@
+lib/remoting/router.ml: Ava_codegen Ava_device Ava_hv Ava_sim Ava_transport Bytes Engine Format List Message Option Policy Printf Server Stdlib Time Trace Vm Wire

@@ -1,0 +1,1 @@
+lib/remoting/router.mli: Ava_codegen Ava_device Ava_hv Ava_sim Ava_transport Engine Time Trace Vm

@@ -1,0 +1,1 @@
+lib/remoting/server.ml: Ava_codegen Ava_sim Ava_transport Engine Format Hashtbl List Message Option Printf Time Trace Wire

@@ -1,0 +1,1 @@
+lib/remoting/server.mli: Ava_codegen Ava_sim Ava_transport Engine Message Time Trace Wire

@@ -1,0 +1,1 @@
+lib/remoting/stub.ml: Ava_codegen Ava_sim Ava_transport Bytes Engine Hashtbl Ivar List Message Printf Stdlib Time Wire

@@ -1,0 +1,1 @@
+lib/remoting/stub.mli: Ava_codegen Ava_sim Ava_transport Engine Message Wire

@@ -1,0 +1,1 @@
+lib/remoting/wire.ml: Buffer Bytes Char Float Fmt Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/remoting/wire.mli: Format

@@ -1,0 +1,93 @@
+(* Call and reply frames exchanged between guest library, router and API
+   server. *)
+
+type call = {
+  call_seq : int;
+  call_vm : int;
+  call_fn : string;
+  call_args : Wire.value list;
+}
+
+type reply = {
+  reply_seq : int;
+  reply_status : int;  (** 0 = success; otherwise an API error code *)
+  reply_ret : Wire.value;
+  reply_outs : Wire.value list;
+}
+
+type upcall = { up_vm : int; up_cb : int; up_args : Wire.value list }
+
+type t =
+  | Call of call
+  | Reply of reply
+  | Batch of call list
+  | Upcall of upcall
+
+let rec encode = function
+  | Call c ->
+      Wire.encode
+        (Wire.Str "C" :: Wire.int c.call_seq :: Wire.int c.call_vm
+       :: Wire.Str c.call_fn :: c.call_args)
+  | Reply r ->
+      Wire.encode
+        (Wire.Str "R" :: Wire.int r.reply_seq :: Wire.int r.reply_status
+       :: r.reply_ret :: r.reply_outs)
+  | Batch calls ->
+      (* rCUDA-style API batching: several asynchronously forwarded calls
+         in one transport message. *)
+      Wire.encode
+        (Wire.Str "G"
+        :: List.map (fun c -> Wire.Blob (encode (Call c))) calls)
+  | Upcall u ->
+      (* Server-to-guest callback invocation. *)
+      Wire.encode
+        (Wire.Str "U" :: Wire.int u.up_vm :: Wire.int u.up_cb :: u.up_args)
+
+let rec decode data =
+  match Wire.decode data with
+  | Error e -> Error e
+  | Ok (Wire.Str "C" :: Wire.I64 seq :: Wire.I64 vm :: Wire.Str fn :: args) ->
+      Ok
+        (Call
+           {
+             call_seq = Int64.to_int seq;
+             call_vm = Int64.to_int vm;
+             call_fn = fn;
+             call_args = args;
+           })
+  | Ok (Wire.Str "R" :: Wire.I64 seq :: Wire.I64 status :: ret :: outs) ->
+      Ok
+        (Reply
+           {
+             reply_seq = Int64.to_int seq;
+             reply_status = Int64.to_int status;
+             reply_ret = ret;
+             reply_outs = outs;
+           })
+  | Ok (Wire.Str "G" :: frames) ->
+      let rec decode_calls acc = function
+        | [] -> Ok (Batch (List.rev acc))
+        | Wire.Blob frame :: rest -> (
+            match decode frame with
+            | Ok (Call c) -> decode_calls (c :: acc) rest
+            | Ok _ -> Error "batch frame is not a call"
+            | Error _ as e -> e)
+        | _ -> Error "malformed batch frame"
+      in
+      decode_calls [] frames
+  | Ok (Wire.Str "U" :: Wire.I64 vm :: Wire.I64 cb :: args) ->
+      Ok
+        (Upcall
+           { up_vm = Int64.to_int vm; up_cb = Int64.to_int cb; up_args = args })
+  | Ok _ -> Error "malformed message frame"
+
+let pp ppf = function
+  | Call c ->
+      Fmt.pf ppf "call#%d vm%d %s(%a)" c.call_seq c.call_vm c.call_fn
+        (Fmt.list ~sep:Fmt.comma Wire.pp)
+        c.call_args
+  | Reply r ->
+      Fmt.pf ppf "reply#%d status=%d ret=%a" r.reply_seq r.reply_status
+        Wire.pp r.reply_ret
+  | Batch calls -> Fmt.pf ppf "batch of %d calls" (List.length calls)
+  | Upcall u -> Fmt.pf ppf "upcall vm%d cb#%d" u.up_vm u.up_cb

@@ -1,0 +1,32 @@
+(** Call and reply frames exchanged between guest library, router and
+    API server. *)
+
+type call = {
+  call_seq : int;  (** per-stub sequence number, matches replies *)
+  call_vm : int;
+  call_fn : string;
+  call_args : Wire.value list;  (** one value per C parameter, in order *)
+}
+
+type reply = {
+  reply_seq : int;
+  reply_status : int;  (** 0 = success; otherwise an API error code *)
+  reply_ret : Wire.value;
+  reply_outs : Wire.value list;  (** out-parameters, in declaration order *)
+}
+
+type upcall = { up_vm : int; up_cb : int; up_args : Wire.value list }
+
+type t =
+  | Call of call
+  | Reply of reply
+  | Batch of call list
+      (** rCUDA-style API batching: several asynchronously forwarded
+          calls in one transport message, executed in order *)
+  | Upcall of upcall
+      (** server-to-guest callback invocation (spec [callback]
+          parameters) *)
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+val pp : Format.formatter -> t -> unit

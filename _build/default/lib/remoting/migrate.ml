@@ -1,0 +1,133 @@
+(* Record/replay support for VM migration (§4.3).
+
+   Calls are recorded according to their spec'd record class, Nooks-style
+   object tracking included: deallocating an object prunes its allocation
+   and modification history, so the replay log stays proportional to live
+   state, not to execution length.
+
+   Migration itself is orchestrated by {!Ava_core}: suspend the VM's
+   worker, snapshot device buffers, replay the log on the destination,
+   restore buffers, resume. *)
+
+module Plan = Ava_codegen.Plan
+
+open Ava_spec.Ast
+
+type recorded = {
+  rc_fn : string;
+  rc_args : Wire.value list;
+  rc_class : record_class;
+  rc_primary : int option;
+      (** the tracked guest handle this call allocates or modifies *)
+}
+
+type t = {
+  mutable log : recorded list;  (** newest first *)
+  mutable recorded_count : int;
+  mutable pruned_count : int;
+}
+
+let create () = { log = []; recorded_count = 0; pruned_count = 0 }
+
+(* The tracked object of a call: for allocations, the guest id the stub
+   pre-assigned (by convention the first [Handle] among the arguments of
+   an [Out_element { allocates }] parameter); for modifications and
+   deallocations, the first handle argument. *)
+let primary_handle (plan : Plan.call_plan) (args : Wire.value list) =
+  let with_actions = List.combine plan.Plan.cp_params args in
+  (* Explicit target annotation wins. *)
+  let explicit =
+    match plan.Plan.cp_target_param with
+    | None -> None
+    | Some tname ->
+        List.find_map
+          (fun ((name, _), v) ->
+            match v with
+            | Wire.Handle h when String.equal name tname ->
+                Some (Int64.to_int h)
+            | _ -> None)
+          with_actions
+  in
+  let alloc_target =
+    List.find_map
+      (fun ((_, action), v) ->
+        match (action, v) with
+        | Plan.Out_element { allocates = true }, Wire.Handle h ->
+            Some (Int64.to_int h)
+        | _ -> None)
+      with_actions
+  in
+  match (explicit, alloc_target) with
+  | Some h, _ -> Some h
+  | None, Some h -> Some h
+  | None, None ->
+      List.find_map
+        (function
+          | (_, Plan.Pass_handle), Wire.Handle h -> Some (Int64.to_int h)
+          | _ -> None)
+        with_actions
+
+(* Observe one successfully executed call.  [allocated] is the virtual
+   id the server assigned when the call created an object (the return
+   handle), which argument inspection cannot recover. *)
+let observe ?allocated t (plan : Plan.call_plan) (c : Message.call) =
+  let record cls =
+    let primary =
+      match allocated with
+      | Some _ -> allocated
+      | None -> primary_handle plan c.Message.call_args
+    in
+    t.log <-
+      {
+        rc_fn = c.Message.call_fn;
+        rc_args = c.Message.call_args;
+        rc_class = cls;
+        rc_primary = primary;
+      }
+      :: t.log;
+    t.recorded_count <- t.recorded_count + 1
+  in
+  match plan.Plan.cp_record with
+  | No_record -> ()
+  | Global_config -> record Global_config
+  | Object_alloc -> record Object_alloc
+  | Object_modify -> record Object_modify
+  | Object_dealloc -> (
+      (* Prune the object's history instead of recording the dealloc. *)
+      match primary_handle plan c.Message.call_args with
+      | None -> ()
+      | Some h ->
+          let keep, dropped =
+            List.partition
+              (fun r ->
+                match (r.rc_class, r.rc_primary) with
+                | (Object_alloc | Object_modify), Some h' -> h' <> h
+                | _ -> true)
+              t.log
+          in
+          t.log <- keep;
+          t.pruned_count <- t.pruned_count + List.length dropped)
+
+(* The replay log in execution order. *)
+let replay_log t = List.rev t.log
+
+let log_length t = List.length t.log
+let recorded_count t = t.recorded_count
+let pruned_count t = t.pruned_count
+
+(* Live tracked objects (guest ids with an allocation still in the log). *)
+let live_objects t =
+  List.filter_map
+    (fun r ->
+      match (r.rc_class, r.rc_primary) with
+      | Object_alloc, Some h -> Some h
+      | _ -> None)
+    (replay_log t)
+
+(* Replay all recorded calls through [execute] (typically a fresh API
+   server on the destination host).  Returns the number of replayed
+   calls. *)
+let replay t ~execute =
+  let l = replay_log t in
+  List.iter (fun r -> execute ~fn:r.rc_fn ~args:r.rc_args) l;
+  List.length l

@@ -1,0 +1,188 @@
+(* Resource-management policies enforced by the router (§4.3 of the
+   paper): token-bucket rate limiting, weighted fair queueing on
+   estimated device time, and windowed device-time quotas. *)
+
+open Ava_sim
+
+module Token_bucket = struct
+  type t = {
+    engine : Engine.t;
+    rate_per_s : float;  (** token refill rate *)
+    burst : float;  (** bucket capacity *)
+    mutable tokens : float;
+    mutable last_refill : Time.t;
+    mutable throttle_ns : Time.t;  (** total time spent throttled *)
+  }
+
+  let create engine ~rate_per_s ~burst =
+    if rate_per_s <= 0.0 || burst <= 0.0 then
+      invalid_arg "Token_bucket.create: rate and burst must be positive";
+    {
+      engine;
+      rate_per_s;
+      burst;
+      tokens = burst;
+      last_refill = Engine.now engine;
+      throttle_ns = 0;
+    }
+
+  let refill t =
+    let now = Engine.now t.engine in
+    let dt = Time.to_float_s (now - t.last_refill) in
+    t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate_per_s));
+    t.last_refill <- now
+
+  (* Block until [n] tokens are available, then consume them. *)
+  let rec take t n =
+    refill t;
+    if t.tokens >= n then t.tokens <- t.tokens -. n
+    else begin
+      let deficit = n -. t.tokens in
+      let wait = Time.of_float_s (deficit /. t.rate_per_s) in
+      let wait = Time.max wait (Time.us 1) in
+      t.throttle_ns <- t.throttle_ns + wait;
+      Engine.delay wait;
+      take t n
+    end
+
+  let throttle_ns t = t.throttle_ns
+
+  let available t =
+    refill t;
+    t.tokens
+end
+
+module Wfq = struct
+  (* Weighted fair queueing with per-item finish tags (virtual time).
+     Flows are VMs; item cost is the router's resource estimate for the
+     forwarded call. *)
+
+  type 'a item = { tag : float; payload : 'a }
+
+  type 'a flow = {
+    flow_id : int;
+    mutable weight : float;
+    mutable last_tag : float;
+    items : 'a item Queue.t;
+  }
+
+  type 'a t = {
+    flows : (int, 'a flow) Hashtbl.t;
+    mutable vtime : float;
+    mutable waiter : (unit -> unit) option;
+    mutable enqueued : int;
+    mutable dequeued : int;
+  }
+
+  let create () =
+    { flows = Hashtbl.create 8; vtime = 0.0; waiter = None; enqueued = 0; dequeued = 0 }
+
+  let add_flow t ~flow_id ~weight =
+    if weight <= 0.0 then invalid_arg "Wfq.add_flow: weight must be positive";
+    Hashtbl.replace t.flows flow_id
+      { flow_id; weight; last_tag = 0.0; items = Queue.create () }
+
+  let set_weight t ~flow_id ~weight =
+    match Hashtbl.find_opt t.flows flow_id with
+    | None -> invalid_arg "Wfq.set_weight: unknown flow"
+    | Some f -> f.weight <- weight
+
+  let push t ~flow_id ~cost payload =
+    match Hashtbl.find_opt t.flows flow_id with
+    | None -> invalid_arg "Wfq.push: unknown flow"
+    | Some f ->
+        let start = Float.max t.vtime f.last_tag in
+        let tag = start +. (Float.max 1.0 cost /. f.weight) in
+        f.last_tag <- tag;
+        Queue.push { tag; payload } f.items;
+        t.enqueued <- t.enqueued + 1;
+        (match t.waiter with
+        | Some resume ->
+            t.waiter <- None;
+            resume ()
+        | None -> ())
+
+  let min_flow t =
+    Hashtbl.fold
+      (fun _ f best ->
+        match Queue.peek_opt f.items with
+        | None -> best
+        | Some item -> (
+            match best with
+            | Some (_, b) when b.tag <= item.tag -> best
+            | _ -> Some (f, item)))
+      t.flows None
+
+  (* Blocking pop: returns the (flow_id, payload) with the smallest
+     finish tag. *)
+  let rec pop t =
+    match min_flow t with
+    | Some (f, item) ->
+        ignore (Queue.pop f.items);
+        t.vtime <- Float.max t.vtime item.tag;
+        t.dequeued <- t.dequeued + 1;
+        (f.flow_id, item.payload)
+    | None ->
+        Engine.await (fun resume ->
+            if t.waiter <> None then
+              invalid_arg "Wfq.pop: concurrent poppers unsupported";
+            t.waiter <- Some (fun () -> resume ()));
+        pop t
+
+  let backlog t = t.enqueued - t.dequeued
+
+  (* Is any other flow waiting?  The router paces dispatch by estimated
+     device time only under cross-VM contention, so single-tenant
+     workloads never pay for scheduling. *)
+  let pending_in_other_flows t ~flow_id =
+    Hashtbl.fold
+      (fun id f acc ->
+        acc || (id <> flow_id && not (Queue.is_empty f.items)))
+      t.flows false
+end
+
+module Quota = struct
+  (* Windowed budget: a VM may consume [budget] cost units per window;
+     excess calls stall until the next window. *)
+
+  type t = {
+    engine : Engine.t;
+    window_ns : Time.t;
+    budget : float;
+    mutable window_start : Time.t;
+    mutable used : float;
+    mutable stalls : int;
+  }
+
+  let create engine ~window_ns ~budget =
+    if budget <= 0.0 then invalid_arg "Quota.create: budget must be positive";
+    {
+      engine;
+      window_ns;
+      budget;
+      window_start = Engine.now engine;
+      used = 0.0;
+      stalls = 0;
+    }
+
+  let rotate t =
+    let now = Engine.now t.engine in
+    if now - t.window_start >= t.window_ns then begin
+      (* Skip forward a whole number of windows. *)
+      let periods = (now - t.window_start) / t.window_ns in
+      t.window_start <- t.window_start + (periods * t.window_ns);
+      t.used <- 0.0
+    end
+
+  let rec charge t cost =
+    rotate t;
+    if t.used +. cost <= t.budget then t.used <- t.used +. cost
+    else begin
+      t.stalls <- t.stalls + 1;
+      let now = Engine.now t.engine in
+      Engine.delay (t.window_start + t.window_ns - now);
+      charge t cost
+    end
+
+  let stalls t = t.stalls
+end

@@ -1,0 +1,58 @@
+(** Resource-management policies enforced by the router (§4.3 of the
+    paper): token-bucket rate limiting, weighted fair queueing on
+    estimated device time, and windowed device-time quotas. *)
+
+open Ava_sim
+
+module Token_bucket : sig
+  type t
+
+  val create : Engine.t -> rate_per_s:float -> burst:float -> t
+  (** Starts full (the burst is free). *)
+
+  val take : t -> float -> unit
+  (** Block the calling process until the tokens are available, then
+      consume them. *)
+
+  val throttle_ns : t -> Time.t
+  (** Total time spent throttled so far. *)
+
+  val available : t -> float
+end
+
+(** Weighted fair queueing with per-item finish tags (virtual time).
+    Flows are VMs; item cost is the router's resource estimate for the
+    forwarded call. *)
+module Wfq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val add_flow : 'a t -> flow_id:int -> weight:float -> unit
+  val set_weight : 'a t -> flow_id:int -> weight:float -> unit
+
+  val push : 'a t -> flow_id:int -> cost:float -> 'a -> unit
+  (** Enqueue one item; wakes the blocked popper, if any. *)
+
+  val pop : 'a t -> int * 'a
+  (** Remove the item with the smallest finish tag, blocking the calling
+      process while all flows are empty.  Per-flow FIFO order is
+      preserved.  At most one concurrent popper is supported. *)
+
+  val backlog : 'a t -> int
+
+  val pending_in_other_flows : 'a t -> flow_id:int -> bool
+  (** Is any flow other than [flow_id] non-empty?  (Contention probe.) *)
+end
+
+(** Windowed budget: a VM may consume [budget] cost units per window;
+    excess calls stall until the next window. *)
+module Quota : sig
+  type t
+
+  val create : Engine.t -> window_ns:Time.t -> budget:float -> t
+
+  val charge : t -> float -> unit
+  (** Consume budget, blocking across window boundaries as needed. *)
+
+  val stalls : t -> int
+end

@@ -1,0 +1,254 @@
+(* The invocation router: AvA's hypervisor-level interposition point.
+
+   Every forwarded call crosses the router, which (a) *verifies* it — the
+   function must exist in the spec and carry the right argument count —
+   (b) enforces per-VM policy: token-bucket rate limits and windowed
+   device-time quotas, and (c) schedules competing VMs with weighted fair
+   queueing on the spec's resource estimates (§4.3).  Replies flow back
+   through per-VM egress processes with accounting.
+
+   This is exactly what vCUDA-style user-space RPC gives up: remove the
+   router (connect guest directly to server) and interposition is gone. *)
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+open Ava_hv
+
+let trace_category = "router"
+
+type vm_conn = {
+  rc_vm : Vm.t;
+  guest_side : Transport.endpoint;  (** router's endpoint facing the guest *)
+  server_side : Transport.endpoint;  (** router's endpoint facing the server *)
+  mutable bucket : Policy.Token_bucket.t option;
+  mutable quota : Policy.Quota.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  virt : Ava_device.Timing.virt;
+  plan : Plan.t;
+  wfq : (vm_conn * float * bytes) Policy.Wfq.t;
+  mutable conns : (int * vm_conn) list;
+  mutable forwarded : int;
+  mutable rejected : int;
+  mutable paced_ns : Time.t;
+  mutable dispatcher_started : bool;
+  trace : Trace.t option;
+}
+
+(* Conservative conversion from abstract cost units (work items / bytes)
+   to estimated device nanoseconds: deliberately an under-estimate so
+   pacing never outruns the real device. *)
+let pacing_ns_of_cost cost =
+  Stdlib.min (Time.us 500) (int_of_float (cost *. 0.02))
+
+let create ?trace engine ~virt ~plan =
+  {
+    engine;
+    virt;
+    plan;
+    wfq = Policy.Wfq.create ();
+    conns = [];
+    forwarded = 0;
+    rejected = 0;
+    paced_ns = 0;
+    dispatcher_started = false;
+    trace;
+  }
+
+let record_trace t fmt =
+  match t.trace with
+  | Some tr when Trace.is_enabled tr ->
+      Trace.record tr ~at:(Engine.now t.engine) ~category:trace_category fmt
+  | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let forwarded t = t.forwarded
+let rejected t = t.rejected
+
+let find_conn t vm_id = List.assoc_opt vm_id t.conns
+
+(* Verification: the call must name a spec'd function and carry exactly
+   the marshalled argument count the plan prescribes. *)
+let verify t (c : Message.call) =
+  match Plan.find t.plan c.Message.call_fn with
+  | None -> Error Server.status_unknown_function
+  | Some plan ->
+      if List.length c.Message.call_args <> List.length plan.Plan.cp_params
+      then Error Server.status_bad_arguments
+      else Ok plan
+
+(* Scalar environment for the plan's cost expressions, recovered from the
+   marshalled arguments. *)
+let env_of_call (plan : Plan.call_plan) (c : Message.call) =
+  List.fold_left2
+    (fun env (name, action) v ->
+      match (action, Wire.to_int v) with
+      | Plan.Pass_scalar, Some n -> (name, n) :: env
+      | _ -> env)
+    [] plan.Plan.cp_params c.Message.call_args
+
+let reject_call conn (c : Message.call) status =
+  let reply =
+    Message.Reply
+      {
+        reply_seq = c.Message.call_seq;
+        reply_status = status;
+        reply_ret = Wire.Unit;
+        reply_outs = [];
+      }
+  in
+  Transport.send conn.guest_side (Message.encode reply)
+
+let start_dispatcher t =
+  if not t.dispatcher_started then begin
+    t.dispatcher_started <- true;
+    Engine.spawn t.engine ~name:"ava-router-dispatch" (fun () ->
+        let rec loop () =
+          let flow_id, (conn, cost, data) = Policy.Wfq.pop t.wfq in
+          t.forwarded <- t.forwarded + 1;
+          Transport.send conn.server_side data;
+          (* Schedule at call granularity (§4.3): pace dispatch by the
+             call's estimated device time.  The estimate is a strict
+             under-estimate of real execution, so an uncontended guest is
+             never slowed; under contention the pacing makes dequeue
+             order — and therefore device shares — follow WFQ weights. *)
+          ignore flow_id;
+          let pace = pacing_ns_of_cost cost in
+          t.paced_ns <- t.paced_ns + pace;
+          Engine.delay pace;
+          loop ()
+        in
+        loop ())
+  end
+
+(* Attach one VM.  [guest_side]/[server_side] are the router's ends of
+   the guest and server transports.  Policy knobs:
+   - [rate_per_s]/[burst]: API-call rate limit,
+   - [weight]: WFQ share,
+   - [quota_cost]/[quota_window]: device-time budget per window. *)
+let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
+    ?(quota_window = Time.ms 100) t vm ~guest_side ~server_side =
+  let conn =
+    {
+      rc_vm = vm;
+      guest_side;
+      server_side;
+      bucket =
+        Option.map
+          (fun r -> Policy.Token_bucket.create t.engine ~rate_per_s:r ~burst)
+          rate_per_s;
+      quota =
+        Option.map
+          (fun budget ->
+            Policy.Quota.create t.engine ~window_ns:quota_window ~budget)
+          quota_cost;
+    }
+  in
+  t.conns <- (Vm.id vm, conn) :: t.conns;
+  Policy.Wfq.add_flow t.wfq ~flow_id:(Vm.id vm) ~weight;
+  start_dispatcher t;
+  (* Ingress: guest -> verify -> police -> WFQ. *)
+  Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-in-vm%d" (Vm.id vm))
+    (fun () ->
+      let rec loop () =
+        let data = Transport.recv guest_side in
+        Engine.delay t.virt.Ava_device.Timing.router_check_ns;
+        (* Verify and cost one call; policing happens per contained
+           call so batching cannot dodge rate limits or quotas. *)
+        let police (c : Message.call) =
+          match verify t c with
+          | Error status ->
+              t.rejected <- t.rejected + 1;
+              reject_call conn c status;
+              None
+          | Ok plan ->
+              Vm.charge_call vm;
+              record_trace t "vm%d %s seq=%d" (Vm.id vm)
+                c.Message.call_fn c.Message.call_seq;
+              let env = env_of_call plan c in
+              (match conn.bucket with
+              | Some b -> Policy.Token_bucket.take b 1.0
+              | None -> ());
+              let cost =
+                match Plan.resource_estimate plan ~env "device_time" with
+                | Some c -> float_of_int (Stdlib.max 1 c)
+                | None -> (
+                    match Plan.resource_estimate plan ~env "bus_bytes" with
+                    | Some b -> float_of_int (Stdlib.max 1 (b / 64))
+                    | None -> 1.0)
+              in
+              Vm.charge_device_time vm (int_of_float cost);
+              (match conn.quota with
+              | Some q -> Policy.Quota.charge q cost
+              | None -> ());
+              Some cost
+        in
+        (match Message.decode data with
+        | Error _ -> t.rejected <- t.rejected + 1
+        | Ok (Message.Reply _) | Ok (Message.Upcall _) ->
+            t.rejected <- t.rejected + 1
+        | Ok (Message.Call c) -> (
+            Vm.charge_bytes vm (Bytes.length data);
+            match police c with
+            | None -> ()
+            | Some cost ->
+                Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
+                  (conn, cost, data))
+        | Ok (Message.Batch calls) ->
+            Vm.charge_bytes vm (Bytes.length data);
+            let costs = List.filter_map police calls in
+            (* Forward only if every contained call verified; a batch
+               with a rejected member is dropped (its members already got
+               rejection replies). *)
+            if List.length costs = List.length calls then begin
+              let cost = List.fold_left ( +. ) 0.0 costs in
+              Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
+                (conn, cost, data)
+            end);
+        loop ()
+      in
+      loop ());
+  (* Egress: server -> guest, with byte accounting. *)
+  Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-out-vm%d" (Vm.id vm))
+    (fun () ->
+      let rec loop () =
+        let data = Transport.recv server_side in
+        Vm.charge_bytes vm (Bytes.length data);
+        Transport.send conn.guest_side data;
+        loop ()
+      in
+      loop ());
+  conn
+
+(* Administration interface (§4.3): adjust policies at runtime. *)
+
+let set_rate_limit t ~vm_id ~rate_per_s ~burst =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.set_rate_limit: unknown vm"
+  | Some conn ->
+      conn.bucket <-
+        Some (Policy.Token_bucket.create t.engine ~rate_per_s ~burst)
+
+let clear_rate_limit t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.clear_rate_limit: unknown vm"
+  | Some conn -> conn.bucket <- None
+
+let set_weight t ~vm_id ~weight =
+  Policy.Wfq.set_weight t.wfq ~flow_id:vm_id ~weight
+
+let set_quota t ~vm_id ~budget ~window_ns =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.set_quota: unknown vm"
+  | Some conn ->
+      conn.quota <- Some (Policy.Quota.create t.engine ~window_ns ~budget)
+
+let throttle_ns t ~vm_id =
+  match find_conn t vm_id with
+  | Some { bucket = Some b; _ } -> Policy.Token_bucket.throttle_ns b
+  | _ -> 0
+
+let paced_ns t = t.paced_ns

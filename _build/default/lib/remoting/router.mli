@@ -1,0 +1,57 @@
+(** The invocation router: AvA's hypervisor-level interposition point.
+
+    Every forwarded call crosses the router, which (a) {e verifies} it —
+    the function must exist in the spec with the right argument count —
+    (b) enforces per-VM policy (token-bucket rate limits and windowed
+    device-time quotas), and (c) schedules competing VMs with weighted
+    fair queueing on the spec's resource estimates, pacing dispatch by a
+    deliberate {e under}-estimate of device time so an uncontended guest
+    is never slowed (§4.3).
+
+    This is exactly what vCUDA-style user-space RPC gives up: remove the
+    router and interposition is gone. *)
+
+open Ava_sim
+open Ava_hv
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+type vm_conn
+type t
+
+val create :
+  ?trace:Trace.t -> Engine.t -> virt:Ava_device.Timing.virt -> plan:Plan.t -> t
+(** With [trace] (enabled), every verified call is recorded under the
+    ["router"] category. *)
+
+val forwarded : t -> int
+val rejected : t -> int
+val paced_ns : t -> Time.t
+(** Cumulative scheduler pacing applied at dispatch. *)
+
+val attach_vm :
+  ?rate_per_s:float ->
+  ?burst:float ->
+  ?weight:float ->
+  ?quota_cost:float ->
+  ?quota_window:Time.t ->
+  t ->
+  Vm.t ->
+  guest_side:Transport.endpoint ->
+  server_side:Transport.endpoint ->
+  vm_conn
+(** Attach one VM between its guest-facing and server-facing endpoints.
+    Policy knobs: [rate_per_s]/[burst] arm an API-call rate limit;
+    [weight] sets the WFQ share (default 1); [quota_cost] per
+    [quota_window] arms a device-time budget. *)
+
+(** {1 Administration interface (§4.3)} *)
+
+val set_rate_limit : t -> vm_id:int -> rate_per_s:float -> burst:float -> unit
+val clear_rate_limit : t -> vm_id:int -> unit
+val set_weight : t -> vm_id:int -> weight:float -> unit
+val set_quota : t -> vm_id:int -> budget:float -> window_ns:Time.t -> unit
+
+val throttle_ns : t -> vm_id:int -> Time.t
+(** Time the VM has spent rate-limit throttled. *)

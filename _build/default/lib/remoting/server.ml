@@ -1,0 +1,242 @@
+(* The API server: a non-privileged host process executing forwarded
+   calls against the vendor silo.
+
+   One worker process — and one ['st] instance (e.g. a fresh SimCL native
+   stack) — per VM gives the process-level isolation §4.1 requires:
+   handles from one guest cannot denote another guest's objects.
+
+   Handles on the wire are guest-assigned ids; the per-VM context maps
+   them to host objects ({!Ctx.bind}/{!Ctx.resolve}), which is also the
+   hook migration uses to re-bind ids after replay on a new host. *)
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+
+module Ctx = struct
+  (* Virtual ids below [first_virtual_id] denote well-known enumerable
+     objects (platforms, devices) and pass through unmapped.  Ids the
+     server assigns for created objects start at [first_virtual_id]; ids
+     the guest pre-assigns (event out-parameters of async calls) start at
+     [Stub.first_guest_handle] — disjoint ranges, one map. *)
+  let first_virtual_id = 0x1000
+
+  type t = {
+    ctx_vm : int;
+    handles : (int, int) Hashtbl.t;  (** virtual id -> host handle *)
+    mutable next_vid : int;
+  }
+
+  let create ~vm_id =
+    { ctx_vm = vm_id; handles = Hashtbl.create 32; next_vid = first_virtual_id }
+
+  let vm t = t.ctx_vm
+
+  let fresh t =
+    let v = t.next_vid in
+    t.next_vid <- v + 1;
+    v
+
+  (* The most recently assigned virtual id (used by migration replay to
+     re-bind objects to their original ids). *)
+  let last_fresh t = t.next_vid - 1
+
+  let bind t ~guest ~host = Hashtbl.replace t.handles guest host
+
+  let resolve t guest =
+    if guest < first_virtual_id then Some guest
+    else Hashtbl.find_opt t.handles guest
+
+  (* Reverse lookup: host handle -> virtual id (linear; tables are small
+     and this only serves info queries). *)
+  let reverse t ~host =
+    Hashtbl.fold
+      (fun g h acc -> if h = host && acc = None then Some g else acc)
+      t.handles None
+
+  let forget t guest = Hashtbl.remove t.handles guest
+
+  let live t = Hashtbl.length t.handles
+
+  let guest_ids t = Hashtbl.fold (fun g _ acc -> g :: acc) t.handles []
+
+  (* Drop every binding (migration rebinds from the replay log). *)
+  let clear t = Hashtbl.reset t.handles
+end
+
+(* A handler executes one API function: it gets the per-VM context, the
+   per-VM silo state and the raw arguments; it returns
+   (status, return-value, out-values). *)
+type 'st handler = Ctx.t -> 'st -> Wire.value list -> int * Wire.value * Wire.value list
+
+type 'st vm_entry = {
+  ve_ctx : Ctx.t;
+  mutable ve_state : 'st;
+  ve_ep : Transport.endpoint;
+  mutable ve_paused : bool;
+  mutable ve_resume : (unit -> unit) option;
+}
+
+type 'st t = {
+  engine : Engine.t;
+  plan : Plan.t;
+  handlers : (string, 'st handler) Hashtbl.t;
+  make_state : vm_id:int -> 'st;
+  mutable vm_entries : (int * 'st vm_entry) list;
+  mutable executed : int;
+  mutable rejected : int;
+  mutable on_call : (vm_id:int -> status:int -> Message.call -> unit) option;
+  exec_overhead_ns : Time.t;
+  trace : Trace.t option;
+}
+
+(* Remoting-level failure codes carried in reply status (disjoint from
+   API error codes, which are negative and > -9000). *)
+let status_ok = 0
+let status_unknown_function = -9001
+let status_bad_arguments = -9002
+let status_unknown_handle = -9003
+
+let create ?(exec_overhead_ns = Time.ns 800) ?trace engine ~plan ~make_state
+    =
+  {
+    engine;
+    plan;
+    handlers = Hashtbl.create 64;
+    make_state;
+    vm_entries = [];
+    executed = 0;
+    rejected = 0;
+    on_call = None;
+    exec_overhead_ns;
+    trace;
+  }
+
+let record_trace t fmt =
+  match t.trace with
+  | Some tr when Trace.is_enabled tr ->
+      Trace.record tr ~at:(Engine.now t.engine) ~category:"server" fmt
+  | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let register t name handler = Hashtbl.replace t.handlers name handler
+
+let set_call_hook t hook = t.on_call <- Some hook
+
+let executed t = t.executed
+let rejected t = t.rejected
+
+let find_vm t vm_id = List.assoc_opt vm_id t.vm_entries
+
+(* Run one call against a VM's state; no reply is sent. *)
+let execute_call t entry (c : Message.call) =
+  Engine.delay t.exec_overhead_ns;
+  let ((status, _, _) as result) =
+    match Hashtbl.find_opt t.handlers c.Message.call_fn with
+    | None ->
+        t.rejected <- t.rejected + 1;
+        (status_unknown_function, Wire.Unit, [])
+    | Some handler -> (
+        match handler entry.ve_ctx entry.ve_state c.Message.call_args with
+        | result ->
+            t.executed <- t.executed + 1;
+            result
+        | exception _ ->
+            t.rejected <- t.rejected + 1;
+            (status_bad_arguments, Wire.Unit, []))
+  in
+  record_trace t "vm%d %s seq=%d status=%d" entry.ve_ctx.Ctx.ctx_vm
+    c.Message.call_fn c.Message.call_seq status;
+  (match t.on_call with
+  | Some hook -> hook ~vm_id:entry.ve_ctx.Ctx.ctx_vm ~status c
+  | None -> ());
+  result
+
+let handle_call t entry (c : Message.call) =
+  let status, ret, outs = execute_call t entry c in
+  let reply =
+    Message.Reply
+      {
+        reply_seq = c.Message.call_seq;
+        reply_status = status;
+        reply_ret = ret;
+        reply_outs = outs;
+      }
+  in
+  Transport.send entry.ve_ep (Message.encode reply)
+
+(* Attach a VM: spawn its worker process draining its endpoint. *)
+let attach_vm t ~vm_id ~ep =
+  let entry =
+    {
+      ve_ctx = Ctx.create ~vm_id;
+      ve_state = t.make_state ~vm_id;
+      ve_ep = ep;
+      ve_paused = false;
+      ve_resume = None;
+    }
+  in
+  t.vm_entries <- (vm_id, entry) :: t.vm_entries;
+  Engine.spawn t.engine ~name:(Printf.sprintf "ava-server-vm%d" vm_id)
+    (fun () ->
+      let rec loop () =
+        let data = Transport.recv ep in
+        if entry.ve_paused then
+          (* Migration in progress: stall new work until resumed. *)
+          Engine.await (fun resume -> entry.ve_resume <- Some resume);
+        (match Message.decode data with
+        | Ok (Message.Call c) -> handle_call t entry c
+        | Ok (Message.Batch calls) -> List.iter (handle_call t entry) calls
+        | Ok (Message.Reply _) | Ok (Message.Upcall _) | Error _ ->
+            t.rejected <- t.rejected + 1);
+        loop ()
+      in
+      loop ());
+  entry
+
+(* Suspend/resume a VM's worker (used by migration §4.3). *)
+let pause_vm t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.pause_vm: unknown vm"
+  | Some e -> e.ve_paused <- true
+
+let resume_vm t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.resume_vm: unknown vm"
+  | Some e ->
+      e.ve_paused <- false;
+      (match e.ve_resume with
+      | Some resume ->
+          e.ve_resume <- None;
+          resume ()
+      | None -> ())
+
+let vm_ctx t ~vm_id = Option.map (fun e -> e.ve_ctx) (find_vm t vm_id)
+let vm_state t ~vm_id = Option.map (fun e -> e.ve_state) (find_vm t vm_id)
+
+(* Invoke a guest callback: send an upcall message back over the VM's
+   endpoint (spec [callback] parameters). *)
+let upcall t ~vm_id ~cb ~args =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.upcall: unknown vm"
+  | Some entry ->
+      Transport.send entry.ve_ep
+        (Message.encode
+           (Message.Upcall { up_vm = vm_id; up_cb = cb; up_args = args }))
+
+(* Execute a call directly against a VM's state, bypassing transport —
+   used by migration replay.  Must run inside a process. *)
+let execute_direct t ~vm_id (c : Message.call) =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.execute_direct: unknown vm"
+  | Some entry -> execute_call t entry c
+
+(* Swap in a fresh silo state for a VM (migration to a new host/device);
+   the old state is returned for snapshotting. *)
+let replace_state t ~vm_id state =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.replace_state: unknown vm"
+  | Some entry ->
+      let old = entry.ve_state in
+      entry.ve_state <- state;
+      old

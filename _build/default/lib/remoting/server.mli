@@ -1,0 +1,100 @@
+(** The API server: a non-privileged host process executing forwarded
+    calls against the vendor silo.
+
+    One worker process — and one ['st] silo instance — per VM gives the
+    process-level isolation of §4.1: handles from one guest cannot
+    denote another guest's objects.
+
+    Handles on the wire are virtual ids; the per-VM {!Ctx} maps them to
+    host objects, which is also the hook migration uses to re-bind ids
+    after replay on a new host. *)
+
+open Ava_sim
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+(** Per-VM handle context. *)
+module Ctx : sig
+  val first_virtual_id : int
+  (** Ids below this denote well-known enumerable objects (platforms,
+      devices) and pass through unmapped. *)
+
+  type t
+
+  val create : vm_id:int -> t
+  val vm : t -> int
+
+  val fresh : t -> int
+  (** Allocate a server-assigned virtual id. *)
+
+  val last_fresh : t -> int
+  (** The most recently assigned virtual id (used by migration replay to
+      re-bind objects to their original ids). *)
+
+  val bind : t -> guest:int -> host:int -> unit
+  val resolve : t -> int -> int option
+  val reverse : t -> host:int -> int option
+  val forget : t -> int -> unit
+  val live : t -> int
+  val guest_ids : t -> int list
+  val clear : t -> unit
+end
+
+type 'st handler =
+  Ctx.t -> 'st -> Wire.value list -> int * Wire.value * Wire.value list
+(** A handler executes one API function against the per-VM context and
+    silo state, returning (status, return-value, out-values). *)
+
+type 'st vm_entry
+type 'st t
+
+(** {1 Remoting-level status codes} (disjoint from API error codes) *)
+
+val status_ok : int
+val status_unknown_function : int
+val status_bad_arguments : int
+val status_unknown_handle : int
+
+val create :
+  ?exec_overhead_ns:Time.t ->
+  ?trace:Trace.t ->
+  Engine.t ->
+  plan:Plan.t ->
+  make_state:(vm_id:int -> 'st) ->
+  'st t
+(** [make_state] builds one fresh silo instance per attached VM.  With
+    [trace] (enabled), every executed call is recorded under the
+    ["server"] category. *)
+
+val register : 'st t -> string -> 'st handler -> unit
+
+val set_call_hook : 'st t -> (vm_id:int -> status:int -> Message.call -> unit) -> unit
+(** Observe every executed call (the migration recorder's hook). *)
+
+val executed : 'st t -> int
+val rejected : 'st t -> int
+
+val attach_vm : 'st t -> vm_id:int -> ep:Transport.endpoint -> 'st vm_entry
+(** Spawn the VM's worker process draining [ep]. *)
+
+val pause_vm : 'st t -> vm_id:int -> unit
+(** Stall the worker before its next call (migration §4.3). *)
+
+val resume_vm : 'st t -> vm_id:int -> unit
+
+val vm_ctx : 'st t -> vm_id:int -> Ctx.t option
+val vm_state : 'st t -> vm_id:int -> 'st option
+
+val upcall : 'st t -> vm_id:int -> cb:int -> args:Wire.value list -> unit
+(** Invoke a guest callback by sending an upcall message over the VM's
+    endpoint.  Must run inside a process. *)
+
+val execute_direct :
+  'st t -> vm_id:int -> Message.call -> int * Wire.value * Wire.value list
+(** Execute a call directly against a VM's state, bypassing transport —
+    used by migration replay.  Must run inside a process. *)
+
+val replace_state : 'st t -> vm_id:int -> 'st -> 'st
+(** Swap in a fresh silo state for a VM (migration to a new device);
+    returns the old state for snapshotting. *)

@@ -1,0 +1,232 @@
+(* The guest library runtime: AvA's API-agnostic marshalling engine on
+   the VM side.
+
+   Generated guest stubs (here: the plan-driven glue in [Ava_core]) call
+   [invoke]; this module handles sequencing, the sync/async decision from
+   the {!Ava_codegen.Plan}, reply matching, and the paper's deferred-error
+   semantics for asynchronously forwarded calls: an async failure is
+   reported by the next synchronous call on the same stub. *)
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+
+(* Guest-assigned object ids live above the server's virtual-id range
+   (see {!Server.Ctx}) so neither collides with the other or with the
+   small integers APIs use for platform/device enumeration. *)
+let first_guest_handle = 0x100000
+
+type pending = {
+  p_fn : string;
+  p_sync : bool;
+  p_ivar : Message.reply Ivar.t;
+  p_on_reply : (Message.reply -> unit) option;
+}
+
+type t = {
+  engine : Engine.t;
+  vm_id : int;
+  plan : Plan.t;
+  ep : Transport.endpoint;
+  mutable next_seq : int;
+  mutable next_handle : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable deferred_errors : (string * int) list;  (** newest first *)
+  batch_limit : int;  (** max async calls buffered; 1 disables batching *)
+  batch_bytes_limit : int;
+  mutable batch : Message.call list;  (** newest first *)
+  mutable batch_bytes : int;
+  mutable batches_sent : int;
+  mutable sync_calls : int;
+  mutable async_calls : int;
+  mutable marshalled_bytes : int;
+  callbacks : (int, Wire.value list -> unit) Hashtbl.t;
+  mutable next_callback : int;
+  mutable upcalls : int;
+}
+
+let create ?(batch_limit = 1) engine ~vm_id ~plan ~ep =
+  let t =
+    {
+      engine;
+      vm_id;
+      plan;
+      ep;
+      next_seq = 0;
+      next_handle = first_guest_handle;
+      pending = Hashtbl.create 32;
+      deferred_errors = [];
+      batch_limit = Stdlib.max 1 batch_limit;
+      batch_bytes_limit = 32 * 1024;
+      batch = [];
+      batch_bytes = 0;
+      batches_sent = 0;
+      sync_calls = 0;
+      async_calls = 0;
+      marshalled_bytes = 0;
+      callbacks = Hashtbl.create 8;
+      next_callback = 1;
+      upcalls = 0;
+    }
+  in
+  (* Reply receiver: dispatches replies to waiting callers and runs
+     completion callbacks of async calls. *)
+  Engine.spawn engine ~name:"ava-stub-rx" (fun () ->
+      let rec loop () =
+        let data = Transport.recv ep in
+        (match Message.decode data with
+        | Ok (Message.Reply r) -> (
+            match Hashtbl.find_opt t.pending r.Message.reply_seq with
+            | None -> () (* late reply for a cancelled call: drop *)
+            | Some p ->
+                Hashtbl.remove t.pending r.Message.reply_seq;
+                (match p.p_on_reply with Some f -> f r | None -> ());
+                if (not p.p_sync) && r.Message.reply_status <> 0 then
+                  t.deferred_errors <-
+                    (p.p_fn, r.Message.reply_status) :: t.deferred_errors;
+                if p.p_sync then Ivar.fill p.p_ivar r)
+        | Ok (Message.Upcall u) -> (
+            (* Dispatch a server-to-guest callback in its own process so
+               a slow callback never blocks reply delivery. *)
+            match Hashtbl.find_opt t.callbacks u.Message.up_cb with
+            | None -> ()
+            | Some f ->
+                t.upcalls <- t.upcalls + 1;
+                Engine.spawn engine (fun () -> f u.Message.up_args))
+        | Ok (Message.Call _) | Ok (Message.Batch _) | Error _ -> ());
+        loop ()
+      in
+      loop ());
+  t
+
+let vm_id t = t.vm_id
+let batches_sent t = t.batches_sent
+let upcalls_received t = t.upcalls
+
+(* Register a guest closure; the returned id travels in place of the C
+   function pointer and the server upcalls through it. *)
+let register_callback t f =
+  let id = t.next_callback in
+  t.next_callback <- id + 1;
+  Hashtbl.replace t.callbacks id f;
+  id
+
+let unregister_callback t id = Hashtbl.remove t.callbacks id
+let sync_calls t = t.sync_calls
+let async_calls t = t.async_calls
+let marshalled_bytes t = t.marshalled_bytes
+let in_flight t = Hashtbl.length t.pending
+
+(* Allocate a guest-managed object id (sent to the server, which binds
+   its host object to it). *)
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+(* The deferred-error channel of §4.2: async calls cannot fail at their
+   call site; the error surfaces here, at the next synchronous call. *)
+let take_deferred_error t =
+  match List.rev t.deferred_errors with
+  | [] -> None
+  | oldest :: _ ->
+      t.deferred_errors <-
+        List.rev (List.tl (List.rev t.deferred_errors));
+      Some oldest
+
+let pending_errors t = List.length t.deferred_errors
+
+(* Charge the CPU cost of marshalling: descriptor build plus pinning of
+   bulk payloads (zero-copy transport; no payload memcpy). *)
+let marshal_cost_ns bytes = Time.ns (400 + (bytes / 64))
+
+(* Send any buffered asynchronous calls as one batch message (rCUDA-style
+   API batching, §4.2).  Marshalling costs were already charged when each
+   call was buffered; the flush pays one transport send. *)
+let flush_batch t =
+  match List.rev t.batch with
+  | [] -> ()
+  | [ only ] ->
+      t.batch <- [];
+      t.batch_bytes <- 0;
+      Transport.send t.ep (Message.encode (Message.Call only))
+  | calls ->
+      t.batch <- [];
+      t.batch_bytes <- 0;
+      t.batches_sent <- t.batches_sent + 1;
+      Transport.send t.ep (Message.encode (Message.Batch calls))
+
+(* Batching policy: only calls that touch no device resource (argument
+   updates, reference counting) are held back; any device-work or
+   synchronous call departs immediately, carrying the held calls with it
+   (piggybacking), so batching never delays the accelerator. *)
+let send_call t ~fn ~args ~sync ~holdable ~on_reply =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let call =
+    { Message.call_seq = seq; call_vm = t.vm_id; call_fn = fn;
+      call_args = args }
+  in
+  let data = Message.encode (Message.Call call) in
+  t.marshalled_bytes <- t.marshalled_bytes + Bytes.length data;
+  Engine.delay (marshal_cost_ns (Bytes.length data));
+  let p =
+    { p_fn = fn; p_sync = sync; p_ivar = Ivar.create (); p_on_reply = on_reply }
+  in
+  Hashtbl.replace t.pending seq p;
+  if t.batch_limit = 1 then Transport.send t.ep data
+  else if sync then begin
+    (* Synchronous calls flush held work first so ordering is preserved,
+       then travel alone (their reply is awaited). *)
+    flush_batch t;
+    Transport.send t.ep data
+  end
+  else if not holdable then begin
+    (* Device work departs now, taking the held calls along. *)
+    t.batch <- call :: t.batch;
+    t.batch_bytes <- t.batch_bytes + Bytes.length data;
+    flush_batch t
+  end
+  else begin
+    t.batch <- call :: t.batch;
+    t.batch_bytes <- t.batch_bytes + Bytes.length data;
+    if
+      List.length t.batch >= t.batch_limit
+      || t.batch_bytes >= t.batch_bytes_limit
+    then flush_batch t
+  end;
+  p
+
+(* Invoke [fn].  [env] binds scalar parameters by name for the plan's
+   size/synchrony expressions.  [force_sync] overrides the plan when the
+   caller needs outputs immediately (e.g. an event handle it must return).
+   Returns the reply for sync calls; async calls return [Ok None]
+   immediately and deliver their reply through [on_reply]. *)
+let invoke ?(force_sync = false) ?on_reply t ~fn ~env ~args =
+  match Plan.find t.plan fn with
+  | None -> Error (Printf.sprintf "no plan for function %S" fn)
+  | Some plan ->
+      let sync = force_sync || Plan.is_sync plan ~env in
+      (* Holdable: produces nothing and consumes no device resource. *)
+      let holdable =
+        (not (Plan.has_outputs plan)) && plan.Plan.cp_resources = []
+      in
+      if sync then begin
+        t.sync_calls <- t.sync_calls + 1;
+        let p = send_call t ~fn ~args ~sync:true ~holdable:false ~on_reply in
+        let reply = Ivar.read p.p_ivar in
+        Ok (Some reply)
+      end
+      else begin
+        t.async_calls <- t.async_calls + 1;
+        let _ = send_call t ~fn ~args ~sync:false ~holdable ~on_reply in
+        Ok None
+      end
+
+(* Convenience for callers that always need the reply. *)
+let invoke_sync t ~fn ~env ~args =
+  match invoke ~force_sync:true t ~fn ~env ~args with
+  | Ok (Some reply) -> Ok reply
+  | Ok None -> assert false
+  | Error _ as e -> e

@@ -1,0 +1,84 @@
+(** The guest library runtime: AvA's API-agnostic marshalling engine on
+    the VM side.
+
+    Generated guest stubs (the plan-driven glue in [Ava_core]) call
+    {!invoke}; this module handles sequencing, the sync/async decision
+    from the compiled {!Ava_codegen.Plan}, reply matching, and the
+    paper's deferred-error semantics: an asynchronously forwarded call's
+    failure is reported by the next synchronous call on the same stub
+    (§4.2). *)
+
+open Ava_sim
+
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+val first_guest_handle : int
+(** Guest-assigned object ids start here — above the server's virtual-id
+    range, so the two id spaces never collide. *)
+
+type t
+
+val create :
+  ?batch_limit:int ->
+  Engine.t ->
+  vm_id:int ->
+  plan:Plan.t ->
+  ep:Transport.endpoint ->
+  t
+(** Also spawns the reply-receiver process on [ep].  [batch_limit] > 1
+    enables rCUDA-style API batching: up to that many asynchronously
+    forwarded calls are buffered into one transport message, flushed by
+    the next synchronous call or by a 32 KiB size cap. *)
+
+val vm_id : t -> int
+
+val batches_sent : t -> int
+(** Multi-call batch messages sent so far. *)
+
+val sync_calls : t -> int
+val async_calls : t -> int
+val marshalled_bytes : t -> int
+val in_flight : t -> int
+
+val register_callback : t -> (Wire.value list -> unit) -> int
+(** Register a guest closure; the returned id travels in place of a C
+    function pointer, and server upcalls dispatch to the closure (in a
+    fresh process). *)
+
+val unregister_callback : t -> int -> unit
+
+val upcalls_received : t -> int
+
+val fresh_handle : t -> int
+(** Allocate a guest-managed object id (the server binds its host object
+    to it) — how async enqueues return usable event handles. *)
+
+val take_deferred_error : t -> (string * int) option
+(** Pop the oldest pending async failure, if any: the §4.2 deferred-error
+    channel, drained by the API glue on each synchronous call. *)
+
+val pending_errors : t -> int
+
+val invoke :
+  ?force_sync:bool ->
+  ?on_reply:(Message.reply -> unit) ->
+  t ->
+  fn:string ->
+  env:(string * int) list ->
+  args:Wire.value list ->
+  (Message.reply option, string) result
+(** Invoke [fn].  [env] binds scalar parameters by name for the plan's
+    size/synchrony expressions.  [force_sync] overrides the plan when the
+    caller needs outputs immediately.  Synchronous calls return
+    [Ok (Some reply)]; asynchronous calls return [Ok None] at once and
+    deliver their reply through [on_reply].  [Error] means the function
+    has no plan (a local failure; nothing was sent). *)
+
+val invoke_sync :
+  t ->
+  fn:string ->
+  env:(string * int) list ->
+  args:Wire.value list ->
+  (Message.reply, string) result
+(** {!invoke} with [force_sync:true]. *)

@@ -1,0 +1,145 @@
+(* Wire values: the dynamic representation every forwarded API call is
+   marshalled into.
+
+   Handles are guest-assigned integers (the API server maintains the
+   guest-id -> host-object mapping), so values survive any transport and
+   any server restart during migration. *)
+
+type value =
+  | Unit
+  | I64 of int64
+  | F64 of float
+  | Str of string
+  | Blob of bytes
+  | Handle of int64
+  | List of value list
+
+let int n = I64 (Int64.of_int n)
+let to_int = function
+  | I64 v -> Some (Int64.to_int v)
+  | Handle v -> Some (Int64.to_int v)
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | I64 x, I64 y -> Int64.equal x y
+  | F64 x, F64 y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Blob x, Blob y -> Bytes.equal x y
+  | Handle x, Handle y -> Int64.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | (Unit | I64 _ | F64 _ | Str _ | Blob _ | Handle _ | List _), _ -> false
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | I64 v -> Fmt.pf ppf "%Ld" v
+  | F64 v -> Fmt.pf ppf "%g" v
+  | Str s -> Fmt.pf ppf "%S" s
+  | Blob b -> Fmt.pf ppf "<blob %d>" (Bytes.length b)
+  | Handle h -> Fmt.pf ppf "#%Ld" h
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma pp) vs
+
+(* Size of the encoded form, used for payload accounting. *)
+let rec encoded_size = function
+  | Unit -> 1
+  | I64 _ | F64 _ | Handle _ -> 9
+  | Str s -> 5 + String.length s
+  | Blob b -> 5 + Bytes.length b
+  | List vs -> 5 + List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
+
+(* --- binary encoding ---------------------------------------------------- *)
+
+exception Decode_error of string
+
+let rec encode_value buf = function
+  | Unit -> Buffer.add_char buf '\000'
+  | I64 v ->
+      Buffer.add_char buf '\001';
+      Buffer.add_int64_le buf v
+  | F64 v ->
+      Buffer.add_char buf '\002';
+      Buffer.add_int64_le buf (Int64.bits_of_float v)
+  | Str s ->
+      Buffer.add_char buf '\003';
+      Buffer.add_int32_le buf (Int32.of_int (String.length s));
+      Buffer.add_string buf s
+  | Blob b ->
+      Buffer.add_char buf '\004';
+      Buffer.add_int32_le buf (Int32.of_int (Bytes.length b));
+      Buffer.add_bytes buf b
+  | Handle h ->
+      Buffer.add_char buf '\005';
+      Buffer.add_int64_le buf h
+  | List vs ->
+      Buffer.add_char buf '\006';
+      Buffer.add_int32_le buf (Int32.of_int (List.length vs));
+      List.iter (encode_value buf) vs
+
+let encode values =
+  let buf = Buffer.create 64 in
+  Buffer.add_int32_le buf (Int32.of_int (List.length values));
+  List.iter (encode_value buf) values;
+  Buffer.to_bytes buf
+
+let decode data =
+  let pos = ref 0 in
+  let len = Bytes.length data in
+  let need n =
+    if !pos + n > len then raise (Decode_error "truncated message")
+  in
+  let u8 () =
+    need 1;
+    let v = Char.code (Bytes.get data !pos) in
+    incr pos;
+    v
+  in
+  let i32 () =
+    need 4;
+    let v = Int32.to_int (Bytes.get_int32_le data !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let i64 () =
+    need 8;
+    let v = Bytes.get_int64_le data !pos in
+    pos := !pos + 8;
+    v
+  in
+  let rec value () =
+    match u8 () with
+    | 0 -> Unit
+    | 1 -> I64 (i64 ())
+    | 2 -> F64 (Int64.float_of_bits (i64 ()))
+    | 3 ->
+        let n = i32 () in
+        if n < 0 then raise (Decode_error "negative string length");
+        need n;
+        let s = Bytes.sub_string data !pos n in
+        pos := !pos + n;
+        Str s
+    | 4 ->
+        let n = i32 () in
+        if n < 0 then raise (Decode_error "negative blob length");
+        need n;
+        let b = Bytes.sub data !pos n in
+        pos := !pos + n;
+        Blob b
+    | 5 -> Handle (i64 ())
+    | 6 ->
+        let n = i32 () in
+        if n < 0 || n > 1_000_000 then
+          raise (Decode_error "implausible list length");
+        List (List.init n (fun _ -> value ()))
+    | tag -> raise (Decode_error (Printf.sprintf "unknown tag %d" tag))
+  in
+  match
+    let n = i32 () in
+    if n < 0 || n > 1_000_000 then
+      raise (Decode_error "implausible value count");
+    let vs = List.init n (fun _ -> value ()) in
+    if !pos <> len then raise (Decode_error "trailing bytes");
+    vs
+  with
+  | vs -> Ok vs
+  | exception Decode_error msg -> Error msg

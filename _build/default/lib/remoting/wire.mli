@@ -1,0 +1,33 @@
+(** Wire values: the dynamic representation every forwarded API call is
+    marshalled into.
+
+    Handles are guest-visible integers (the API server maintains the
+    id → host-object mapping), so values survive any transport and any
+    server replacement during migration. *)
+
+type value =
+  | Unit
+  | I64 of int64
+  | F64 of float
+  | Str of string
+  | Blob of bytes
+  | Handle of int64
+  | List of value list
+
+val int : int -> value
+(** Shorthand for [I64 (Int64.of_int n)]. *)
+
+val to_int : value -> int option
+(** Integer view of [I64] or [Handle] values. *)
+
+val equal : value -> value -> bool
+val pp : Format.formatter -> value -> unit
+
+val encoded_size : value -> int
+(** Size of the encoded form, for payload accounting. *)
+
+val encode : value list -> bytes
+
+val decode : bytes -> (value list, string) result
+(** Total: corrupt or truncated input yields [Error], never an
+    exception. *)

@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Engine List Queue

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Float Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Fmt Format List String Time

@@ -1,0 +1,94 @@
+(* Bounded/unbounded FIFO channel between processes.
+
+   [recv] blocks while empty; [send] blocks while a bounded channel is
+   full, giving natural backpressure for command queues and rings. *)
+
+type 'a t = {
+  capacity : int option;
+  items : 'a Queue.t;
+  mutable recv_waiters : ('a -> unit) list; (* reversed *)
+  mutable send_waiters : (unit -> unit) list; (* reversed *)
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Channel.create: capacity must be >= 1"
+  | _ -> ());
+  {
+    capacity;
+    items = Queue.create ();
+    recv_waiters = [];
+    send_waiters = [];
+    closed = false;
+  }
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items
+
+let is_full t =
+  match t.capacity with None -> false | Some c -> Queue.length t.items >= c
+
+let pop_recv_waiter t =
+  match List.rev t.recv_waiters with
+  | [] -> None
+  | w :: rest ->
+      t.recv_waiters <- List.rev rest;
+      Some w
+
+let pop_send_waiter t =
+  match List.rev t.send_waiters with
+  | [] -> None
+  | w :: rest ->
+      t.send_waiters <- List.rev rest;
+      Some w
+
+let rec send t v =
+  if t.closed then raise Closed;
+  match pop_recv_waiter t with
+  | Some w -> w v
+  | None ->
+      if is_full t then begin
+        Engine.await (fun resume ->
+            t.send_waiters <- resume :: t.send_waiters);
+        send t v
+      end
+      else Queue.push v t.items
+
+let try_send t v =
+  if t.closed then raise Closed;
+  match pop_recv_waiter t with
+  | Some w ->
+      w v;
+      true
+  | None ->
+      if is_full t then false
+      else begin
+        Queue.push v t.items;
+        true
+      end
+
+let recv t =
+  if not (Queue.is_empty t.items) then begin
+    let v = Queue.pop t.items in
+    (match pop_send_waiter t with Some w -> w () | None -> ());
+    v
+  end
+  else if t.closed then raise Closed
+  else
+    Engine.await (fun resume -> t.recv_waiters <- resume :: t.recv_waiters)
+
+let try_recv t =
+  if Queue.is_empty t.items then None
+  else begin
+    let v = Queue.pop t.items in
+    (match pop_send_waiter t with Some w -> w () | None -> ());
+    Some v
+  end
+
+(* Close the channel: subsequent sends raise; blocked receivers stay
+   blocked on purpose (a closed command stream simply stops). *)
+let close t = t.closed <- true
+let is_closed t = t.closed

@@ -1,0 +1,109 @@
+(* Discrete-event engine with effects-based cooperative processes.
+
+   The engine is a min-heap of (virtual-time, callback) events.  A process
+   is an OCaml function run under an effect handler: performing [Delay d]
+   suspends it and re-schedules its continuation [d] nanoseconds later;
+   [Await register] suspends it until some other event invokes the resume
+   callback handed to [register].  Everything runs on one OS thread, so no
+   locking is needed and runs are fully deterministic. *)
+
+exception Stalled of string
+(** Raised by [await] helpers when a process would block forever. *)
+
+type t = {
+  mutable now : Time.t;
+  events : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable live_processes : int;
+  mutable spawned : int;
+}
+
+type _ Effect.t +=
+  | Delay : Time.t -> unit Effect.t
+  | Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create () =
+  { now = 0; events = Heap.create (); seq = 0; live_processes = 0; spawned = 0 }
+
+let now t = t.now
+
+let schedule t ~at f =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.add t.events ~key:at ~seq:t.seq f
+
+let schedule_after t d f = schedule t ~at:(t.now + Stdlib.max 0 d) f
+
+(* Effects performed inside a process. *)
+
+let delay d = Effect.perform (Delay d)
+
+let await register = Effect.perform (Await register)
+
+let yield () = delay 0
+
+let spawn t ?name body =
+  ignore name;
+  t.spawned <- t.spawned + 1;
+  t.live_processes <- t.live_processes + 1;
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> t.live_processes <- t.live_processes - 1);
+      exnc =
+        (fun e ->
+          t.live_processes <- t.live_processes - 1;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  schedule_after t d (fun () -> Effect.Deep.continue k ()))
+          | Await register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let resumed = ref false in
+                  register (fun v ->
+                      if !resumed then
+                        invalid_arg "Engine.await: resumed twice";
+                      resumed := true;
+                      schedule t ~at:t.now (fun () ->
+                          Effect.Deep.continue k v)))
+          | _ -> None);
+    }
+  in
+  schedule t ~at:t.now (fun () -> Effect.Deep.match_with body () handler)
+
+(* Drain the event loop.  With [~until], execution stops once the next
+   event lies beyond the horizon; the clock is advanced to the horizon and
+   pending events are kept for a later [run]. *)
+let run ?until t =
+  let horizon = until in
+  let rec loop () =
+    match Heap.peek t.events with
+    | None -> ()
+    | Some e -> (
+        match horizon with
+        | Some h when e.Heap.key > h -> t.now <- h
+        | _ ->
+            let e = Option.get (Heap.pop t.events) in
+            t.now <- e.Heap.key;
+            e.Heap.payload ();
+            loop ())
+  in
+  loop ()
+
+let live_processes t = t.live_processes
+let spawned t = t.spawned
+let pending_events t = Heap.size t.events
+
+(* Run [body] as a process to completion and return its result; raises
+   [Stalled] if the event queue drains while the process is blocked. *)
+let run_process t body =
+  let result = ref None in
+  spawn t (fun () -> result := Some (body ()));
+  run t;
+  match !result with
+  | Some v -> v
+  | None -> raise (Stalled "Engine.run_process: process never completed")

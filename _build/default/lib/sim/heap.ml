@@ -1,0 +1,74 @@
+(* Array-based binary min-heap keyed by (time, sequence-number).
+
+   The sequence number breaks ties so that events scheduled for the same
+   instant fire in insertion order, which keeps the whole simulation
+   deterministic. *)
+
+type 'a entry = { key : int; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let dummy = t.data.(0) in
+  let ndata = Array.make ncap dummy in
+  Array.blit t.data 0 ndata 0 t.size;
+  t.data <- ndata
+
+let add t ~key ~seq payload =
+  let e = { key; seq; payload } in
+  if t.size = Array.length t.data then
+    if t.size = 0 then t.data <- Array.make 16 e else grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(parent) in
+    t.data.(parent) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := parent
+  done
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end

@@ -1,0 +1,23 @@
+(** Array-based binary min-heap keyed by [(time, sequence-number)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in insertion order, keeping the simulation
+    deterministic. *)
+
+type 'a entry = { key : int; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+(** Amortized O(log n). *)
+
+val peek : 'a t -> 'a entry option
+(** Smallest entry without removing it. *)
+
+val pop : 'a t -> 'a entry option
+(** Remove and return the smallest entry. *)

@@ -1,0 +1,39 @@
+(* Write-once cell: readers block until the value is set.
+
+   This is the basic completion primitive: device interrupts, RPC replies
+   and OpenCL events are all ivars underneath. *)
+
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+let fill t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Full v;
+      (* Waiters resume at the current instant, in registration order. *)
+      List.iter (fun resume -> resume v) (List.rev waiters)
+
+let fill_if_empty t v = match t.state with Full _ -> () | Empty _ -> fill t v
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+      Engine.await (fun resume ->
+          match t.state with
+          | Full v -> resume v
+          | Empty waiters -> t.state <- Empty (resume :: waiters))
+
+(* Register a callback to run when the ivar fills (immediately if full). *)
+let on_fill t f =
+  match t.state with
+  | Full v -> f v
+  | Empty waiters -> t.state <- Empty (f :: waiters)

@@ -1,0 +1,40 @@
+(* Counting semaphore for exclusive or limited-parallelism resources
+   (DMA engines, compute units, USB links). *)
+
+type t = {
+  mutable available : int;
+  total : int;
+  mutable waiters : (unit -> unit) list; (* reversed *)
+}
+
+let create n =
+  if n < 1 then invalid_arg "Semaphore.create: n must be >= 1";
+  { available = n; total = n; waiters = [] }
+
+let available t = t.available
+let total t = t.total
+
+let acquire t =
+  if t.available > 0 then t.available <- t.available - 1
+  else Engine.await (fun resume -> t.waiters <- resume :: t.waiters)
+
+let release t =
+  match List.rev t.waiters with
+  | [] ->
+      if t.available >= t.total then
+        invalid_arg "Semaphore.release: released more than acquired";
+      t.available <- t.available + 1
+  | w :: rest ->
+      t.waiters <- List.rev rest;
+      (* Hand the slot directly to the waiter. *)
+      w ()
+
+let with_acquired t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

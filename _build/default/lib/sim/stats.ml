@@ -1,0 +1,93 @@
+(* Online and batch statistics used by experiment reports. *)
+
+(* Welford's online mean/variance. *)
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+
+  let variance t =
+    if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = if t.n = 0 then nan else t.min
+  let max t = if t.n = 0 then nan else t.max
+end
+
+(* Percentile with linear interpolation over a sample list. *)
+let percentile samples p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  match samples with
+  | [] -> nan
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.of_int (int_of_float rank)) in
+        let hi = Stdlib.min (lo + 1) (n - 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let mean samples =
+  match samples with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let geomean samples =
+  match samples with
+  | [] -> nan
+  | _ ->
+      let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 samples in
+      exp (logsum /. float_of_int (List.length samples))
+
+type summary = {
+  count : int;
+  sum : float;
+  avg : float;
+  std : float;
+  minimum : float;
+  maximum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize samples =
+  let o = Online.create () in
+  List.iter (Online.add o) samples;
+  {
+    count = Online.count o;
+    sum = List.fold_left ( +. ) 0.0 samples;
+    avg = Online.mean o;
+    std = Online.stddev o;
+    minimum = Online.min o;
+    maximum = Online.max o;
+    p50 = percentile samples 50.0;
+    p95 = percentile samples 95.0;
+    p99 = percentile samples 99.0;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d avg=%.3f std=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f"
+    s.count s.avg s.std s.minimum s.p50 s.p95 s.maximum

@@ -1,0 +1,46 @@
+(* Lightweight event trace.
+
+   Components record (time, category, message) tuples; experiments can dump
+   or filter them.  Disabled traces cost one branch per event. *)
+
+type event = { at : Time.t; category : string; message : string }
+
+type t = {
+  mutable enabled : bool;
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  limit : int;
+}
+
+let create ?(enabled = false) ?(limit = 100_000) () =
+  { enabled; events = []; count = 0; limit }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record t ~at ~category fmt =
+  if not t.enabled then Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else
+    Format.kasprintf
+      (fun message ->
+        if t.count < t.limit then begin
+          t.events <- { at; category; message } :: t.events;
+          t.count <- t.count + 1
+        end)
+      fmt
+
+let events t = List.rev t.events
+let count t = t.count
+
+let by_category t category =
+  List.filter (fun e -> String.equal e.category category) (events t)
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%a] %-12s %s" Time.pp e.at e.category e.message
+
+let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)

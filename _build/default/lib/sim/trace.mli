@@ -1,0 +1,30 @@
+(** Lightweight event trace.
+
+    Components record (time, category, message) tuples; experiments dump
+    or filter them.  A disabled trace costs one branch per event. *)
+
+type event = { at : Time.t; category : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> ?limit:int -> unit -> t
+(** Disabled by default; at most [limit] events are retained. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val record :
+  t -> at:Time.t -> category:string -> ('a, Format.formatter, unit) format -> 'a
+(** Record one event; the format arguments are not even rendered when the
+    trace is disabled. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+val by_category : t -> string -> event list
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> t -> unit

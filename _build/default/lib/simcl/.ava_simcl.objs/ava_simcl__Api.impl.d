@@ -1,0 +1,1 @@
+lib/simcl/api.ml: Types

@@ -1,0 +1,1 @@
+lib/simcl/builtin.ml: Bytes Char Int32 List Printf String

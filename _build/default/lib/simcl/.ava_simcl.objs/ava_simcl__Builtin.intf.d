@@ -1,0 +1,1 @@
+lib/simcl/builtin.mli:

@@ -1,0 +1,1 @@
+lib/simcl/kdriver.ml: Ava_device Ava_sim Bytes Engine Gpu Int64 Ivar Mmio Time Timing

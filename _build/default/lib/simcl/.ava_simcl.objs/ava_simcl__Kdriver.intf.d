@@ -1,0 +1,1 @@
+lib/simcl/kdriver.mli: Ava_device Ava_sim Gpu Mmio

@@ -1,0 +1,1 @@
+lib/simcl/native.ml: Api Array Ava_device Ava_sim Builtin Bytes Engine Hashtbl Ivar Kdriver List Option Result Stdlib String Time Types

@@ -1,0 +1,1 @@
+lib/simcl/native.mli: Api Ava_device Kdriver Types

@@ -1,0 +1,1 @@
+lib/simcl/types.ml: Fmt Printf Stdlib

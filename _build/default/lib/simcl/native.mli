@@ -1,0 +1,28 @@
+(** The native SimCL user-mode stack (public API + user-mode driver).
+
+    {!create} returns a fresh first-class module implementing
+    {!Api.S} with its own handle namespace over a shared kernel driver —
+    one instance per host process, which is the process-level isolation
+    AvA's API servers rely on.
+
+    Command-queue semantics follow OpenCL's in-order queues.
+    Ring-destined operations (kernels, copies, fills) with no wait list
+    are submitted straight to the FIFO hardware ring and pipeline back to
+    back; operations completing outside the ring (DMA reads/writes) chain
+    on the previous operation's completion. *)
+
+type st
+(** Instance state (opaque; exposed for introspection and migration). *)
+
+val create : Kdriver.t -> (module Api.S) * st
+
+(** {1 Introspection} *)
+
+val calls : st -> int
+val live_events : st -> int
+val live_mems : st -> int
+
+val find_mem : st -> Types.mem -> Ava_device.Gpu.buffer option
+(** Device buffer behind a mem handle (migration snapshot/restore). *)
+
+val kdriver : st -> Kdriver.t

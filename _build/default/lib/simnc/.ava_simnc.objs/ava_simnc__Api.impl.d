@@ -1,0 +1,1 @@
+lib/simnc/api.ml: Types

@@ -1,0 +1,1 @@
+lib/simnc/graphdef.ml: Bytes Int32 Int64 List String

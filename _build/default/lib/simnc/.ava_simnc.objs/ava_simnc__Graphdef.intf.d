@@ -1,0 +1,1 @@
+lib/simnc/graphdef.mli:

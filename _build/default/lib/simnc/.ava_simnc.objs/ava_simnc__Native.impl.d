@@ -1,0 +1,1 @@
+lib/simnc/native.ml: Api Ava_device Ava_sim Bytes Engine Graphdef Hashtbl Ivar Queue Result String Time Types

@@ -1,0 +1,1 @@
+lib/simnc/native.mli: Api Ava_device

@@ -1,0 +1,1 @@
+lib/simnc/types.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/simqa/api.ml: Types

@@ -1,0 +1,1 @@
+lib/simqa/device.ml: Ava_sim Buffer Bytes Char Engine Semaphore Time

@@ -1,0 +1,1 @@
+lib/simqa/device.mli: Ava_sim Engine Time

@@ -1,0 +1,1 @@
+lib/simqa/native.ml: Api Ava_sim Bytes Device Engine Hashtbl Time Types

@@ -1,0 +1,1 @@
+lib/simqa/native.mli: Api Device

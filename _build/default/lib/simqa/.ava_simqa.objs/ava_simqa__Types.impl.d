@@ -1,0 +1,1 @@
+lib/simqa/types.ml: Fmt Stdlib

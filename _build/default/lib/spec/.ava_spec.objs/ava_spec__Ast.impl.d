@@ -1,0 +1,1 @@
+lib/spec/ast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/spec/cheader.ml: Ast Cursor Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/spec/cheader.mli: Ast Cursor

@@ -1,0 +1,1 @@
+lib/spec/cursor.ml: Lexer Printf String

@@ -1,0 +1,1 @@
+lib/spec/infer.ml: Ast Cheader List Option Printf String

@@ -1,0 +1,1 @@
+lib/spec/infer.mli: Ast Cheader

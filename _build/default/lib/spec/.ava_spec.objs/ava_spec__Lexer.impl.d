@@ -1,0 +1,1 @@
+lib/spec/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Cheader Cursor Infer Lexer List Printf

@@ -1,0 +1,1 @@
+lib/spec/pretty.ml: Ast Fmt List String Validate

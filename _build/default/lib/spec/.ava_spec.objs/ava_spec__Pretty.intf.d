@@ -1,0 +1,1 @@
+lib/spec/pretty.mli: Ast Format

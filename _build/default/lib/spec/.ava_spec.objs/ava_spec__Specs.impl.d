@@ -1,0 +1,1 @@
+lib/spec/specs.ml: Parser Printf

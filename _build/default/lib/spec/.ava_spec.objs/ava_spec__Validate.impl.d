@@ -1,0 +1,1 @@
+lib/spec/validate.ml: Ast Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/spec/validate.mli: Ast Format

@@ -1,0 +1,65 @@
+(* Token-stream cursor shared by the header and specification parsers. *)
+
+type t = { mutable toks : Lexer.located list }
+
+exception Parse_error of string * int
+
+let of_tokens toks = { toks }
+
+let line c =
+  match c.toks with [] -> 0 | { Lexer.line; _ } :: _ -> line
+
+let fail c msg = raise (Parse_error (msg, line c))
+
+let peek c =
+  match c.toks with [] -> Lexer.EOF | { Lexer.tok; _ } :: _ -> tok
+
+let peek2 c =
+  match c.toks with
+  | _ :: { Lexer.tok; _ } :: _ -> tok
+  | _ -> Lexer.EOF
+
+let advance c =
+  match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+let expect c tok =
+  let got = peek c in
+  if got = tok then advance c
+  else
+    fail c
+      (Printf.sprintf "expected %s but found %s"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string got))
+
+let expect_ident c =
+  match peek c with
+  | Lexer.IDENT s ->
+      advance c;
+      s
+  | got ->
+      fail c
+        (Printf.sprintf "expected identifier but found %s"
+           (Lexer.token_to_string got))
+
+(* Accept a specific keyword (identifier with fixed spelling). *)
+let expect_kw c kw =
+  match peek c with
+  | Lexer.IDENT s when String.equal s kw -> advance c
+  | got ->
+      fail c
+        (Printf.sprintf "expected %S but found %s" kw
+           (Lexer.token_to_string got))
+
+let accept c tok = if peek c = tok then (advance c; true) else false
+
+let accept_kw c kw =
+  match peek c with
+  | Lexer.IDENT s when String.equal s kw ->
+      advance c;
+      true
+  | _ -> false

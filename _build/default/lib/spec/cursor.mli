@@ -1,0 +1,29 @@
+(** Token-stream cursor shared by the header and specification parsers. *)
+
+type t
+
+exception Parse_error of string * int
+(** Message and line number. *)
+
+val of_tokens : Lexer.located list -> t
+
+val line : t -> int
+(** Line of the next token. *)
+
+val fail : t -> string -> 'a
+(** @raise Parse_error at the current line. *)
+
+val peek : t -> Lexer.token
+val peek2 : t -> Lexer.token
+val advance : t -> unit
+val next : t -> Lexer.token
+
+val expect : t -> Lexer.token -> unit
+(** @raise Parse_error on mismatch. *)
+
+val expect_ident : t -> string
+val expect_kw : t -> string -> unit
+(** Expect a specific keyword (identifier with fixed spelling). *)
+
+val accept : t -> Lexer.token -> bool
+val accept_kw : t -> string -> bool

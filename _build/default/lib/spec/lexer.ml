@@ -1,0 +1,180 @@
+(* Hand-written lexer shared by the C-header-subset parser and the CAvA
+   specification parser.
+
+   Preprocessor lines ([#include], [#define]) are recognized as whole
+   tokens because both input languages treat them as declarations rather
+   than running a real preprocessor. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | INCLUDE of string  (** #include <x> or "x" *)
+  | DEFINE of string * int  (** #define NAME value *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | EQEQ
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | INCLUDE s -> Printf.sprintf "#include %S" s
+  | DEFINE (n, v) -> Printf.sprintf "#define %s %d" n v
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | STAR -> "'*'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | EQEQ -> "'=='"
+  | EOF -> "end of input"
+
+type located = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred src.[!i] do
+      incr i
+    done;
+    String.sub src start (!i - start)
+  in
+  let skip_line () =
+    while !i < n && src.[!i] <> '\n' do
+      incr i
+    done
+  in
+  let read_directive () =
+    (* Called with src.[i] = '#'. *)
+    incr i;
+    let keyword = read_while is_ident_char in
+    while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+      incr i
+    done;
+    match keyword with
+    | "include" ->
+        if !i >= n then raise (Lex_error ("unterminated #include", !line));
+        let close = match src.[!i] with
+          | '<' -> '>'
+          | '"' -> '"'
+          | _ -> raise (Lex_error ("malformed #include", !line))
+        in
+        incr i;
+        let start = !i in
+        while !i < n && src.[!i] <> close do
+          incr i
+        done;
+        if !i >= n then raise (Lex_error ("unterminated #include", !line));
+        let name = String.sub src start (!i - start) in
+        incr i;
+        emit (INCLUDE name)
+    | "define" ->
+        let name = read_while is_ident_char in
+        if name = "" then raise (Lex_error ("malformed #define", !line));
+        while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+          incr i
+        done;
+        let neg =
+          if !i < n && src.[!i] = '-' then begin
+            incr i;
+            true
+          end
+          else false
+        in
+        let digits = read_while is_digit in
+        if digits = "" then
+          raise
+            (Lex_error
+               (Printf.sprintf "#define %s: only integer values supported" name,
+                !line));
+        let v = int_of_string digits in
+        emit (DEFINE (name, if neg then -v else v));
+        skip_line ()
+    | "ifndef" | "endif" | "pragma" ->
+        (* Include-guard noise: ignore the rest of the line. *)
+        skip_line ()
+    | other ->
+        raise (Lex_error (Printf.sprintf "unsupported directive #%s" other, !line))
+  in
+  let rec loop () =
+    if !i >= n then emit EOF
+    else begin
+      (match src.[!i] with
+      | '\n' ->
+          incr line;
+          incr i
+      | ' ' | '\t' | '\r' -> incr i
+      | '/' when peek 1 = Some '/' -> skip_line ()
+      | '/' when peek 1 = Some '*' ->
+          i := !i + 2;
+          let rec find_close () =
+            if !i + 1 >= n then raise (Lex_error ("unterminated comment", !line))
+            else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+            else begin
+              if src.[!i] = '\n' then incr line;
+              incr i;
+              find_close ()
+            end
+          in
+          find_close ()
+      | '#' -> read_directive ()
+      | '(' -> emit LPAREN; incr i
+      | ')' -> emit RPAREN; incr i
+      | '{' -> emit LBRACE; incr i
+      | '}' -> emit RBRACE; incr i
+      | ';' -> emit SEMI; incr i
+      | ',' -> emit COMMA; incr i
+      | '*' -> emit STAR; incr i
+      | '+' -> emit PLUS; incr i
+      | '-' -> emit MINUS; incr i
+      | '=' when peek 1 = Some '=' ->
+          emit EQEQ;
+          i := !i + 2
+      | '"' ->
+          incr i;
+          let start = !i in
+          while !i < n && src.[!i] <> '"' do
+            incr i
+          done;
+          if !i >= n then raise (Lex_error ("unterminated string", !line));
+          emit (STRING (String.sub src start (!i - start)));
+          incr i
+      | c when is_digit c ->
+          let digits = read_while is_digit in
+          emit (INT (int_of_string digits))
+      | c when is_ident_start c ->
+          let ident = read_while is_ident_char in
+          emit (IDENT ident)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)));
+      if (match !toks with { tok = EOF; _ } :: _ -> false | _ -> true) then
+        loop ()
+    end
+  in
+  match loop () with
+  | () -> Ok (List.rev !toks)
+  | exception Lex_error (msg, line) ->
+      Error (Printf.sprintf "line %d: %s" line msg)

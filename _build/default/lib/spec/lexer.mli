@@ -1,0 +1,34 @@
+(** Hand-written lexer shared by the C-header-subset parser and the
+    CAvA specification parser.
+
+    Preprocessor lines ([#include], [#define]) are recognized as whole
+    tokens: both input languages treat them as declarations rather than
+    running a real preprocessor. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | INCLUDE of string  (** [#include <x>] or ["x"] *)
+  | DEFINE of string * int  (** [#define NAME value] (integers only) *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | EQEQ
+  | EOF
+
+val token_to_string : token -> string
+(** For error messages. *)
+
+type located = { tok : token; line : int }
+
+val tokenize : string -> (located list, string) result
+(** Always ends with [EOF]; errors carry a ["line N: ..."] prefix.
+    Line ([//]) and block comments are skipped; include-guard noise
+    ([#ifndef]/[#endif]/[#pragma]) is ignored. *)

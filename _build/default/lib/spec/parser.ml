@@ -1,0 +1,311 @@
+(* Parser for the CAvA specification language (Figure 4 of the paper).
+
+   A spec file contains, in any order:
+
+     api "simcl";
+     include "cl_sim.h";
+     type(cl_int)  { success(CL_SUCCESS); }
+     type(cl_mem)  { handle; }
+
+     cl_int clEnqueueReadBuffer(cl_command_queue command_queue,
+         cl_mem buf, cl_bool blocking_read, size_t offset, size_t size,
+         void *ptr, cl_uint num_events_in_wait_list,
+         const cl_event *event_wait_list, cl_event *event) {
+       if (blocking_read == CL_TRUE) sync; else async;
+       parameter(ptr) { out; buffer(size); }
+       parameter(event_wait_list) { buffer(num_events_in_wait_list); }
+       parameter(event) { out; element { allocates; } }
+       resource(bus_bytes, size);
+       record(object_modify);
+     }
+
+   Function declarations restate the header's signature (checked against
+   it); unannotated aspects fall back to {!Infer.preliminary}. *)
+
+open Ast
+
+type input_error = { message : string; line : int }
+
+let errorf line fmt =
+  Printf.ksprintf (fun message -> raise (Cursor.Parse_error (message, line))) fmt
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr c =
+  let lhs = parse_term c in
+  match Cursor.peek c with
+  | Lexer.PLUS ->
+      Cursor.advance c;
+      Add (lhs, parse_expr c)
+  | Lexer.MINUS ->
+      Cursor.advance c;
+      Sub (lhs, parse_expr c)
+  | _ -> lhs
+
+and parse_term c =
+  let lhs = parse_primary c in
+  match Cursor.peek c with
+  | Lexer.STAR ->
+      Cursor.advance c;
+      Mul (lhs, parse_term c)
+  | _ -> lhs
+
+and parse_primary c =
+  match Cursor.next c with
+  | Lexer.INT n -> Const n
+  | Lexer.IDENT p -> Param p
+  | Lexer.LPAREN ->
+      let e = parse_expr c in
+      Cursor.expect c Lexer.RPAREN;
+      e
+  | got ->
+      errorf (Cursor.line c) "expected expression but found %s"
+        (Lexer.token_to_string got)
+
+(* --- parameter annotation bodies -------------------------------------- *)
+
+let parse_param_body header c =
+  Cursor.expect c Lexer.LBRACE;
+  let ann = ref Infer.empty_param_ann in
+  let set_dir d = ann := { !ann with Infer.a_direction = Some d } in
+  let set_kind k = ann := { !ann with Infer.a_kind = Some k } in
+  let rec go () =
+    if Cursor.accept c Lexer.RBRACE then ()
+    else begin
+      (match Cursor.expect_ident c with
+      | "in" -> set_dir In
+      | "out" -> set_dir Out
+      | "in_out" -> set_dir In_out
+      | "handle" -> set_kind Handle
+      | "callback" -> set_kind Callback
+      | "scalar" -> set_kind Scalar
+      | "deallocates" -> ann := { !ann with Infer.a_deallocates = true }
+      | "target" -> ann := { !ann with Infer.a_target = true }
+      | "buffer" ->
+          Cursor.expect c Lexer.LPAREN;
+          let len = parse_expr c in
+          (* Optional element size: buffer(n, 4). *)
+          let elem_size =
+            if Cursor.accept c Lexer.COMMA then
+              match Cursor.next c with
+              | Lexer.INT n -> n
+              | got ->
+                  errorf (Cursor.line c)
+                    "expected element size but found %s"
+                    (Lexer.token_to_string got)
+            else 1
+          in
+          Cursor.expect c Lexer.RPAREN;
+          set_kind (Buffer { len; elem_size })
+      | "element" ->
+          Cursor.expect c Lexer.LBRACE;
+          let allocates = ref false in
+          let rec inner () =
+            if Cursor.accept c Lexer.RBRACE then ()
+            else begin
+              (match Cursor.expect_ident c with
+              | "allocates" -> allocates := true
+              | other ->
+                  errorf (Cursor.line c) "unknown element annotation %S" other);
+              ignore (Cursor.accept c Lexer.SEMI);
+              inner ()
+            end
+          in
+          inner ();
+          set_kind (Element { allocates = !allocates })
+      | other ->
+          errorf (Cursor.line c) "unknown parameter annotation %S" other);
+      ignore (Cursor.accept c Lexer.SEMI);
+      go ()
+    end
+  in
+  go ();
+  ignore header;
+  !ann
+
+(* --- function annotation bodies ---------------------------------------- *)
+
+let record_class_of_ident c = function
+  | "global_config" -> Global_config
+  | "object_alloc" -> Object_alloc
+  | "object_dealloc" -> Object_dealloc
+  | "object_modify" -> Object_modify
+  | "no_record" -> No_record
+  | other -> errorf (Cursor.line c) "unknown record class %S" other
+
+let parse_fn_body header c =
+  Cursor.expect c Lexer.LBRACE;
+  let ann = ref Infer.empty_fn_ann in
+  let rec go () =
+    if Cursor.accept c Lexer.RBRACE then ()
+    else begin
+      (match Cursor.expect_ident c with
+      | "sync" -> ann := { !ann with Infer.an_sync = Some Sync }
+      | "async" -> ann := { !ann with Infer.an_sync = Some Async }
+      | "if" ->
+          (* if (param == CONST) sync; else async; *)
+          Cursor.expect c Lexer.LPAREN;
+          let cond_param = Cursor.expect_ident c in
+          Cursor.expect c Lexer.EQEQ;
+          let cond_const =
+            match Cursor.next c with
+            | Lexer.IDENT s -> s
+            | Lexer.INT n -> string_of_int n
+            | got ->
+                errorf (Cursor.line c) "expected constant but found %s"
+                  (Lexer.token_to_string got)
+          in
+          Cursor.expect c Lexer.RPAREN;
+          Cursor.expect_kw c "sync";
+          Cursor.expect c Lexer.SEMI;
+          Cursor.expect_kw c "else";
+          Cursor.expect_kw c "async";
+          ann :=
+            { !ann with Infer.an_sync = Some (Sync_if { cond_param; cond_const }) }
+      | "parameter" ->
+          Cursor.expect c Lexer.LPAREN;
+          let pname = Cursor.expect_ident c in
+          Cursor.expect c Lexer.RPAREN;
+          let pann = parse_param_body header c in
+          ann :=
+            { !ann with Infer.an_params = !ann.Infer.an_params @ [ (pname, pann) ] }
+      | "resource" ->
+          Cursor.expect c Lexer.LPAREN;
+          let rname = Cursor.expect_ident c in
+          Cursor.expect c Lexer.COMMA;
+          let e = parse_expr c in
+          Cursor.expect c Lexer.RPAREN;
+          ann :=
+            { !ann with Infer.an_resources = !ann.Infer.an_resources @ [ (rname, e) ] }
+      | "record" ->
+          Cursor.expect c Lexer.LPAREN;
+          let cls = record_class_of_ident c (Cursor.expect_ident c) in
+          Cursor.expect c Lexer.RPAREN;
+          ann := { !ann with Infer.an_record = Some cls }
+      | other -> errorf (Cursor.line c) "unknown function annotation %S" other);
+      ignore (Cursor.accept c Lexer.SEMI);
+      go ()
+    end
+  in
+  go ();
+  !ann
+
+(* --- type blocks -------------------------------------------------------- *)
+
+let parse_type_block c =
+  Cursor.expect c Lexer.LPAREN;
+  let tname = Cursor.expect_ident c in
+  Cursor.expect c Lexer.RPAREN;
+  Cursor.expect c Lexer.LBRACE;
+  let success = ref None and is_handle = ref false in
+  let rec go () =
+    if Cursor.accept c Lexer.RBRACE then ()
+    else begin
+      (match Cursor.expect_ident c with
+      | "success" ->
+          Cursor.expect c Lexer.LPAREN;
+          success := Some (Cursor.expect_ident c);
+          Cursor.expect c Lexer.RPAREN
+      | "handle" -> is_handle := true
+      | other -> errorf (Cursor.line c) "unknown type annotation %S" other);
+      ignore (Cursor.accept c Lexer.SEMI);
+      go ()
+    end
+  in
+  go ();
+  { t_name = tname; t_success = !success; t_is_handle = !is_handle }
+
+(* --- top level ----------------------------------------------------------- *)
+
+(* [resolve_include] maps an include name to header source text. *)
+let parse ~resolve_include source =
+  match Lexer.tokenize source with
+  | Error message -> Error { message; line = 0 }
+  | Ok toks -> (
+      let c = Cursor.of_tokens toks in
+      let api_name = ref "api" in
+      let includes = ref [] in
+      let types = ref [] in
+      let fns = ref [] in
+      let header = ref Cheader.empty in
+      let parse_fn () =
+        (* A function spec: full C declaration + annotation body. *)
+        let ret = Cheader.parse_type !header c in
+        let name = Cursor.expect_ident c in
+        let params = Cheader.parse_params !header c in
+        let decl = { Cheader.d_name = name; d_ret = ret; d_params = params } in
+        (* Check against the header declaration when present. *)
+        (match Cheader.find_decl !header name with
+        | Some hdecl when hdecl <> decl ->
+            errorf (Cursor.line c)
+              "declaration of %s does not match the included header" name
+        | _ -> ());
+        let ann =
+          if Cursor.peek c = Lexer.LBRACE then parse_fn_body !header c
+          else begin
+            Cursor.expect c Lexer.SEMI;
+            Infer.empty_fn_ann
+          end
+        in
+        (* Explicit handle types from type() blocks extend the header's
+           handle set for inference. *)
+        let hdr =
+          {
+            !header with
+            Cheader.h_handles =
+              !header.Cheader.h_handles
+              @ List.filter_map
+                  (fun t -> if t.t_is_handle then Some t.t_name else None)
+                  !types;
+          }
+        in
+        let prelim = Infer.preliminary hdr decl in
+        fns := Infer.apply_annotations prelim ann :: !fns
+      in
+      let rec loop () =
+        match Cursor.peek c with
+        | Lexer.EOF -> ()
+        | Lexer.INCLUDE name ->
+            Cursor.advance c;
+            (match resolve_include name with
+            | Some text -> (
+                match Cheader.parse_into !header text with
+                | Ok h -> header := h
+                | Error e ->
+                    errorf (Cursor.line c) "in included header %S: %s" name e)
+            | None ->
+                errorf (Cursor.line c) "cannot resolve include %S" name);
+            includes := name :: !includes;
+            loop ()
+        | Lexer.IDENT "api" ->
+            Cursor.advance c;
+            Cursor.expect c Lexer.LPAREN;
+            (match Cursor.next c with
+            | Lexer.STRING s | Lexer.IDENT s -> api_name := s
+            | got ->
+                errorf (Cursor.line c) "expected api name but found %s"
+                  (Lexer.token_to_string got));
+            Cursor.expect c Lexer.RPAREN;
+            ignore (Cursor.accept c Lexer.SEMI);
+            loop ()
+        | Lexer.IDENT "type"
+          when Cursor.peek2 c = Lexer.LPAREN ->
+            Cursor.advance c;
+            types := parse_type_block c :: !types;
+            loop ()
+        | _ ->
+            parse_fn ();
+            loop ()
+      in
+      match loop () with
+      | () ->
+          Ok
+            {
+              api_name = !api_name;
+              includes = List.rev !includes;
+              constants = !header.Cheader.h_constants;
+              types = List.rev !types;
+              fns = List.rev !fns;
+            }
+      | exception Cursor.Parse_error (message, line) ->
+          Error { message; line })

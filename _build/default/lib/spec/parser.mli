@@ -1,0 +1,27 @@
+(** Parser for the CAvA specification language (Figure 4 of the paper).
+
+    A spec file contains, in any order: an [api("...")] declaration,
+    [#include]s of API headers, [type(T) { success(C); handle; }] blocks,
+    and function specifications — a full C declaration (checked against
+    the included header) followed by an annotation body:
+
+    {v
+    cl_int clEnqueueReadBuffer(..., cl_bool blocking_read, ...,
+                               void *ptr, ..., cl_event *event) {
+      if (blocking_read == CL_TRUE) sync; else async;
+      parameter(ptr) { out; buffer(size); }
+      parameter(event) { out; element { allocates; } }
+      resource(bus_bytes, size);
+      record(no_record);
+    }
+    v}
+
+    Unannotated aspects fall back to {!Infer.preliminary}. *)
+
+type input_error = { message : string; line : int }
+
+val parse :
+  resolve_include:(string -> string option) ->
+  string ->
+  (Ast.api_spec, input_error) result
+(** [resolve_include] maps an include name to header source text. *)

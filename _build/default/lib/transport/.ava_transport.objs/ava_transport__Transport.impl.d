@@ -1,0 +1,1 @@
+lib/transport/transport.ml: Ava_device Ava_sim Bytes Channel Engine Float Time

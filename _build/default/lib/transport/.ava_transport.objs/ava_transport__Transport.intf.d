@@ -1,0 +1,1 @@
+lib/transport/transport.mli: Ava_device Ava_sim Engine Time

@@ -1,0 +1,133 @@
+(* Pluggable message transports.
+
+   A transport moves opaque byte messages between two parties with a
+   configurable cost model; AvA's guest library, router and API server are
+   connected by pairs of endpoints.  Because endpoints are symmetric
+   values, topologies are free: guest<->router<->server for
+   hypervisor-interposed remoting, guest<->server for vCUDA-style
+   user-space RPC, or guest<->remote-server for disaggregation.
+
+   Cost model per direction:
+   - [per_msg_ns]   sender-side fixed cost (marshalled descriptor, kick)
+   - [bytes_per_s]  sender-side streaming cost (copy into the channel)
+   - [deliver_ns]   in-flight latency (notification/interrupt/network);
+                    deliveries pipeline, so back-to-back messages overlap
+                    their delivery latency as on real links. *)
+
+open Ava_sim
+
+type cost = { per_msg_ns : Time.t; bytes_per_s : float; deliver_ns : Time.t }
+
+let free_cost = { per_msg_ns = 0; bytes_per_s = infinity; deliver_ns = 0 }
+
+type stats = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+}
+
+type endpoint = {
+  engine : Engine.t;
+  out_cost : cost;
+  peer : bytes Channel.t;  (** peer's inbox *)
+  inbox : bytes Channel.t;
+  stats : stats;
+}
+
+let send ep msg =
+  let len = Bytes.length msg in
+  Engine.delay ep.out_cost.per_msg_ns;
+  if Float.is_finite ep.out_cost.bytes_per_s then
+    Engine.delay
+      (Time.of_bandwidth ~bytes:len ~bytes_per_s:ep.out_cost.bytes_per_s);
+  ep.stats.sent_msgs <- ep.stats.sent_msgs + 1;
+  ep.stats.sent_bytes <- ep.stats.sent_bytes + len;
+  if ep.out_cost.deliver_ns = 0 then Channel.send ep.peer msg
+  else
+    Engine.schedule_after ep.engine ep.out_cost.deliver_ns (fun () ->
+        Channel.send ep.peer msg)
+
+let recv ep =
+  let msg = Channel.recv ep.inbox in
+  ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
+  msg
+
+let try_recv ep =
+  match Channel.try_recv ep.inbox with
+  | Some msg ->
+      ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
+      Some msg
+  | None -> None
+
+let pending ep = Channel.length ep.inbox
+let stats ep = ep.stats
+
+(* Build a bidirectional link; returns the two ends. *)
+let duplex engine ~a_to_b ~b_to_a =
+  let inbox_a = Channel.create () and inbox_b = Channel.create () in
+  let mk out_cost peer inbox =
+    {
+      engine;
+      out_cost;
+      peer;
+      inbox;
+      stats = { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0 };
+    }
+  in
+  (mk a_to_b inbox_b inbox_a, mk b_to_a inbox_a inbox_b)
+
+(* Canned transports, parameterized by the virtualization timing set. *)
+
+(* In-process, cost-free: unit tests and native baselines. *)
+let direct engine = duplex engine ~a_to_b:free_cost ~b_to_a:free_cost
+
+(* Hypervisor-managed shared-memory ring (SVGA-style FIFO): the
+   interposable transport AvA prefers. *)
+let shm_ring engine ~(virt : Ava_device.Timing.virt) =
+  let c =
+    {
+      per_msg_ns = Time.ns 300;
+      bytes_per_s = virt.Ava_device.Timing.ring_bytes_per_s;
+      deliver_ns = virt.Ava_device.Timing.ring_notify_ns;
+    }
+  in
+  duplex engine ~a_to_b:c ~b_to_a:c
+
+(* User-space RPC that bypasses the hypervisor (vCUDA/rCUDA-style). *)
+let user_rpc engine ~(virt : Ava_device.Timing.virt) =
+  let c =
+    {
+      per_msg_ns = Time.ns 500;
+      bytes_per_s = virt.Ava_device.Timing.rpc_bytes_per_s;
+      deliver_ns = virt.Ava_device.Timing.rpc_latency_ns;
+    }
+  in
+  duplex engine ~a_to_b:c ~b_to_a:c
+
+(* Network transport to a disaggregated API server (LegoOS-style).
+   Each message pays a send syscall + segmentation, which is what makes
+   API batching worthwhile on this transport. *)
+let network engine ~(virt : Ava_device.Timing.virt) =
+  let c =
+    {
+      per_msg_ns = Time.us 4;
+      bytes_per_s = virt.Ava_device.Timing.net_bytes_per_s;
+      deliver_ns = virt.Ava_device.Timing.net_latency_ns;
+    }
+  in
+  duplex engine ~a_to_b:c ~b_to_a:c
+
+type kind = Direct | Shm_ring | User_rpc | Network
+
+let kind_to_string = function
+  | Direct -> "direct"
+  | Shm_ring -> "shm-ring"
+  | User_rpc -> "user-rpc"
+  | Network -> "network"
+
+let make kind engine ~virt =
+  match kind with
+  | Direct -> direct engine
+  | Shm_ring -> shm_ring engine ~virt
+  | User_rpc -> user_rpc engine ~virt
+  | Network -> network engine ~virt

@@ -1,0 +1,63 @@
+(** Pluggable message transports.
+
+    A transport moves opaque byte messages between two parties under a
+    configurable cost model; AvA's guest library, router and API server
+    are connected by pairs of endpoints.  Endpoints are symmetric values,
+    so topologies are free: guest↔router↔server for hypervisor-interposed
+    remoting, guest↔server for vCUDA-style user-space RPC, or
+    guest↔remote-server for disaggregation. *)
+
+open Ava_sim
+
+(** Per-direction cost model. *)
+type cost = {
+  per_msg_ns : Time.t;  (** sender-side fixed cost (descriptor, kick) *)
+  bytes_per_s : float;  (** sender-side streaming cost *)
+  deliver_ns : Time.t;
+      (** in-flight latency (notification/interrupt/network); deliveries
+          pipeline, so back-to-back messages overlap their latency *)
+}
+
+val free_cost : cost
+
+type stats = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+}
+
+type endpoint
+
+val send : endpoint -> bytes -> unit
+(** Blocking send toward the peer; must run inside a process. *)
+
+val recv : endpoint -> bytes
+(** Blocking receive; must run inside a process. *)
+
+val try_recv : endpoint -> bytes option
+val pending : endpoint -> int
+val stats : endpoint -> stats
+
+val duplex : Engine.t -> a_to_b:cost -> b_to_a:cost -> endpoint * endpoint
+(** Build a bidirectional link; returns the two ends. *)
+
+(** {1 Canned transports} *)
+
+val direct : Engine.t -> endpoint * endpoint
+(** In-process, cost-free: unit tests and host-internal hops. *)
+
+val shm_ring : Engine.t -> virt:Ava_device.Timing.virt -> endpoint * endpoint
+(** Hypervisor-managed shared-memory ring (SVGA-style FIFO): the
+    interposable transport AvA prefers.  Zero-copy for bulk payloads. *)
+
+val user_rpc : Engine.t -> virt:Ava_device.Timing.virt -> endpoint * endpoint
+(** User-space RPC that bypasses the hypervisor (vCUDA/rCUDA-style);
+    pays real copy costs. *)
+
+val network : Engine.t -> virt:Ava_device.Timing.virt -> endpoint * endpoint
+(** Network transport to a disaggregated API server (LegoOS-style). *)
+
+type kind = Direct | Shm_ring | User_rpc | Network
+
+val kind_to_string : kind -> string
+val make : kind -> Engine.t -> virt:Ava_device.Timing.virt -> endpoint * endpoint

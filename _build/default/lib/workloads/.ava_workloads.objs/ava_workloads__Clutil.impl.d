@@ -1,0 +1,1 @@
+lib/workloads/clutil.ml: Ava_simcl List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/clutil.mli: Ava_simcl

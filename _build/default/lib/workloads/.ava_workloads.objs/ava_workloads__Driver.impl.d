@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Ava_core Ava_sim Ava_transport Engine Fmt Host Inception List Rodinia Stats Time

@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Ava_core Ava_sim Ava_simcl Ava_simnc Ava_transport Format Host Time

@@ -1,0 +1,1 @@
+lib/workloads/inception.ml: Ava_simnc Bytes List

@@ -1,0 +1,1 @@
+lib/workloads/inception.mli: Ava_simnc

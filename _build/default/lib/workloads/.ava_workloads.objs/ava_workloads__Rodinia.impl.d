@@ -1,0 +1,1 @@
+lib/workloads/rodinia.ml: Array Ava_device Ava_simcl Bytes Clutil List String

@@ -1,0 +1,1 @@
+lib/workloads/rodinia.mli: Ava_simcl

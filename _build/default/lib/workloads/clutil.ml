@@ -1,0 +1,80 @@
+(* Small helpers shared by the SimCL workloads. *)
+
+open Ava_simcl.Types
+
+exception Api_failure of string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> raise (Api_failure (error_to_string e))
+
+type session = {
+  cl : (module Ava_simcl.Api.S);
+  device : device_id;
+  context : context;
+  queue : command_queue;
+}
+
+let open_session ?(profiling = false) (module CL : Ava_simcl.Api.S) =
+  let platform = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let device = List.hd (ok (CL.clGetDeviceIDs platform Device_gpu)) in
+  let context = ok (CL.clCreateContext [ device ]) in
+  let queue = ok (CL.clCreateCommandQueue context device ~profiling) in
+  { cl = (module CL); device; context; queue }
+
+let close_session s =
+  let module CL = (val s.cl) in
+  ok (CL.clReleaseCommandQueue s.queue);
+  ok (CL.clReleaseContext s.context)
+
+(* Build a program of synthetic kernels: [(name, flops_per_item,
+   bytes_per_item); ...], returning the kernel handles in order. *)
+let build_kernels s decls =
+  let module CL = (val s.cl) in
+  let source =
+    String.concat "; "
+      (List.map
+         (fun (name, flops, bytes) ->
+           Printf.sprintf "synthetic %s flops=%g bytes=%g" name flops bytes)
+         decls)
+  in
+  let program = ok (CL.clCreateProgramWithSource s.context ~source) in
+  ok (CL.clBuildProgram program ~options:"");
+  List.map
+    (fun (name, _, _) -> ok (CL.clCreateKernel program ~name))
+    decls
+
+let buffer s size =
+  let module CL = (val s.cl) in
+  ok (CL.clCreateBuffer s.context ~size)
+
+let write ?(blocking = false) s mem data =
+  let module CL = (val s.cl) in
+  ignore
+    (ok
+       (CL.clEnqueueWriteBuffer s.queue mem ~blocking ~offset:0 ~src:data
+          ~wait_list:[] ~want_event:false))
+
+let read s mem ~size =
+  let module CL = (val s.cl) in
+  let data, _ =
+    ok
+      (CL.clEnqueueReadBuffer s.queue mem ~blocking:true ~offset:0 ~size
+         ~wait_list:[] ~want_event:false)
+  in
+  data
+
+let set_arg s k index arg =
+  let module CL = (val s.cl) in
+  ok (CL.clSetKernelArg k ~index arg)
+
+let launch s k ~global ~local =
+  let module CL = (val s.cl) in
+  ignore
+    (ok
+       (CL.clEnqueueNDRangeKernel s.queue k ~global_work_size:global
+          ~local_work_size:local ~wait_list:[] ~want_event:false))
+
+let finish s =
+  let module CL = (val s.cl) in
+  ok (CL.clFinish s.queue)

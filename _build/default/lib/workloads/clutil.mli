@@ -1,0 +1,33 @@
+(** Small helpers shared by the SimCL workloads: session setup, buffer
+    and kernel plumbing, with API errors turned into exceptions. *)
+
+open Ava_simcl.Types
+
+exception Api_failure of string
+
+val ok : 'a result -> 'a
+(** @raise Api_failure on [Error]. *)
+
+type session = {
+  cl : (module Ava_simcl.Api.S);
+  device : device_id;
+  context : context;
+  queue : command_queue;
+}
+
+val open_session : ?profiling:bool -> (module Ava_simcl.Api.S) -> session
+val close_session : session -> unit
+
+val build_kernels : session -> (string * float * float) list -> kernel list
+(** Build a program of synthetic kernels
+    [(name, flops_per_item, bytes_per_item)], returning handles in
+    order. *)
+
+val buffer : session -> int -> mem
+val write : ?blocking:bool -> session -> mem -> bytes -> unit
+val read : session -> mem -> size:int -> bytes
+(** Blocking read from offset 0. *)
+
+val set_arg : session -> kernel -> int -> kernel_arg -> unit
+val launch : session -> kernel -> global:int -> local:int -> unit
+val finish : session -> unit

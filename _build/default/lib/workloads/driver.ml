@@ -1,0 +1,129 @@
+(* Measurement driver: runs workloads on fresh simulated deployments and
+   reports end-to-end virtual times and ratios. *)
+
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+open Ava_core
+
+(* Run a SimCL program on a fresh engine/stack; returns end-to-end
+   virtual nanoseconds.  [sync_only] deploys the unoptimized spec. *)
+let time_cl ?(technique : Host.technique option) ?(sync_only = false)
+    ?(batching = false) program =
+  let e = Engine.create () in
+  let finished = ref None in
+  Engine.spawn e (fun () ->
+      (match technique with
+      | None ->
+          let api, _ = Host.native_cl e in
+          program api
+      | Some tech ->
+          let host = Host.create_cl_host ~sync_only e in
+          let guest =
+            Host.add_cl_vm host ~technique:tech ~batching ~name:"guest"
+          in
+          program guest.Host.g_api);
+      finished := Some (Engine.now e));
+  Engine.run e;
+  match !finished with
+  | Some t -> t
+  | None -> failwith "workload stalled"
+
+let time_nc ?(virtualized = false) program =
+  let e = Engine.create () in
+  let finished = ref None in
+  Engine.spawn e (fun () ->
+      (if virtualized then begin
+         let host = Host.create_nc_host e in
+         let guest = Host.add_nc_vm host ~name:"guest" in
+         program guest.Host.ng_api
+       end
+       else begin
+         let api, _ = Host.native_nc e in
+         program api
+       end);
+      finished := Some (Engine.now e));
+  Engine.run e;
+  match !finished with
+  | Some t -> t
+  | None -> failwith "workload stalled"
+
+type row = {
+  row_name : string;
+  native_ns : Time.t;
+  subject_ns : Time.t;
+  relative : float;
+}
+
+let relative_runtime ~native ~subject =
+  float_of_int subject /. float_of_int native
+
+(* Figure 5 (OpenCL side): one row per Rodinia benchmark. *)
+let fig5_opencl ?(technique = Host.Ava Transport.Shm_ring) () =
+  List.map
+    (fun (b : Rodinia.benchmark) ->
+      let native = time_cl b.Rodinia.run in
+      let subject = time_cl ~technique b.Rodinia.run in
+      {
+        row_name = b.Rodinia.name;
+        native_ns = native;
+        subject_ns = subject;
+        relative = relative_runtime ~native ~subject;
+      })
+    Rodinia.all
+
+(* Figure 5 (NCS side): Inception v3. *)
+let fig5_ncs ?(inferences = 20) () =
+  let native = time_nc (Inception.run ~inferences) in
+  let subject = time_nc ~virtualized:true (Inception.run ~inferences) in
+  {
+    row_name = "inception";
+    native_ns = native;
+    subject_ns = subject;
+    relative = relative_runtime ~native ~subject;
+  }
+
+(* §5 async ablation: per benchmark, native vs. annotated-async AvA vs.
+   the unoptimized all-sync spec. *)
+type ablation_row = {
+  ab_name : string;
+  ab_native_ns : Time.t;
+  ab_async_ns : Time.t;
+  ab_sync_ns : Time.t;
+}
+
+let async_ablation ?(technique = Host.Ava Transport.Shm_ring) () =
+  List.map
+    (fun (b : Rodinia.benchmark) ->
+      let native = time_cl b.Rodinia.run in
+      let as_async = time_cl ~technique b.Rodinia.run in
+      let as_sync = time_cl ~technique ~sync_only:true b.Rodinia.run in
+      {
+        ab_name = b.Rodinia.name;
+        ab_native_ns = native;
+        ab_async_ns = as_async;
+        ab_sync_ns = as_sync;
+      })
+    Rodinia.all
+
+let pp_ablation_row ppf r =
+  Fmt.pf ppf
+    "%-12s native=%-10s async=%-10s (%.3fx) all-sync=%-10s (%.3fx) speedup=%.1f%%"
+    r.ab_name
+    (Time.to_string r.ab_native_ns)
+    (Time.to_string r.ab_async_ns)
+    (float_of_int r.ab_async_ns /. float_of_int r.ab_native_ns)
+    (Time.to_string r.ab_sync_ns)
+    (float_of_int r.ab_sync_ns /. float_of_int r.ab_native_ns)
+    (100.0
+    *. (float_of_int (r.ab_sync_ns - r.ab_async_ns)
+       /. float_of_int r.ab_sync_ns))
+
+let geomean rows = Stats.geomean (List.map (fun r -> r.relative) rows)
+let mean rows = Stats.mean (List.map (fun r -> r.relative) rows)
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-12s native=%-10s subject=%-10s relative=%.3f" r.row_name
+    (Time.to_string r.native_ns)
+    (Time.to_string r.subject_ns)
+    r.relative

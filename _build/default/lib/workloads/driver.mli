@@ -1,0 +1,50 @@
+(** Measurement driver: runs workloads on fresh simulated deployments
+    and reports end-to-end virtual times and ratios. *)
+
+open Ava_sim
+open Ava_core
+
+module Transport = Ava_transport.Transport
+
+val time_cl :
+  ?technique:Host.technique ->
+  ?sync_only:bool ->
+  ?batching:bool ->
+  ((module Ava_simcl.Api.S) -> unit) ->
+  Time.t
+(** End-to-end virtual duration of a SimCL program on a fresh stack
+    (native when [technique] is omitted).  [sync_only] deploys the
+    unoptimized spec; [batching] enables stub-side API batching. *)
+
+val time_nc :
+  ?virtualized:bool -> ((module Ava_simnc.Api.S) -> unit) -> Time.t
+
+type row = {
+  row_name : string;
+  native_ns : Time.t;
+  subject_ns : Time.t;
+  relative : float;  (** subject / native *)
+}
+
+val relative_runtime : native:Time.t -> subject:Time.t -> float
+
+val fig5_opencl : ?technique:Host.technique -> unit -> row list
+(** Figure 5 (OpenCL side): one row per Rodinia benchmark. *)
+
+val fig5_ncs : ?inferences:int -> unit -> row
+(** Figure 5 (NCS side): Inception v3. *)
+
+(** §5 async ablation rows. *)
+type ablation_row = {
+  ab_name : string;
+  ab_native_ns : Time.t;
+  ab_async_ns : Time.t;  (** annotated-async spec *)
+  ab_sync_ns : Time.t;  (** unoptimized all-sync spec *)
+}
+
+val async_ablation : ?technique:Host.technique -> unit -> ablation_row list
+val pp_ablation_row : Format.formatter -> ablation_row -> unit
+
+val geomean : row list -> float
+val mean : row list -> float
+val pp_row : Format.formatter -> row -> unit

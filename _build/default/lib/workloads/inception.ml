@@ -1,0 +1,50 @@
+(* Inception Net v3 on the Movidius NCS (Figure 5's rightmost bar).
+
+   The layer schedule mirrors the published architecture: a convolutional
+   stem, 11 inception blocks and a classifier — 48 weighted layers,
+   ~5.7 GFLOPs per 299x299x3 inference, a ~90 MB graph file, 1000-way
+   output.  The NCSDK usage pattern is LoadTensor / GetResult pairs over
+   one allocated graph. *)
+
+open Ava_simnc.Types
+
+exception Api_failure of string
+
+let ok = function
+  | Ok v -> v
+  | Error s -> raise (Api_failure (status_to_string s))
+
+(* Per-layer multiply-accumulate counts (FLOPs), coarsely following the
+   Inception v3 profile: heavy stem convolutions, tapering blocks. *)
+let layer_flops =
+  let stem = [ 0.35e9; 0.45e9; 0.30e9; 0.25e9; 0.20e9 ] in
+  let blocks =
+    List.concat_map
+      (fun scale ->
+        [ 0.18e9 *. scale; 0.14e9 *. scale; 0.12e9 *. scale; 0.10e9 *. scale ])
+      [ 1.4; 1.3; 1.2; 1.1; 1.0; 0.9; 0.85; 0.8; 0.75; 0.7; 0.65 ]
+  in
+  let classifier = [ 0.05e9; 0.02e9 ] in
+  stem @ blocks @ classifier
+
+let graph_bytes = 90 * 1024 * 1024
+let input_bytes = 299 * 299 * 3
+let output_bytes = 1000 * 4
+
+let graph_data () =
+  Ava_simnc.Graphdef.encode ~total_bytes:graph_bytes
+    { Ava_simnc.Graphdef.layer_flops; output_bytes }
+
+(* Run [inferences] end to end: open stick, upload graph, stream
+   inferences, tear down. *)
+let run ?(inferences = 20) (module NC : Ava_simnc.Api.S) =
+  let name = ok (NC.mvncGetDeviceName ~index:0) in
+  let dev = ok (NC.mvncOpenDevice ~name) in
+  let graph = ok (NC.mvncAllocateGraph dev ~graph_data:(graph_data ())) in
+  let input = Bytes.create input_bytes in
+  for _ = 1 to inferences do
+    ok (NC.mvncLoadTensor graph ~tensor:input);
+    ignore (ok (NC.mvncGetResult graph))
+  done;
+  ok (NC.mvncDeallocateGraph graph);
+  ok (NC.mvncCloseDevice dev)

@@ -1,0 +1,183 @@
+(* Tests for the CAvA backend: plan compilation, runtime plan queries,
+   emitted C artifacts and automation metrics. *)
+
+open Ava_spec
+open Ava_codegen
+
+let simcl_plan () =
+  match Plan.compile (Specs.load_simcl ()) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan compile failed: %s" e
+
+let mvnc_plan () =
+  match Plan.compile (Specs.load_mvnc ()) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan compile failed: %s" e
+
+let plan_tests =
+  [
+    Alcotest.test_case "both embedded specs compile" `Quick (fun () ->
+        Alcotest.(check int) "simcl fns" 39 (Plan.function_count (simcl_plan ()));
+        Alcotest.(check int) "mvnc fns" 10 (Plan.function_count (mvnc_plan ()));
+        Alcotest.(check string) "api name" "simcl" (Plan.api (simcl_plan ())));
+    Alcotest.test_case "unresolved spec does not compile" `Quick (fun () ->
+        let h = Result.get_ok (Cheader.parse "int f(const char *mystery);") in
+        let d = Option.get (Cheader.find_decl h "f") in
+        let prelim = Infer.preliminary h d in
+        let spec =
+          {
+            Ast.api_name = "t";
+            includes = [];
+            constants = [];
+            types = [];
+            fns = [ prelim ];
+          }
+        in
+        match Plan.compile spec with
+        | Ok _ -> Alcotest.fail "should refuse unresolved kinds"
+        | Error msg ->
+            Alcotest.(check bool) "mentions refinement" true
+              (String.length msg > 0));
+    Alcotest.test_case "conditional synchrony evaluates per call" `Quick
+      (fun () ->
+        let plan = simcl_plan () in
+        let read = Option.get (Plan.find plan "clEnqueueReadBuffer") in
+        Alcotest.(check bool) "blocking is sync" true
+          (Plan.is_sync read ~env:[ ("blocking_read", 1) ]);
+        Alcotest.(check bool) "non-blocking is async" false
+          (Plan.is_sync read ~env:[ ("blocking_read", 0) ]);
+        (* Unknown condition parameter falls back to sync (conservative). *)
+        Alcotest.(check bool) "unknown env is sync" true
+          (Plan.is_sync read ~env:[]));
+    Alcotest.test_case "static sync classes" `Quick (fun () ->
+        let plan = simcl_plan () in
+        let finish = Option.get (Plan.find plan "clFinish") in
+        let setarg = Option.get (Plan.find plan "clSetKernelArg") in
+        Alcotest.(check bool) "finish sync" true (Plan.is_sync finish ~env:[]);
+        Alcotest.(check bool) "setarg async" false
+          (Plan.is_sync setarg ~env:[]));
+    Alcotest.test_case "payload sizes scale with buffer arguments" `Quick
+      (fun () ->
+        let plan = simcl_plan () in
+        let write = Option.get (Plan.find plan "clEnqueueWriteBuffer") in
+        let env size = [ ("size", size); ("num_events_in_wait_list", 0) ] in
+        let small = Plan.request_bytes write ~env:(env 64) in
+        let big = Plan.request_bytes write ~env:(env 1_000_000) in
+        Alcotest.(check bool) "grows with size" true
+          (big - small >= 1_000_000 - 64);
+        (* Reads carry the data in the reply instead. *)
+        let read = Option.get (Plan.find plan "clEnqueueReadBuffer") in
+        let req = Plan.request_bytes read ~env:(env 1_000_000) in
+        let rep = Plan.reply_bytes read ~env:(env 1_000_000) in
+        Alcotest.(check bool) "request small" true (req < 4096);
+        Alcotest.(check bool) "reply carries data" true (rep > 1_000_000));
+    Alcotest.test_case "has_outputs classification" `Quick (fun () ->
+        let plan = simcl_plan () in
+        let outputs name =
+          Plan.has_outputs (Option.get (Plan.find plan name))
+        in
+        Alcotest.(check bool) "read has outputs" true
+          (outputs "clEnqueueReadBuffer");
+        Alcotest.(check bool) "retain has none" false
+          (outputs "clRetainContext");
+        Alcotest.(check bool) "finish has none" false (outputs "clFinish"));
+    Alcotest.test_case "resource estimates" `Quick (fun () ->
+        let plan = simcl_plan () in
+        let ndr = Option.get (Plan.find plan "clEnqueueNDRangeKernel") in
+        Alcotest.(check (option int)) "device time from work size"
+          (Some 4096)
+          (Plan.resource_estimate ndr
+             ~env:[ ("global_work_size", 4096) ]
+             "device_time");
+        Alcotest.(check (option int)) "unknown resource" None
+          (Plan.resource_estimate ndr ~env:[] "phase_of_moon"));
+    Alcotest.test_case "dealloc and target params recorded" `Quick (fun () ->
+        let plan = simcl_plan () in
+        let release = Option.get (Plan.find plan "clReleaseMemObject") in
+        Alcotest.(check (list string)) "dealloc" [ "buf" ]
+          release.Plan.cp_dealloc_params;
+        let write = Option.get (Plan.find plan "clEnqueueWriteBuffer") in
+        Alcotest.(check (option string)) "target" (Some "buf")
+          write.Plan.cp_target_param);
+    Alcotest.test_case "negative length evaluates to zero bytes" `Quick
+      (fun () ->
+        let plan = simcl_plan () in
+        let write = Option.get (Plan.find plan "clEnqueueWriteBuffer") in
+        let n =
+          Plan.request_bytes write
+            ~env:[ ("size", -5); ("num_events_in_wait_list", 0) ]
+        in
+        Alcotest.(check bool) "non-negative" true (n > 0 && n < 4096));
+  ]
+
+let emit_tests =
+  [
+    Alcotest.test_case "artifacts cover every function" `Quick (fun () ->
+        let spec = Specs.load_simcl () in
+        let art = Emit_c.generate spec in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec at i =
+            i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+          in
+          at 0
+        in
+        List.iter
+          (fun (fn : Ast.fn_spec) ->
+            Alcotest.(check bool)
+              (fn.Ast.f_name ^ " in guest library")
+              true
+              (contains art.Emit_c.art_guest_library fn.Ast.f_name);
+            Alcotest.(check bool)
+              (fn.Ast.f_name ^ " in server")
+              true
+              (contains art.Emit_c.art_api_server
+                 (String.uppercase_ascii fn.Ast.f_name)))
+          spec.Ast.fns;
+        Alcotest.(check bool) "substantial output" true
+          (art.Emit_c.art_total_loc > 500));
+    Alcotest.test_case "conditional sync appears in generated guest code"
+      `Quick (fun () ->
+        let spec = Specs.load_simcl () in
+        let art = Emit_c.generate spec in
+        let g = art.Emit_c.art_guest_library in
+        let contains needle =
+          let nh = String.length g and nn = String.length needle in
+          let rec at i =
+            i + nn <= nh && (String.sub g i nn = needle || at (i + 1))
+          in
+          at 0
+        in
+        Alcotest.(check bool) "blocking_read condition" true
+          (contains "(blocking_read == CL_TRUE)");
+        Alcotest.(check bool) "async fast path" true
+          (contains "ava_call_async"));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "simcl automation report" `Quick (fun () ->
+        let r =
+          Metrics.analyze ~header_source:Specs.simcl_header
+            ~spec_source:Specs.simcl_spec (Specs.load_simcl ())
+        in
+        Alcotest.(check int) "functions" 39 r.Metrics.functions;
+        Alcotest.(check bool) "some fully inferred" true
+          (r.Metrics.auto_complete > 10);
+        Alcotest.(check bool) "developer lines small vs generated" true
+          (r.Metrics.generated_loc > 5 * r.Metrics.developer_lines);
+        Alcotest.(check bool) "per-fn rows" true
+          (List.length r.Metrics.per_fn = 39));
+    Alcotest.test_case "mvnc automation report" `Quick (fun () ->
+        let r =
+          Metrics.analyze ~header_source:Specs.mvnc_header
+            ~spec_source:Specs.mvnc_spec (Specs.load_mvnc ())
+        in
+        Alcotest.(check int) "functions" 10 r.Metrics.functions;
+        Alcotest.(check bool) "leverage >= 10x" true
+          (r.Metrics.generated_loc >= 10 * r.Metrics.developer_lines));
+  ]
+
+let () =
+  Alcotest.run "ava_codegen"
+    [ ("plan", plan_tests); ("emit", emit_tests); ("metrics", metrics_tests) ]

@@ -1,0 +1,174 @@
+(* Differential property testing: random SimCL programs must compute
+   identical results natively and through the full AvA remoting stack
+   (and the user-space RPC baseline).
+
+   This is the strongest correctness statement in the suite: whatever
+   sequence of buffer writes, fills, copies and kernel launches a guest
+   issues, virtualization must be semantically invisible. *)
+
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+open Ava_simcl.Types
+open Ava_core
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (error_to_string e)
+
+(* The random program alphabet: indices refer to a fixed pool of four
+   1 KiB buffers. *)
+type op =
+  | Fill of int * char
+  | Write_pattern of int * int  (** buffer, seed *)
+  | Vec_add of int * int * int  (** a + b -> out *)
+  | Scale of int * int * int  (** a * k -> out *)
+  | Xor of int * int * int  (** a lxor key -> out *)
+  | Copy of int * int
+  | Read_check of int  (** snapshot this buffer's contents *)
+  | Barrier
+
+let pp_op = function
+  | Fill (b, c) -> Printf.sprintf "fill b%d %C" b c
+  | Write_pattern (b, s) -> Printf.sprintf "write b%d seed=%d" b s
+  | Vec_add (a, b, o) -> Printf.sprintf "add b%d b%d -> b%d" a b o
+  | Scale (a, o, k) -> Printf.sprintf "scale b%d * %d -> b%d" a k o
+  | Xor (a, o, k) -> Printf.sprintf "xor b%d ^ %d -> b%d" a k o
+  | Copy (a, b) -> Printf.sprintf "copy b%d -> b%d" a b
+  | Read_check b -> Printf.sprintf "read b%d" b
+  | Barrier -> "finish"
+
+let op_gen =
+  let open QCheck.Gen in
+  let buf = int_range 0 3 in
+  frequency
+    [
+      (2, map2 (fun b c -> Fill (b, c)) buf printable);
+      (2, map2 (fun b s -> Write_pattern (b, s)) buf (int_range 0 1000));
+      (3, map3 (fun a b o -> Vec_add (a, b, o)) buf buf buf);
+      (2, map3 (fun a o k -> Scale (a, o, k)) buf buf (int_range (-9) 9));
+      (2, map3 (fun a o k -> Xor (a, o, k)) buf buf (int_range 0 255));
+      (2, map2 (fun a b -> Copy (a, b)) buf buf);
+      (3, map (fun b -> Read_check b) buf);
+      (1, return Barrier);
+    ]
+
+let program_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (1 -- 25) op_gen)
+
+let buf_size = 1024
+
+(* Interpret a program against any SimCL implementation; returns the
+   Read_check snapshots in order. *)
+let interpret (module CL : Ava_simcl.Api.S) ops =
+  let p = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let d = List.hd (ok (CL.clGetDeviceIDs p Device_gpu)) in
+  let ctx = ok (CL.clCreateContext [ d ]) in
+  let q = ok (CL.clCreateCommandQueue ctx d ~profiling:false) in
+  let bufs = Array.init 4 (fun _ -> ok (CL.clCreateBuffer ctx ~size:buf_size)) in
+  let prog =
+    ok
+      (CL.clCreateProgramWithSource ctx
+         ~source:"builtin vec_add; builtin scale; builtin xor_bytes")
+  in
+  ok (CL.clBuildProgram prog ~options:"");
+  let vec_add = ok (CL.clCreateKernel prog ~name:"vec_add") in
+  let scale = ok (CL.clCreateKernel prog ~name:"scale") in
+  let xor = ok (CL.clCreateKernel prog ~name:"xor_bytes") in
+  let launch3 k a b c ~items =
+    ok (CL.clSetKernelArg k ~index:0 (Arg_mem bufs.(a)));
+    ok (CL.clSetKernelArg k ~index:1 (Arg_mem bufs.(b)));
+    (match c with
+    | `Mem m -> ok (CL.clSetKernelArg k ~index:2 (Arg_mem bufs.(m)))
+    | `Int v -> ok (CL.clSetKernelArg k ~index:2 (Arg_int v)));
+    ignore
+      (ok
+         (CL.clEnqueueNDRangeKernel q k ~global_work_size:items
+            ~local_work_size:16 ~wait_list:[] ~want_event:false))
+  in
+  let snapshots = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Fill (b, c) ->
+          ignore
+            (ok
+               (CL.clEnqueueFillBuffer q bufs.(b) ~pattern:c ~offset:0
+                  ~size:buf_size ~wait_list:[] ~want_event:false))
+      | Write_pattern (b, seed) ->
+          let data =
+            Bytes.init buf_size (fun i -> Char.chr ((i * 31 + seed) land 0xff))
+          in
+          ignore
+            (ok
+               (CL.clEnqueueWriteBuffer q bufs.(b) ~blocking:false ~offset:0
+                  ~src:data ~wait_list:[] ~want_event:false))
+      | Vec_add (a, b, o) -> launch3 vec_add a b (`Mem o) ~items:(buf_size / 4)
+      | Scale (a, o, k) -> launch3 scale a o (`Int k) ~items:(buf_size / 4)
+      | Xor (a, o, k) -> launch3 xor a o (`Int k) ~items:buf_size
+      | Copy (a, b) ->
+          if a <> b then
+            ignore
+              (ok
+                 (CL.clEnqueueCopyBuffer q ~src:bufs.(a) ~dst:bufs.(b)
+                    ~src_offset:0 ~dst_offset:0 ~size:buf_size ~wait_list:[]
+                    ~want_event:false))
+      | Read_check b ->
+          let data, _ =
+            ok
+              (CL.clEnqueueReadBuffer q bufs.(b) ~blocking:true ~offset:0
+                 ~size:buf_size ~wait_list:[] ~want_event:false)
+          in
+          snapshots := data :: !snapshots
+      | Barrier -> ok (CL.clFinish q))
+    ops;
+  ok (CL.clFinish q);
+  List.rev !snapshots
+
+let run_stack stack ops =
+  let e = Engine.create () in
+  let result = ref None in
+  Engine.spawn e (fun () ->
+      let api =
+        match stack with
+        | `Native -> fst (Host.native_cl e)
+        | `Ava batching ->
+            let host = Host.create_cl_host e in
+            (Host.add_cl_vm host ~batching ~name:"diff").Host.g_api
+        | `Rpc ->
+            let host = Host.create_cl_host e in
+            (Host.add_cl_vm host ~technique:Host.User_rpc ~name:"diff")
+              .Host.g_api
+      in
+      result := Some (interpret api ops));
+  Engine.run e;
+  match !result with Some v -> v | None -> failwith "program stalled"
+
+let equal_snapshots a b =
+  List.length a = List.length b && List.for_all2 Bytes.equal a b
+
+let differential stack =
+  QCheck.Test.make ~count:40
+    ~name:
+      (Printf.sprintf "random programs match native (%s)"
+         (match stack with
+         | `Ava false -> "ava"
+         | `Ava true -> "ava+batching"
+         | `Rpc -> "user-rpc"
+         | `Native -> "native"))
+    program_arb
+    (fun ops ->
+      equal_snapshots (run_stack `Native ops) (run_stack stack ops))
+
+let () =
+  Alcotest.run "ava_differential"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest (differential (`Ava false));
+          QCheck_alcotest.to_alcotest (differential (`Ava true));
+          QCheck_alcotest.to_alcotest (differential `Rpc);
+        ] );
+    ]

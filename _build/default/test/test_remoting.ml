@@ -1,0 +1,602 @@
+(* Tests for the API-agnostic remoting runtime: wire codec, message
+   frames, transports, policies, stub/server plumbing, the object
+   recorder and the swap manager. *)
+
+module Wire = Ava_remoting.Wire
+module Message = Ava_remoting.Message
+module Policy = Ava_remoting.Policy
+module Stub = Ava_remoting.Stub
+module Server = Ava_remoting.Server
+module Migrate = Ava_remoting.Migrate
+module Swap = Ava_remoting.Swap
+module Plan = Ava_codegen.Plan
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+
+(* QCheck generator for wire values. *)
+let value_gen =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        return Wire.Unit;
+        map (fun n -> Wire.I64 (Int64.of_int n)) int;
+        map (fun f -> Wire.F64 f) (float_bound_inclusive 1e12);
+        map (fun s -> Wire.Str s) (string_size (0 -- 64));
+        map (fun s -> Wire.Blob (Bytes.of_string s)) (string_size (0 -- 256));
+        map (fun n -> Wire.Handle (Int64.of_int n)) nat;
+      ]
+  in
+  sized (fun n ->
+      if n < 2 then base
+      else
+        frequency
+          [
+            (4, base);
+            (1, map (fun vs -> Wire.List vs) (list_size (0 -- 5) base));
+          ])
+
+let value_arb = QCheck.make ~print:(Fmt.str "%a" Wire.pp) value_gen
+
+let wire_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500
+         (QCheck.list_of_size (QCheck.Gen.int_range 0 10) value_arb)
+         (fun values ->
+           match Wire.decode (Wire.encode values) with
+           | Ok decoded ->
+               List.length decoded = List.length values
+               && List.for_all2 Wire.equal decoded values
+           | Error _ -> false));
+    Alcotest.test_case "corrupt data rejected, never crashes" `Quick
+      (fun () ->
+        let data = Wire.encode [ Wire.Str "hello"; Wire.int 42 ] in
+        for cut = 0 to Bytes.length data - 1 do
+          match Wire.decode (Bytes.sub data 0 cut) with
+          | Ok _ when cut = Bytes.length data -> ()
+          | Ok _ -> Alcotest.failf "truncation to %d accepted" cut
+          | Error _ -> ()
+        done;
+        (* Bit flips in the tag byte. *)
+        let mangled = Bytes.copy data in
+        Bytes.set mangled 4 '\255';
+        match Wire.decode mangled with
+        | Ok _ -> Alcotest.fail "bad tag accepted"
+        | Error _ -> ());
+    Alcotest.test_case "encoded_size matches encoding overhead order"
+      `Quick (fun () ->
+        let v = Wire.Blob (Bytes.create 1000) in
+        Alcotest.(check int) "blob size" 1005 (Wire.encoded_size v));
+  ]
+
+let message_tests =
+  [
+    Alcotest.test_case "call frame roundtrip" `Quick (fun () ->
+        let c =
+          Message.Call
+            {
+              call_seq = 7;
+              call_vm = 3;
+              call_fn = "clFinish";
+              call_args = [ Wire.Handle 4097L ];
+            }
+        in
+        match Message.decode (Message.encode c) with
+        | Ok (Message.Call c') ->
+            Alcotest.(check int) "seq" 7 c'.Message.call_seq;
+            Alcotest.(check int) "vm" 3 c'.Message.call_vm;
+            Alcotest.(check string) "fn" "clFinish" c'.Message.call_fn
+        | _ -> Alcotest.fail "roundtrip failed");
+    Alcotest.test_case "reply frame roundtrip" `Quick (fun () ->
+        let r =
+          Message.Reply
+            {
+              reply_seq = 9;
+              reply_status = -30;
+              reply_ret = Wire.int 0;
+              reply_outs = [ Wire.Blob (Bytes.make 8 'x') ];
+            }
+        in
+        match Message.decode (Message.encode r) with
+        | Ok (Message.Reply r') ->
+            Alcotest.(check int) "status" (-30) r'.Message.reply_status;
+            Alcotest.(check int) "outs" 1 (List.length r'.Message.reply_outs)
+        | _ -> Alcotest.fail "roundtrip failed");
+    Alcotest.test_case "garbage frame rejected" `Quick (fun () ->
+        match Message.decode (Wire.encode [ Wire.int 1 ]) with
+        | Ok _ -> Alcotest.fail "accepted"
+        | Error _ -> ());
+  ]
+
+let transport_tests =
+  [
+    Alcotest.test_case "messages arrive in order with latency" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let virt = Ava_device.Timing.default_virt in
+        let a, b = Transport.shm_ring e ~virt in
+        let got = ref [] in
+        Engine.spawn e (fun () ->
+            for i = 1 to 5 do
+              Transport.send a (Bytes.make i 'm')
+            done);
+        Engine.spawn e (fun () ->
+            for _ = 1 to 5 do
+              got := Bytes.length (Transport.recv b) :: !got
+            done);
+        Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+        Alcotest.(check bool) "notify latency charged" true
+          (Engine.now e >= virt.Ava_device.Timing.ring_notify_ns);
+        let stats = Transport.stats a in
+        Alcotest.(check int) "sent" 5 stats.Transport.sent_msgs;
+        Alcotest.(check int) "bytes" 15 stats.Transport.sent_bytes);
+    Alcotest.test_case "bandwidth cost scales with size" `Quick (fun () ->
+        let run bytes =
+          let e = Engine.create () in
+          let virt = Ava_device.Timing.default_virt in
+          let a, b = Transport.network e ~virt in
+          Engine.spawn e (fun () -> Transport.send a (Bytes.create bytes));
+          Engine.spawn e (fun () -> ignore (Transport.recv b));
+          Engine.run e;
+          Engine.now e
+        in
+        Alcotest.(check bool) "1MB slower than 1KB" true
+          (run 1_000_000 > run 1_000 + Time.us 100));
+    Alcotest.test_case "duplex is independent per direction" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let a, b = Transport.direct e in
+        Engine.spawn e (fun () ->
+            Transport.send a (Bytes.of_string "ping");
+            let pong = Transport.recv a in
+            Alcotest.(check string) "pong" "pong" (Bytes.to_string pong));
+        Engine.spawn e (fun () ->
+            let ping = Transport.recv b in
+            Alcotest.(check string) "ping" "ping" (Bytes.to_string ping);
+            Transport.send b (Bytes.of_string "pong"));
+        Engine.run e);
+  ]
+
+let transport_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"any message sequence survives any transport"
+         ~count:60
+         QCheck.(
+           pair (int_range 0 3)
+             (list_of_size Gen.(1 -- 30) (string_of_size Gen.(0 -- 200))))
+         (fun (kind_idx, msgs) ->
+           let kind =
+             List.nth
+               [
+                 Transport.Direct; Transport.Shm_ring; Transport.User_rpc;
+                 Transport.Network;
+               ]
+               kind_idx
+           in
+           let e = Engine.create () in
+           let virt = Ava_device.Timing.default_virt in
+           let a, b = Transport.make kind e ~virt in
+           let got = ref [] in
+           Engine.spawn e (fun () ->
+               List.iter (fun m -> Transport.send a (Bytes.of_string m)) msgs);
+           Engine.spawn e (fun () ->
+               for _ = 1 to List.length msgs do
+                 got := Bytes.to_string (Transport.recv b) :: !got
+               done);
+           Engine.run e;
+           List.rev !got = msgs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"concurrent bidirectional traffic never interferes" ~count:30
+         QCheck.(int_range 1 20)
+         (fun n ->
+           let e = Engine.create () in
+           let virt = Ava_device.Timing.default_virt in
+           let a, b = Transport.shm_ring e ~virt in
+           let a_got = ref 0 and b_got = ref 0 in
+           Engine.spawn e (fun () ->
+               for i = 1 to n do
+                 Transport.send a (Bytes.make i 'a')
+               done;
+               for _ = 1 to n do
+                 ignore (Transport.recv a);
+                 incr a_got
+               done);
+           Engine.spawn e (fun () ->
+               for i = 1 to n do
+                 Transport.send b (Bytes.make i 'b')
+               done;
+               for _ = 1 to n do
+                 ignore (Transport.recv b);
+                 incr b_got
+               done);
+           Engine.run e;
+           !a_got = n && !b_got = n));
+  ]
+
+let policy_tests =
+  [
+    Alcotest.test_case "token bucket enforces long-run rate" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.run_process e (fun () ->
+            let b =
+              Policy.Token_bucket.create e ~rate_per_s:1000.0 ~burst:10.0
+            in
+            for _ = 1 to 110 do
+              Policy.Token_bucket.take b 1.0
+            done);
+        (* 110 tokens with 10 burst at 1000/s: at least 100ms. *)
+        Alcotest.(check bool) "took >= 99ms" true (Engine.now e >= Time.ms 99));
+    Alcotest.test_case "bucket burst is free" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.run_process e (fun () ->
+            let b =
+              Policy.Token_bucket.create e ~rate_per_s:10.0 ~burst:32.0
+            in
+            for _ = 1 to 32 do
+              Policy.Token_bucket.take b 1.0
+            done);
+        Alcotest.(check int) "instant" 0 (Engine.now e));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"wfq never starves and respects FIFO per flow"
+         ~count:50
+         QCheck.(list_of_size Gen.(1 -- 40) (pair (int_range 0 3) (int_range 1 50)))
+         (fun pushes ->
+           let wfq = Policy.Wfq.create () in
+           for f = 0 to 3 do
+             Policy.Wfq.add_flow wfq ~flow_id:f ~weight:(float_of_int (f + 1))
+           done;
+           List.iteri
+             (fun i (flow, cost) ->
+               Policy.Wfq.push wfq ~flow_id:flow ~cost:(float_of_int cost) i)
+             pushes;
+           let popped = ref [] in
+           for _ = 1 to List.length pushes do
+             let e = Engine.create () in
+             Engine.run_process e (fun () ->
+                 popped := Policy.Wfq.pop wfq :: !popped)
+           done;
+           let popped = List.rev !popped in
+           (* All items pop exactly once; per-flow order is preserved. *)
+           List.length popped = List.length pushes
+           && List.for_all
+                (fun f ->
+                  let pushed_f =
+                    List.filteri (fun _ (fl, _) -> fl = f) pushes
+                    |> List.mapi (fun _ _ -> ())
+                  in
+                  let popped_f =
+                    List.filter (fun (fl, _) -> fl = f) popped
+                  in
+                  let idxs = List.map snd popped_f in
+                  List.length popped_f = List.length pushed_f
+                  && idxs = List.sort compare idxs)
+                [ 0; 1; 2; 3 ]));
+    Alcotest.test_case "wfq weighted order under equal demand" `Quick
+      (fun () ->
+        let wfq = Policy.Wfq.create () in
+        Policy.Wfq.add_flow wfq ~flow_id:1 ~weight:1.0;
+        Policy.Wfq.add_flow wfq ~flow_id:4 ~weight:4.0;
+        for i = 0 to 7 do
+          Policy.Wfq.push wfq ~flow_id:1 ~cost:100.0 i;
+          Policy.Wfq.push wfq ~flow_id:4 ~cost:100.0 i
+        done;
+        let order = ref [] in
+        let e = Engine.create () in
+        Engine.run_process e (fun () ->
+            for _ = 1 to 16 do
+              order := fst (Policy.Wfq.pop wfq) :: !order
+            done);
+        let first8 =
+          List.filteri (fun i _ -> i < 8) (List.rev !order)
+        in
+        let heavy = List.length (List.filter (fun f -> f = 4) first8) in
+        (* The weight-4 flow should dominate the first half. *)
+        Alcotest.(check bool) "heavy flow first" true (heavy >= 5));
+    Alcotest.test_case "quota rotates windows" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.run_process e (fun () ->
+            let q = Policy.Quota.create e ~window_ns:(Time.ms 1) ~budget:10.0 in
+            for _ = 1 to 35 do
+              Policy.Quota.charge q 1.0
+            done);
+        (* 35 units at 10/ms: needs to reach the 4th window. *)
+        Alcotest.(check bool) "stalled into later windows" true
+          (Engine.now e >= Time.ms 3));
+  ]
+
+(* A miniature spec for stub/server plumbing tests. *)
+let mini_plan () =
+  let src =
+    {|
+api("mini");
+#include "mini.h"
+type(st) { success(OK); }
+st ping(int value) { sync; record(no_record); }
+st fire(int value) { async; record(no_record); }
+|}
+  in
+  let header = "#define OK 0\ntypedef int st;\nst ping(int value);\nst fire(int value);" in
+  let resolve = function "mini.h" -> Some header | _ -> None in
+  match Ava_spec.Parser.parse ~resolve_include:resolve src with
+  | Error e -> Alcotest.failf "mini spec: %s" e.Ava_spec.Parser.message
+  | Ok spec -> (
+      match Plan.compile spec with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "mini plan: %s" e)
+
+let stub_server_pair e plan =
+  let guest_end, server_end = Transport.direct e in
+  let server =
+    Server.create e ~plan ~make_state:(fun ~vm_id -> ref vm_id)
+  in
+  ignore (Server.attach_vm server ~vm_id:1 ~ep:server_end);
+  let stub = Stub.create e ~vm_id:1 ~plan ~ep:guest_end in
+  (stub, server)
+
+let stub_tests =
+  [
+    Alcotest.test_case "sync call gets its reply" `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = stub_server_pair e plan in
+        Server.register server "ping" (fun _ctx st args ->
+            Alcotest.(check int) "state is vm id" 1 !st;
+            match args with
+            | [ Wire.I64 v ] -> (0, Wire.I64 (Int64.mul v 2L), [])
+            | _ -> (Server.status_bad_arguments, Wire.Unit, []));
+        let reply =
+          Engine.run_process e (fun () ->
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[]
+                   ~args:[ Wire.int 21 ]))
+        in
+        Alcotest.(check bool) "doubled" true
+          (Wire.equal reply.Message.reply_ret (Wire.int 42));
+        Alcotest.(check int) "executed" 1 (Server.executed server));
+    Alcotest.test_case "async failures defer to next sync call" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = stub_server_pair e plan in
+        Server.register server "ping" (fun _ _ _ -> (0, Wire.Unit, []));
+        Server.register server "fire" (fun _ _ _ ->
+            (-77, Wire.Unit, []));
+        Engine.run_process e (fun () ->
+            (match Stub.invoke stub ~fn:"fire" ~env:[] ~args:[ Wire.int 1 ] with
+            | Ok None -> ()
+            | _ -> Alcotest.fail "fire should be async");
+            let _ =
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[] ~args:[ Wire.int 1 ])
+            in
+            Alcotest.(check (option (pair string int)))
+              "deferred error"
+              (Some ("fire", -77))
+              (Stub.take_deferred_error stub);
+            Alcotest.(check int) "drained" 0 (Stub.pending_errors stub)));
+    Alcotest.test_case "unknown function fails locally" `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, _server = stub_server_pair e plan in
+        Engine.run_process e (fun () ->
+            match Stub.invoke stub ~fn:"nope" ~env:[] ~args:[] with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "accepted unplanned function"));
+    Alcotest.test_case "unregistered handler is rejected by server" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = stub_server_pair e plan in
+        let reply =
+          Engine.run_process e (fun () ->
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[] ~args:[ Wire.int 1 ]))
+        in
+        Alcotest.(check int) "unknown function status"
+          Server.status_unknown_function reply.Message.reply_status;
+        Alcotest.(check int) "rejected count" 1 (Server.rejected server));
+    Alcotest.test_case "guest handles count monotonically" `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, _ = stub_server_pair e plan in
+        let a = Stub.fresh_handle stub in
+        let b = Stub.fresh_handle stub in
+        Alcotest.(check bool) "distinct, ordered" true
+          (b = a + 1 && a >= 0x100000));
+  ]
+
+let ctx_tests =
+  [
+    Alcotest.test_case "virtual id mapping" `Quick (fun () ->
+        let ctx = Server.Ctx.create ~vm_id:5 in
+        Alcotest.(check (option int)) "well-known passthrough" (Some 42)
+          (Server.Ctx.resolve ctx 42);
+        let vid = Server.Ctx.fresh ctx in
+        Alcotest.(check (option int)) "unbound vid" None
+          (Server.Ctx.resolve ctx vid);
+        Server.Ctx.bind ctx ~guest:vid ~host:777;
+        Alcotest.(check (option int)) "bound" (Some 777)
+          (Server.Ctx.resolve ctx vid);
+        Alcotest.(check (option int)) "reverse" (Some vid)
+          (Server.Ctx.reverse ctx ~host:777);
+        Alcotest.(check int) "last fresh" vid (Server.Ctx.last_fresh ctx);
+        Server.Ctx.forget ctx vid;
+        Alcotest.(check (option int)) "forgotten" None
+          (Server.Ctx.resolve ctx vid));
+  ]
+
+let migrate_tests =
+  [
+    Alcotest.test_case "alloc/modify/dealloc pruning" `Quick (fun () ->
+        let plan = Result.get_ok (Plan.compile (Ava_spec.Specs.load_simcl ())) in
+        let alloc_plan = Option.get (Plan.find plan "clCreateBuffer") in
+        let write_plan = Option.get (Plan.find plan "clEnqueueWriteBuffer") in
+        let release_plan = Option.get (Plan.find plan "clReleaseMemObject") in
+        let t = Migrate.create () in
+        let alloc_call vid =
+          {
+            Message.call_seq = 0;
+            call_vm = 1;
+            call_fn = "clCreateBuffer";
+            call_args =
+              [ Wire.Handle 4096L; Wire.int 0; Wire.int 1024; Wire.Unit ];
+          }
+          |> fun c -> Migrate.observe ~allocated:vid t alloc_plan c
+        in
+        alloc_call 5000;
+        alloc_call 5001;
+        let write_call vid =
+          {
+            Message.call_seq = 0;
+            call_vm = 1;
+            call_fn = "clEnqueueWriteBuffer";
+            call_args =
+              [
+                Wire.Handle 4097L;
+                Wire.Handle (Int64.of_int vid);
+                Wire.int 0; Wire.int 0; Wire.int 64;
+                Wire.Blob (Bytes.create 64);
+                Wire.int 0; Wire.List []; Wire.Unit;
+              ];
+          }
+          |> Migrate.observe t write_plan
+        in
+        write_call 5000;
+        write_call 5001;
+        Alcotest.(check int) "log" 4 (Migrate.log_length t);
+        Alcotest.(check (list int)) "live objects" [ 5000; 5001 ]
+          (List.sort compare (Migrate.live_objects t));
+        (* Release 5000: its alloc and write disappear. *)
+        Migrate.observe t release_plan
+          {
+            Message.call_seq = 0;
+            call_vm = 1;
+            call_fn = "clReleaseMemObject";
+            call_args = [ Wire.Handle 5000L ];
+          };
+        Alcotest.(check int) "pruned" 2 (Migrate.log_length t);
+        Alcotest.(check (list int)) "only 5001" [ 5001 ]
+          (Migrate.live_objects t);
+        Alcotest.(check int) "pruned count" 2 (Migrate.pruned_count t));
+    Alcotest.test_case "replay preserves order" `Quick (fun () ->
+        let plan = Result.get_ok (Plan.compile (Ava_spec.Specs.load_simcl ())) in
+        let alloc_plan = Option.get (Plan.find plan "clCreateBuffer") in
+        let t = Migrate.create () in
+        for i = 1 to 5 do
+          Migrate.observe ~allocated:(5000 + i) t alloc_plan
+            {
+              Message.call_seq = 0;
+              call_vm = 1;
+              call_fn = "clCreateBuffer";
+              call_args = [ Wire.Handle 4096L; Wire.int 0; Wire.int i; Wire.Unit ];
+            }
+        done;
+        let seen = ref [] in
+        let n =
+          Migrate.replay t ~execute:(fun ~fn:_ ~args ->
+              match args with
+              | [ _; _; Wire.I64 i; _ ] -> seen := Int64.to_int i :: !seen
+              | _ -> ())
+        in
+        Alcotest.(check int) "count" 5 n;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !seen));
+  ]
+
+let swap_tests =
+  [
+    Alcotest.test_case "eviction order is LRU" `Quick (fun () ->
+        let evicted = ref [] in
+        let t =
+          Swap.create ~capacity:100
+            ~evict:(fun ~key ~bytes:_ -> evicted := key :: !evicted)
+            ~restore:(fun ~key:_ ~bytes:_ -> ())
+        in
+        Result.get_ok (Swap.add t ~key:1 ~bytes:40);
+        Result.get_ok (Swap.add t ~key:2 ~bytes:40);
+        (* Touch 1 so 2 becomes LRU. *)
+        Result.get_ok (Swap.touch t ~key:1);
+        Result.get_ok (Swap.add t ~key:3 ~bytes:40);
+        Alcotest.(check (list int)) "evicted 2" [ 2 ] !evicted;
+        Alcotest.(check bool) "1 resident" true (Swap.is_resident t ~key:1);
+        Alcotest.(check bool) "2 gone" false (Swap.is_resident t ~key:2));
+    Alcotest.test_case "touch restores with eviction" `Quick (fun () ->
+        let t =
+          Swap.create ~capacity:100
+            ~evict:(fun ~key:_ ~bytes:_ -> ())
+            ~restore:(fun ~key:_ ~bytes:_ -> ())
+        in
+        Result.get_ok (Swap.add t ~key:1 ~bytes:60);
+        Result.get_ok (Swap.add t ~key:2 ~bytes:60);
+        Alcotest.(check bool) "1 evicted" false (Swap.is_resident t ~key:1);
+        Result.get_ok (Swap.touch t ~key:1);
+        Alcotest.(check bool) "1 back" true (Swap.is_resident t ~key:1);
+        Alcotest.(check bool) "2 out" false (Swap.is_resident t ~key:2);
+        Alcotest.(check int) "restores" 1 (Swap.restores t);
+        Alcotest.(check bool) "invariants" true (Swap.check_invariants t));
+    Alcotest.test_case "oversized buffer rejected" `Quick (fun () ->
+        let t =
+          Swap.create ~capacity:100
+            ~evict:(fun ~key:_ ~bytes:_ -> ())
+            ~restore:(fun ~key:_ ~bytes:_ -> ())
+        in
+        match Swap.add t ~key:1 ~bytes:200 with
+        | Error `Too_big -> ()
+        | Ok () -> Alcotest.fail "accepted oversized buffer");
+    Alcotest.test_case "pinned buffers never evict" `Quick (fun () ->
+        let t =
+          Swap.create ~capacity:100
+            ~evict:(fun ~key:_ ~bytes:_ -> ())
+            ~restore:(fun ~key:_ ~bytes:_ -> ())
+        in
+        Result.get_ok (Swap.add t ~key:1 ~bytes:60);
+        Swap.pin t ~key:1;
+        (match Swap.add t ~key:2 ~bytes:60 with
+        | Error `Too_big -> () (* cannot make room: 1 is pinned *)
+        | Ok () -> Alcotest.fail "evicted a pinned buffer");
+        Swap.unpin t ~key:1;
+        match Swap.add t ~key:2 ~bytes:60 with
+        | Ok () -> ()
+        | Error `Too_big -> Alcotest.fail "should fit after unpin");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random workload keeps swap invariants"
+         ~count:200
+         QCheck.(
+           list_of_size Gen.(1 -- 60)
+             (pair (int_range 0 2) (pair (int_range 1 20) (int_range 1 50))))
+         (fun ops ->
+           let t =
+             Swap.create ~capacity:100
+               ~evict:(fun ~key:_ ~bytes:_ -> ())
+               ~restore:(fun ~key:_ ~bytes:_ -> ())
+           in
+           List.iter
+             (fun (op, (key, bytes)) ->
+               match op with
+               | 0 ->
+                   if not (Swap.is_resident t ~key) then
+                     (try ignore (Swap.add t ~key ~bytes)
+                      with Invalid_argument _ -> ())
+               | 1 -> ignore (Swap.touch t ~key)
+               | _ -> Swap.remove t ~key)
+             ops;
+           Swap.check_invariants t));
+  ]
+
+let () =
+  Alcotest.run "ava_remoting"
+    [
+      ("wire", wire_tests);
+      ("message", message_tests);
+      ("transport", transport_tests);
+      ("transport-properties", transport_property_tests);
+      ("policy", policy_tests);
+      ("stub-server", stub_tests);
+      ("ctx", ctx_tests);
+      ("migrate", migrate_tests);
+      ("swap", swap_tests);
+    ]

@@ -1,0 +1,440 @@
+(* Tests for the discrete-event core: engine ordering, processes,
+   channels, semaphores, ivars, RNG determinism and statistics. *)
+
+open Ava_sim
+
+let time_tests =
+  [
+    Alcotest.test_case "unit conversions" `Quick (fun () ->
+        Alcotest.(check int) "us" 1_000 (Time.us 1);
+        Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
+        Alcotest.(check int) "s" 1_000_000_000 (Time.s 1);
+        Alcotest.(check int) "float us" 1_500 (Time.of_float_us 1.5);
+        Alcotest.(check (float 1e-9)) "roundtrip" 2.5
+          (Time.to_float_us (Time.of_float_us 2.5)));
+    Alcotest.test_case "bandwidth duration" `Quick (fun () ->
+        (* 1 GB/s, 1 MiB -> ~1.049 ms *)
+        let d = Time.of_bandwidth ~bytes:(1024 * 1024) ~bytes_per_s:1e9 in
+        Alcotest.(check bool)
+          "about 1ms" true
+          (d > Time.us 1000 && d < Time.us 1100);
+        Alcotest.(check int) "zero bytes free" 0
+          (Time.of_bandwidth ~bytes:0 ~bytes_per_s:1e9);
+        Alcotest.(check bool)
+          "never free when data moves" true
+          (Time.of_bandwidth ~bytes:1 ~bytes_per_s:1e12 >= 1));
+    Alcotest.test_case "pretty printing" `Quick (fun () ->
+        Alcotest.(check string) "ns" "123ns" (Time.to_string 123);
+        Alcotest.(check string) "us" "12.000us" (Time.to_string (Time.us 12));
+        Alcotest.(check string)
+          "ms" "3.500ms"
+          (Time.to_string (Time.of_float_ms 3.5)));
+  ]
+
+let heap_tests =
+  [
+    Alcotest.test_case "pop order is (key, seq)" `Quick (fun () ->
+        let h = Heap.create () in
+        Heap.add h ~key:5 ~seq:1 "a";
+        Heap.add h ~key:3 ~seq:2 "b";
+        Heap.add h ~key:5 ~seq:0 "c";
+        Heap.add h ~key:1 ~seq:9 "d";
+        let order = ref [] in
+        let rec drain () =
+          match Heap.pop h with
+          | None -> ()
+          | Some e ->
+              order := e.Heap.payload :: !order;
+              drain ()
+        in
+        drain ();
+        Alcotest.(check (list string))
+          "order" [ "d"; "b"; "c"; "a" ] (List.rev !order));
+    Alcotest.test_case "empty pop" `Quick (fun () ->
+        let h : int Heap.t = Heap.create () in
+        Alcotest.(check bool) "none" true (Heap.pop h = None);
+        Alcotest.(check int) "size" 0 (Heap.size h));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap sorts any key sequence" ~count:200
+         QCheck.(list small_int)
+         (fun keys ->
+           let h = Heap.create () in
+           List.iteri (fun i k -> Heap.add h ~key:k ~seq:i k) keys;
+           let rec drain acc =
+             match Heap.pop h with
+             | None -> List.rev acc
+             | Some e -> drain (e.Heap.key :: acc)
+           in
+           drain [] = List.sort compare keys));
+  ]
+
+let engine_tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~at:30 (fun () -> log := 30 :: !log);
+        Engine.schedule e ~at:10 (fun () -> log := 10 :: !log);
+        Engine.schedule e ~at:20 (fun () -> log := 20 :: !log);
+        Engine.run e;
+        Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !log);
+        Alcotest.(check int) "clock at last event" 30 (Engine.now e));
+    Alcotest.test_case "same-time events fire in insertion order" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Engine.schedule e ~at:7 (fun () -> log := i :: !log)
+        done;
+        Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    Alcotest.test_case "delay advances virtual time" `Quick (fun () ->
+        let e = Engine.create () in
+        let seen = ref [] in
+        Engine.spawn e (fun () ->
+            seen := Engine.now e :: !seen;
+            Engine.delay (Time.us 5);
+            seen := Engine.now e :: !seen;
+            Engine.delay (Time.us 10);
+            seen := Engine.now e :: !seen);
+        Engine.run e;
+        Alcotest.(check (list int))
+          "times" [ 0; 5_000; 15_000 ] (List.rev !seen));
+    Alcotest.test_case "run ~until stops at horizon" `Quick (fun () ->
+        let e = Engine.create () in
+        let fired = ref 0 in
+        Engine.schedule e ~at:100 (fun () -> incr fired);
+        Engine.schedule e ~at:200 (fun () -> incr fired);
+        Engine.run ~until:150 e;
+        Alcotest.(check int) "one fired" 1 !fired;
+        Alcotest.(check int) "clock at horizon" 150 (Engine.now e);
+        Engine.run e;
+        Alcotest.(check int) "rest fired" 2 !fired);
+    Alcotest.test_case "processes interleave deterministically" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        let worker tag pause =
+          Engine.spawn e (fun () ->
+              for i = 1 to 3 do
+                Engine.delay pause;
+                log := Printf.sprintf "%s%d" tag i :: !log
+              done)
+        in
+        worker "a" (Time.us 2);
+        worker "b" (Time.us 3);
+        Engine.run e;
+        Alcotest.(check (list string))
+          "interleaving"
+          (* a fires at 2,4,6; b at 3,6,9 — the t=6 tie goes to b2, whose
+             continuation was scheduled first (at t=3 vs t=4). *)
+          [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+          (List.rev !log));
+    Alcotest.test_case "run_process returns value" `Quick (fun () ->
+        let e = Engine.create () in
+        let v =
+          Engine.run_process e (fun () ->
+              Engine.delay 42;
+              "done")
+        in
+        Alcotest.(check string) "value" "done" v;
+        Alcotest.(check int) "time" 42 (Engine.now e));
+    Alcotest.test_case "run_process detects stalled process" `Quick (fun () ->
+        let e = Engine.create () in
+        Alcotest.check_raises "stalled"
+          (Engine.Stalled "Engine.run_process: process never completed")
+          (fun () ->
+            ignore
+              (Engine.run_process e (fun () ->
+                   (* Await something nobody ever resumes. *)
+                   Engine.await (fun _resume -> ())))));
+    Alcotest.test_case "negative delay clamps to zero" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.run_process e (fun () -> Engine.delay (-5));
+        Alcotest.(check int) "clock" 0 (Engine.now e));
+    Alcotest.test_case "process exceptions escape the run loop" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Engine.spawn e (fun () ->
+            Engine.delay 5;
+            failwith "boom");
+        (match Engine.run e with
+        | () -> Alcotest.fail "exception was swallowed"
+        | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg);
+        (* The failing process is accounted dead. *)
+        Alcotest.(check int) "no live process" 0 (Engine.live_processes e));
+    Alcotest.test_case "spawned counter" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.spawn e (fun () -> ());
+        Engine.spawn e (fun () -> Engine.delay 1);
+        Engine.run e;
+        Alcotest.(check int) "spawned" 2 (Engine.spawned e);
+        Alcotest.(check int) "live" 0 (Engine.live_processes e));
+  ]
+
+let ivar_tests =
+  [
+    Alcotest.test_case "read blocks until fill" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Ivar.create () in
+        let got = ref None in
+        Engine.spawn e (fun () -> got := Some (Ivar.read iv));
+        Engine.spawn e (fun () ->
+            Engine.delay (Time.us 10);
+            Ivar.fill iv 99);
+        Engine.run e;
+        Alcotest.(check (option int)) "value" (Some 99) !got;
+        Alcotest.(check int) "filled at fill time" (Time.us 10) (Engine.now e));
+    Alcotest.test_case "read after fill is immediate" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Ivar.create () in
+        Ivar.fill iv 7;
+        let v = Engine.run_process e (fun () -> Ivar.read iv) in
+        Alcotest.(check int) "value" 7 v);
+    Alcotest.test_case "double fill rejected" `Quick (fun () ->
+        let iv = Ivar.create () in
+        Ivar.fill iv 1;
+        Alcotest.check_raises "refilled"
+          (Invalid_argument "Ivar.fill: already filled") (fun () ->
+            Ivar.fill iv 2);
+        Ivar.fill_if_empty iv 3;
+        Alcotest.(check (option int)) "unchanged" (Some 1) (Ivar.peek iv));
+    Alcotest.test_case "multiple waiters all resume" `Quick (fun () ->
+        let e = Engine.create () in
+        let iv = Ivar.create () in
+        let sum = ref 0 in
+        for _ = 1 to 4 do
+          Engine.spawn e (fun () -> sum := !sum + Ivar.read iv)
+        done;
+        Engine.spawn e (fun () ->
+            Engine.delay 5;
+            Ivar.fill iv 10);
+        Engine.run e;
+        Alcotest.(check int) "sum" 40 !sum);
+  ]
+
+let channel_tests =
+  [
+    Alcotest.test_case "fifo order" `Quick (fun () ->
+        let e = Engine.create () in
+        let c = Channel.create () in
+        let got = ref [] in
+        Engine.spawn e (fun () ->
+            for i = 1 to 5 do
+              Channel.send c i
+            done);
+        Engine.spawn e (fun () ->
+            for _ = 1 to 5 do
+              got := Channel.recv c :: !got
+            done);
+        Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !got));
+    Alcotest.test_case "recv blocks until send" `Quick (fun () ->
+        let e = Engine.create () in
+        let c = Channel.create () in
+        let at = ref (-1) in
+        Engine.spawn e (fun () ->
+            ignore (Channel.recv c);
+            at := Engine.now e);
+        Engine.spawn e (fun () ->
+            Engine.delay (Time.us 3);
+            Channel.send c ());
+        Engine.run e;
+        Alcotest.(check int) "resumed at send time" (Time.us 3) !at);
+    Alcotest.test_case "bounded send blocks when full" `Quick (fun () ->
+        let e = Engine.create () in
+        let c = Channel.create ~capacity:2 () in
+        let sent = ref [] in
+        Engine.spawn e (fun () ->
+            for i = 1 to 4 do
+              Channel.send c i;
+              sent := (i, Engine.now e) :: !sent
+            done);
+        Engine.spawn e (fun () ->
+            Engine.delay (Time.us 10);
+            for _ = 1 to 4 do
+              ignore (Channel.recv c);
+              Engine.delay (Time.us 10)
+            done);
+        Engine.run e;
+        let times = List.rev_map snd !sent in
+        (* First two sends immediate; the rest wait for receiver drains. *)
+        Alcotest.(check bool) "first immediate" true (List.nth times 0 = 0);
+        Alcotest.(check bool) "second immediate" true (List.nth times 1 = 0);
+        Alcotest.(check bool)
+          "third waits" true
+          (List.nth times 2 >= Time.us 10));
+    Alcotest.test_case "try operations" `Quick (fun () ->
+        let c = Channel.create ~capacity:1 () in
+        Alcotest.(check (option int)) "empty" None (Channel.try_recv c);
+        Alcotest.(check bool) "send ok" true (Channel.try_send c 1);
+        Alcotest.(check bool) "send full" false (Channel.try_send c 2);
+        Alcotest.(check (option int)) "recv" (Some 1) (Channel.try_recv c));
+    Alcotest.test_case "closed channel raises on send" `Quick (fun () ->
+        let c = Channel.create () in
+        Channel.close c;
+        Alcotest.check_raises "closed" Channel.Closed (fun () ->
+            Channel.try_send c 1 |> ignore));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"channel preserves any message sequence"
+         ~count:100
+         QCheck.(list small_int)
+         (fun msgs ->
+           let e = Engine.create () in
+           let c = Channel.create ~capacity:3 () in
+           let got = ref [] in
+           Engine.spawn e (fun () -> List.iter (Channel.send c) msgs);
+           Engine.spawn e (fun () ->
+               for _ = 1 to List.length msgs do
+                 got := Channel.recv c :: !got;
+                 Engine.delay 1
+               done);
+           Engine.run e;
+           List.rev !got = msgs));
+  ]
+
+let semaphore_tests =
+  [
+    Alcotest.test_case "limits concurrency" `Quick (fun () ->
+        let e = Engine.create () in
+        let sem = Semaphore.create 2 in
+        let active = ref 0 and peak = ref 0 in
+        for _ = 1 to 6 do
+          Engine.spawn e (fun () ->
+              Semaphore.with_acquired sem (fun () ->
+                  incr active;
+                  if !active > !peak then peak := !active;
+                  Engine.delay (Time.us 10);
+                  decr active))
+        done;
+        Engine.run e;
+        Alcotest.(check int) "peak" 2 !peak;
+        Alcotest.(check int) "all released" 2 (Semaphore.available sem);
+        (* Three waves of two; each wave takes 10us. *)
+        Alcotest.(check int) "makespan" (Time.us 30) (Engine.now e));
+    Alcotest.test_case "release without acquire rejected" `Quick (fun () ->
+        let sem = Semaphore.create 1 in
+        Alcotest.check_raises "over-release"
+          (Invalid_argument "Semaphore.release: released more than acquired")
+          (fun () -> Semaphore.release sem));
+    Alcotest.test_case "with_acquired releases on exception" `Quick (fun () ->
+        let e = Engine.create () in
+        let sem = Semaphore.create 1 in
+        Engine.spawn e (fun () ->
+            try Semaphore.with_acquired sem (fun () -> failwith "boom")
+            with Failure _ -> ());
+        Engine.run e;
+        Alcotest.(check int) "released" 1 (Semaphore.available sem));
+  ]
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic for a seed" `Quick (fun () ->
+        let a = Rng.create 42L and b = Rng.create 42L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1L and b = Rng.create 2L in
+        Alcotest.(check bool) "differ" true (Rng.next a <> Rng.next b));
+    Alcotest.test_case "split streams are independent" `Quick (fun () ->
+        let a = Rng.create 7L in
+        let c = Rng.split a in
+        Alcotest.(check bool) "differ" true (Rng.next a <> Rng.next c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float in [0,1)" ~count:500
+         QCheck.(int64)
+         (fun seed ->
+           let r = Rng.create seed in
+           let x = Rng.float r in
+           x >= 0.0 && x < 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int within bound" ~count:500
+         QCheck.(pair int64 (int_range 1 1000))
+         (fun (seed, bound) ->
+           let r = Rng.create seed in
+           let x = Rng.int r bound in
+           x >= 0 && x < bound));
+    Alcotest.test_case "uniform_ns bounds" `Quick (fun () ->
+        let r = Rng.create 3L in
+        for _ = 1 to 100 do
+          let x = Rng.uniform_ns r ~lo:10 ~hi:20 in
+          Alcotest.(check bool) "in range" true (x >= 10 && x <= 20)
+        done);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "online mean/std" `Quick (fun () ->
+        let o = Stats.Online.create () in
+        List.iter (Stats.Online.add o)
+          [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Online.mean o);
+        Alcotest.(check (float 1e-4)) "std" 2.13809 (Stats.Online.stddev o);
+        Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Online.min o);
+        Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Online.max o));
+    Alcotest.test_case "percentiles" `Quick (fun () ->
+        let s = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+        Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile s 50.0);
+        Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile s 0.0);
+        Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile s 100.0);
+        Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile s 25.0));
+    Alcotest.test_case "geomean" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gm" 4.0 (Stats.geomean [ 2.0; 8.0 ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"percentile lies within sample range" ~count:200
+         QCheck.(
+           pair
+             (list_of_size Gen.(1 -- 50) (float_range 0. 1000.))
+             (float_range 0. 100.))
+         (fun (samples, p) ->
+           let v = Stats.percentile samples p in
+           let lo = List.fold_left Float.min infinity samples in
+           let hi = List.fold_left Float.max neg_infinity samples in
+           v >= lo -. 1e-9 && v <= hi +. 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"online mean matches batch mean" ~count:200
+         QCheck.(list_of_size Gen.(1 -- 100) (float_range (-1000.) 1000.))
+         (fun samples ->
+           let o = Stats.Online.create () in
+           List.iter (Stats.Online.add o) samples;
+           Float.abs (Stats.Online.mean o -. Stats.mean samples) < 1e-6));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
+        let tr = Trace.create () in
+        Trace.record tr ~at:0 ~category:"x" "msg %d" 1;
+        Alcotest.(check int) "count" 0 (Trace.count tr));
+    Alcotest.test_case "enabled trace records and filters" `Quick (fun () ->
+        let tr = Trace.create ~enabled:true () in
+        Trace.record tr ~at:5 ~category:"dma" "copy %d bytes" 64;
+        Trace.record tr ~at:9 ~category:"mmio" "doorbell";
+        Alcotest.(check int) "count" 2 (Trace.count tr);
+        match Trace.by_category tr "dma" with
+        | [ e ] ->
+            Alcotest.(check string) "msg" "copy 64 bytes" e.Trace.message;
+            Alcotest.(check int) "at" 5 e.Trace.at
+        | _ -> Alcotest.fail "expected one dma event");
+    Alcotest.test_case "limit respected" `Quick (fun () ->
+        let tr = Trace.create ~enabled:true ~limit:3 () in
+        for i = 1 to 10 do
+          Trace.record tr ~at:i ~category:"c" "e%d" i
+        done;
+        Alcotest.(check int) "capped" 3 (Trace.count tr));
+  ]
+
+let () =
+  Alcotest.run "ava_sim"
+    [
+      ("time", time_tests);
+      ("heap", heap_tests);
+      ("engine", engine_tests);
+      ("ivar", ivar_tests);
+      ("channel", channel_tests);
+      ("semaphore", semaphore_tests);
+      ("rng", rng_tests);
+      ("stats", stats_tests);
+      ("trace", trace_tests);
+    ]

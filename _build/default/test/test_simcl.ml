@@ -1,0 +1,477 @@
+(* Tests for the SimCL silo: API semantics, in-order queues, events,
+   built-in kernel correctness and error paths. *)
+
+open Ava_sim
+open Ava_simcl
+open Ava_simcl.Types
+
+let mib n = n * 1024 * 1024
+
+(* Run [f (module CL)] inside a fresh simulated host. *)
+let with_cl ?(timing = Ava_device.Timing.gtx1080) f =
+  let e = Engine.create () in
+  let gpu = Ava_device.Gpu.create ~timing e in
+  let kd = Kdriver.create gpu in
+  let cl, st = Native.create kd in
+  let result = ref None in
+  Engine.spawn e (fun () -> result := Some (f e cl st));
+  Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simcl test process stalled"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error %s" (error_to_string e)
+
+let check_err name expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" name (error_to_string expected)
+  | Error e ->
+      Alcotest.(check string) name (error_to_string expected)
+        (error_to_string e)
+
+(* Standard prologue used by most tests. *)
+let setup (module CL : Api.S) =
+  let p = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let d = List.hd (ok (CL.clGetDeviceIDs p Device_gpu)) in
+  let ctx = ok (CL.clCreateContext [ d ]) in
+  let q = ok (CL.clCreateCommandQueue ctx d ~profiling:true) in
+  (p, d, ctx, q)
+
+let i32_bytes l =
+  let b = Bytes.create (4 * List.length l) in
+  List.iteri (fun i v -> Bytes.set_int32_le b (4 * i) (Int32.of_int v)) l;
+  b
+
+let bytes_i32 b =
+  List.init (Bytes.length b / 4) (fun i ->
+      Int32.to_int (Bytes.get_int32_le b (4 * i)))
+
+let discovery_tests =
+  [
+    Alcotest.test_case "platform and device enumeration" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let platforms = ok (CL.clGetPlatformIDs ()) in
+            Alcotest.(check int) "one platform" 1 (List.length platforms);
+            let p = List.hd platforms in
+            Alcotest.(check string) "name" "SimCL"
+              (ok (CL.clGetPlatformInfo p Platform_name));
+            let gpus = ok (CL.clGetDeviceIDs p Device_gpu) in
+            Alcotest.(check int) "one gpu" 1 (List.length gpus);
+            Alcotest.(check (list int)) "no accelerators" []
+              (ok (CL.clGetDeviceIDs p Device_accelerator));
+            check_err "bad platform" Invalid_platform
+              (CL.clGetDeviceIDs 999 Device_gpu)));
+    Alcotest.test_case "device info" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let p, d, _, _ = setup (module CL) in
+            ignore p;
+            (match ok (CL.clGetDeviceInfo d Device_name) with
+            | Info_string s ->
+                Alcotest.(check string) "name" "SimCL GTX-1080" s
+            | Info_int _ -> Alcotest.fail "expected string");
+            match ok (CL.clGetDeviceInfo d Device_global_mem_size) with
+            | Info_int n ->
+                Alcotest.(check int) "8GiB" (8 * 1024 * mib 1) n
+            | Info_string _ -> Alcotest.fail "expected int"));
+  ]
+
+let lifecycle_tests =
+  [
+    Alcotest.test_case "context refcounting" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            ok (CL.clRetainContext ctx);
+            Alcotest.(check int) "refs" 2 (ok (CL.clGetContextInfo ctx));
+            ok (CL.clReleaseContext ctx);
+            ok (CL.clReleaseContext ctx);
+            check_err "gone" Invalid_context (CL.clGetContextInfo ctx)));
+    Alcotest.test_case "invalid handles rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            check_err "ctx" Invalid_context (CL.clCreateCommandQueue 12345 1 ~profiling:false);
+            check_err "queue" Invalid_command_queue (CL.clFinish 12345);
+            check_err "mem" Invalid_mem_object (CL.clGetMemObjectInfo 12345);
+            check_err "kernel" Invalid_kernel (CL.clReleaseKernel 12345);
+            check_err "event" Invalid_event (CL.clGetEventInfo 12345);
+            check_err "program" Invalid_program (CL.clBuildProgram 12345 ~options:"")));
+    Alcotest.test_case "buffer lifecycle frees device memory" `Quick (fun () ->
+        with_cl (fun e (module CL : Api.S) _st ->
+            ignore e;
+            let _, _, ctx, _ = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:(mib 1)) in
+            Alcotest.(check int) "size info" (mib 1)
+              (ok (CL.clGetMemObjectInfo m));
+            ok (CL.clRetainMemObject m);
+            ok (CL.clReleaseMemObject m);
+            (* still alive after one release *)
+            Alcotest.(check int) "still alive" (mib 1)
+              (ok (CL.clGetMemObjectInfo m));
+            ok (CL.clReleaseMemObject m);
+            check_err "freed" Invalid_mem_object (CL.clGetMemObjectInfo m)));
+    Alcotest.test_case "device OOM becomes allocation failure" `Quick
+      (fun () ->
+        with_cl ~timing:Ava_device.Timing.test_gpu
+          (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            check_err "oom" Mem_object_allocation_failure
+              (CL.clCreateBuffer ctx ~size:(mib 65))));
+    Alcotest.test_case "zero-sized buffer rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            check_err "zero" Invalid_value (CL.clCreateBuffer ctx ~size:0)));
+  ]
+
+let program_tests =
+  [
+    Alcotest.test_case "build and create kernel" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, d, ctx, _ = setup (module CL) in
+            let p =
+              ok
+                (CL.clCreateProgramWithSource ctx
+                   ~source:"builtin vec_add; builtin scale")
+            in
+            ok (CL.clBuildProgram p ~options:"");
+            Alcotest.(check string) "log" "build ok"
+              (ok (CL.clGetProgramBuildInfo p));
+            let k = ok (CL.clCreateKernel p ~name:"vec_add") in
+            Alcotest.(check string) "kernel name" "vec_add"
+              (ok (CL.clGetKernelInfo k));
+            Alcotest.(check int) "wg size" 1024
+              (ok (CL.clGetKernelWorkGroupInfo k d));
+            check_err "unknown kernel" Invalid_kernel_name
+              (CL.clCreateKernel p ~name:"nonexistent")));
+    Alcotest.test_case "kernel before build rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin noop")
+            in
+            check_err "not built" Invalid_program_executable
+              (CL.clCreateKernel p ~name:"noop")));
+    Alcotest.test_case "bad source fails to build with log" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin no_such")
+            in
+            check_err "build fails" Build_program_failure
+              (CL.clBuildProgram p ~options:"");
+            let log = ok (CL.clGetProgramBuildInfo p) in
+            Alcotest.(check bool) "log mentions kernel" true
+              (String.length log > 0)));
+    Alcotest.test_case "synthetic kernel parses" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            let src =
+              Builtin.synthetic_source ~name:"bfs_step" ~flops_per_item:12.0
+                ~bytes_per_item:16.0
+            in
+            let p = ok (CL.clCreateProgramWithSource ctx ~source:src) in
+            ok (CL.clBuildProgram p ~options:"");
+            let k = ok (CL.clCreateKernel p ~name:"bfs_step") in
+            Alcotest.(check string) "name" "bfs_step"
+              (ok (CL.clGetKernelInfo k))));
+    Alcotest.test_case "empty source rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            check_err "empty" Invalid_value
+              (CL.clCreateProgramWithSource ctx ~source:"  ")));
+  ]
+
+let exec_tests =
+  [
+    Alcotest.test_case "vec_add end to end" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let n = 256 in
+            let a = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+            let b = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+            let out = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+            let av = List.init n (fun i -> i) in
+            let bv = List.init n (fun i -> 1000 * i) in
+            ignore
+              (ok
+                 (CL.clEnqueueWriteBuffer q a ~blocking:true ~offset:0
+                    ~src:(i32_bytes av) ~wait_list:[] ~want_event:false));
+            ignore
+              (ok
+                 (CL.clEnqueueWriteBuffer q b ~blocking:true ~offset:0
+                    ~src:(i32_bytes bv) ~wait_list:[] ~want_event:false));
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin vec_add")
+            in
+            ok (CL.clBuildProgram p ~options:"");
+            let k = ok (CL.clCreateKernel p ~name:"vec_add") in
+            ok (CL.clSetKernelArg k ~index:0 (Arg_mem a));
+            ok (CL.clSetKernelArg k ~index:1 (Arg_mem b));
+            ok (CL.clSetKernelArg k ~index:2 (Arg_mem out));
+            ignore
+              (ok
+                 (CL.clEnqueueNDRangeKernel q k ~global_work_size:n
+                    ~local_work_size:64 ~wait_list:[] ~want_event:false));
+            let data, _ =
+              ok
+                (CL.clEnqueueReadBuffer q out ~blocking:true ~offset:0
+                   ~size:(4 * n) ~wait_list:[] ~want_event:false)
+            in
+            let expected = List.map2 ( + ) av bv in
+            Alcotest.(check (list int)) "sum" expected (bytes_i32 data)));
+    Alcotest.test_case "in-order queue: fill then read" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:64) in
+            ignore
+              (ok
+                 (CL.clEnqueueFillBuffer q m ~pattern:'x' ~offset:0 ~size:64
+                    ~wait_list:[] ~want_event:false));
+            (* Non-blocking fill; the read must still observe it. *)
+            let data, _ =
+              ok
+                (CL.clEnqueueReadBuffer q m ~blocking:true ~offset:0 ~size:64
+                   ~wait_list:[] ~want_event:false)
+            in
+            Alcotest.(check bytes) "filled" (Bytes.make 64 'x') data));
+    Alcotest.test_case "copy buffer" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let src = ok (CL.clCreateBuffer ctx ~size:128) in
+            let dst = ok (CL.clCreateBuffer ctx ~size:128) in
+            let payload = Bytes.init 100 (fun i -> Char.chr (i + 32)) in
+            ignore
+              (ok
+                 (CL.clEnqueueWriteBuffer q src ~blocking:true ~offset:0
+                    ~src:payload ~wait_list:[] ~want_event:false));
+            ignore
+              (ok
+                 (CL.clEnqueueCopyBuffer q ~src ~dst ~src_offset:0
+                    ~dst_offset:28 ~size:100 ~wait_list:[] ~want_event:false));
+            let data, _ =
+              ok
+                (CL.clEnqueueReadBuffer q dst ~blocking:true ~offset:28
+                   ~size:100 ~wait_list:[] ~want_event:false)
+            in
+            Alcotest.(check bytes) "copied" payload data));
+    Alcotest.test_case "non-blocking read completes via event" `Quick
+      (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:64) in
+            ignore
+              (ok
+                 (CL.clEnqueueFillBuffer q m ~pattern:'z' ~offset:0 ~size:64
+                    ~wait_list:[] ~want_event:false));
+            let data, ev =
+              ok
+                (CL.clEnqueueReadBuffer q m ~blocking:false ~offset:0 ~size:64
+                   ~wait_list:[] ~want_event:true)
+            in
+            let ev = Option.get ev in
+            ok (CL.clWaitForEvents [ ev ]);
+            Alcotest.(check bytes) "data after wait" (Bytes.make 64 'z') data;
+            Alcotest.(check bool) "status complete" true
+              (ok (CL.clGetEventInfo ev) = Complete)));
+    Alcotest.test_case "unset kernel arg rejected at enqueue" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin vec_add")
+            in
+            ok (CL.clBuildProgram p ~options:"");
+            let k = ok (CL.clCreateKernel p ~name:"vec_add") in
+            let m = ok (CL.clCreateBuffer ctx ~size:64) in
+            ok (CL.clSetKernelArg k ~index:0 (Arg_mem m));
+            ok (CL.clSetKernelArg k ~index:2 (Arg_mem m));
+            (* index 1 missing *)
+            check_err "missing arg" Invalid_arg_value
+              (CL.clEnqueueNDRangeKernel q k ~global_work_size:16
+                 ~local_work_size:1 ~wait_list:[] ~want_event:false)));
+    Alcotest.test_case "stale mem handle in setarg rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, _ = setup (module CL) in
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin noop")
+            in
+            ok (CL.clBuildProgram p ~options:"");
+            let k = ok (CL.clCreateKernel p ~name:"noop") in
+            check_err "stale" Invalid_arg_value
+              (CL.clSetKernelArg k ~index:0 (Arg_mem 4242))));
+    Alcotest.test_case "out of range transfer rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:64) in
+            check_err "read oob" Invalid_value
+              (CL.clEnqueueReadBuffer q m ~blocking:true ~offset:60 ~size:10
+                 ~wait_list:[] ~want_event:false);
+            check_err "write oob" Invalid_value
+              (CL.clEnqueueWriteBuffer q m ~blocking:true ~offset:0
+                 ~src:(Bytes.create 100) ~wait_list:[] ~want_event:false)));
+    Alcotest.test_case "clFinish drains the queue" `Quick (fun () ->
+        with_cl (fun e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:(mib 4)) in
+            let t0 = Engine.now e in
+            ignore
+              (ok
+                 (CL.clEnqueueWriteBuffer q m ~blocking:false ~offset:0
+                    ~src:(Bytes.create (mib 4)) ~wait_list:[]
+                    ~want_event:false));
+            let submitted = Engine.now e - t0 in
+            ok (CL.clFinish q);
+            let finished = Engine.now e - t0 in
+            (* Non-blocking write returns fast; 4MiB over PCIe ~ 350us. *)
+            Alcotest.(check bool) "enqueue fast" true
+              (submitted < Time.us 100);
+            Alcotest.(check bool) "finish waits for dma" true
+              (finished > Time.us 300)));
+  ]
+
+let event_tests =
+  [
+    Alcotest.test_case "profiling timestamps ordered" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let p =
+              ok (CL.clCreateProgramWithSource ctx ~source:"builtin noop")
+            in
+            ok (CL.clBuildProgram p ~options:"");
+            let k = ok (CL.clCreateKernel p ~name:"noop") in
+            let ev =
+              Option.get
+                (ok
+                   (CL.clEnqueueNDRangeKernel q k ~global_work_size:1024
+                      ~local_work_size:64 ~wait_list:[] ~want_event:true))
+            in
+            ok (CL.clWaitForEvents [ ev ]);
+            let queued = ok (CL.clGetEventProfilingInfo ev Profiling_queued) in
+            let start = ok (CL.clGetEventProfilingInfo ev Profiling_start) in
+            let stop = ok (CL.clGetEventProfilingInfo ev Profiling_end) in
+            Alcotest.(check bool) "queued <= start" true (queued <= start);
+            Alcotest.(check bool) "start < end" true (start < stop)));
+    Alcotest.test_case "profiling unavailable before completion" `Quick
+      (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:(mib 8)) in
+            let _, ev =
+              ok
+                (CL.clEnqueueReadBuffer q m ~blocking:false ~offset:0
+                   ~size:(mib 8) ~wait_list:[] ~want_event:true)
+            in
+            let ev = Option.get ev in
+            check_err "not yet" Profiling_info_not_available
+              (CL.clGetEventProfilingInfo ev Profiling_end);
+            ok (CL.clWaitForEvents [ ev ])));
+    Alcotest.test_case "wait list gates execution across queues" `Quick
+      (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            let _, d, ctx, q1 = setup (module CL) in
+            let q2 = ok (CL.clCreateCommandQueue ctx d ~profiling:false) in
+            let m = ok (CL.clCreateBuffer ctx ~size:64 ) in
+            let ev =
+              Option.get
+                (ok
+                   (CL.clEnqueueFillBuffer q1 m ~pattern:'a' ~offset:0
+                      ~size:64 ~wait_list:[] ~want_event:true))
+            in
+            (* q2's read waits on q1's fill via the event wait list. *)
+            let data, _ =
+              ok
+                (CL.clEnqueueReadBuffer q2 m ~blocking:true ~offset:0 ~size:64
+                   ~wait_list:[ ev ] ~want_event:false)
+            in
+            Alcotest.(check bytes) "ordered across queues"
+              (Bytes.make 64 'a') data));
+    Alcotest.test_case "empty wait-for-events rejected" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) _st ->
+            check_err "empty" Invalid_value (CL.clWaitForEvents [])));
+    Alcotest.test_case "event release removes handle" `Quick (fun () ->
+        with_cl (fun _e (module CL : Api.S) st ->
+            let _, _, ctx, q = setup (module CL) in
+            let m = ok (CL.clCreateBuffer ctx ~size:64) in
+            let ev =
+              Option.get
+                (ok
+                   (CL.clEnqueueFillBuffer q m ~pattern:'b' ~offset:0 ~size:64
+                      ~wait_list:[] ~want_event:true))
+            in
+            ok (CL.clWaitForEvents [ ev ]);
+            let before = Native.live_events st in
+            ok (CL.clReleaseEvent ev);
+            Alcotest.(check int) "one fewer" (before - 1)
+              (Native.live_events st);
+            check_err "gone" Invalid_event (CL.clGetEventInfo ev)));
+  ]
+
+let isolation_tests =
+  [
+    Alcotest.test_case "two instances have disjoint namespaces" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let gpu = Ava_device.Gpu.create e in
+        let kd = Kdriver.create gpu in
+        let cl1, _ = Native.create kd in
+        let cl2, _ = Native.create kd in
+        let module CL1 = (val cl1 : Api.S) in
+        let module CL2 = (val cl2 : Api.S) in
+        let r = ref None in
+        Engine.spawn e (fun () ->
+            let _, _, ctx1, _ = setup (module CL1) in
+            let m1 = ok (CL1.clCreateBuffer ctx1 ~size:64) in
+            (* The other process cannot see instance 1's handles. *)
+            r := Some (CL2.clGetMemObjectInfo m1));
+        Engine.run e;
+        match !r with
+        | Some (Error Invalid_mem_object) -> ()
+        | Some (Ok _) -> Alcotest.fail "isolation violated"
+        | _ -> Alcotest.fail "unexpected");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random i32 vectors add correctly" ~count:30
+         QCheck.(list_of_size Gen.(1 -- 64) (int_range (-10000) 10000))
+         (fun xs ->
+           let n = List.length xs in
+           with_cl (fun _e (module CL : Api.S) _st ->
+               let _, _, ctx, q = setup (module CL) in
+               let a = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+               let b = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+               let out = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+               ignore
+                 (ok
+                    (CL.clEnqueueWriteBuffer q a ~blocking:true ~offset:0
+                       ~src:(i32_bytes xs) ~wait_list:[] ~want_event:false));
+               ignore
+                 (ok
+                    (CL.clEnqueueWriteBuffer q b ~blocking:true ~offset:0
+                       ~src:(i32_bytes xs) ~wait_list:[] ~want_event:false));
+               let p =
+                 ok
+                   (CL.clCreateProgramWithSource ctx
+                      ~source:"builtin vec_add")
+               in
+               ok (CL.clBuildProgram p ~options:"");
+               let k = ok (CL.clCreateKernel p ~name:"vec_add") in
+               ok (CL.clSetKernelArg k ~index:0 (Arg_mem a));
+               ok (CL.clSetKernelArg k ~index:1 (Arg_mem b));
+               ok (CL.clSetKernelArg k ~index:2 (Arg_mem out));
+               ignore
+                 (ok
+                    (CL.clEnqueueNDRangeKernel q k ~global_work_size:n
+                       ~local_work_size:1 ~wait_list:[] ~want_event:false));
+               let data, _ =
+                 ok
+                   (CL.clEnqueueReadBuffer q out ~blocking:true ~offset:0
+                      ~size:(4 * n) ~wait_list:[] ~want_event:false)
+               in
+               bytes_i32 data = List.map (fun x -> 2 * x) xs)));
+  ]
+
+let () =
+  Alcotest.run "ava_simcl"
+    [
+      ("discovery", discovery_tests);
+      ("lifecycle", lifecycle_tests);
+      ("programs", program_tests);
+      ("execution", exec_tests);
+      ("events", event_tests);
+      ("isolation", isolation_tests);
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the MVNC silo: graph files, device/graph lifecycle,
+   asynchronous LoadTensor/GetResult semantics. *)
+
+open Ava_sim
+open Ava_simnc
+open Ava_simnc.Types
+
+let with_nc f =
+  let e = Engine.create () in
+  let ncs = Ava_device.Ncs.create e in
+  let nc, st = Native.create ncs in
+  let result = ref None in
+  Engine.spawn e (fun () -> result := Some (f e nc st));
+  Engine.run e;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simnc test process stalled"
+
+let ok = function
+  | Ok v -> v
+  | Error s -> Alcotest.failf "unexpected status %s" (status_to_string s)
+
+let check_err name expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" name (status_to_string expected)
+  | Error s ->
+      Alcotest.(check string) name
+        (status_to_string expected)
+        (status_to_string s)
+
+let small_graph =
+  Graphdef.encode { Graphdef.layer_flops = [ 1e6; 2e6 ]; output_bytes = 16 }
+
+let graphdef_tests =
+  [
+    Alcotest.test_case "encode/decode roundtrip" `Quick (fun () ->
+        let def =
+          { Graphdef.layer_flops = [ 1.5e9; 2.5e8; 3.0e7 ]; output_bytes = 4004 }
+        in
+        let b = Graphdef.encode ~total_bytes:100_000 def in
+        Alcotest.(check int) "size" 100_000 (Bytes.length b);
+        match Graphdef.decode b with
+        | Error `Bad_graph -> Alcotest.fail "decode failed"
+        | Ok d ->
+            Alcotest.(check (list (float 1e-6)))
+              "flops" def.Graphdef.layer_flops d.Graphdef.layer_flops;
+            Alcotest.(check int) "out" 4004 d.Graphdef.output_bytes);
+    Alcotest.test_case "garbage rejected" `Quick (fun () ->
+        (match Graphdef.decode (Bytes.of_string "not a graph at all") with
+        | Error `Bad_graph -> ()
+        | Ok _ -> Alcotest.fail "accepted garbage");
+        match Graphdef.decode (Bytes.create 4) with
+        | Error `Bad_graph -> ()
+        | Ok _ -> Alcotest.fail "accepted short file");
+    Alcotest.test_case "undersized total_bytes rejected" `Quick (fun () ->
+        Alcotest.check_raises "too small"
+          (Invalid_argument "Graphdef.encode: total_bytes smaller than header")
+          (fun () ->
+            ignore
+              (Graphdef.encode ~total_bytes:4
+                 { Graphdef.layer_flops = [ 1.0 ]; output_bytes = 1 })));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"roundtrip for any layer list" ~count:100
+         QCheck.(
+           pair
+             (list_of_size Gen.(0 -- 20) (float_range 1.0 1e12))
+             (int_range 0 100_000))
+         (fun (layer_flops, output_bytes) ->
+           let def = { Graphdef.layer_flops; output_bytes } in
+           match Graphdef.decode (Graphdef.encode def) with
+           | Ok d -> d = def
+           | Error `Bad_graph -> false));
+  ]
+
+let lifecycle_tests =
+  [
+    Alcotest.test_case "device discovery and open/close" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let name = ok (NC.mvncGetDeviceName ~index:0) in
+            Alcotest.(check string) "name" "ncs-0" name;
+            check_err "no second stick" Device_not_found
+              (NC.mvncGetDeviceName ~index:1);
+            let d = ok (NC.mvncOpenDevice ~name) in
+            ok (NC.mvncCloseDevice d);
+            check_err "double close" Invalid_parameters
+              (NC.mvncCloseDevice d)));
+    Alcotest.test_case "graph allocate/deallocate" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:small_graph) in
+            Alcotest.(check int) "live" 1 (Native.live_graphs st);
+            ok (NC.mvncDeallocateGraph g);
+            Alcotest.(check int) "gone" 0 (Native.live_graphs st);
+            check_err "stale" Invalid_parameters (NC.mvncDeallocateGraph g)));
+    Alcotest.test_case "bad graph file rejected" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            check_err "bad file" Unsupported_graph_file
+              (NC.mvncAllocateGraph d ~graph_data:(Bytes.of_string "junk"))));
+  ]
+
+let inference_tests =
+  [
+    Alcotest.test_case "load tensor then get result" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:small_graph) in
+            let tensor = Bytes.of_string "0123456789abcdef" in
+            ok (NC.mvncLoadTensor g ~tensor);
+            let out = ok (NC.mvncGetResult g) in
+            Alcotest.(check int) "output size" 16 (Bytes.length out);
+            Alcotest.(check bool) "transformed" true
+              (not (Bytes.equal out tensor))));
+    Alcotest.test_case "get result without load is No_data" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:small_graph) in
+            check_err "no data" No_data (NC.mvncGetResult g)));
+    Alcotest.test_case "pipelined inferences return in order" `Quick
+      (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:small_graph) in
+            let t1 = Bytes.make 16 'a' and t2 = Bytes.make 16 'b' in
+            ok (NC.mvncLoadTensor g ~tensor:t1);
+            ok (NC.mvncLoadTensor g ~tensor:t2);
+            let o1 = ok (NC.mvncGetResult g) in
+            let o2 = ok (NC.mvncGetResult g) in
+            (* Same graph, different inputs: outputs must differ and match
+               a direct recomputation order. *)
+            Alcotest.(check bool) "o1 <> o2" true (not (Bytes.equal o1 o2))));
+    Alcotest.test_case "inference time reported via graph option" `Quick
+      (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let heavy =
+              Graphdef.encode
+                { Graphdef.layer_flops = [ 1e9 ]; output_bytes = 8 }
+            in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:heavy) in
+            ok (NC.mvncLoadTensor g ~tensor:(Bytes.create 32));
+            ignore (ok (NC.mvncGetResult g));
+            let us = ok (NC.mvncGetGraphOption g Graph_time_taken_us) in
+            (* 1e9 flops at 100 GFLOP/s = 10 ms *)
+            Alcotest.(check bool) "about 10ms" true
+              (us > 9_000 && us < 30_000)));
+    Alcotest.test_case "device options" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            Alcotest.(check int) "no throttle" 0
+              (ok (NC.mvncGetDeviceOption d Device_thermal_throttle));
+            check_err "bad handle" Invalid_parameters
+              (NC.mvncGetDeviceOption 999 Device_thermal_throttle)));
+    Alcotest.test_case "set graph option validation" `Quick (fun () ->
+        with_nc (fun _e (module NC : Api.S) _st ->
+            let d = ok (NC.mvncOpenDevice ~name:"ncs-0") in
+            let g = ok (NC.mvncAllocateGraph d ~graph_data:small_graph) in
+            ok (NC.mvncSetGraphOption g Graph_executors 8);
+            check_err "read-only option" Invalid_parameters
+              (NC.mvncSetGraphOption g Graph_time_taken_us 1)));
+  ]
+
+(* Multi-tenant NCS sharing through the remoting stack: the stick is the
+   §6 "minimal onboard memory" case the paper time-shares. *)
+let sharing_tests =
+  [
+    Alcotest.test_case "two virtual guests time-share one stick" `Quick
+      (fun () ->
+        let e = Ava_sim.Engine.create () in
+        let host = Ava_core.Host.create_nc_host e in
+        let finish = Hashtbl.create 2 in
+        for idx = 1 to 2 do
+          let guest =
+            Ava_core.Host.add_nc_vm host ~name:(Printf.sprintf "vm%d" idx)
+          in
+          Ava_sim.Engine.spawn e (fun () ->
+              let module NC = (val guest.Ava_core.Host.ng_api) in
+              let g =
+                Result.get_ok
+                  (NC.mvncAllocateGraph
+                     (Result.get_ok (NC.mvncOpenDevice ~name:"ncs-0"))
+                     ~graph_data:small_graph)
+              in
+              for _ = 1 to 3 do
+                Result.get_ok
+                  (NC.mvncLoadTensor g ~tensor:(Bytes.make 16 'x'));
+                ignore (Result.get_ok (NC.mvncGetResult g))
+              done;
+              Hashtbl.replace finish idx (Ava_sim.Engine.now e))
+        done;
+        Ava_sim.Engine.run e;
+        Alcotest.(check int) "both finished" 2 (Hashtbl.length finish);
+        (* Guests have isolated graph namespaces on the shared stick. *)
+        Alcotest.(check bool) "stick executed all work" true
+          (Ava_device.Ncs.inferences host.Ava_core.Host.nc_dev = 6));
+    Alcotest.test_case "guests cannot reach each other's graphs" `Quick
+      (fun () ->
+        let e = Ava_sim.Engine.create () in
+        let host = Ava_core.Host.create_nc_host e in
+        let g1 = Ava_core.Host.add_nc_vm host ~name:"g1" in
+        let g2 = Ava_core.Host.add_nc_vm host ~name:"g2" in
+        let leaked = ref None in
+        Ava_sim.Engine.spawn e (fun () ->
+            let module N1 = (val g1.Ava_core.Host.ng_api) in
+            let module N2 = (val g2.Ava_core.Host.ng_api) in
+            let d = Result.get_ok (N1.mvncOpenDevice ~name:"ncs-0") in
+            let g =
+              Result.get_ok (N1.mvncAllocateGraph d ~graph_data:small_graph)
+            in
+            leaked := Some (N2.mvncDeallocateGraph g));
+        Ava_sim.Engine.run e;
+        match !leaked with
+        | Some (Error _) -> ()
+        | Some (Ok ()) -> Alcotest.fail "graph handle leaked across VMs"
+        | None -> Alcotest.fail "test stalled");
+  ]
+
+let () =
+  Alcotest.run "ava_simnc"
+    [
+      ("graphdef", graphdef_tests);
+      ("lifecycle", lifecycle_tests);
+      ("inference", inference_tests);
+      ("sharing", sharing_tests);
+    ]

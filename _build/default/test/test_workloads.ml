@@ -1,0 +1,116 @@
+(* Tests for the workload suite: every benchmark runs on every stack,
+   results are deterministic, and Figure-5 relative runtimes stay inside
+   the band the paper reports. *)
+
+module Transport = Ava_transport.Transport
+
+open Ava_core
+open Ava_workloads
+
+let benchmark_tests =
+  List.map
+    (fun (b : Rodinia.benchmark) ->
+      Alcotest.test_case (b.Rodinia.name ^ " runs everywhere") `Slow (fun () ->
+          let native = Driver.time_cl b.Rodinia.run in
+          let ava =
+            Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring)
+              b.Rodinia.run
+          in
+          let pass =
+            Driver.time_cl ~technique:Host.Passthrough b.Rodinia.run
+          in
+          Alcotest.(check bool) "native runs" true (native > 0);
+          Alcotest.(check bool) "passthrough ~ native" true
+            (float_of_int pass /. float_of_int native < 1.001);
+          let rel = float_of_int ava /. float_of_int native in
+          Alcotest.(check bool)
+            (Printf.sprintf "ava overhead %.3f within (1.0, 1.30)" rel)
+            true
+            (rel > 1.0 && rel < 1.30)))
+    Rodinia.all
+
+let determinism_tests =
+  [
+    Alcotest.test_case "same workload, same virtual time" `Quick (fun () ->
+        let b = Option.get (Rodinia.find "bfs") in
+        let t1 = Driver.time_cl b.Rodinia.run in
+        let t2 = Driver.time_cl b.Rodinia.run in
+        Alcotest.(check int) "bit-identical" t1 t2);
+    Alcotest.test_case "ava runs are deterministic too" `Quick (fun () ->
+        let b = Option.get (Rodinia.find "srad") in
+        let t1 =
+          Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring) b.Rodinia.run
+        in
+        let t2 =
+          Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring) b.Rodinia.run
+        in
+        Alcotest.(check int) "bit-identical" t1 t2);
+  ]
+
+let fig5_tests =
+  [
+    Alcotest.test_case "figure 5 bands hold" `Slow (fun () ->
+        let rows = Driver.fig5_opencl () in
+        let mean = Driver.mean rows in
+        let max_rel =
+          List.fold_left (fun acc r -> Float.max acc r.Driver.relative) 0.0 rows
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "mean %.3f in [1.03, 1.13] (paper ~1.08)" mean)
+          true
+          (mean > 1.03 && mean < 1.13);
+        Alcotest.(check bool)
+          (Printf.sprintf "max %.3f <= 1.20 (paper <=1.16)" max_rel)
+          true (max_rel <= 1.20);
+        (* bfs is the chatty extreme; nn the quiet one. *)
+        let rel name =
+          (List.find (fun r -> r.Driver.row_name = name) rows).Driver.relative
+        in
+        Alcotest.(check bool) "bfs above nn" true (rel "bfs" > rel "nn"));
+    Alcotest.test_case "inception overhead ~1%" `Quick (fun () ->
+        let r = Driver.fig5_ncs ~inferences:10 () in
+        Alcotest.(check bool)
+          (Printf.sprintf "relative %.4f in [1.0, 1.02]" r.Driver.relative)
+          true
+          (r.Driver.relative >= 1.0 && r.Driver.relative < 1.02));
+    Alcotest.test_case "async ablation helps on chatty workloads" `Slow
+      (fun () ->
+        let b = Option.get (Rodinia.find "pathfinder") in
+        let as_async =
+          Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring) b.Rodinia.run
+        in
+        let as_sync =
+          Driver.time_cl ~technique:(Host.Ava Transport.Shm_ring)
+            ~sync_only:true b.Rodinia.run
+        in
+        Alcotest.(check bool) "sync-only slower" true (as_sync > as_async));
+  ]
+
+let inception_tests =
+  [
+    Alcotest.test_case "layer schedule matches inception v3 profile" `Quick
+      (fun () ->
+        Alcotest.(check int) "48-ish weighted layers" 51
+          (List.length Inception.layer_flops);
+        let total = List.fold_left ( +. ) 0.0 Inception.layer_flops in
+        (* ~5.7 GFLOPs per inference. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "total %.2f GFLOP in [4, 8]" (total /. 1e9))
+          true
+          (total > 4e9 && total < 8e9));
+    Alcotest.test_case "graph file decodes" `Quick (fun () ->
+        match Ava_simnc.Graphdef.decode (Inception.graph_data ()) with
+        | Ok d ->
+            Alcotest.(check int) "output" Inception.output_bytes
+              d.Ava_simnc.Graphdef.output_bytes
+        | Error `Bad_graph -> Alcotest.fail "graph data invalid");
+  ]
+
+let () =
+  Alcotest.run "ava_workloads"
+    [
+      ("benchmarks", benchmark_tests);
+      ("determinism", determinism_tests);
+      ("fig5", fig5_tests);
+      ("inception", inception_tests);
+    ]
