@@ -7,6 +7,7 @@
    the Movidius equivalent. *)
 
 module Transport = Ava_transport.Transport
+module Faults = Ava_transport.Faults
 module Plan = Ava_codegen.Plan
 module Stub = Ava_remoting.Stub
 module Server = Ava_remoting.Server
@@ -128,9 +129,12 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
   { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace }
 
 (* Attach one guest VM with the chosen technique and policies.
-   [batching] enables rCUDA-style API batching in the guest stub. *)
+   [batching] enables rCUDA-style API batching in the guest stub.
+   [faults] installs fault hooks on the guest-facing link (the hop that
+   crosses a real transport); [retry] arms the stub's retransmission
+   watchdog — deploy them together for a recoverable lossy stack. *)
 let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
-    ?rate_per_s ?weight ?quota_cost ?quota_window t ~name =
+    ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window t ~name =
   let batch_limit = if batching then 16 else 1 in
   let vm = Ava_hv.Hypervisor.create_vm t.hv ~name in
   let vm_id = Ava_hv.Vm.id vm in
@@ -150,17 +154,26 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       let guest_end, server_end =
         Transport.user_rpc t.engine ~virt:(Ava_hv.Hypervisor.virt t.hv)
       in
+      (match faults with
+      | Some f -> Faults.wrap f (guest_end, server_end)
+      | None -> ());
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit t.engine ~vm_id ~plan:t.plan ~ep:guest_end
+        Stub.create ~batch_limit ?retry t.engine ~vm_id ~plan:t.plan
+          ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;
       { g_vm = vm; g_api = api; g_stub = Some stub; g_technique = technique }
   | Ava kind ->
       let virt = Ava_hv.Hypervisor.virt t.hv in
-      (* Hop 1: guest <-> router over the chosen transport. *)
+      (* Hop 1: guest <-> router over the chosen transport.  Faults live
+         here — the hop that crosses a ring/socket/network in a real
+         deployment; the router <-> server queue is host-internal. *)
       let guest_end, router_guest_end = Transport.make kind t.engine ~virt in
+      (match faults with
+      | Some f -> Faults.wrap f (guest_end, router_guest_end)
+      | None -> ());
       (* Hop 2: router <-> server over a host-internal queue. *)
       let router_server_end, server_end = Transport.direct t.engine in
       ignore
@@ -169,7 +182,8 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
            ~server_side:router_server_end);
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit t.engine ~vm_id ~plan:t.plan ~ep:guest_end
+        Stub.create ~batch_limit ?retry t.engine ~vm_id ~plan:t.plan
+          ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;

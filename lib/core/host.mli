@@ -8,6 +8,7 @@
     equivalents. *)
 
 module Transport = Ava_transport.Transport
+module Faults = Ava_transport.Faults
 module Plan = Ava_codegen.Plan
 module Stub = Ava_remoting.Stub
 module Server = Ava_remoting.Server
@@ -75,6 +76,8 @@ val create_cl_host :
 val add_cl_vm :
   ?technique:technique ->
   ?batching:bool ->
+  ?retry:Stub.retry ->
+  ?faults:Faults.t ->
   ?rate_per_s:float ->
   ?weight:float ->
   ?quota_cost:float ->
@@ -84,7 +87,11 @@ val add_cl_vm :
   cl_guest
 (** Attach one guest VM (default technique: AvA over the shm ring) with
     optional router policies.  [batching] enables rCUDA-style API
-    batching in the guest stub. *)
+    batching in the guest stub.  [faults] installs fault injection on
+    the guest-facing transport hop; [retry] arms the stub's
+    retransmission watchdog — deploy them together for a recoverable
+    lossy stack (both absent by default: the stack is then bit-identical
+    to the fault-free build). *)
 
 val native_cl :
   ?gpu_timing:Timing.gpu -> Engine.t -> (module Ava_simcl.Api.S) * Gpu.t

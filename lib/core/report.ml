@@ -24,6 +24,8 @@ type guest_stats = {
   gs_upcalls : int;
   gs_in_flight : int;
   gs_pending_errors : int;
+  gs_retries : int;  (** watchdog resends (fault recovery) *)
+  gs_timeouts : int;  (** calls that exhausted their retry budget *)
 }
 
 type t = {
@@ -31,8 +33,12 @@ type t = {
   r_guests : guest_stats list;
   r_forwarded : int;
   r_rejected_router : int;
+  r_requeued : int;  (** messages re-dispatched after a server restart *)
   r_executed : int;
   r_rejected_server : int;
+  r_replayed : int;  (** duplicate seqs answered from the reply log *)
+  r_restarts : int;
+  r_lost_while_down : int;
   r_paced : Time.t;
   r_kernels : int;
   r_gpu_busy : Time.t;
@@ -58,6 +64,8 @@ let guest_stats (guest : Host.cl_guest) =
     gs_upcalls = stat Stub.upcalls_received 0;
     gs_in_flight = stat Stub.in_flight 0;
     gs_pending_errors = stat Stub.pending_errors 0;
+    gs_retries = stat Stub.retries 0;
+    gs_timeouts = stat Stub.timeouts 0;
   }
 
 let snapshot (host : Host.cl_host) guests =
@@ -66,8 +74,12 @@ let snapshot (host : Host.cl_host) guests =
     r_guests = List.map guest_stats guests;
     r_forwarded = Router.forwarded host.Host.router;
     r_rejected_router = Router.rejected host.Host.router;
+    r_requeued = Router.requeued host.Host.router;
     r_executed = Server.executed host.Host.server;
     r_rejected_server = Server.rejected host.Host.server;
+    r_replayed = Server.replayed host.Host.server;
+    r_restarts = Server.restarts host.Host.server;
+    r_lost_while_down = Server.lost_while_down host.Host.server;
     r_paced = Router.paced_ns host.Host.router;
     r_kernels = Gpu.kernels_executed host.Host.gpu;
     r_gpu_busy = Gpu.busy_ns host.Host.gpu;
@@ -86,6 +98,13 @@ let pp ppf r =
     r.r_forwarded r.r_rejected_router Time.pp r.r_paced;
   Fmt.pf ppf "  server: %d executed, %d rejected@." r.r_executed
     r.r_rejected_server;
+  if
+    r.r_requeued > 0 || r.r_replayed > 0 || r.r_restarts > 0
+    || r.r_lost_while_down > 0
+  then
+    Fmt.pf ppf
+      "  recovery: %d restarts, %d lost while down, %d replayed, %d requeued@."
+      r.r_restarts r.r_lost_while_down r.r_replayed r.r_requeued;
   Fmt.pf ppf "  device: %d kernels, busy %a, %d B resident, %d B over DMA@."
     r.r_kernels Time.pp r.r_gpu_busy r.r_gpu_mem_used r.r_dma_bytes;
   (match r.r_swap with
@@ -97,9 +116,12 @@ let pp ppf r =
     (fun g ->
       Fmt.pf ppf
         "  vm%-3d %-10s %-16s calls=%-6d sync=%-5d async=%-5d batches=%-4d \
-         upcalls=%-3d bytes=%d@."
+         upcalls=%-3d bytes=%d%s@."
         g.gs_vm_id g.gs_name g.gs_technique g.gs_api_calls g.gs_sync_calls
-        g.gs_async_calls g.gs_batches g.gs_upcalls g.gs_bytes)
+        g.gs_async_calls g.gs_batches g.gs_upcalls g.gs_bytes
+        (if g.gs_retries > 0 || g.gs_timeouts > 0 then
+           Printf.sprintf " retries=%d timeouts=%d" g.gs_retries g.gs_timeouts
+         else ""))
     r.r_guests
 
 let to_string r = Fmt.str "%a" pp r

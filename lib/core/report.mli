@@ -17,6 +17,8 @@ type guest_stats = {
   gs_upcalls : int;
   gs_in_flight : int;
   gs_pending_errors : int;
+  gs_retries : int;  (** watchdog resends (fault recovery) *)
+  gs_timeouts : int;  (** calls that exhausted their retry budget *)
 }
 
 type t = {
@@ -24,8 +26,12 @@ type t = {
   r_guests : guest_stats list;
   r_forwarded : int;
   r_rejected_router : int;
+  r_requeued : int;  (** messages re-dispatched after a server restart *)
   r_executed : int;
   r_rejected_server : int;
+  r_replayed : int;  (** duplicate seqs answered from the reply log *)
+  r_restarts : int;
+  r_lost_while_down : int;
   r_paced : Time.t;
   r_kernels : int;
   r_gpu_busy : Time.t;

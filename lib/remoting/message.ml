@@ -17,11 +17,16 @@ type reply = {
 
 type upcall = { up_vm : int; up_cb : int; up_args : Wire.value list }
 
+type skip = { skip_vm : int; skip_seqs : int list }
+(** Router-to-server notice that the named seqs were policed away and
+    will never arrive, so in-order execution can advance past them. *)
+
 type t =
   | Call of call
   | Reply of reply
   | Batch of call list
   | Upcall of upcall
+  | Skip of skip
 
 let rec encode = function
   | Call c ->
@@ -42,6 +47,10 @@ let rec encode = function
       (* Server-to-guest callback invocation. *)
       Wire.encode
         (Wire.Str "U" :: Wire.int u.up_vm :: Wire.int u.up_cb :: u.up_args)
+  | Skip s ->
+      Wire.encode
+        (Wire.Str "S" :: Wire.int s.skip_vm
+        :: List.map Wire.int s.skip_seqs)
 
 let rec decode data =
   match Wire.decode data with
@@ -79,6 +88,13 @@ let rec decode data =
       Ok
         (Upcall
            { up_vm = Int64.to_int vm; up_cb = Int64.to_int cb; up_args = args })
+  | Ok (Wire.Str "S" :: Wire.I64 vm :: seqs) ->
+      let rec decode_seqs acc = function
+        | [] -> Ok (Skip { skip_vm = Int64.to_int vm; skip_seqs = List.rev acc })
+        | Wire.I64 s :: rest -> decode_seqs (Int64.to_int s :: acc) rest
+        | _ -> Error "malformed skip frame"
+      in
+      decode_seqs [] seqs
   | Ok _ -> Error "malformed message frame"
 
 let pp ppf = function
@@ -91,3 +107,7 @@ let pp ppf = function
         Wire.pp r.reply_ret
   | Batch calls -> Fmt.pf ppf "batch of %d calls" (List.length calls)
   | Upcall u -> Fmt.pf ppf "upcall vm%d cb#%d" u.up_vm u.up_cb
+  | Skip s ->
+      Fmt.pf ppf "skip vm%d seqs=[%a]" s.skip_vm
+        (Fmt.list ~sep:Fmt.comma Fmt.int)
+        s.skip_seqs

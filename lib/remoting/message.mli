@@ -17,6 +17,8 @@ type reply = {
 
 type upcall = { up_vm : int; up_cb : int; up_args : Wire.value list }
 
+type skip = { skip_vm : int; skip_seqs : int list }
+
 type t =
   | Call of call
   | Reply of reply
@@ -26,6 +28,10 @@ type t =
   | Upcall of upcall
       (** server-to-guest callback invocation (spec [callback]
           parameters) *)
+  | Skip of skip
+      (** router-to-server notice that the named seqs were policed away
+          and will never arrive, so in-order execution can advance past
+          them *)
 
 val encode : t -> bytes
 val decode : bytes -> (t, string) result

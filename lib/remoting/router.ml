@@ -18,22 +18,33 @@ open Ava_hv
 
 let trace_category = "router"
 
+(* One message forwarded to the server whose replies are still owed;
+   requeued wholesale if the server restarts (already-executed seqs are
+   deduplicated there). *)
+type in_flight = {
+  if_data : bytes;
+  if_cost : float;
+  mutable if_seqs : int list;  (** seqs still awaiting replies *)
+}
+
 type vm_conn = {
   rc_vm : Vm.t;
   guest_side : Transport.endpoint;  (** router's endpoint facing the guest *)
   server_side : Transport.endpoint;  (** router's endpoint facing the server *)
   mutable bucket : Policy.Token_bucket.t option;
   mutable quota : Policy.Quota.t option;
+  mutable in_flight : in_flight list;  (** newest first *)
 }
 
 type t = {
   engine : Engine.t;
   virt : Ava_device.Timing.virt;
   plan : Plan.t;
-  wfq : (vm_conn * float * bytes) Policy.Wfq.t;
+  wfq : (vm_conn * float * bytes * int list) Policy.Wfq.t;
   mutable conns : (int * vm_conn) list;
   mutable forwarded : int;
   mutable rejected : int;
+  mutable requeued : int;
   mutable paced_ns : Time.t;
   mutable dispatcher_started : bool;
   trace : Trace.t option;
@@ -54,6 +65,7 @@ let create ?trace engine ~virt ~plan =
     conns = [];
     forwarded = 0;
     rejected = 0;
+    requeued = 0;
     paced_ns = 0;
     dispatcher_started = false;
     trace;
@@ -67,6 +79,7 @@ let record_trace t fmt =
 
 let forwarded t = t.forwarded
 let rejected t = t.rejected
+let requeued t = t.requeued
 
 let find_conn t vm_id = List.assoc_opt vm_id t.conns
 
@@ -102,13 +115,35 @@ let reject_call conn (c : Message.call) status =
   in
   Transport.send conn.guest_side (Message.encode reply)
 
+(* Tell the server the named seqs were policed away and will never
+   arrive, so its in-order execution can advance past them. *)
+let send_skip conn seqs =
+  if seqs <> [] then
+    Transport.send conn.server_side
+      (Message.encode
+         (Message.Skip { skip_vm = Vm.id conn.rc_vm; skip_seqs = seqs }))
+
+(* A reply flowed back: release its seq from the in-flight ledger. *)
+let mark_replied conn seq =
+  conn.in_flight <-
+    List.filter
+      (fun m ->
+        if List.mem seq m.if_seqs then
+          m.if_seqs <- List.filter (fun s -> s <> seq) m.if_seqs;
+        m.if_seqs <> [])
+      conn.in_flight
+
 let start_dispatcher t =
   if not t.dispatcher_started then begin
     t.dispatcher_started <- true;
     Engine.spawn t.engine ~name:"ava-router-dispatch" (fun () ->
         let rec loop () =
-          let flow_id, (conn, cost, data) = Policy.Wfq.pop t.wfq in
+          let flow_id, (conn, cost, data, seqs) = Policy.Wfq.pop t.wfq in
           t.forwarded <- t.forwarded + 1;
+          if seqs <> [] then
+            conn.in_flight <-
+              { if_data = data; if_cost = cost; if_seqs = seqs }
+              :: conn.in_flight;
           Transport.send conn.server_side data;
           (* Schedule at call granularity (§4.3): pace dispatch by the
              call's estimated device time.  The estimate is a strict
@@ -145,6 +180,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
           (fun budget ->
             Policy.Quota.create t.engine ~window_ns:quota_window ~budget)
           quota_cost;
+      in_flight = [];
     }
   in
   t.conns <- (Vm.id vm, conn) :: t.conns;
@@ -188,35 +224,71 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         in
         (match Message.decode data with
         | Error _ -> t.rejected <- t.rejected + 1
-        | Ok (Message.Reply _) | Ok (Message.Upcall _) ->
+        | Ok (Message.Reply _) | Ok (Message.Upcall _) | Ok (Message.Skip _)
+          ->
             t.rejected <- t.rejected + 1
         | Ok (Message.Call c) -> (
             Vm.charge_bytes vm (Bytes.length data);
             match police c with
-            | None -> ()
+            | None -> send_skip conn [ c.Message.call_seq ]
             | Some cost ->
                 Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
-                  (conn, cost, data))
+                  (conn, cost, data, [ c.Message.call_seq ]))
         | Ok (Message.Batch calls) ->
             Vm.charge_bytes vm (Bytes.length data);
-            let costs = List.filter_map police calls in
-            (* Forward only if every contained call verified; a batch
-               with a rejected member is dropped (its members already got
-               rejection replies). *)
-            if List.length costs = List.length calls then begin
-              let cost = List.fold_left ( +. ) 0.0 costs in
-              Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
-                (conn, cost, data)
-            end);
+            (* Police per contained call; every member is answered:
+               verified members are forwarded (and were charged),
+               rejected members got rejection replies above and their
+               seqs are skipped at the server.  Never drop a verified,
+               already-charged call. *)
+            let results = List.map (fun c -> (c, police c)) calls in
+            let rejected_seqs =
+              List.filter_map
+                (fun ((c : Message.call), v) ->
+                  if v = None then Some c.Message.call_seq else None)
+                results
+            in
+            send_skip conn rejected_seqs;
+            let accepted =
+              List.filter_map
+                (fun (c, v) -> Option.map (fun cost -> (c, cost)) v)
+                results
+            in
+            (match accepted with
+            | [] -> ()
+            | _ ->
+                let cost =
+                  List.fold_left (fun a (_, c) -> a +. c) 0.0 accepted
+                in
+                let seqs =
+                  List.map
+                    (fun ((c : Message.call), _) -> c.Message.call_seq)
+                    accepted
+                in
+                let data =
+                  if rejected_seqs = [] then data
+                  else
+                    match accepted with
+                    | [ (c, _) ] -> Message.encode (Message.Call c)
+                    | _ ->
+                        Message.encode
+                          (Message.Batch (List.map fst accepted))
+                in
+                Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
+                  (conn, cost, data, seqs)));
         loop ()
       in
       loop ());
-  (* Egress: server -> guest, with byte accounting. *)
+  (* Egress: server -> guest, with byte accounting and in-flight
+     bookkeeping (a reply releases its seq from the requeue ledger). *)
   Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-out-vm%d" (Vm.id vm))
     (fun () ->
       let rec loop () =
         let data = Transport.recv server_side in
         Vm.charge_bytes vm (Bytes.length data);
+        (match Message.decode data with
+        | Ok (Message.Reply r) -> mark_replied conn r.Message.reply_seq
+        | _ -> ());
         Transport.send conn.guest_side data;
         loop ()
       in
@@ -252,3 +324,28 @@ let throttle_ns t ~vm_id =
   | _ -> 0
 
 let paced_ns t = t.paced_ns
+
+(* Recovery after an API-server restart: every forwarded message still
+   owing replies goes back through the WFQ and is re-sent.  Seqs the
+   server did execute before crashing are answered from its reply log
+   (idempotent replay), so wholesale requeue is safe. *)
+let requeue_in_flight t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.requeue_in_flight: unknown vm"
+  | Some conn ->
+      let msgs = List.rev conn.in_flight (* oldest first *) in
+      conn.in_flight <- [];
+      List.iter
+        (fun m ->
+          t.requeued <- t.requeued + 1;
+          record_trace t "vm%d requeue %d seqs" vm_id (List.length m.if_seqs);
+          Policy.Wfq.push t.wfq ~flow_id:vm_id ~cost:m.if_cost
+            (conn, m.if_cost, m.if_data, m.if_seqs))
+        msgs;
+      List.length msgs
+
+let in_flight_calls t ~vm_id =
+  match find_conn t vm_id with
+  | None -> 0
+  | Some conn ->
+      List.fold_left (fun a m -> a + List.length m.if_seqs) 0 conn.in_flight

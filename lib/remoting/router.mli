@@ -27,6 +27,10 @@ val create :
 
 val forwarded : t -> int
 val rejected : t -> int
+
+val requeued : t -> int
+(** Messages re-pushed through the WFQ by {!requeue_in_flight}. *)
+
 val paced_ns : t -> Time.t
 (** Cumulative scheduler pacing applied at dispatch. *)
 
@@ -55,3 +59,16 @@ val set_quota : t -> vm_id:int -> budget:float -> window_ns:Time.t -> unit
 
 val throttle_ns : t -> vm_id:int -> Time.t
 (** Time the VM has spent rate-limit throttled. *)
+
+(** {1 Recovery (fault model)} *)
+
+val requeue_in_flight : t -> vm_id:int -> int
+(** Re-push every forwarded message of the VM that still owes replies —
+    the recovery step after an API-server restart.  Seqs the server
+    already executed are answered from its reply log (idempotent
+    replay), so wholesale requeue is safe.  Returns the number of
+    messages requeued. *)
+
+val in_flight_calls : t -> vm_id:int -> int
+(** Calls forwarded to the server whose replies have not yet flowed
+    back. *)

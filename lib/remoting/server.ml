@@ -70,12 +70,24 @@ end
    (status, return-value, out-values). *)
 type 'st handler = Ctx.t -> 'st -> Wire.value list -> int * Wire.value * Wire.value list
 
+(* Bounds the per-VM reply log used for idempotent replay of duplicate
+   seqs; far above any realistic in-flight window. *)
+let replay_cache_cap = 4096
+
 type 'st vm_entry = {
   ve_ctx : Ctx.t;
   mutable ve_state : 'st;
   ve_ep : Transport.endpoint;
   mutable ve_paused : bool;
   mutable ve_resume : (unit -> unit) option;
+  mutable ve_crashed : bool;  (** down: incoming messages are lost *)
+  mutable ve_expected : int;  (** next seq to execute, in order *)
+  ve_hold : (int, Message.call) Hashtbl.t;
+      (** future seqs parked until the gap before them fills *)
+  ve_skipped : (int, unit) Hashtbl.t;
+      (** future seqs the router policed away (Skip notices) *)
+  ve_replay : (int, Message.reply) Hashtbl.t;  (** seq -> sent reply *)
+  ve_replay_order : int Queue.t;  (** eviction order for [ve_replay] *)
 }
 
 type 'st t = {
@@ -86,6 +98,9 @@ type 'st t = {
   mutable vm_entries : (int * 'st vm_entry) list;
   mutable executed : int;
   mutable rejected : int;
+  mutable replayed : int;
+  mutable restarts : int;
+  mutable lost_while_down : int;
   mutable on_call : (vm_id:int -> status:int -> Message.call -> unit) option;
   exec_overhead_ns : Time.t;
   trace : Trace.t option;
@@ -98,6 +113,10 @@ let status_unknown_function = -9001
 let status_bad_arguments = -9002
 let status_unknown_handle = -9003
 
+(* Synthesized by the guest stub when a call exhausts its retry budget
+   (never sent by the server itself). *)
+let status_timeout = -9004
+
 let create ?(exec_overhead_ns = Time.ns 800) ?trace engine ~plan ~make_state
     =
   {
@@ -108,6 +127,9 @@ let create ?(exec_overhead_ns = Time.ns 800) ?trace engine ~plan ~make_state
     vm_entries = [];
     executed = 0;
     rejected = 0;
+    replayed = 0;
+    restarts = 0;
+    lost_while_down = 0;
     on_call = None;
     exec_overhead_ns;
     trace;
@@ -125,6 +147,9 @@ let set_call_hook t hook = t.on_call <- Some hook
 
 let executed t = t.executed
 let rejected t = t.rejected
+let replayed t = t.replayed
+let restarts t = t.restarts
+let lost_while_down t = t.lost_while_down
 
 let find_vm t vm_id = List.assoc_opt vm_id t.vm_entries
 
@@ -152,18 +177,75 @@ let execute_call t entry (c : Message.call) =
   | None -> ());
   result
 
-let handle_call t entry (c : Message.call) =
+(* Cache a sent reply for idempotent replay of duplicate seqs (stub
+   retransmissions, router requeues after a restart). *)
+let cache_reply entry seq reply =
+  Hashtbl.replace entry.ve_replay seq reply;
+  Queue.push seq entry.ve_replay_order;
+  if Queue.length entry.ve_replay_order > replay_cache_cap then
+    Hashtbl.remove entry.ve_replay (Queue.pop entry.ve_replay_order)
+
+let run_call t entry (c : Message.call) =
   let status, ret, outs = execute_call t entry c in
   let reply =
-    Message.Reply
-      {
-        reply_seq = c.Message.call_seq;
-        reply_status = status;
-        reply_ret = ret;
-        reply_outs = outs;
-      }
+    {
+      Message.reply_seq = c.Message.call_seq;
+      reply_status = status;
+      reply_ret = ret;
+      reply_outs = outs;
+    }
   in
-  Transport.send entry.ve_ep (Message.encode reply)
+  cache_reply entry c.Message.call_seq reply;
+  Transport.send entry.ve_ep (Message.encode (Message.Reply reply))
+
+(* Drain consecutively parked/skipped seqs now that the gap closed. *)
+let rec advance t entry =
+  let seq = entry.ve_expected in
+  match Hashtbl.find_opt entry.ve_hold seq with
+  | Some c ->
+      Hashtbl.remove entry.ve_hold seq;
+      entry.ve_expected <- seq + 1;
+      run_call t entry c;
+      advance t entry
+  | None ->
+      if Hashtbl.mem entry.ve_skipped seq then begin
+        Hashtbl.remove entry.ve_skipped seq;
+        entry.ve_expected <- seq + 1;
+        advance t entry
+      end
+
+(* Per-VM calls execute strictly in seq order.  Under fault injection a
+   call can arrive late (retransmission) or twice (duplicate delivery);
+   executing out of order would reorder argument updates against
+   launches, so future seqs park in [ve_hold] until the gap fills, and
+   seqs already executed replay their cached reply without touching the
+   silo. *)
+let handle_call t entry (c : Message.call) =
+  let seq = c.Message.call_seq in
+  if seq < entry.ve_expected then (
+    (* Duplicate of an executed (or skipped) call: idempotent replay. *)
+    match Hashtbl.find_opt entry.ve_replay seq with
+    | Some r ->
+        t.replayed <- t.replayed + 1;
+        record_trace t "vm%d replay seq=%d" entry.ve_ctx.Ctx.ctx_vm seq;
+        Transport.send entry.ve_ep (Message.encode (Message.Reply r))
+    | None ->
+        (* A router-skipped seq (the guest already holds its rejection
+           reply) or an evicted cache entry: nothing to say. *)
+        ())
+  else if seq = entry.ve_expected then begin
+    entry.ve_expected <- seq + 1;
+    run_call t entry c;
+    advance t entry
+  end
+  else Hashtbl.replace entry.ve_hold seq c
+
+let handle_skip t entry seqs =
+  List.iter
+    (fun s ->
+      if s >= entry.ve_expected then Hashtbl.replace entry.ve_skipped s ())
+    seqs;
+  advance t entry
 
 (* Attach a VM: spawn its worker process draining its endpoint. *)
 let attach_vm t ~vm_id ~ep =
@@ -174,6 +256,12 @@ let attach_vm t ~vm_id ~ep =
       ve_ep = ep;
       ve_paused = false;
       ve_resume = None;
+      ve_crashed = false;
+      ve_expected = 0;
+      ve_hold = Hashtbl.create 16;
+      ve_skipped = Hashtbl.create 16;
+      ve_replay = Hashtbl.create 64;
+      ve_replay_order = Queue.create ();
     }
   in
   t.vm_entries <- (vm_id, entry) :: t.vm_entries;
@@ -184,15 +272,49 @@ let attach_vm t ~vm_id ~ep =
         if entry.ve_paused then
           (* Migration in progress: stall new work until resumed. *)
           Engine.await (fun resume -> entry.ve_resume <- Some resume);
-        (match Message.decode data with
-        | Ok (Message.Call c) -> handle_call t entry c
-        | Ok (Message.Batch calls) -> List.iter (handle_call t entry) calls
-        | Ok (Message.Reply _) | Ok (Message.Upcall _) | Error _ ->
-            t.rejected <- t.rejected + 1);
+        if entry.ve_crashed then
+          (* Server down: the message is lost; the stub's retransmission
+             (or the router's requeue on restart) recovers it. *)
+          t.lost_while_down <- t.lost_while_down + 1
+        else
+          (match Message.decode data with
+          | Ok (Message.Call c) -> handle_call t entry c
+          | Ok (Message.Batch calls) -> List.iter (handle_call t entry) calls
+          | Ok (Message.Skip s) -> handle_skip t entry s.Message.skip_seqs
+          | Ok (Message.Reply _) | Ok (Message.Upcall _) | Error _ ->
+              t.rejected <- t.rejected + 1);
         loop ()
       in
       loop ());
   entry
+
+(* Crash/restart model: while crashed the worker stays alive but every
+   incoming message is lost, like an API server that died and whose
+   socket drops traffic until it is restarted.  Silo state and the reply
+   log survive (device state outlives a front-end process bounce);
+   in-flight calls are the losses, recovered by stub retransmission and
+   {!Router.requeue_in_flight}. *)
+let crash t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.crash: unknown vm"
+  | Some e ->
+      e.ve_crashed <- true;
+      record_trace t "vm%d server crash" vm_id
+
+let restart t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.restart: unknown vm"
+  | Some e ->
+      if e.ve_crashed then begin
+        e.ve_crashed <- false;
+        t.restarts <- t.restarts + 1;
+        record_trace t "vm%d server restart" vm_id
+      end
+
+let is_crashed t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.is_crashed: unknown vm"
+  | Some e -> e.ve_crashed
 
 (* Suspend/resume a VM's worker (used by migration §4.3). *)
 let pause_vm t ~vm_id =

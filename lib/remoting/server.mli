@@ -56,6 +56,10 @@ val status_unknown_function : int
 val status_bad_arguments : int
 val status_unknown_handle : int
 
+val status_timeout : int
+(** Synthesized by the guest stub when a call exhausts its retry budget
+    (never sent by the server itself). *)
+
 val create :
   ?exec_overhead_ns:Time.t ->
   ?trace:Trace.t ->
@@ -75,8 +79,28 @@ val set_call_hook : 'st t -> (vm_id:int -> status:int -> Message.call -> unit) -
 val executed : 'st t -> int
 val rejected : 'st t -> int
 
+val replayed : 'st t -> int
+(** Duplicate seqs answered from the per-VM reply log without
+    re-executing (idempotent replay). *)
+
+val restarts : 'st t -> int
+val lost_while_down : 'st t -> int
+(** Messages that arrived while their VM's worker was crashed. *)
+
 val attach_vm : 'st t -> vm_id:int -> ep:Transport.endpoint -> 'st vm_entry
-(** Spawn the VM's worker process draining [ep]. *)
+(** Spawn the VM's worker process draining [ep].  Per-VM calls execute
+    strictly in seq order: a late (retransmitted) or early (reordered)
+    seq parks until the gap before it fills — via retransmission or a
+    router {!Message.Skip} notice — and seqs already executed replay
+    their cached reply without touching the silo. *)
+
+val crash : 'st t -> vm_id:int -> unit
+(** Take the VM's worker down: every message that arrives until
+    {!restart} is lost.  Silo state and the reply log survive; in-flight
+    calls are recovered by stub retransmission and router requeue. *)
+
+val restart : 'st t -> vm_id:int -> unit
+val is_crashed : 'st t -> vm_id:int -> bool
 
 val pause_vm : 'st t -> vm_id:int -> unit
 (** Stall the worker before its next call (migration §4.3). *)

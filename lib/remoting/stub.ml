@@ -22,13 +22,24 @@ type pending = {
   p_sync : bool;
   p_ivar : Message.reply Ivar.t;
   p_on_reply : (Message.reply -> unit) option;
+  p_data : bytes;  (** encoded [Call] frame, for seq-based resend *)
+  mutable p_tries : int;
 }
+
+(* Recovery policy for lost calls/replies: after [timeout_ns] without a
+   reply the encoded call is resent under its original seq (the server
+   deduplicates); the timeout scales by [backoff] per attempt, and after
+   [max_retries] resends the call fails with {!Server.status_timeout}. *)
+type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
+
+let default_retry = { timeout_ns = Time.ms 20; max_retries = 12; backoff = 2.0 }
 
 type t = {
   engine : Engine.t;
   vm_id : int;
   plan : Plan.t;
   ep : Transport.endpoint;
+  retry : retry option;  (** [None]: no watchdogs at all (default) *)
   mutable next_seq : int;
   mutable next_handle : int;
   pending : (int, pending) Hashtbl.t;
@@ -41,18 +52,21 @@ type t = {
   mutable sync_calls : int;
   mutable async_calls : int;
   mutable marshalled_bytes : int;
+  mutable retries : int;  (** resends performed by the watchdogs *)
+  mutable timeouts : int;  (** calls that exhausted their retry budget *)
   callbacks : (int, Wire.value list -> unit) Hashtbl.t;
   mutable next_callback : int;
   mutable upcalls : int;
 }
 
-let create ?(batch_limit = 1) engine ~vm_id ~plan ~ep =
+let create ?(batch_limit = 1) ?retry engine ~vm_id ~plan ~ep =
   let t =
     {
       engine;
       vm_id;
       plan;
       ep;
+      retry;
       next_seq = 0;
       next_handle = first_guest_handle;
       pending = Hashtbl.create 32;
@@ -65,6 +79,8 @@ let create ?(batch_limit = 1) engine ~vm_id ~plan ~ep =
       sync_calls = 0;
       async_calls = 0;
       marshalled_bytes = 0;
+      retries = 0;
+      timeouts = 0;
       callbacks = Hashtbl.create 8;
       next_callback = 1;
       upcalls = 0;
@@ -94,7 +110,8 @@ let create ?(batch_limit = 1) engine ~vm_id ~plan ~ep =
             | Some f ->
                 t.upcalls <- t.upcalls + 1;
                 Engine.spawn engine (fun () -> f u.Message.up_args))
-        | Ok (Message.Call _) | Ok (Message.Batch _) | Error _ -> ());
+        | Ok (Message.Call _) | Ok (Message.Batch _) | Ok (Message.Skip _)
+        | Error _ -> ());
         loop ()
       in
       loop ());
@@ -103,6 +120,8 @@ let create ?(batch_limit = 1) engine ~vm_id ~plan ~ep =
 let vm_id t = t.vm_id
 let batches_sent t = t.batches_sent
 let upcalls_received t = t.upcalls
+let retries t = t.retries
+let timeouts t = t.timeouts
 
 (* Register a guest closure; the returned id travels in place of the C
    function pointer and the server upcalls through it. *)
@@ -157,6 +176,49 @@ let flush_batch t =
       t.batches_sent <- t.batches_sent + 1;
       Transport.send t.ep (Message.encode (Message.Batch calls))
 
+(* Give up on a pending call: synthesize a timeout reply so the caller
+   (or the deferred-error channel) observes the failure instead of
+   hanging forever. *)
+let give_up t seq p =
+  Hashtbl.remove t.pending seq;
+  t.timeouts <- t.timeouts + 1;
+  let reply =
+    {
+      Message.reply_seq = seq;
+      reply_status = Server.status_timeout;
+      reply_ret = Wire.Unit;
+      reply_outs = [];
+    }
+  in
+  (match p.p_on_reply with Some f -> f reply | None -> ());
+  if p.p_sync then Ivar.fill p.p_ivar reply
+  else
+    t.deferred_errors <- (p.p_fn, Server.status_timeout) :: t.deferred_errors
+
+(* Per-call watchdog: as long as the seq is pending, resend its encoded
+   frame on an exponential-backoff schedule.  Resends carry the original
+   seq, so the server executes at most once and replays the cached reply
+   for duplicates; a lost reply is recovered the same way. *)
+let start_watchdog t r seq =
+  Engine.spawn t.engine ~name:(Printf.sprintf "ava-stub-retry-%d" seq)
+    (fun () ->
+      let rec watch delay_ns =
+        Engine.delay delay_ns;
+        match Hashtbl.find_opt t.pending seq with
+        | None -> () (* replied; nothing to do *)
+        | Some p ->
+            if p.p_tries >= r.max_retries then give_up t seq p
+            else begin
+              p.p_tries <- p.p_tries + 1;
+              t.retries <- t.retries + 1;
+              Transport.send t.ep p.p_data;
+              watch
+                (Stdlib.max 1
+                   (int_of_float (float_of_int delay_ns *. r.backoff)))
+            end
+      in
+      watch r.timeout_ns)
+
 (* Batching policy: only calls that touch no device resource (argument
    updates, reference counting) are held back; any device-work or
    synchronous call departs immediately, carrying the held calls with it
@@ -172,9 +234,11 @@ let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   t.marshalled_bytes <- t.marshalled_bytes + Bytes.length data;
   Engine.delay (marshal_cost_ns (Bytes.length data));
   let p =
-    { p_fn = fn; p_sync = sync; p_ivar = Ivar.create (); p_on_reply = on_reply }
+    { p_fn = fn; p_sync = sync; p_ivar = Ivar.create (); p_on_reply = on_reply;
+      p_data = data; p_tries = 0 }
   in
   Hashtbl.replace t.pending seq p;
+  (match t.retry with Some r -> start_watchdog t r seq | None -> ());
   if t.batch_limit = 1 then Transport.send t.ep data
   else if sync then begin
     (* Synchronous calls flush held work first so ordering is preserved,

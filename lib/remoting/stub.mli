@@ -19,8 +19,20 @@ val first_guest_handle : int
 
 type t
 
+(** Recovery policy for lost calls/replies: after [timeout_ns] without a
+    reply the encoded call is resent under its original seq (the server
+    deduplicates and replays cached replies), the timeout scales by
+    [backoff] per attempt, and after [max_retries] resends the call
+    fails with {!Server.status_timeout} — surfaced directly for sync
+    calls, through the deferred-error channel for async ones. *)
+type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
+
+val default_retry : retry
+(** 20 ms initial timeout, doubling, 12 attempts. *)
+
 val create :
   ?batch_limit:int ->
+  ?retry:retry ->
   Engine.t ->
   vm_id:int ->
   plan:Plan.t ->
@@ -29,9 +41,17 @@ val create :
 (** Also spawns the reply-receiver process on [ep].  [batch_limit] > 1
     enables rCUDA-style API batching: up to that many asynchronously
     forwarded calls are buffered into one transport message, flushed by
-    the next synchronous call or by a 32 KiB size cap. *)
+    the next synchronous call or by a 32 KiB size cap.  [retry] arms a
+    per-call retransmission watchdog (off by default: without it no
+    watchdog processes exist and the stub behaves exactly as before). *)
 
 val vm_id : t -> int
+
+val retries : t -> int
+(** Watchdog resends performed so far. *)
+
+val timeouts : t -> int
+(** Calls that exhausted their retry budget. *)
 
 val batches_sent : t -> int
 (** Multi-call batch messages sent so far. *)

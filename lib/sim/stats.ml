@@ -44,7 +44,7 @@ let percentile samples p =
       if n = 1 then a.(0)
       else
         let rank = p /. 100.0 *. float_of_int (n - 1) in
-        let lo = int_of_float (Float.of_int (int_of_float rank)) in
+        let lo = int_of_float (Float.floor rank) in
         let hi = Stdlib.min (lo + 1) (n - 1) in
         let frac = rank -. float_of_int lo in
         a.(lo) +. (frac *. (a.(hi) -. a.(lo)))

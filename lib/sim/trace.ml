@@ -9,11 +9,12 @@ type t = {
   mutable enabled : bool;
   mutable events : event list; (* newest first *)
   mutable count : int;
+  mutable dropped : int; (* events discarded once [count] hit [limit] *)
   limit : int;
 }
 
 let create ?(enabled = false) ?(limit = 100_000) () =
-  { enabled; events = []; count = 0; limit }
+  { enabled; events = []; count = 0; dropped = 0; limit }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
@@ -27,20 +28,27 @@ let record t ~at ~category fmt =
         if t.count < t.limit then begin
           t.events <- { at; category; message } :: t.events;
           t.count <- t.count + 1
-        end)
+        end
+        else t.dropped <- t.dropped + 1)
       fmt
 
 let events t = List.rev t.events
 let count t = t.count
+let dropped t = t.dropped
 
 let by_category t category =
   List.filter (fun e -> String.equal e.category category) (events t)
 
 let clear t =
   t.events <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let pp_event ppf e =
   Fmt.pf ppf "[%a] %-12s %s" Time.pp e.at e.category e.message
 
-let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)
+let dump ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t);
+  if t.dropped > 0 then
+    Fmt.pf ppf "... trace truncated: %d further events dropped (limit %d)@."
+      t.dropped t.limit

@@ -23,8 +23,15 @@ val events : t -> event list
 (** Oldest first. *)
 
 val count : t -> int
+
+val dropped : t -> int
+(** Events discarded because the retention [limit] was reached. *)
+
 val by_category : t -> string -> event list
 val clear : t -> unit
 
 val pp_event : Format.formatter -> event -> unit
+
 val dump : Format.formatter -> t -> unit
+(** Dumps retained events, followed by a truncation notice when any
+    events were dropped. *)

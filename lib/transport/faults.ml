@@ -1,0 +1,149 @@
+(* Deterministic fault injection for transports.
+
+   Wraps the two ends of a {!Transport} link with seeded, RNG-driven
+   drop/duplicate/corrupt/delay faults.  Every injected message is framed
+   with a 64-bit FNV-1a checksum; the receive side verifies and strips
+   it, so corruption is detected and surfaces as loss — exactly how a
+   checksummed real transport (ethernet CRC, TCP) degrades.  Recovery is
+   then the remoting layer's job: {!Ava_remoting.Stub} retransmits by
+   seq and {!Ava_remoting.Server} replays duplicates idempotently.
+
+   Faults are off by default (an unwrapped endpoint runs the historical
+   hook-free transport path, bit-identical in timing); all randomness
+   draws from one explicit seed, so a faulty run replays exactly. *)
+
+open Ava_sim
+
+type config = {
+  drop_p : float;  (** per-message probability the message vanishes *)
+  duplicate_p : float;  (** probability the message is delivered twice *)
+  corrupt_p : float;  (** probability one byte is flipped in flight *)
+  delay_p : float;  (** probability of extra in-flight latency *)
+  max_delay_ns : Time.t;  (** uniform extra latency bound *)
+}
+
+let none =
+  { drop_p = 0.0; duplicate_p = 0.0; corrupt_p = 0.0; delay_p = 0.0;
+    max_delay_ns = 0 }
+
+(* A modest lossy-link profile within the chaos-suite envelope (drop and
+   corrupt probability <= 1%). *)
+let light =
+  { drop_p = 0.01; duplicate_p = 0.005; corrupt_p = 0.01; delay_p = 0.02;
+    max_delay_ns = Time.us 50 }
+
+type stats = {
+  mutable sealed_msgs : int;  (** messages that crossed the fault layer *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable delayed : int;
+  mutable checksum_rejects : int;  (** corrupt frames caught on receive *)
+}
+
+type t = { rng : Rng.t; config : config; stats : stats }
+
+let create ~seed config =
+  {
+    rng = Rng.create seed;
+    config;
+    stats =
+      { sealed_msgs = 0; dropped = 0; duplicated = 0; corrupted = 0;
+        delayed = 0; checksum_rejects = 0 };
+  }
+
+let stats t = t.stats
+let config t = t.config
+
+(* --- checksum envelope -------------------------------------------------- *)
+
+let fnv1a64 data =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    data;
+  !h
+
+let seal payload =
+  let len = Bytes.length payload in
+  let framed = Bytes.create (8 + len) in
+  Bytes.set_int64_be framed 0 (fnv1a64 payload);
+  Bytes.blit payload 0 framed 8 len;
+  framed
+
+let unseal framed =
+  if Bytes.length framed < 8 then None
+  else
+    let payload = Bytes.sub framed 8 (Bytes.length framed - 8) in
+    if Int64.equal (Bytes.get_int64_be framed 0) (fnv1a64 payload) then
+      Some payload
+    else None
+
+(* --- hooks ---------------------------------------------------------------- *)
+
+let corrupt t framed =
+  let mangled = Bytes.copy framed in
+  let pos = Rng.int t.rng (Bytes.length mangled) in
+  let flip = 1 + Rng.int t.rng 255 in
+  Bytes.set mangled pos
+    (Char.chr (Char.code (Bytes.get mangled pos) lxor flip));
+  mangled
+
+let send_hook t msg =
+  let s = t.stats and c = t.config in
+  s.sealed_msgs <- s.sealed_msgs + 1;
+  if Rng.float t.rng < c.drop_p then begin
+    s.dropped <- s.dropped + 1;
+    []
+  end
+  else begin
+    let framed = seal msg in
+    let framed =
+      if Rng.float t.rng < c.corrupt_p then begin
+        s.corrupted <- s.corrupted + 1;
+        corrupt t framed
+      end
+      else framed
+    in
+    let extra =
+      if Rng.float t.rng < c.delay_p && c.max_delay_ns > 0 then begin
+        s.delayed <- s.delayed + 1;
+        Rng.uniform_ns t.rng ~lo:0 ~hi:c.max_delay_ns
+      end
+      else 0
+    in
+    let first = { Transport.d_payload = framed; d_extra_ns = extra } in
+    if Rng.float t.rng < c.duplicate_p then begin
+      s.duplicated <- s.duplicated + 1;
+      [ first; { Transport.d_payload = framed; d_extra_ns = extra } ]
+    end
+    else [ first ]
+  end
+
+let recv_hook t msg =
+  match unseal msg with
+  | Some payload -> Some payload
+  | None ->
+      t.stats.checksum_rejects <- t.stats.checksum_rejects + 1;
+      None
+
+let wrap_endpoint t ep =
+  Transport.set_send_hook ep (Some (send_hook t));
+  Transport.set_recv_hook ep (Some (recv_hook t))
+
+(* Wrap both ends of a link.  Must happen before any traffic flows: the
+   checksum envelope applies to every subsequent message in both
+   directions. *)
+let wrap t (a, b) =
+  wrap_endpoint t a;
+  wrap_endpoint t b
+
+let unwrap_endpoint ep =
+  Transport.set_send_hook ep None;
+  Transport.set_recv_hook ep None
+
+let unwrap (a, b) =
+  unwrap_endpoint a;
+  unwrap_endpoint b

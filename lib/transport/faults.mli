@@ -1,0 +1,63 @@
+(** Deterministic fault injection for transports.
+
+    Wraps the two ends of a {!Transport} link with seeded, RNG-driven
+    drop/duplicate/corrupt/delay faults.  Injected messages are framed
+    with a 64-bit checksum; the receive side verifies and strips it, so
+    corruption is detected and surfaces as loss (as on a checksummed
+    real link).  Recovery belongs to the remoting layer: the stub
+    retransmits by seq, the server replays duplicates idempotently.
+
+    Faults are off by default — an unwrapped endpoint runs the
+    historical transport path, bit-identical in timing — and all
+    randomness draws from one explicit seed, so faulty runs replay
+    exactly. *)
+
+open Ava_sim
+
+type config = {
+  drop_p : float;  (** per-message probability the message vanishes *)
+  duplicate_p : float;  (** probability the message is delivered twice *)
+  corrupt_p : float;  (** probability one byte is flipped in flight *)
+  delay_p : float;  (** probability of extra in-flight latency *)
+  max_delay_ns : Time.t;  (** uniform extra latency bound *)
+}
+
+val none : config
+(** All probabilities zero (the checksum envelope is still applied). *)
+
+val light : config
+(** A modest lossy-link profile: 1% drop, 1% corrupt, 0.5% duplicate,
+    2% delayed by up to 50 µs. *)
+
+type stats = {
+  mutable sealed_msgs : int;  (** messages that crossed the fault layer *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable delayed : int;
+  mutable checksum_rejects : int;  (** corrupt frames caught on receive *)
+}
+
+type t
+
+val create : seed:int64 -> config -> t
+val stats : t -> stats
+val config : t -> config
+
+val wrap : t -> Transport.endpoint * Transport.endpoint -> unit
+(** Install fault hooks on both ends of a link.  Must happen before any
+    traffic flows: the checksum envelope applies to every subsequent
+    message in both directions. *)
+
+val wrap_endpoint : t -> Transport.endpoint -> unit
+(** Wrap a single endpoint (its sends are faulted, its receives
+    verified).  For a usable link, the peer must be wrapped too. *)
+
+val unwrap : Transport.endpoint * Transport.endpoint -> unit
+(** Remove the hooks; the link reverts to the fault-free path. *)
+
+(**/**)
+
+val seal : bytes -> bytes
+val unseal : bytes -> bytes option
+(** Exposed for tests. *)

@@ -26,13 +26,25 @@ type stats = {
   mutable recv_msgs : int;
 }
 
+(* One outgoing message may fan out into zero (dropped), one, or several
+   (duplicated) deliveries, each optionally carrying extra latency. *)
+type delivery = { d_payload : bytes; d_extra_ns : Time.t }
+
 type endpoint = {
   engine : Engine.t;
   out_cost : cost;
   peer : bytes Channel.t;  (** peer's inbox *)
   inbox : bytes Channel.t;
   stats : stats;
+  mutable send_hook : (bytes -> delivery list) option;
+  mutable recv_hook : (bytes -> bytes option) option;
+  mutable last_delivery_at : Time.t;
+      (** FIFO clamp for hooked sends: extra fault delays never reorder
+          messages on a link (as on TCP-like in-order transports) *)
 }
+
+let set_send_hook ep hook = ep.send_hook <- hook
+let set_recv_hook ep hook = ep.recv_hook <- hook
 
 let send ep msg =
   let len = Bytes.length msg in
@@ -42,21 +54,53 @@ let send ep msg =
       (Time.of_bandwidth ~bytes:len ~bytes_per_s:ep.out_cost.bytes_per_s);
   ep.stats.sent_msgs <- ep.stats.sent_msgs + 1;
   ep.stats.sent_bytes <- ep.stats.sent_bytes + len;
-  if ep.out_cost.deliver_ns = 0 then Channel.send ep.peer msg
-  else
-    Engine.schedule_after ep.engine ep.out_cost.deliver_ns (fun () ->
-        Channel.send ep.peer msg)
+  match ep.send_hook with
+  | None ->
+      (* The hook-free path is byte-for-byte the historical one, so a
+         stack without fault injection times identically. *)
+      if ep.out_cost.deliver_ns = 0 then Channel.send ep.peer msg
+      else
+        Engine.schedule_after ep.engine ep.out_cost.deliver_ns (fun () ->
+            Channel.send ep.peer msg)
+  | Some hook ->
+      List.iter
+        (fun { d_payload; d_extra_ns } ->
+          let now = Engine.now ep.engine in
+          let at = now + ep.out_cost.deliver_ns + Stdlib.max 0 d_extra_ns in
+          let at = Stdlib.max at ep.last_delivery_at in
+          ep.last_delivery_at <- at;
+          if at <= now then Channel.send ep.peer d_payload
+          else
+            Engine.schedule ep.engine ~at (fun () ->
+                Channel.send ep.peer d_payload))
+        (hook msg)
 
-let recv ep =
+let rec recv ep =
   let msg = Channel.recv ep.inbox in
-  ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
-  msg
-
-let try_recv ep =
-  match Channel.try_recv ep.inbox with
-  | Some msg ->
+  match ep.recv_hook with
+  | None ->
       ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
-      Some msg
+      msg
+  | Some hook -> (
+      match hook msg with
+      | Some msg ->
+          ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
+          msg
+      | None -> recv ep (* discarded (e.g. failed checksum): keep waiting *))
+
+let rec try_recv ep =
+  match Channel.try_recv ep.inbox with
+  | Some msg -> (
+      match ep.recv_hook with
+      | None ->
+          ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
+          Some msg
+      | Some hook -> (
+          match hook msg with
+          | Some msg ->
+              ep.stats.recv_msgs <- ep.stats.recv_msgs + 1;
+              Some msg
+          | None -> try_recv ep))
   | None -> None
 
 let pending ep = Channel.length ep.inbox
@@ -72,6 +116,9 @@ let duplex engine ~a_to_b ~b_to_a =
       peer;
       inbox;
       stats = { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0 };
+      send_hook = None;
+      recv_hook = None;
+      last_delivery_at = 0;
     }
   in
   (mk a_to_b inbox_b inbox_a, mk b_to_a inbox_a inbox_b)

@@ -28,6 +28,22 @@ type stats = {
 
 type endpoint
 
+(** One outgoing message may fan out into zero (dropped), one, or several
+    (duplicated) deliveries, each optionally delayed further. *)
+type delivery = { d_payload : bytes; d_extra_ns : Time.t }
+
+val set_send_hook : endpoint -> (bytes -> delivery list) option -> unit
+(** Interpose on this endpoint's send path: the hook maps each outgoing
+    message to the deliveries that actually reach the peer ([[]] drops
+    it).  Sender-side costs are charged exactly as without a hook; extra
+    delays never reorder deliveries (FIFO link semantics).  [None]
+    (the default) restores the bit-identical hook-free path.  Used by
+    {!Faults}. *)
+
+val set_recv_hook : endpoint -> (bytes -> bytes option) option -> unit
+(** Interpose on this endpoint's receive path; returning [None] discards
+    the message (e.g. a failed checksum) and keeps waiting. *)
+
 val send : endpoint -> bytes -> unit
 (** Blocking send toward the peer; must run inside a process. *)
 

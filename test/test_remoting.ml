@@ -7,6 +7,7 @@ module Message = Ava_remoting.Message
 module Policy = Ava_remoting.Policy
 module Stub = Ava_remoting.Stub
 module Server = Ava_remoting.Server
+module Router = Ava_remoting.Router
 module Migrate = Ava_remoting.Migrate
 module Swap = Ava_remoting.Swap
 module Plan = Ava_codegen.Plan
@@ -410,6 +411,103 @@ let stub_tests =
           (b = a + 1 && a >= 0x100000));
   ]
 
+(* A full guest -> router -> server stack over raw endpoints, so tests
+   can inject hand-built frames the stub would never produce. *)
+let router_stack e plan =
+  let virt = Ava_device.Timing.default_virt in
+  let hv = Ava_hv.Hypervisor.create ~virt e in
+  let vm = Ava_hv.Hypervisor.create_vm hv ~name:"guest" in
+  let vm_id = Ava_hv.Vm.id vm in
+  let guest_end, router_guest_end = Transport.direct e in
+  let router_server_end, server_end = Transport.direct e in
+  let server = Server.create e ~plan ~make_state:(fun ~vm_id -> ref vm_id) in
+  Server.register server "ping" (fun _ _ _ -> (0, Wire.Unit, []));
+  Server.register server "fire" (fun _ _ _ -> (0, Wire.Unit, []));
+  ignore (Server.attach_vm server ~vm_id ~ep:server_end);
+  let router = Router.create e ~virt ~plan in
+  ignore
+    (Router.attach_vm router vm ~guest_side:router_guest_end
+       ~server_side:router_server_end);
+  (guest_end, router, server, vm_id)
+
+let router_tests =
+  [
+    (* Regression: a batch with one unverifiable member used to be
+       dropped wholesale — verified members were charged, forwarded
+       never, and the guest hung awaiting replies that could not come. *)
+    Alcotest.test_case "batch with rejected member answers every call"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let guest_end, router, server, vm_id = router_stack e plan in
+        let mk seq fn =
+          {
+            Message.call_seq = seq;
+            call_vm = vm_id;
+            call_fn = fn;
+            call_args = [ Wire.int seq ];
+          }
+        in
+        (* Member 1 names a function outside the spec: the router must
+           reject it and still forward members 0 and 2. *)
+        let batch = Message.Batch [ mk 0 "fire"; mk 1 "nope"; mk 2 "ping" ] in
+        let replies = Hashtbl.create 4 in
+        Engine.run_process e (fun () ->
+            Transport.send guest_end (Message.encode batch);
+            (* Three members, three replies: before the fix this recv
+               loop stalled the engine. *)
+            for _ = 1 to 3 do
+              match Message.decode (Transport.recv guest_end) with
+              | Ok (Message.Reply r) ->
+                  Hashtbl.replace replies r.Message.reply_seq
+                    r.Message.reply_status
+              | _ -> Alcotest.fail "expected a reply frame"
+            done);
+        Alcotest.(check (option int))
+          "member 0 executed" (Some 0) (Hashtbl.find_opt replies 0);
+        Alcotest.(check (option int))
+          "member 1 rejected"
+          (Some Server.status_unknown_function)
+          (Hashtbl.find_opt replies 1);
+        Alcotest.(check (option int))
+          "member 2 executed" (Some 0) (Hashtbl.find_opt replies 2);
+        Alcotest.(check int) "router rejected one" 1 (Router.rejected router);
+        Alcotest.(check int) "one batch forwarded" 1 (Router.forwarded router);
+        Alcotest.(check int) "server executed the survivors" 2
+          (Server.executed server);
+        Alcotest.(check int) "no replies owed" 0
+          (Router.in_flight_calls router ~vm_id));
+    Alcotest.test_case "all-rejected batch forwards nothing" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let guest_end, router, server, _vm_id = router_stack e plan in
+        let mk seq fn =
+          {
+            Message.call_seq = seq;
+            call_vm = 1;
+            call_fn = fn;
+            call_args = [ Wire.int seq ];
+          }
+        in
+        let batch = Message.Batch [ mk 0 "nope"; mk 1 "nope2" ] in
+        let statuses = ref [] in
+        Engine.run_process e (fun () ->
+            Transport.send guest_end (Message.encode batch);
+            for _ = 1 to 2 do
+              match Message.decode (Transport.recv guest_end) with
+              | Ok (Message.Reply r) ->
+                  statuses := r.Message.reply_status :: !statuses
+              | _ -> Alcotest.fail "expected a reply frame"
+            done);
+        Alcotest.(check (list int))
+          "both rejected"
+          [ Server.status_unknown_function; Server.status_unknown_function ]
+          !statuses;
+        Alcotest.(check int) "nothing forwarded" 0 (Router.forwarded router);
+        Alcotest.(check int) "nothing executed" 0 (Server.executed server));
+  ]
+
 let ctx_tests =
   [
     Alcotest.test_case "virtual id mapping" `Quick (fun () ->
@@ -596,6 +694,7 @@ let () =
       ("transport-properties", transport_property_tests);
       ("policy", policy_tests);
       ("stub-server", stub_tests);
+      ("router", router_tests);
       ("ctx", ctx_tests);
       ("migrate", migrate_tests);
       ("swap", swap_tests);

@@ -379,6 +379,28 @@ let stats_tests =
         Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile s 0.0);
         Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile s 100.0);
         Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile s 25.0));
+    Alcotest.test_case "percentile edge cases" `Quick (fun () ->
+        (* Single element: every percentile is that element. *)
+        Alcotest.(check (float 1e-9)) "1-elt p0" 7.0
+          (Stats.percentile [ 7.0 ] 0.0);
+        Alcotest.(check (float 1e-9)) "1-elt p50" 7.0
+          (Stats.percentile [ 7.0 ] 50.0);
+        Alcotest.(check (float 1e-9)) "1-elt p100" 7.0
+          (Stats.percentile [ 7.0 ] 100.0);
+        (* Two elements: p0/p100 hit the ends, p50 interpolates. *)
+        Alcotest.(check (float 1e-9)) "2-elt p0" 1.0
+          (Stats.percentile [ 1.0; 3.0 ] 0.0);
+        Alcotest.(check (float 1e-9)) "2-elt p100" 3.0
+          (Stats.percentile [ 1.0; 3.0 ] 100.0);
+        Alcotest.(check (float 1e-9)) "2-elt p50" 2.0
+          (Stats.percentile [ 1.0; 3.0 ] 50.0);
+        (* A rank whose floor differs from float-truncation-of-float
+           (the old double-truncation bug collapsed p90 onto p75 for
+           some sizes): 9 elements, p90 -> rank 7.2 -> 8.2. *)
+        Alcotest.(check (float 1e-9)) "9-elt p90" 8.2
+          (Stats.percentile
+             [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 ]
+             90.0));
     Alcotest.test_case "geomean" `Quick (fun () ->
         Alcotest.(check (float 1e-9)) "gm" 4.0 (Stats.geomean [ 2.0; 8.0 ]));
     QCheck_alcotest.to_alcotest
@@ -423,6 +445,26 @@ let trace_tests =
           Trace.record tr ~at:i ~category:"c" "e%d" i
         done;
         Alcotest.(check int) "capped" 3 (Trace.count tr));
+    Alcotest.test_case "truncation is counted and reported" `Quick (fun () ->
+        let tr = Trace.create ~enabled:true ~limit:3 () in
+        Alcotest.(check int) "no drops yet" 0 (Trace.dropped tr);
+        for i = 1 to 10 do
+          Trace.record tr ~at:i ~category:"c" "e%d" i
+        done;
+        Alcotest.(check int) "kept" 3 (Trace.count tr);
+        Alcotest.(check int) "dropped" 7 (Trace.dropped tr);
+        let dump = Format.asprintf "%a" Trace.dump tr in
+        let contains s sub =
+          let n = String.length sub in
+          let rec find i =
+            i + n <= String.length s && (String.sub s i n = sub || find (i + 1))
+          in
+          find 0
+        in
+        Alcotest.(check bool) "dump mentions truncation" true
+          (contains dump "truncated");
+        Trace.clear tr;
+        Alcotest.(check int) "clear resets" 0 (Trace.dropped tr));
   ]
 
 let () =
