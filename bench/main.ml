@@ -481,6 +481,139 @@ let transport_sweep () =
         (Time.to_string native) (rel shm) (rel net) (rel rpc))
     [ "bfs"; "nn"; "srad" ]
 
+(* ------------------------------------------------- transfer cache ---- *)
+
+(* Content-addressed transfer cache: per workload, native vs. remoted
+   (cache off) vs. remoted (cache on), with wire bytes and store
+   counters.  Results also land in BENCH_remoting.json so the perf
+   trajectory is machine-readable. *)
+
+type cache_row = {
+  cr_name : string;
+  cr_native_ns : int;
+  cr_remoted_ns : int;
+  cr_cached_ns : int;
+  cr_wire_bytes : int;
+  cr_wire_bytes_cached : int;
+  cr_hits : int;
+  cr_misses : int;
+  cr_saved_bytes : int;
+  cr_evictions : int;
+}
+
+let cache_hit_rate r =
+  let sightings = r.cr_hits + r.cr_misses in
+  if sightings = 0 then 0.0
+  else float_of_int r.cr_hits /. float_of_int sightings
+
+let wire_reduction_pct r =
+  if r.cr_wire_bytes = 0 then 0.0
+  else
+    100.0
+    *. (1.0 -. (float_of_int r.cr_wire_bytes_cached /. float_of_int r.cr_wire_bytes))
+
+let emit_bench_json ~capacity rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"remoting-cache\",\n";
+  Printf.bprintf buf "  \"cache_capacity_bytes\": %d,\n" capacity;
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun idx r ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"native_ns\": %d, \"remoted_ns\": %d, \
+         \"cached_ns\": %d, \"wire_bytes\": %d, \"wire_bytes_cached\": %d, \
+         \"wire_reduction_pct\": %.2f, \"cache_hits\": %d, \"cache_misses\": \
+         %d, \"cache_hit_rate\": %.4f, \"cache_saved_bytes\": %d, \
+         \"cache_evictions\": %d}%s\n"
+        r.cr_name r.cr_native_ns r.cr_remoted_ns r.cr_cached_ns
+        r.cr_wire_bytes r.cr_wire_bytes_cached (wire_reduction_pct r)
+        r.cr_hits r.cr_misses (cache_hit_rate r) r.cr_saved_bytes
+        r.cr_evictions
+        (if idx = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_remoting.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let remoting_cache () =
+  section "Extension | Content-addressed transfer cache (wire-byte dedup)";
+  Fmt.pr
+    "iterative deployment: each workload runs twice on one guest; the cache \
+     turns repeated uploads into 13-byte refs@.";
+  hr ();
+  let cl_capacity = 64 * 1024 * 1024 in
+  let nc_capacity = 128 * 1024 * 1024 in
+  let twice run api =
+    run api;
+    run api
+  in
+  let cl_rows =
+    List.map
+      (fun (b : Rodinia.benchmark) ->
+        let program = twice b.Rodinia.run in
+        let native = Driver.time_cl program in
+        let plain = Driver.profile_cl program in
+        let cached = Driver.profile_cl ~transfer_cache:cl_capacity program in
+        {
+          cr_name = b.Rodinia.name;
+          cr_native_ns = native;
+          cr_remoted_ns = plain.Driver.pr_ns;
+          cr_cached_ns = cached.Driver.pr_ns;
+          cr_wire_bytes = plain.Driver.pr_wire_bytes;
+          cr_wire_bytes_cached = cached.Driver.pr_wire_bytes;
+          cr_hits = cached.Driver.pr_cache_hits;
+          cr_misses = cached.Driver.pr_cache_misses;
+          cr_saved_bytes = cached.Driver.pr_cache_saved_bytes;
+          cr_evictions = cached.Driver.pr_cache_evictions;
+        })
+      Rodinia.all
+  in
+  (* Repeated Inception deployment: the 90 MB graph is re-sent on every
+     guest restart; with the cache, the second upload is one ref. *)
+  let inception_twice = twice (Inception.run ~inferences:4) in
+  let nc_row =
+    let native = Driver.time_nc inception_twice in
+    let plain = Driver.profile_nc inception_twice in
+    let cached = Driver.profile_nc ~transfer_cache:nc_capacity inception_twice in
+    {
+      cr_name = "inception-restart";
+      cr_native_ns = native;
+      cr_remoted_ns = plain.Driver.pr_ns;
+      cr_cached_ns = cached.Driver.pr_ns;
+      cr_wire_bytes = plain.Driver.pr_wire_bytes;
+      cr_wire_bytes_cached = cached.Driver.pr_wire_bytes;
+      cr_hits = cached.Driver.pr_cache_hits;
+      cr_misses = cached.Driver.pr_cache_misses;
+      cr_saved_bytes = cached.Driver.pr_cache_saved_bytes;
+      cr_evictions = cached.Driver.pr_cache_evictions;
+    }
+  in
+  let rows = cl_rows @ [ nc_row ] in
+  Fmt.pr "%-18s %10s %10s %10s %12s %12s %7s %6s@." "workload" "native"
+    "remoted" "cached" "wire-bytes" "cached" "redux" "hits";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-18s %10s %10s %10s %12d %12d %6.1f%% %6d@." r.cr_name
+        (Time.to_string r.cr_native_ns)
+        (Time.to_string r.cr_remoted_ns)
+        (Time.to_string r.cr_cached_ns)
+        r.cr_wire_bytes r.cr_wire_bytes_cached (wire_reduction_pct r)
+        r.cr_hits)
+    rows;
+  hr ();
+  let qualifying =
+    List.filter (fun r -> wire_reduction_pct r >= 20.0) cl_rows
+  in
+  Fmt.pr "Rodinia workloads with >= 20%% wire-byte reduction: %d (%s)@."
+    (List.length qualifying)
+    (String.concat ", " (List.map (fun r -> r.cr_name) qualifying));
+  Fmt.pr "inception-restart wire-byte reduction: %.1f%%@."
+    (wire_reduction_pct nc_row);
+  emit_bench_json ~capacity:cl_capacity rows;
+  Fmt.pr "wrote BENCH_remoting.json@."
+
 (* ---------------------------------------------------------------- E9 -- *)
 
 let microbench () =
@@ -555,6 +688,7 @@ let experiments =
     ("consolidation", consolidation);
     ("policy-overhead", policy_overhead);
     ("transport-sweep", transport_sweep);
+    ("remoting-cache", remoting_cache);
     ("microbench", microbench);
   ]
 

@@ -63,7 +63,12 @@ let ret_unit (_ : Message.reply) = Ok ()
 
 let ret_handle (reply : Message.reply) =
   match reply.Message.reply_ret with
-  | Wire.Handle v -> Ok (Int64.to_int v)
+  | Wire.Handle _ as v -> (
+      (* Range-checked: a handle that doesn't fit a native int is a
+         marshalling error, not a silently wrapped id. *)
+      match Wire.to_int v with
+      | Some n -> Ok n
+      | None -> Error (Remoting_failure "handle out of int range"))
   | _ -> Error (Remoting_failure "expected handle return")
 
 let out_exn reply n =

@@ -17,10 +17,9 @@ let l handles = Wire.List (List.map h handles)
 
 exception Bad_args
 
-let to_i = function
-  | Wire.I64 v -> Int64.to_int v
-  | Wire.Handle v -> Int64.to_int v
-  | _ -> raise Bad_args
+(* Range-checked: an [I64]/[Handle] outside the native [int] range is a
+   marshalling error, never a silent wrap. *)
+let to_i v = match Wire.to_int v with Some n -> n | None -> raise Bad_args
 
 let to_h = to_i
 

@@ -76,10 +76,14 @@ let load_cl_plan ?(sync_only = false) () =
    in bytes; [swap_page_granularity] switches the data movement from one
    transfer per buffer object to one per 4 KiB page (the page/chunk-based
    schemes of [32,33,55] the paper argues against).  [sync_only] deploys
-   the unoptimized (no-async-forwarding) spec for the §5 ablation. *)
+   the unoptimized (no-async-forwarding) spec for the §5 ablation.
+   [transfer_cache] bounds the server's per-VM content store in bytes and
+   arms the matching stub-side digest cache on every remoted guest; the
+   default 0 disables the cache entirely (wire traffic byte-identical to
+   the pre-cache stack). *)
 let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
-    ?(tracing = false) engine =
+    ?(transfer_cache = 0) ?(tracing = false) engine =
   let trace = Ava_sim.Trace.create ~enabled:tracing () in
   let gpu = Gpu.create ~timing:gpu_timing engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
@@ -103,7 +107,7 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
       swap_capacity
   in
   let server =
-    Server.create ~trace engine ~plan
+    Server.create ~trace ~cache_capacity:transfer_cache engine ~plan
       ~make_state:(Cl_handlers.make_state ?swap kd)
   in
   Cl_handlers.register server;
@@ -136,6 +140,14 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
 let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
     ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window t ~name =
   let batch_limit = if batching then 16 else 1 in
+  (* Arm the stub half of the transfer cache iff the server store is
+     bounded above zero; the stub's max cacheable blob matches the store
+     capacity so an oversized payload can never NAK forever. *)
+  let cache =
+    match Server.cache_capacity t.server with
+    | 0 -> None
+    | capacity -> Some (Stub.cache_for_capacity capacity)
+  in
   let vm = Ava_hv.Hypervisor.create_vm t.hv ~name in
   let vm_id = Ava_hv.Vm.id vm in
   Hashtbl.replace t.recorders vm_id (Migrate.create ());
@@ -159,7 +171,7 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       | None -> ());
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit ?retry t.engine ~vm_id ~plan:t.plan
+        Stub.create ~batch_limit ?retry ?cache t.engine ~vm_id ~plan:t.plan
           ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
@@ -182,7 +194,7 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
            ~server_side:router_server_end);
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit ?retry t.engine ~vm_id ~plan:t.plan
+        Stub.create ~batch_limit ?retry ?cache t.engine ~vm_id ~plan:t.plan
           ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
@@ -223,12 +235,13 @@ let load_nc_plan () =
   | Error e -> failwith ("mvnc plan compilation failed: " ^ e)
 
 let create_nc_host ?(virt = Timing.default_virt)
-    ?(ncs_timing = Timing.movidius) engine =
+    ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) engine =
   let dev = Ncs.create ~timing:ncs_timing engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let _spec, plan = load_nc_plan () in
   let server =
-    Server.create engine ~plan ~make_state:(Nc_handlers.make_state dev)
+    Server.create ~cache_capacity:transfer_cache engine ~plan
+      ~make_state:(Nc_handlers.make_state dev)
   in
   Nc_handlers.register server;
   let router = Router.create engine ~virt ~plan in
@@ -251,7 +264,12 @@ let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
     (Router.attach_vm ?rate_per_s ?weight t.nc_router vm
        ~guest_side:router_guest_end ~server_side:router_server_end);
   ignore (Server.attach_vm t.nc_server ~vm_id ~ep:server_end);
-  let stub = Stub.create t.nc_engine ~vm_id ~plan:t.nc_plan ~ep:guest_end in
+  let cache =
+    match Server.cache_capacity t.nc_server with
+    | 0 -> None
+    | capacity -> Some (Stub.cache_for_capacity capacity)
+  in
+  let stub = Stub.create ?cache t.nc_engine ~vm_id ~plan:t.nc_plan ~ep:guest_end in
   let api, remote = Nc_remote.create stub in
   ignore remote;
   { ng_vm = vm; ng_api = api; ng_stub = Some stub }

@@ -65,13 +65,18 @@ val create_cl_host :
   ?swap_capacity:int ->
   ?swap_page_granularity:bool ->
   ?sync_only:bool ->
+  ?transfer_cache:int ->
   ?tracing:bool ->
   Engine.t ->
   cl_host
 (** [swap_capacity] enables swapping with the given device-memory budget
     in bytes; [swap_page_granularity] switches its data movement to one
     transfer per 4 KiB page (the page/chunk schemes the paper argues
-    against).  [sync_only] deploys the unoptimized no-async spec. *)
+    against).  [sync_only] deploys the unoptimized no-async spec.
+    [transfer_cache] bounds the server's per-VM content store in bytes
+    and arms the matching stub-side digest cache on every remoted guest
+    (default 0: cache off, wire traffic byte-identical to the pre-cache
+    stack). *)
 
 val add_cl_vm :
   ?technique:technique ->
@@ -120,7 +125,12 @@ type nc_guest = {
 val load_nc_plan : unit -> Ava_spec.Ast.api_spec * Plan.t
 
 val create_nc_host :
-  ?virt:Timing.virt -> ?ncs_timing:Timing.ncs -> Engine.t -> nc_host
+  ?virt:Timing.virt ->
+  ?ncs_timing:Timing.ncs ->
+  ?transfer_cache:int ->
+  Engine.t ->
+  nc_host
+(** [transfer_cache] as in {!create_cl_host}. *)
 
 val add_nc_vm :
   ?transport:Transport.kind ->

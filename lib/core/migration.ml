@@ -68,6 +68,10 @@ let migrate (host : Host.cl_host) ~vm_id ~dest_kd =
   in
   let started = Engine.now engine in
   Server.pause_vm host.Host.server ~vm_id;
+  (* The transfer-cache content store belongs to the source silo's
+     front-end: it does not follow the VM.  Flush it; the guest's stale
+     refs heal transparently through the cache-miss NAK/resend path. *)
+  Server.flush_cache host.Host.server ~vm_id;
 
   (* 2. Snapshot: synthesized device-to-host copies of live buffers. *)
   let bytes_copied = ref 0 in

@@ -55,7 +55,10 @@ let create stub =
         ~args:[ b (Bytes.of_string name); i (String.length name); u ]
         (fun reply ->
           match reply.Message.reply_ret with
-          | Wire.Handle v -> Ok (Int64.to_int v)
+          | Wire.Handle _ as v -> (
+              match Wire.to_int v with
+              | Some n -> Ok n
+              | None -> Error General_error)
           | _ -> Error General_error)
 
     let mvncCloseDevice d =
@@ -67,7 +70,10 @@ let create stub =
         ~args:[ h d; u; b (Bytes.copy graph_data); i (Bytes.length graph_data) ]
         (fun reply ->
           match reply.Message.reply_ret with
-          | Wire.Handle v -> Ok (Int64.to_int v)
+          | Wire.Handle _ as v -> (
+              match Wire.to_int v with
+              | Some n -> Ok n
+              | None -> Error General_error)
           | _ -> Error General_error)
 
     let mvncDeallocateGraph g =

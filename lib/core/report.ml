@@ -26,6 +26,9 @@ type guest_stats = {
   gs_pending_errors : int;
   gs_retries : int;  (** watchdog resends (fault recovery) *)
   gs_timeouts : int;  (** calls that exhausted their retry budget *)
+  gs_cache_refs : int;  (** payloads sent as [Blob_ref] (transfer cache) *)
+  gs_cache_saved_bytes : int;  (** payload bytes elided by refs *)
+  gs_cache_naks : int;  (** full resends after a cache miss *)
 }
 
 type t = {
@@ -45,6 +48,9 @@ type t = {
   r_gpu_mem_used : int;
   r_dma_bytes : int;
   r_swap : (int * int * int) option;  (** resident, evictions, restores *)
+  r_cache : Server.cache_stats;
+      (** server content-store totals (transfer cache) *)
+  r_naks : int;  (** cache-miss NAK messages the server sent *)
 }
 
 let guest_stats (guest : Host.cl_guest) =
@@ -66,6 +72,9 @@ let guest_stats (guest : Host.cl_guest) =
     gs_pending_errors = stat Stub.pending_errors 0;
     gs_retries = stat Stub.retries 0;
     gs_timeouts = stat Stub.timeouts 0;
+    gs_cache_refs = stat Stub.cache_refs 0;
+    gs_cache_saved_bytes = stat Stub.cache_saved_bytes 0;
+    gs_cache_naks = stat Stub.cache_nak_resends 0;
   }
 
 let snapshot (host : Host.cl_host) guests =
@@ -89,6 +98,8 @@ let snapshot (host : Host.cl_host) guests =
       Option.map
         (fun sw -> (Swap.resident_bytes sw, Swap.evictions sw, Swap.restores sw))
         host.Host.swap;
+    r_cache = Server.cache_totals host.Host.server;
+    r_naks = Server.naks_sent host.Host.server;
   }
 
 let pp ppf r =
@@ -112,6 +123,16 @@ let pp ppf r =
       Fmt.pf ppf "  swap: %d B resident, %d evictions, %d restores@."
         resident evictions restores
   | None -> ());
+  (let c = r.r_cache in
+   if
+     c.Server.cs_hits > 0 || c.Server.cs_insertions > 0 || r.r_naks > 0
+     || c.Server.cs_rejected > 0
+   then
+     Fmt.pf ppf
+       "  cache: %d hits, %d misses (%d naks), %d B saved, %d B resident, %d \
+        evictions, %d rejected@."
+       c.Server.cs_hits c.Server.cs_misses r.r_naks c.Server.cs_saved_bytes
+       c.Server.cs_resident_bytes c.Server.cs_evictions c.Server.cs_rejected);
   List.iter
     (fun g ->
       Fmt.pf ppf
@@ -119,9 +140,17 @@ let pp ppf r =
          upcalls=%-3d bytes=%d%s@."
         g.gs_vm_id g.gs_name g.gs_technique g.gs_api_calls g.gs_sync_calls
         g.gs_async_calls g.gs_batches g.gs_upcalls g.gs_bytes
-        (if g.gs_retries > 0 || g.gs_timeouts > 0 then
-           Printf.sprintf " retries=%d timeouts=%d" g.gs_retries g.gs_timeouts
-         else ""))
+        (String.concat ""
+           [
+             (if g.gs_retries > 0 || g.gs_timeouts > 0 then
+                Printf.sprintf " retries=%d timeouts=%d" g.gs_retries
+                  g.gs_timeouts
+              else "");
+             (if g.gs_cache_refs > 0 || g.gs_cache_naks > 0 then
+                Printf.sprintf " cache-refs=%d saved=%dB naks=%d"
+                  g.gs_cache_refs g.gs_cache_saved_bytes g.gs_cache_naks
+              else "");
+           ]))
     r.r_guests
 
 let to_string r = Fmt.str "%a" pp r

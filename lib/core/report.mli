@@ -19,6 +19,9 @@ type guest_stats = {
   gs_pending_errors : int;
   gs_retries : int;  (** watchdog resends (fault recovery) *)
   gs_timeouts : int;  (** calls that exhausted their retry budget *)
+  gs_cache_refs : int;  (** payloads sent as [Blob_ref] (transfer cache) *)
+  gs_cache_saved_bytes : int;  (** payload bytes elided by refs *)
+  gs_cache_naks : int;  (** full resends after a cache miss *)
 }
 
 type t = {
@@ -39,6 +42,9 @@ type t = {
   r_dma_bytes : int;
   r_swap : (int * int * int) option;
       (** resident bytes, evictions, restores *)
+  r_cache : Ava_remoting.Server.cache_stats;
+      (** server content-store totals (transfer cache) *)
+  r_naks : int;  (** cache-miss NAK messages the server sent *)
 }
 
 val guest_stats : Host.cl_guest -> guest_stats

@@ -21,12 +21,18 @@ type skip = { skip_vm : int; skip_seqs : int list }
 (** Router-to-server notice that the named seqs were policed away and
     will never arrive, so in-order execution can advance past them. *)
 
+type nak = { nak_vm : int; nak_seq : int; nak_digests : int64 list }
+(** Server-to-guest cache-miss notice: the named [Blob_ref] digests were
+    not in the content store, so the stub must re-send the full payload
+    under the same seq. *)
+
 type t =
   | Call of call
   | Reply of reply
   | Batch of call list
   | Upcall of upcall
   | Skip of skip
+  | Nak of nak
 
 let rec encode = function
   | Call c ->
@@ -51,6 +57,10 @@ let rec encode = function
       Wire.encode
         (Wire.Str "S" :: Wire.int s.skip_vm
         :: List.map Wire.int s.skip_seqs)
+  | Nak n ->
+      Wire.encode
+        (Wire.Str "N" :: Wire.int n.nak_vm :: Wire.int n.nak_seq
+        :: List.map (fun d -> Wire.I64 d) n.nak_digests)
 
 let rec decode data =
   match Wire.decode data with
@@ -95,6 +105,20 @@ let rec decode data =
         | _ -> Error "malformed skip frame"
       in
       decode_seqs [] seqs
+  | Ok (Wire.Str "N" :: Wire.I64 vm :: Wire.I64 seq :: digests) ->
+      let rec decode_digests acc = function
+        | [] ->
+            Ok
+              (Nak
+                 {
+                   nak_vm = Int64.to_int vm;
+                   nak_seq = Int64.to_int seq;
+                   nak_digests = List.rev acc;
+                 })
+        | Wire.I64 d :: rest -> decode_digests (d :: acc) rest
+        | _ -> Error "malformed nak frame"
+      in
+      decode_digests [] digests
   | Ok _ -> Error "malformed message frame"
 
 let pp ppf = function
@@ -111,3 +135,7 @@ let pp ppf = function
       Fmt.pf ppf "skip vm%d seqs=[%a]" s.skip_vm
         (Fmt.list ~sep:Fmt.comma Fmt.int)
         s.skip_seqs
+  | Nak n ->
+      Fmt.pf ppf "nak vm%d seq#%d digests=[%a]" n.nak_vm n.nak_seq
+        (Fmt.list ~sep:Fmt.comma (fun ppf d -> Fmt.pf ppf "%Lx" d))
+        n.nak_digests

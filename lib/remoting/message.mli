@@ -19,6 +19,8 @@ type upcall = { up_vm : int; up_cb : int; up_args : Wire.value list }
 
 type skip = { skip_vm : int; skip_seqs : int list }
 
+type nak = { nak_vm : int; nak_seq : int; nak_digests : int64 list }
+
 type t =
   | Call of call
   | Reply of reply
@@ -32,6 +34,10 @@ type t =
       (** router-to-server notice that the named seqs were policed away
           and will never arrive, so in-order execution can advance past
           them *)
+  | Nak of nak
+      (** server-to-guest cache-miss notice: the named [Blob_ref] digests
+          were not in the content store — the stub must re-send the full
+          payload under the same seq *)
 
 val encode : t -> bytes
 val decode : bytes -> (t, string) result

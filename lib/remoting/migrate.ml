@@ -67,6 +67,16 @@ let primary_handle (plan : Plan.call_plan) (args : Wire.value list) =
           | _ -> None)
         with_actions
 
+(* The replay log must hold self-contained payloads: replay runs against
+   a fresh destination silo whose content store is empty, so a recorded
+   transfer-cache value would be unresolvable there.  The server resolves
+   cache values before the record hook fires, making this a no-op on the
+   normal path; it guards direct-execution callers. *)
+let rec sanitize_value = function
+  | Wire.Blob_cached { bc_data; _ } -> Wire.Blob bc_data
+  | Wire.List vs -> Wire.List (List.map sanitize_value vs)
+  | v -> v
+
 (* Observe one successfully executed call.  [allocated] is the virtual
    id the server assigned when the call created an object (the return
    handle), which argument inspection cannot recover. *)
@@ -80,7 +90,7 @@ let observe ?allocated t (plan : Plan.call_plan) (c : Message.call) =
     t.log <-
       {
         rc_fn = c.Message.call_fn;
-        rc_args = c.Message.call_args;
+        rc_args = List.map sanitize_value c.Message.call_args;
         rc_class = cls;
         rc_primary = primary;
       }

@@ -225,7 +225,8 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         (match Message.decode data with
         | Error _ -> t.rejected <- t.rejected + 1
         | Ok (Message.Reply _) | Ok (Message.Upcall _) | Ok (Message.Skip _)
-          ->
+        | Ok (Message.Nak _) ->
+            (* Nak is server-to-guest only; a guest sending one is bogus. *)
             t.rejected <- t.rejected + 1
         | Ok (Message.Call c) -> (
             Vm.charge_bytes vm (Bytes.length data);

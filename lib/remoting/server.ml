@@ -65,6 +65,101 @@ module Ctx = struct
   let clear t = Hashtbl.reset t.handles
 end
 
+(* Per-VM content store, the server half of the transfer cache: maps
+   payload digests to payloads, bounded in bytes with LRU eviction.  The
+   store is an in-memory structure of the front-end process, so a crash/
+   restart empties it (refs then miss and NAK, which the stub heals by
+   resending the full payload). *)
+module Store = struct
+  type entry = { se_data : bytes; mutable se_stamp : int }
+
+  type t = {
+    st_capacity : int;  (** total payload bytes; 0 disables the store *)
+    st_tbl : (int64, entry) Hashtbl.t;
+    st_order : (int64 * int) Queue.t;
+        (** lazy LRU queue: stale (digest, stamp) pairs are skipped *)
+    mutable st_stamp : int;
+    mutable st_resident : int;
+    mutable st_hits : int;
+    mutable st_misses : int;
+    mutable st_insertions : int;
+    mutable st_evictions : int;
+    mutable st_saved_bytes : int;  (** payload bytes served from store *)
+    mutable st_rejected : int;  (** announces whose digest didn't verify *)
+  }
+
+  let create ~capacity =
+    {
+      st_capacity = Stdlib.max 0 capacity;
+      st_tbl = Hashtbl.create 32;
+      st_order = Queue.create ();
+      st_stamp = 0;
+      st_resident = 0;
+      st_hits = 0;
+      st_misses = 0;
+      st_insertions = 0;
+      st_evictions = 0;
+      st_saved_bytes = 0;
+      st_rejected = 0;
+    }
+
+  let touch t digest e =
+    t.st_stamp <- t.st_stamp + 1;
+    e.se_stamp <- t.st_stamp;
+    Queue.push (digest, t.st_stamp) t.st_order
+
+  let rec evict_lru t =
+    match Queue.take_opt t.st_order with
+    | None -> ()
+    | Some (digest, stamp) -> (
+        match Hashtbl.find_opt t.st_tbl digest with
+        | Some e when e.se_stamp = stamp ->
+            Hashtbl.remove t.st_tbl digest;
+            t.st_resident <- t.st_resident - Bytes.length e.se_data;
+            t.st_evictions <- t.st_evictions + 1
+        | _ -> evict_lru t (* stale queue entry: skip *))
+
+  let find t digest =
+    match Hashtbl.find_opt t.st_tbl digest with
+    | None -> None
+    | Some e ->
+        touch t digest e;
+        Some e.se_data
+
+  let insert t digest data =
+    let len = Bytes.length data in
+    if t.st_capacity > 0 && len <= t.st_capacity then begin
+      match Hashtbl.find_opt t.st_tbl digest with
+      | Some e -> touch t digest e (* idempotent re-announce *)
+      | None ->
+          let e = { se_data = data; se_stamp = 0 } in
+          Hashtbl.replace t.st_tbl digest e;
+          t.st_resident <- t.st_resident + len;
+          t.st_insertions <- t.st_insertions + 1;
+          touch t digest e;
+          while t.st_resident > t.st_capacity do
+            evict_lru t
+          done
+    end
+
+  (* Drop every resident payload (counters survive): front-end restart
+     and migration both empty the store. *)
+  let clear t =
+    Hashtbl.reset t.st_tbl;
+    Queue.clear t.st_order;
+    t.st_resident <- 0
+end
+
+type cache_stats = {
+  cs_hits : int;  (** refs resolved from the store *)
+  cs_misses : int;  (** refs that missed (each triggers a NAK digest) *)
+  cs_insertions : int;
+  cs_evictions : int;
+  cs_resident_bytes : int;
+  cs_saved_bytes : int;  (** payload bytes served from the store *)
+  cs_rejected : int;  (** announces whose digest didn't verify *)
+}
+
 (* A handler executes one API function: it gets the per-VM context, the
    per-VM silo state and the raw arguments; it returns
    (status, return-value, out-values). *)
@@ -88,6 +183,7 @@ type 'st vm_entry = {
       (** future seqs the router policed away (Skip notices) *)
   ve_replay : (int, Message.reply) Hashtbl.t;  (** seq -> sent reply *)
   ve_replay_order : int Queue.t;  (** eviction order for [ve_replay] *)
+  ve_store : Store.t;  (** per-VM content store (transfer cache) *)
 }
 
 type 'st t = {
@@ -104,6 +200,8 @@ type 'st t = {
   mutable on_call : (vm_id:int -> status:int -> Message.call -> unit) option;
   exec_overhead_ns : Time.t;
   trace : Trace.t option;
+  cache_capacity : int;  (** per-VM content-store bound; 0 = cache off *)
+  mutable naks_sent : int;  (** cache-miss NAK messages sent *)
 }
 
 (* Remoting-level failure codes carried in reply status (disjoint from
@@ -117,8 +215,8 @@ let status_unknown_handle = -9003
    (never sent by the server itself). *)
 let status_timeout = -9004
 
-let create ?(exec_overhead_ns = Time.ns 800) ?trace engine ~plan ~make_state
-    =
+let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?trace
+    engine ~plan ~make_state =
   {
     engine;
     plan;
@@ -133,13 +231,17 @@ let create ?(exec_overhead_ns = Time.ns 800) ?trace engine ~plan ~make_state
     on_call = None;
     exec_overhead_ns;
     trace;
+    cache_capacity = Stdlib.max 0 cache_capacity;
+    naks_sent = 0;
   }
 
-let record_trace t fmt =
+let record_trace_cat t category fmt =
   match t.trace with
   | Some tr when Trace.is_enabled tr ->
-      Trace.record tr ~at:(Engine.now t.engine) ~category:"server" fmt
+      Trace.record tr ~at:(Engine.now t.engine) ~category fmt
   | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let record_trace t fmt = record_trace_cat t "server" fmt
 
 let register t name handler = Hashtbl.replace t.handlers name handler
 
@@ -150,8 +252,55 @@ let rejected t = t.rejected
 let replayed t = t.replayed
 let restarts t = t.restarts
 let lost_while_down t = t.lost_while_down
+let naks_sent t = t.naks_sent
+let cache_capacity t = t.cache_capacity
 
 let find_vm t vm_id = List.assoc_opt vm_id t.vm_entries
+
+let stats_of_store (s : Store.t) =
+  {
+    cs_hits = s.Store.st_hits;
+    cs_misses = s.Store.st_misses;
+    cs_insertions = s.Store.st_insertions;
+    cs_evictions = s.Store.st_evictions;
+    cs_resident_bytes = s.Store.st_resident;
+    cs_saved_bytes = s.Store.st_saved_bytes;
+    cs_rejected = s.Store.st_rejected;
+  }
+
+let cache_stats t ~vm_id = Option.map (fun e -> stats_of_store e.ve_store) (find_vm t vm_id)
+
+(* Aggregate content-store counters across all attached VMs. *)
+let cache_totals t =
+  List.fold_left
+    (fun acc (_, e) ->
+      let s = stats_of_store e.ve_store in
+      {
+        cs_hits = acc.cs_hits + s.cs_hits;
+        cs_misses = acc.cs_misses + s.cs_misses;
+        cs_insertions = acc.cs_insertions + s.cs_insertions;
+        cs_evictions = acc.cs_evictions + s.cs_evictions;
+        cs_resident_bytes = acc.cs_resident_bytes + s.cs_resident_bytes;
+        cs_saved_bytes = acc.cs_saved_bytes + s.cs_saved_bytes;
+        cs_rejected = acc.cs_rejected + s.cs_rejected;
+      })
+    {
+      cs_hits = 0;
+      cs_misses = 0;
+      cs_insertions = 0;
+      cs_evictions = 0;
+      cs_resident_bytes = 0;
+      cs_saved_bytes = 0;
+      cs_rejected = 0;
+    }
+    t.vm_entries
+
+(* Empty a VM's content store (migration: the destination silo starts
+   with no resident payloads; the guest's stale refs heal via NAK). *)
+let flush_cache t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.flush_cache: unknown vm"
+  | Some e -> Store.clear e.ve_store
 
 (* Run one call against a VM's state; no reply is sent. *)
 let execute_call t entry (c : Message.call) =
@@ -198,15 +347,86 @@ let run_call t entry (c : Message.call) =
   cache_reply entry c.Message.call_seq reply;
   Transport.send entry.ve_ep (Message.encode (Message.Reply reply))
 
-(* Drain consecutively parked/skipped seqs now that the gap closed. *)
+(* --- transfer-cache resolution ----------------------------------------- *)
+
+let rec has_cache_values = function
+  | Wire.Blob_cached _ | Wire.Blob_ref _ -> true
+  | Wire.List vs -> List.exists has_cache_values vs
+  | Wire.Unit | Wire.I64 _ | Wire.F64 _ | Wire.Str _ | Wire.Blob _
+  | Wire.Handle _ ->
+      false
+
+(* Rewrite cache values back to plain [Blob]s before dispatch, so
+   handlers, the reply log and the migration recorder only ever see
+   resolved payloads.  [Blob_cached] verifies its digest before entering
+   the store — a corrupt or forged announce must never poison it (the
+   payload itself is still used verbatim: content addressing only
+   guarantees store integrity, end-to-end payload integrity is the
+   checksum envelope's job).  [Error] carries the digests of missing
+   refs. *)
+let resolve_args store args =
+  let missing = ref [] in
+  let rec resolve v =
+    match v with
+    | Wire.Blob_cached { bc_digest; bc_data } ->
+        if Int64.equal (Wire.digest bc_data) bc_digest then
+          Store.insert store bc_digest bc_data
+        else store.Store.st_rejected <- store.Store.st_rejected + 1;
+        Wire.Blob bc_data
+    | Wire.Blob_ref { br_digest; br_size } -> (
+        match Store.find store br_digest with
+        | Some data when Bytes.length data = br_size ->
+            store.Store.st_hits <- store.Store.st_hits + 1;
+            store.Store.st_saved_bytes <-
+              store.Store.st_saved_bytes + br_size;
+            Wire.Blob data
+        | Some _ | None ->
+            (* A size mismatch is treated as a miss: never hand a handler
+               a payload the guest didn't describe. *)
+            store.Store.st_misses <- store.Store.st_misses + 1;
+            missing := br_digest :: !missing;
+            v)
+    | Wire.List vs -> Wire.List (List.map resolve vs)
+    | v -> v
+  in
+  if not (List.exists has_cache_values args) then Ok args
+  else
+    let args' = List.map resolve args in
+    if !missing = [] then Ok args' else Error (List.rev !missing)
+
+(* Execute the call at [ve_expected] if its payloads resolve; on a cache
+   miss, NAK the missing digests and leave [ve_expected] in place — the
+   stub's full-payload resend arrives under the same seq and goes through
+   the normal in-order path. *)
+let try_run t entry (c : Message.call) =
+  match resolve_args entry.ve_store c.Message.call_args with
+  | Ok args ->
+      entry.ve_expected <- c.Message.call_seq + 1;
+      run_call t entry { c with Message.call_args = args };
+      true
+  | Error missing ->
+      t.naks_sent <- t.naks_sent + 1;
+      record_trace_cat t "cache" "vm%d nak seq=%d missing=%d"
+        entry.ve_ctx.Ctx.ctx_vm c.Message.call_seq (List.length missing);
+      Transport.send entry.ve_ep
+        (Message.encode
+           (Message.Nak
+              {
+                nak_vm = entry.ve_ctx.Ctx.ctx_vm;
+                nak_seq = c.Message.call_seq;
+                nak_digests = missing;
+              }));
+      false
+
+(* Drain consecutively parked/skipped seqs now that the gap closed.  A
+   parked call that misses the store is dropped after its NAK — the full
+   resend re-delivers it at [ve_expected]. *)
 let rec advance t entry =
   let seq = entry.ve_expected in
   match Hashtbl.find_opt entry.ve_hold seq with
   | Some c ->
       Hashtbl.remove entry.ve_hold seq;
-      entry.ve_expected <- seq + 1;
-      run_call t entry c;
-      advance t entry
+      if try_run t entry c then advance t entry
   | None ->
       if Hashtbl.mem entry.ve_skipped seq then begin
         Hashtbl.remove entry.ve_skipped seq;
@@ -234,9 +454,7 @@ let handle_call t entry (c : Message.call) =
            reply) or an evicted cache entry: nothing to say. *)
         ())
   else if seq = entry.ve_expected then begin
-    entry.ve_expected <- seq + 1;
-    run_call t entry c;
-    advance t entry
+    if try_run t entry c then advance t entry
   end
   else Hashtbl.replace entry.ve_hold seq c
 
@@ -262,6 +480,7 @@ let attach_vm t ~vm_id ~ep =
       ve_skipped = Hashtbl.create 16;
       ve_replay = Hashtbl.create 64;
       ve_replay_order = Queue.create ();
+      ve_store = Store.create ~capacity:t.cache_capacity;
     }
   in
   t.vm_entries <- (vm_id, entry) :: t.vm_entries;
@@ -281,7 +500,8 @@ let attach_vm t ~vm_id ~ep =
           | Ok (Message.Call c) -> handle_call t entry c
           | Ok (Message.Batch calls) -> List.iter (handle_call t entry) calls
           | Ok (Message.Skip s) -> handle_skip t entry s.Message.skip_seqs
-          | Ok (Message.Reply _) | Ok (Message.Upcall _) | Error _ ->
+          | Ok (Message.Reply _) | Ok (Message.Upcall _) | Ok (Message.Nak _)
+          | Error _ ->
               t.rejected <- t.rejected + 1);
         loop ()
       in
@@ -308,6 +528,9 @@ let restart t ~vm_id =
       if e.ve_crashed then begin
         e.ve_crashed <- false;
         t.restarts <- t.restarts + 1;
+        (* The content store is front-end process memory: a restart loses
+           it.  Stale refs from the guest then miss and NAK. *)
+        Store.clear e.ve_store;
         record_trace t "vm%d server restart" vm_id
       end
 

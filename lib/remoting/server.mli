@@ -46,6 +46,18 @@ type 'st handler =
 (** A handler executes one API function against the per-VM context and
     silo state, returning (status, return-value, out-values). *)
 
+type cache_stats = {
+  cs_hits : int;  (** refs resolved from the store *)
+  cs_misses : int;  (** refs that missed (each triggers a NAK digest) *)
+  cs_insertions : int;
+  cs_evictions : int;
+  cs_resident_bytes : int;
+  cs_saved_bytes : int;  (** payload bytes served from the store *)
+  cs_rejected : int;  (** announces whose digest didn't verify *)
+}
+(** Counters of the per-VM content store (server half of the transfer
+    cache). *)
+
 type 'st vm_entry
 type 'st t
 
@@ -62,14 +74,18 @@ val status_timeout : int
 
 val create :
   ?exec_overhead_ns:Time.t ->
+  ?cache_capacity:int ->
   ?trace:Trace.t ->
   Engine.t ->
   plan:Plan.t ->
   make_state:(vm_id:int -> 'st) ->
   'st t
-(** [make_state] builds one fresh silo instance per attached VM.  With
-    [trace] (enabled), every executed call is recorded under the
-    ["server"] category. *)
+(** [make_state] builds one fresh silo instance per attached VM.
+    [cache_capacity] bounds each VM's content store in payload bytes
+    (default 0: transfer cache off, behaviour byte-identical to the
+    pre-cache stack).  With [trace] (enabled), every executed call is
+    recorded under the ["server"] category and cache-miss NAKs under
+    ["cache"]. *)
 
 val register : 'st t -> string -> 'st handler -> unit
 
@@ -86,6 +102,22 @@ val replayed : 'st t -> int
 val restarts : 'st t -> int
 val lost_while_down : 'st t -> int
 (** Messages that arrived while their VM's worker was crashed. *)
+
+val naks_sent : 'st t -> int
+(** Cache-miss NAK messages sent to guests. *)
+
+val cache_capacity : 'st t -> int
+(** The per-VM content-store bound this server was created with. *)
+
+val cache_stats : 'st t -> vm_id:int -> cache_stats option
+val cache_totals : 'st t -> cache_stats
+(** Content-store counters for one VM / summed over all attached VMs. *)
+
+val flush_cache : 'st t -> vm_id:int -> unit
+(** Empty the VM's content store (used by migration; the guest's stale
+    refs then miss and heal through the NAK/resend path).  A crashed
+    server's {!restart} flushes implicitly: the store is front-end
+    process memory. *)
 
 val attach_vm : 'st t -> vm_id:int -> ep:Transport.endpoint -> 'st vm_entry
 (** Spawn the VM's worker process draining [ep].  Per-VM calls execute

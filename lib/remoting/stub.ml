@@ -22,7 +22,16 @@ type pending = {
   p_sync : bool;
   p_ivar : Message.reply Ivar.t;
   p_on_reply : (Message.reply -> unit) option;
-  p_data : bytes;  (** encoded [Call] frame, for seq-based resend *)
+  mutable p_data : bytes;
+      (** encoded [Call] frame, for seq-based resend; switched to
+          [p_full] after a cache-miss NAK so watchdog resends carry the
+          full payload too *)
+  p_full : bytes;
+      (** encoded [Call] frame with every cacheable blob sent in full
+          ([Blob_cached], never [Blob_ref]) — the resend after a NAK *)
+  p_announced : int64 list;
+      (** digests of cacheable payloads in this call; acknowledged as
+          server-resident once the reply arrives *)
   mutable p_tries : int;
 }
 
@@ -33,6 +42,16 @@ type pending = {
 type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
 
 let default_retry = { timeout_ns = Time.ms 20; max_retries = 12; backoff = 2.0 }
+
+(* Content-addressed transfer cache (guest half): blobs within
+   [min_bytes, max_bytes] are hashed (FNV-1a 64); once the server has
+   acknowledged a digest, later sends of the same payload travel as a
+   13-byte [Blob_ref].  [max_bytes] must not exceed the server store
+   capacity or an oversized blob would NAK forever. *)
+type cache = { cache_min_bytes : int; cache_max_bytes : int }
+
+let cache_for_capacity capacity =
+  { cache_min_bytes = 1024; cache_max_bytes = capacity }
 
 type t = {
   engine : Engine.t;
@@ -57,9 +76,16 @@ type t = {
   callbacks : (int, Wire.value list -> unit) Hashtbl.t;
   mutable next_callback : int;
   mutable upcalls : int;
+  cache : cache option;  (** [None]: transfer cache off (default) *)
+  acked : (int64, unit) Hashtbl.t;
+      (** digests the server has acknowledged as store-resident *)
+  mutable cache_refs : int;  (** payloads sent as [Blob_ref] *)
+  mutable cache_saved_bytes : int;  (** payload bytes elided by refs *)
+  mutable cache_announces : int;  (** payloads sent as [Blob_cached] *)
+  mutable cache_nak_resends : int;  (** full resends after a cache miss *)
 }
 
-let create ?(batch_limit = 1) ?retry engine ~vm_id ~plan ~ep =
+let create ?(batch_limit = 1) ?retry ?cache engine ~vm_id ~plan ~ep =
   let t =
     {
       engine;
@@ -84,6 +110,12 @@ let create ?(batch_limit = 1) ?retry engine ~vm_id ~plan ~ep =
       callbacks = Hashtbl.create 8;
       next_callback = 1;
       upcalls = 0;
+      cache;
+      acked = Hashtbl.create 32;
+      cache_refs = 0;
+      cache_saved_bytes = 0;
+      cache_announces = 0;
+      cache_nak_resends = 0;
     }
   in
   (* Reply receiver: dispatches replies to waiting callers and runs
@@ -97,11 +129,29 @@ let create ?(batch_limit = 1) ?retry engine ~vm_id ~plan ~ep =
             | None -> () (* late reply for a cancelled call: drop *)
             | Some p ->
                 Hashtbl.remove t.pending r.Message.reply_seq;
+                (* A reply means the server resolved every payload of this
+                   call, so its digests are now store-resident. *)
+                List.iter
+                  (fun d -> Hashtbl.replace t.acked d ())
+                  p.p_announced;
                 (match p.p_on_reply with Some f -> f r | None -> ());
                 if (not p.p_sync) && r.Message.reply_status <> 0 then
                   t.deferred_errors <-
                     (p.p_fn, r.Message.reply_status) :: t.deferred_errors;
                 if p.p_sync then Ivar.fill p.p_ivar r)
+        | Ok (Message.Nak n) -> (
+            (* Cache miss: forget the rejected digests, then resend the
+               full-payload frame under the original seq.  The watchdog
+               (if armed) also switches to the full frame. *)
+            List.iter
+              (fun d -> Hashtbl.remove t.acked d)
+              n.Message.nak_digests;
+            match Hashtbl.find_opt t.pending n.Message.nak_seq with
+            | None -> () (* already replied or given up: drop *)
+            | Some p ->
+                t.cache_nak_resends <- t.cache_nak_resends + 1;
+                p.p_data <- p.p_full;
+                Transport.send t.ep p.p_full)
         | Ok (Message.Upcall u) -> (
             (* Dispatch a server-to-guest callback in its own process so
                a slow callback never blocks reply delivery. *)
@@ -122,6 +172,10 @@ let batches_sent t = t.batches_sent
 let upcalls_received t = t.upcalls
 let retries t = t.retries
 let timeouts t = t.timeouts
+let cache_refs t = t.cache_refs
+let cache_saved_bytes t = t.cache_saved_bytes
+let cache_announces t = t.cache_announces
+let cache_nak_resends t = t.cache_nak_resends
 
 (* Register a guest closure; the returned id travels in place of the C
    function pointer and the server upcalls through it. *)
@@ -159,6 +213,48 @@ let pending_errors t = List.length t.deferred_errors
 (* Charge the CPU cost of marshalling: descriptor build plus pinning of
    bulk payloads (zero-copy transport; no payload memcpy). *)
 let marshal_cost_ns bytes = Time.ns (400 + (bytes / 64))
+
+(* Hashing runs at memory speed (~32 B/ns); charged only when the cache
+   is armed so the disabled stack stays bit-identical. *)
+let hash_cost_ns bytes = Time.ns (bytes / 32)
+
+(* Walk the argument values, replacing each cacheable [Blob]: by a
+   [Blob_ref] when its digest is server-acknowledged, by a [Blob_cached]
+   (digest announce) otherwise.  Returns the substituted args, the args
+   with every cacheable blob in full (the NAK-resend form), the digests
+   carried, and the payload bytes hashed. *)
+let cache_substitute t c args =
+  let digests = ref [] and hashed = ref 0 in
+  let cacheable b =
+    let len = Bytes.length b in
+    len >= c.cache_min_bytes && len <= c.cache_max_bytes
+  in
+  let rec subst v =
+    match v with
+    | Wire.Blob b when cacheable b ->
+        let d = Wire.digest b in
+        hashed := !hashed + Bytes.length b;
+        digests := d :: !digests;
+        let full = Wire.Blob_cached { bc_digest = d; bc_data = b } in
+        if Hashtbl.mem t.acked d then begin
+          t.cache_refs <- t.cache_refs + 1;
+          t.cache_saved_bytes <- t.cache_saved_bytes + Bytes.length b;
+          (Wire.Blob_ref { br_digest = d; br_size = Bytes.length b }, full)
+        end
+        else begin
+          t.cache_announces <- t.cache_announces + 1;
+          (full, full)
+        end
+    | Wire.List vs ->
+        let pairs = List.map subst vs in
+        (Wire.List (List.map fst pairs), Wire.List (List.map snd pairs))
+    | v -> (v, v)
+  in
+  let pairs = List.map subst args in
+  ( List.map fst pairs,
+    List.map snd pairs,
+    List.rev !digests,
+    !hashed )
 
 (* Send any buffered asynchronous calls as one batch message (rCUDA-style
    API batching, §4.2).  Marshalling costs were already charged when each
@@ -226,16 +322,30 @@ let start_watchdog t r seq =
 let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
+  let sent_args, full_args, announced, hashed =
+    match t.cache with
+    | None -> (args, args, [], 0)
+    | Some c -> cache_substitute t c args
+  in
   let call =
     { Message.call_seq = seq; call_vm = t.vm_id; call_fn = fn;
-      call_args = args }
+      call_args = sent_args }
   in
   let data = Message.encode (Message.Call call) in
+  (* [announced] lists every cacheable digest in the call (refs included),
+     so an empty list means no substitution happened and the full frame is
+     the sent frame itself. *)
+  let full =
+    if announced = [] then data
+    else
+      Message.encode (Message.Call { call with Message.call_args = full_args })
+  in
   t.marshalled_bytes <- t.marshalled_bytes + Bytes.length data;
+  if hashed > 0 then Engine.delay (hash_cost_ns hashed);
   Engine.delay (marshal_cost_ns (Bytes.length data));
   let p =
     { p_fn = fn; p_sync = sync; p_ivar = Ivar.create (); p_on_reply = on_reply;
-      p_data = data; p_tries = 0 }
+      p_data = data; p_full = full; p_announced = announced; p_tries = 0 }
   in
   Hashtbl.replace t.pending seq p;
   (match t.retry with Some r -> start_watchdog t r seq | None -> ());

@@ -30,9 +30,23 @@ type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
 val default_retry : retry
 (** 20 ms initial timeout, doubling, 12 attempts. *)
 
+(** Guest half of the content-addressed transfer cache: blobs within
+    [cache_min_bytes, cache_max_bytes] are hashed (FNV-1a 64) and, once
+    the server has acknowledged a digest, re-sent as a 13-byte
+    {!Wire.value.Blob_ref} instead of the payload.  A cache-miss
+    {!Message.t.Nak} makes the stub re-send the full payload under the
+    original seq.  [cache_max_bytes] must not exceed the server store
+    capacity, or an oversized blob would NAK forever. *)
+type cache = { cache_min_bytes : int; cache_max_bytes : int }
+
+val cache_for_capacity : int -> cache
+(** [cache_for_capacity capacity] = 1 KiB minimum, [capacity] maximum —
+    the stub config matching a server store of that capacity. *)
+
 val create :
   ?batch_limit:int ->
   ?retry:retry ->
+  ?cache:cache ->
   Engine.t ->
   vm_id:int ->
   plan:Plan.t ->
@@ -43,7 +57,10 @@ val create :
     forwarded calls are buffered into one transport message, flushed by
     the next synchronous call or by a 32 KiB size cap.  [retry] arms a
     per-call retransmission watchdog (off by default: without it no
-    watchdog processes exist and the stub behaves exactly as before). *)
+    watchdog processes exist and the stub behaves exactly as before).
+    [cache] arms the transfer cache (off by default: without it no
+    hashing happens and the wire traffic is byte-identical to the
+    pre-cache stack). *)
 
 val vm_id : t -> int
 
@@ -60,6 +77,18 @@ val sync_calls : t -> int
 val async_calls : t -> int
 val marshalled_bytes : t -> int
 val in_flight : t -> int
+
+val cache_refs : t -> int
+(** Payloads sent as [Blob_ref] instead of their bytes. *)
+
+val cache_saved_bytes : t -> int
+(** Payload bytes elided from the wire by refs. *)
+
+val cache_announces : t -> int
+(** Payloads sent as [Blob_cached] (digest announcements). *)
+
+val cache_nak_resends : t -> int
+(** Full-payload resends triggered by cache-miss NAKs. *)
 
 val register_callback : t -> (Wire.value list -> unit) -> int
 (** Register a guest closure; the returned id travels in place of a C

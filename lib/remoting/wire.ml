@@ -13,12 +13,31 @@ type value =
   | Blob of bytes
   | Handle of int64
   | List of value list
+  | Blob_ref of { br_digest : int64; br_size : int }
+  | Blob_cached of { bc_digest : int64; bc_data : bytes }
 
 let int n = I64 (Int64.of_int n)
-let to_int = function
-  | I64 v -> Some (Int64.to_int v)
-  | Handle v -> Some (Int64.to_int v)
-  | _ -> None
+
+(* Out-of-range values must surface as [None], not wrap: a 64-bit handle
+   truncated to a native int would silently alias another object. *)
+let to_int =
+  let min = Int64.of_int min_int and max = Int64.of_int max_int in
+  let checked v =
+    if Int64.compare v min >= 0 && Int64.compare v max <= 0 then
+      Some (Int64.to_int v)
+    else None
+  in
+  function I64 v -> checked v | Handle v -> checked v | _ -> None
+
+(* FNV-1a 64: same construction as the Faults checksum envelope, reused
+   here to content-address buffer payloads. *)
+let digest b =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
 
 let rec equal a b =
   match (a, b) with
@@ -29,7 +48,14 @@ let rec equal a b =
   | Blob x, Blob y -> Bytes.equal x y
   | Handle x, Handle y -> Int64.equal x y
   | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
-  | (Unit | I64 _ | F64 _ | Str _ | Blob _ | Handle _ | List _), _ -> false
+  | Blob_ref x, Blob_ref y ->
+      Int64.equal x.br_digest y.br_digest && x.br_size = y.br_size
+  | Blob_cached x, Blob_cached y ->
+      Int64.equal x.bc_digest y.bc_digest && Bytes.equal x.bc_data y.bc_data
+  | ( ( Unit | I64 _ | F64 _ | Str _ | Blob _ | Handle _ | List _ | Blob_ref _
+      | Blob_cached _ ),
+      _ ) ->
+      false
 
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"
@@ -39,6 +65,10 @@ let rec pp ppf = function
   | Blob b -> Fmt.pf ppf "<blob %d>" (Bytes.length b)
   | Handle h -> Fmt.pf ppf "#%Ld" h
   | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma pp) vs
+  | Blob_ref { br_digest; br_size } ->
+      Fmt.pf ppf "<ref %Lx %d>" br_digest br_size
+  | Blob_cached { bc_digest; bc_data } ->
+      Fmt.pf ppf "<cached %Lx %d>" bc_digest (Bytes.length bc_data)
 
 (* Size of the encoded form, used for payload accounting. *)
 let rec encoded_size = function
@@ -47,6 +77,8 @@ let rec encoded_size = function
   | Str s -> 5 + String.length s
   | Blob b -> 5 + Bytes.length b
   | List vs -> 5 + List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
+  | Blob_ref _ -> 13
+  | Blob_cached { bc_data; _ } -> 13 + Bytes.length bc_data
 
 (* --- binary encoding ---------------------------------------------------- *)
 
@@ -75,6 +107,15 @@ let rec encode_value buf = function
       Buffer.add_char buf '\006';
       Buffer.add_int32_le buf (Int32.of_int (List.length vs));
       List.iter (encode_value buf) vs
+  | Blob_ref { br_digest; br_size } ->
+      Buffer.add_char buf '\007';
+      Buffer.add_int64_le buf br_digest;
+      Buffer.add_int32_le buf (Int32.of_int br_size)
+  | Blob_cached { bc_digest; bc_data } ->
+      Buffer.add_char buf '\008';
+      Buffer.add_int64_le buf bc_digest;
+      Buffer.add_int32_le buf (Int32.of_int (Bytes.length bc_data));
+      Buffer.add_bytes buf bc_data
 
 let encode values =
   let buf = Buffer.create 64 in
@@ -106,6 +147,15 @@ let decode data =
     pos := !pos + 8;
     v
   in
+  (* [List.init n (fun _ -> value ())] must not be used here: the order in
+     which [List.init] applies its closure is unspecified, and [value]
+     advances [pos] as a side effect. Decode strictly left to right. *)
+  let rec values n acc value =
+    if n = 0 then List.rev acc
+    else
+      let v = value () in
+      values (n - 1) (v :: acc) value
+  in
   let rec value () =
     match u8 () with
     | 0 -> Unit
@@ -130,14 +180,27 @@ let decode data =
         let n = i32 () in
         if n < 0 || n > 1_000_000 then
           raise (Decode_error "implausible list length");
-        List (List.init n (fun _ -> value ()))
+        List (values n [] value)
+    | 7 ->
+        let d = i64 () in
+        let n = i32 () in
+        if n < 0 then raise (Decode_error "negative blob-ref size");
+        Blob_ref { br_digest = d; br_size = n }
+    | 8 ->
+        let d = i64 () in
+        let n = i32 () in
+        if n < 0 then raise (Decode_error "negative cached-blob length");
+        need n;
+        let b = Bytes.sub data !pos n in
+        pos := !pos + n;
+        Blob_cached { bc_digest = d; bc_data = b }
     | tag -> raise (Decode_error (Printf.sprintf "unknown tag %d" tag))
   in
   match
     let n = i32 () in
     if n < 0 || n > 1_000_000 then
       raise (Decode_error "implausible value count");
-    let vs = List.init n (fun _ -> value ()) in
+    let vs = values n [] value in
     if !pos <> len then raise (Decode_error "trailing bytes");
     vs
   with

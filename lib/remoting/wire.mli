@@ -13,12 +13,24 @@ type value =
   | Blob of bytes
   | Handle of int64
   | List of value list
+  | Blob_ref of { br_digest : int64; br_size : int }
+      (** Content-addressed stand-in for a [Blob] whose payload the server
+          has already acknowledged: 13 bytes on the wire regardless of
+          payload size. *)
+  | Blob_cached of { bc_digest : int64; bc_data : bytes }
+      (** A [Blob] payload travelling together with its digest — announces
+          the digest to the server's content store. *)
 
 val int : int -> value
 (** Shorthand for [I64 (Int64.of_int n)]. *)
 
 val to_int : value -> int option
-(** Integer view of [I64] or [Handle] values. *)
+(** Integer view of [I64] or [Handle] values. [None] when the payload does
+    not fit the native [int] range (it is never silently wrapped). *)
+
+val digest : bytes -> int64
+(** FNV-1a 64 over the payload — the content address used by the transfer
+    cache. Same hash construction as the [Faults] checksum envelope. *)
 
 val equal : value -> value -> bool
 val pp : Format.formatter -> value -> unit

@@ -39,6 +39,15 @@ let dropped t = t.dropped
 let by_category t category =
   List.filter (fun e -> String.equal e.category category) (events t)
 
+(* Distinct categories seen so far, in first-recorded order (e.g.
+   "router", "server", "cache"). *)
+let categories t =
+  List.fold_left
+    (fun acc e ->
+      if List.exists (String.equal e.category) acc then acc
+      else acc @ [ e.category ])
+    [] (events t)
+
 let clear t =
   t.events <- [];
   t.count <- 0;

@@ -28,6 +28,11 @@ val dropped : t -> int
 (** Events discarded because the retention [limit] was reached. *)
 
 val by_category : t -> string -> event list
+
+val categories : t -> string list
+(** Distinct categories seen so far, in first-recorded order (e.g.
+    ["router"], ["server"], ["cache"]). *)
+
 val clear : t -> unit
 
 val pp_event : Format.formatter -> event -> unit

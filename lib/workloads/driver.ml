@@ -48,6 +48,68 @@ let time_nc ?(virtualized = false) program =
   | Some t -> t
   | None -> failwith "workload stalled"
 
+(* Remoted-run profile: end-to-end time plus the wire/cache measurements
+   the transfer-cache evaluation needs. *)
+type profile = {
+  pr_ns : Time.t;  (** end-to-end virtual nanoseconds *)
+  pr_wire_bytes : int;  (** bytes through the router, both directions *)
+  pr_cache_hits : int;
+  pr_cache_misses : int;
+  pr_cache_saved_bytes : int;  (** payload bytes served from the store *)
+  pr_cache_evictions : int;
+}
+
+(* Run a SimCL program remoted (AvA over the shm ring by default) with
+   the given transfer-cache capacity, measuring wire bytes and content
+   store counters alongside end-to-end time. *)
+let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
+    ?(transfer_cache = 0) program =
+  let e = Engine.create () in
+  let result = ref None in
+  Engine.spawn e (fun () ->
+      let host = Host.create_cl_host ~transfer_cache e in
+      let guest = Host.add_cl_vm host ~technique ~name:"guest" in
+      program guest.Host.g_api;
+      let c = Ava_remoting.Server.cache_totals host.Host.server in
+      result :=
+        Some
+          {
+            pr_ns = Engine.now e;
+            pr_wire_bytes = Ava_hv.Vm.bytes_transferred guest.Host.g_vm;
+            pr_cache_hits = c.Ava_remoting.Server.cs_hits;
+            pr_cache_misses = c.Ava_remoting.Server.cs_misses;
+            pr_cache_saved_bytes = c.Ava_remoting.Server.cs_saved_bytes;
+            pr_cache_evictions = c.Ava_remoting.Server.cs_evictions;
+          });
+  Engine.run e;
+  match !result with
+  | Some p -> p
+  | None -> failwith "workload stalled"
+
+(* MVNC counterpart of [profile_cl]. *)
+let profile_nc ?(transfer_cache = 0) program =
+  let e = Engine.create () in
+  let result = ref None in
+  Engine.spawn e (fun () ->
+      let host = Host.create_nc_host ~transfer_cache e in
+      let guest = Host.add_nc_vm host ~name:"guest" in
+      program guest.Host.ng_api;
+      let c = Ava_remoting.Server.cache_totals host.Host.nc_server in
+      result :=
+        Some
+          {
+            pr_ns = Engine.now e;
+            pr_wire_bytes = Ava_hv.Vm.bytes_transferred guest.Host.ng_vm;
+            pr_cache_hits = c.Ava_remoting.Server.cs_hits;
+            pr_cache_misses = c.Ava_remoting.Server.cs_misses;
+            pr_cache_saved_bytes = c.Ava_remoting.Server.cs_saved_bytes;
+            pr_cache_evictions = c.Ava_remoting.Server.cs_evictions;
+          });
+  Engine.run e;
+  match !result with
+  | Some p -> p
+  | None -> failwith "workload stalled"
+
 type row = {
   row_name : string;
   native_ns : Time.t;

@@ -19,6 +19,29 @@ val time_cl :
 val time_nc :
   ?virtualized:bool -> ((module Ava_simnc.Api.S) -> unit) -> Time.t
 
+(** Remoted-run profile: end-to-end time plus the wire/cache measurements
+    the transfer-cache evaluation needs. *)
+type profile = {
+  pr_ns : Time.t;  (** end-to-end virtual nanoseconds *)
+  pr_wire_bytes : int;  (** bytes through the router, both directions *)
+  pr_cache_hits : int;
+  pr_cache_misses : int;
+  pr_cache_saved_bytes : int;  (** payload bytes served from the store *)
+  pr_cache_evictions : int;
+}
+
+val profile_cl :
+  ?technique:Host.technique ->
+  ?transfer_cache:int ->
+  ((module Ava_simcl.Api.S) -> unit) ->
+  profile
+(** Run a SimCL program remoted (AvA over the shm ring by default) with
+    the given transfer-cache capacity in bytes (0 = cache off). *)
+
+val profile_nc :
+  ?transfer_cache:int -> ((module Ava_simnc.Api.S) -> unit) -> profile
+(** MVNC counterpart of {!profile_cl}. *)
+
 type row = {
   row_name : string;
   native_ns : Time.t;

@@ -41,7 +41,9 @@ let run ?(inferences = 20) (module NC : Ava_simnc.Api.S) =
   let name = ok (NC.mvncGetDeviceName ~index:0) in
   let dev = ok (NC.mvncOpenDevice ~name) in
   let graph = ok (NC.mvncAllocateGraph dev ~graph_data:(graph_data ())) in
-  let input = Bytes.create input_bytes in
+  (* Deterministic payload: the simulator's virtual time (and the
+     transfer cache's digests) must not depend on uninitialized memory. *)
+  let input = Bytes.make input_bytes '\000' in
   for _ = 1 to inferences do
     ok (NC.mvncLoadTensor graph ~tensor:input);
     ignore (ok (NC.mvncGetResult graph))

@@ -7,7 +7,11 @@
    synthetic kernels whose per-item flop counts are solved from a target
    duration on the reference GPU, because relative virtualization
    overhead is a function of the call mix, not of what the kernel
-   computes. *)
+   computes.
+
+   Payloads are zero-filled ([Bytes.make], never the uninitialized
+   [Bytes.create]): the simulation must be deterministic, and the
+   transfer cache digests payload contents. *)
 
 open Clutil
 open Ava_simcl.Types
@@ -37,9 +41,9 @@ let backprop api =
   let weights = buffer s (mib 1) in
   let hidden = buffer s (kib 64) in
   let delta = buffer s (mib 1) in
-  write s input (Bytes.create (mib 1));
-  write s weights (Bytes.create (mib 1));
-  write s delta (Bytes.create (mib 1));
+  write s input (Bytes.make (mib 1) '\000');
+  write s weights (Bytes.make (mib 1) '\000');
+  write s delta (Bytes.make (mib 1) '\000');
   let items = 65536 in
   let kernels =
     build_kernels s
@@ -74,8 +78,8 @@ let bfs api =
   let graph = buffer s (mib 4) in
   let frontier = buffer s (mib 1) in
   let flag = buffer s 64 in
-  write s graph (Bytes.create (mib 4));
-  write s frontier (Bytes.create (mib 1));
+  write s graph (Bytes.make (mib 4) '\000');
+  write s frontier (Bytes.make (mib 1) '\000');
   let items = 1_000_000 in
   let kernels =
     build_kernels s
@@ -106,8 +110,8 @@ let gaussian api =
   let s = open_session api in
   let matrix = buffer s (mib 4) in
   let vector = buffer s (kib 8) in
-  write s matrix (Bytes.create (mib 4));
-  write s vector (Bytes.create (kib 8));
+  write s matrix (Bytes.make (mib 4) '\000');
+  write s vector (Bytes.make (kib 8) '\000');
   let n = 1024 in
   let kernels =
     build_kernels s
@@ -147,7 +151,7 @@ let heartwall api =
   set_arg s track 0 (Arg_mem frame);
   set_arg s track 1 (Arg_mem result);
   for _frame = 1 to 20 do
-    write s frame (Bytes.create (kib 600));
+    write s frame (Bytes.make (kib 600) '\000');
     launch s track ~global:65536 ~local:128;
     ignore (read s result ~size:(kib 300))
   done;
@@ -161,8 +165,8 @@ let hotspot api =
   let temp_a = buffer s (mib 1) in
   let temp_b = buffer s (mib 1) in
   let power = buffer s (mib 1) in
-  write s temp_a (Bytes.create (mib 1));
-  write s power (Bytes.create (mib 1));
+  write s temp_a (Bytes.make (mib 1) '\000');
+  write s power (Bytes.make (mib 1) '\000');
   let items = 262_144 in
   let kernels =
     build_kernels s [ kernel_decl "hotspot_step" ~items ~us:20.0 ]
@@ -186,7 +190,7 @@ let hotspot api =
 let lud api =
   let s = open_session api in
   let matrix = buffer s (mib 8) in
-  write s matrix (Bytes.create (mib 8));
+  write s matrix (Bytes.make (mib 8) '\000');
   let kernels =
     build_kernels s
       [
@@ -218,7 +222,7 @@ let nn api =
   let s = open_session api in
   let records = buffer s (kib 512) in
   let distances = buffer s (kib 16) in
-  write s records (Bytes.create (kib 512));
+  write s records (Bytes.make (kib 512) '\000');
   let kernels =
     build_kernels s [ kernel_decl "nn_distance" ~items:1_000_000 ~us:8000.0 ]
   in
@@ -235,7 +239,7 @@ let nn api =
 let nw api =
   let s = open_session api in
   let score = buffer s (mib 4) in
-  write s score (Bytes.create (mib 4));
+  write s score (Bytes.make (mib 4) '\000');
   let kernels =
     build_kernels s [ kernel_decl "nw_diag" ~items:2048 ~us:12.0 ]
   in
@@ -260,7 +264,7 @@ let pathfinder api =
   let wall = buffer s (mib 4) in
   let result_a = buffer s (kib 400) in
   let result_b = buffer s (kib 400) in
-  write s wall (Bytes.create (mib 4));
+  write s wall (Bytes.make (mib 4) '\000');
   let items = 100_000 in
   let kernels =
     build_kernels s [ kernel_decl "dynproc" ~items ~us:12.0 ]
@@ -285,7 +289,7 @@ let srad api =
   let image = buffer s (mib 2) in
   let coeff = buffer s (mib 2) in
   let sums = buffer s 64 in
-  write s image (Bytes.create (mib 2));
+  write s image (Bytes.make (mib 2) '\000');
   let items = 262_144 in
   let kernels =
     build_kernels s

@@ -332,6 +332,259 @@ let crash_tests =
         Alcotest.(check int) "replayed once" 1 (Server.replayed server));
   ]
 
+(* --- transfer cache under faults ------------------------------------------ *)
+
+module Wire = Ava_remoting.Wire
+module Message = Ava_remoting.Message
+
+let cache_capacity = 64 * 1024 * 1024
+
+(* Run a program twice on one cache-armed guest (iterative deployment:
+   the second run's uploads dedup), with optional faults/retry. *)
+let run_cached_chaos ?faults ?retry program =
+  let e = Engine.create () in
+  let host = Host.create_cl_host ~transfer_cache:cache_capacity e in
+  let guest =
+    Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring) ?faults
+      ?retry ~name:"guest"
+  in
+  let finished_at =
+    Engine.run_process e (fun () ->
+        program guest.Host.g_api;
+        program guest.Host.g_api;
+        Engine.now e)
+  in
+  (finished_at, host, guest)
+
+(* Raw server endpoint with the cache on, so tests can drive the
+   announce/ref/NAK protocol frame by frame — including the frames a
+   well-behaved stub would never send twice. *)
+let raw_cached_server e =
+  let plan =
+    Result.get_ok (Ava_codegen.Plan.compile (Ava_spec.Specs.load_simcl ()))
+  in
+  let client_end, server_end = Transport.direct e in
+  let server =
+    Server.create e ~cache_capacity ~plan ~make_state:(fun ~vm_id -> ref vm_id)
+  in
+  Server.register server "clEnqueueWriteBuffer" (fun _ _ args ->
+      match args with
+      | [ Wire.Blob b ] -> (0, Wire.int (Bytes.length b), [])
+      | _ -> (Server.status_bad_arguments, Wire.Unit, []));
+  ignore (Server.attach_vm server ~vm_id:1 ~ep:server_end);
+  (client_end, server)
+
+let call_frame seq args =
+  Message.encode
+    (Message.Call
+       { call_seq = seq; call_vm = 1; call_fn = "clEnqueueWriteBuffer";
+         call_args = args })
+
+let recv_msg ep = Result.get_ok (Message.decode (Transport.recv ep))
+
+let cache_chaos_tests =
+  [
+    (* A guest that never sees the NAK (lost on the wire): the server
+       must NAK every redelivered stale ref, hold the seq unexecuted,
+       and accept the eventual full resend under the same seq. *)
+    Alcotest.test_case "dropped nak: ref redelivery re-naks, full resend lands"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        let client_end, server = raw_cached_server e in
+        let payload = Bytes.make 4096 'n' in
+        let d = Wire.digest payload in
+        let ref_frame =
+          call_frame 0 [ Wire.Blob_ref { br_digest = d; br_size = 4096 } ]
+        in
+        let full_frame =
+          call_frame 0 [ Wire.Blob_cached { bc_digest = d; bc_data = payload } ]
+        in
+        Engine.run_process e (fun () ->
+            (* Stale ref: the store has never seen this digest. *)
+            Transport.send client_end ref_frame;
+            (match recv_msg client_end with
+            | Message.Nak n ->
+                Alcotest.(check int) "nak seq" 0 n.Message.nak_seq;
+                Alcotest.(check bool) "nak names the digest" true
+                  (List.exists (Int64.equal d) n.Message.nak_digests)
+            | _ -> Alcotest.fail "expected a nak");
+            (* The guest never saw that NAK; its watchdog resends the
+               same ref frame.  The server must NAK again, not park. *)
+            Transport.send client_end ref_frame;
+            (match recv_msg client_end with
+            | Message.Nak _ -> ()
+            | _ -> Alcotest.fail "expected a second nak");
+            (* The NAK finally gets through: full resend, same seq. *)
+            Transport.send client_end full_frame;
+            match recv_msg client_end with
+            | Message.Reply r ->
+                Alcotest.(check int) "status" 0 r.Message.reply_status
+            | _ -> Alcotest.fail "expected the reply");
+        Alcotest.(check int) "two naks" 2 (Server.naks_sent server);
+        Alcotest.(check int) "executed once" 1 (Server.executed server);
+        let c = Server.cache_totals server in
+        Alcotest.(check int) "two misses" 2 c.Server.cs_misses;
+        Alcotest.(check int) "payload stored on resend" 1 c.Server.cs_insertions);
+    (* A duplicated ref frame for an already-executed seq must replay
+       from the reply log without touching the content store. *)
+    Alcotest.test_case "duplicated blob_ref frame replays, store untouched"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        let client_end, server = raw_cached_server e in
+        let payload = Bytes.make 4096 'd' in
+        let d = Wire.digest payload in
+        let announce =
+          call_frame 0 [ Wire.Blob_cached { bc_digest = d; bc_data = payload } ]
+        in
+        let ref_frame =
+          call_frame 1 [ Wire.Blob_ref { br_digest = d; br_size = 4096 } ]
+        in
+        Engine.run_process e (fun () ->
+            Transport.send client_end announce;
+            (match recv_msg client_end with
+            | Message.Reply _ -> ()
+            | _ -> Alcotest.fail "announce not replied");
+            Transport.send client_end ref_frame;
+            (match recv_msg client_end with
+            | Message.Reply _ -> ()
+            | _ -> Alcotest.fail "ref not replied");
+            (* Duplicate delivery of the ref frame (router requeue or
+               watchdog): replay, don't resolve again. *)
+            Transport.send client_end ref_frame;
+            match recv_msg client_end with
+            | Message.Reply r ->
+                Alcotest.(check int) "replayed status" 0 r.Message.reply_status
+            | _ -> Alcotest.fail "duplicate not replied");
+        Alcotest.(check int) "executed once per seq" 2 (Server.executed server);
+        Alcotest.(check int) "duplicate replayed" 1 (Server.replayed server);
+        let c = Server.cache_totals server in
+        Alcotest.(check int) "one hit only" 1 c.Server.cs_hits;
+        Alcotest.(check int) "one insertion only" 1 c.Server.cs_insertions);
+    (* A corrupted announce (digest does not match the payload) must not
+       poison the store: the payload still executes, but nothing under
+       that digest becomes resident. *)
+    Alcotest.test_case "corrupt announce never poisons the store" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let client_end, server = raw_cached_server e in
+        let payload = Bytes.make 4096 'p' in
+        let honest = Wire.digest payload in
+        let lying = Int64.add honest 1L in
+        let bad_announce =
+          call_frame 0
+            [ Wire.Blob_cached { bc_digest = lying; bc_data = payload } ]
+        in
+        let ref_frame =
+          call_frame 1 [ Wire.Blob_ref { br_digest = lying; br_size = 4096 } ]
+        in
+        Engine.run_process e (fun () ->
+            Transport.send client_end bad_announce;
+            (match recv_msg client_end with
+            | Message.Reply r ->
+                Alcotest.(check int) "payload still executes" 0
+                  r.Message.reply_status
+            | _ -> Alcotest.fail "announce not replied");
+            (* The lying digest must not resolve. *)
+            Transport.send client_end ref_frame;
+            match recv_msg client_end with
+            | Message.Nak _ -> ()
+            | _ -> Alcotest.fail "poisoned digest resolved");
+        let c = Server.cache_totals server in
+        Alcotest.(check int) "announce rejected" 1 c.Server.cs_rejected;
+        Alcotest.(check int) "nothing resident" 0 c.Server.cs_resident_bytes);
+    (* Server restart mid-run: the content store is front-end process
+       memory, so it empties; the guest's stale refs NAK and heal. *)
+    Alcotest.test_case "server restart empties the store mid-run" `Slow
+      (fun () ->
+        let b = Option.get (Rodinia.find "heartwall") in
+        let plain, _, _ =
+          run_cached_chaos (fun api -> b.Rodinia.run api)
+        in
+        let e = Engine.create () in
+        let host = Host.create_cl_host ~transfer_cache:cache_capacity e in
+        let retry =
+          { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5 }
+        in
+        let guest =
+          Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring) ~retry
+            ~name:"guest"
+        in
+        let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
+        Engine.spawn e (fun () ->
+            Engine.delay (plain / 2);
+            Server.crash host.Host.server ~vm_id;
+            Engine.delay (Time.ms 1);
+            Server.restart host.Host.server ~vm_id;
+            ignore (Router.requeue_in_flight host.Host.router ~vm_id));
+        Engine.run_process e (fun () ->
+            b.Rodinia.run guest.Host.g_api;
+            b.Rodinia.run guest.Host.g_api);
+        let stub = stub_of guest in
+        Alcotest.(check int) "one restart" 1 (Server.restarts host.Host.server);
+        Alcotest.(check int) "no call gave up" 0 (Stub.timeouts stub);
+        (* Heartwall refs the same frame from iteration 2 on, so stale
+           refs after the restart are guaranteed: they must have healed
+           through NAK + full resend. *)
+        Alcotest.(check bool) "restart invalidated refs" true
+          (Server.naks_sent host.Host.server > 0);
+        Alcotest.(check bool) "stub resent full payloads" true
+          (Stub.cache_nak_resends stub > 0);
+        Alcotest.(check bool) "cache still hits after healing" true
+          ((Server.cache_totals host.Host.server).Server.cs_hits > 0));
+    (* The disable knob: capacity 0 must be byte- and cycle-identical to
+       the historical stack — same virtual time, same wire traffic. *)
+    Alcotest.test_case "capacity 0 is bit-identical to the plain stack"
+      `Quick (fun () ->
+        let b = Option.get (Rodinia.find "backprop") in
+        let measure host_of =
+          let e = Engine.create () in
+          let host = host_of e in
+          let guest =
+            Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring)
+              ~name:"guest"
+          in
+          let t =
+            Engine.run_process e (fun () ->
+                b.Rodinia.run guest.Host.g_api;
+                Engine.now e)
+          in
+          (t, Ava_hv.Vm.bytes_transferred guest.Host.g_vm)
+        in
+        let t0, bytes0 = measure (fun e -> Host.create_cl_host e) in
+        let t1, bytes1 =
+          measure (fun e -> Host.create_cl_host ~transfer_cache:0 e)
+        in
+        Alcotest.(check int) "identical virtual time" t0 t1;
+        Alcotest.(check int) "identical wire bytes" bytes0 bytes1);
+  ]
+
+(* All ten Rodinia workloads, cache armed, light faults and the retry
+   watchdog: every run must still complete correctly. *)
+let cached_chaos_case i (b : Rodinia.benchmark) =
+  Alcotest.test_case
+    (Printf.sprintf "%s survives faults with the cache armed" b.Rodinia.name)
+    `Slow
+    (fun () ->
+      let faults =
+        Faults.create ~seed:(Int64.of_int ((i * 53) + 211)) Faults.light
+      in
+      let _, host, guest =
+        run_cached_chaos ~faults ~retry:Stub.default_retry b.Rodinia.run
+      in
+      let stub = stub_of guest in
+      Alcotest.(check int) "no call gave up" 0 (Stub.timeouts stub);
+      Alcotest.(check bool) "second run dedup'd" true
+        (Stub.cache_refs stub > 0);
+      (* A corrupted or duplicated frame must never leave a wrong payload
+         resident: every miss the server reported was healed by a full
+         resend, and rejected announces never became insertions. *)
+      let c = Server.cache_totals host.Host.server in
+      if c.Server.cs_misses > 0 then
+        Alcotest.(check bool) "misses healed by resends" true
+          (Stub.cache_nak_resends stub > 0))
+
+let cached_chaos_tests = List.mapi cached_chaos_case Rodinia.all
+
 let () =
   Alcotest.run "ava_faults"
     [
@@ -340,4 +593,6 @@ let () =
       ("chaos", chaos_tests);
       ("determinism", determinism_tests);
       ("crash", crash_tests);
+      ("cache-protocol", cache_chaos_tests);
+      ("cache-chaos", cached_chaos_tests);
     ]

@@ -27,6 +27,15 @@ let value_gen =
         map (fun s -> Wire.Str s) (string_size (0 -- 64));
         map (fun s -> Wire.Blob (Bytes.of_string s)) (string_size (0 -- 256));
         map (fun n -> Wire.Handle (Int64.of_int n)) nat;
+        map
+          (fun (d, n) ->
+            Wire.Blob_ref { br_digest = Int64.of_int d; br_size = n })
+          (pair int nat);
+        map
+          (fun s ->
+            let b = Bytes.of_string s in
+            Wire.Blob_cached { bc_digest = Wire.digest b; bc_data = b })
+          (string_size (0 -- 256));
       ]
   in
   sized (fun n ->
@@ -70,6 +79,86 @@ let wire_tests =
       `Quick (fun () ->
         let v = Wire.Blob (Bytes.create 1000) in
         Alcotest.(check int) "blob size" 1005 (Wire.encoded_size v));
+    (* Regression: decode built lists with [List.init n (fun _ -> value ())],
+       whose evaluation order is unspecified — nested collections could
+       come back permuted.  Pin the order with a mixed nested value. *)
+    Alcotest.test_case "nested lists decode in order" `Quick (fun () ->
+        let values =
+          [
+            Wire.Str "head";
+            Wire.List
+              [
+                Wire.Str "a";
+                Wire.Blob (Bytes.of_string "bb");
+                Wire.List [ Wire.int 1; Wire.Str "c"; Wire.int 2 ];
+                Wire.Blob (Bytes.of_string "dddd");
+                Wire.Str "e";
+              ];
+            Wire.List [ Wire.Str "x"; Wire.Str "y"; Wire.Str "z" ];
+            Wire.Str "tail";
+          ]
+        in
+        match Wire.decode (Wire.encode values) with
+        | Error e -> Alcotest.failf "decode failed: %s" e
+        | Ok decoded ->
+            Alcotest.(check int) "arity" 4 (List.length decoded);
+            List.iter2
+              (fun expect got ->
+                Alcotest.(check bool)
+                  (Fmt.str "%a" Wire.pp expect)
+                  true (Wire.equal expect got))
+              values decoded;
+            (match List.nth decoded 2 with
+            | Wire.List [ Wire.Str x; Wire.Str y; Wire.Str z ] ->
+                Alcotest.(check (list string))
+                  "inner order" [ "x"; "y"; "z" ] [ x; y; z ]
+            | v -> Alcotest.failf "unexpected shape: %a" Wire.pp v));
+    (* Regression: [to_int] silently wrapped int64s outside the native
+       (63-bit) int range through [Int64.to_int]. *)
+    Alcotest.test_case "to_int refuses out-of-range int64" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "max_int64" None
+          (Wire.to_int (Wire.I64 Int64.max_int));
+        Alcotest.(check (option int))
+          "min_int64" None
+          (Wire.to_int (Wire.I64 Int64.min_int));
+        Alcotest.(check (option int))
+          "oversized handle" None
+          (Wire.to_int (Wire.Handle Int64.max_int));
+        Alcotest.(check (option int))
+          "native max fits" (Some max_int)
+          (Wire.to_int (Wire.I64 (Int64.of_int max_int)));
+        Alcotest.(check (option int))
+          "native min fits" (Some min_int)
+          (Wire.to_int (Wire.I64 (Int64.of_int min_int)));
+        Alcotest.(check (option int)) "small" (Some 42)
+          (Wire.to_int (Wire.int 42)));
+    Alcotest.test_case "blob_ref and blob_cached roundtrip" `Quick (fun () ->
+        let payload = Bytes.of_string "content-addressed payload" in
+        let d = Wire.digest payload in
+        let values =
+          [
+            Wire.Blob_ref { br_digest = d; br_size = Bytes.length payload };
+            Wire.Blob_cached { bc_digest = d; bc_data = payload };
+          ]
+        in
+        match Wire.decode (Wire.encode values) with
+        | Ok decoded ->
+            Alcotest.(check bool) "equal" true
+              (List.for_all2 Wire.equal values decoded);
+            Alcotest.(check int) "ref is 13 bytes + tag/length overhead"
+              13
+              (Wire.encoded_size (List.hd values))
+        | Error e -> Alcotest.failf "decode failed: %s" e);
+    Alcotest.test_case "digest is deterministic and content-sensitive"
+      `Quick (fun () ->
+        let a = Bytes.make 4096 '\000' in
+        let b = Bytes.make 4096 '\000' in
+        Alcotest.(check bool) "same content, same digest" true
+          (Int64.equal (Wire.digest a) (Wire.digest b));
+        Bytes.set b 4095 '\001';
+        Alcotest.(check bool) "one flipped byte, new digest" false
+          (Int64.equal (Wire.digest a) (Wire.digest b)));
   ]
 
 let message_tests =
@@ -109,6 +198,30 @@ let message_tests =
         match Message.decode (Wire.encode [ Wire.int 1 ]) with
         | Ok _ -> Alcotest.fail "accepted"
         | Error _ -> ());
+    Alcotest.test_case "nak frame roundtrip" `Quick (fun () ->
+        let n =
+          Message.Nak
+            {
+              nak_vm = 3;
+              nak_seq = 41;
+              nak_digests = [ 0xdeadbeefL; Int64.min_int; 0L ];
+            }
+        in
+        match Message.decode (Message.encode n) with
+        | Ok (Message.Nak n') ->
+            Alcotest.(check int) "vm" 3 n'.Message.nak_vm;
+            Alcotest.(check int) "seq" 41 n'.Message.nak_seq;
+            Alcotest.(check bool) "digests" true
+              (List.for_all2 Int64.equal
+                 [ 0xdeadbeefL; Int64.min_int; 0L ]
+                 n'.Message.nak_digests)
+        | _ -> Alcotest.fail "roundtrip failed");
+    Alcotest.test_case "nak with no digests roundtrips" `Quick (fun () ->
+        let n = Message.Nak { nak_vm = 0; nak_seq = 0; nak_digests = [] } in
+        match Message.decode (Message.encode n) with
+        | Ok (Message.Nak n') ->
+            Alcotest.(check int) "empty" 0 (List.length n'.Message.nak_digests)
+        | _ -> Alcotest.fail "roundtrip failed");
   ]
 
 let transport_tests =
@@ -411,6 +524,150 @@ let stub_tests =
           (b = a + 1 && a >= 0x100000));
   ]
 
+(* Stub/server pair with the transfer cache armed on both halves. *)
+let cached_pair e plan ~capacity =
+  let guest_end, server_end = Transport.direct e in
+  let server =
+    Server.create e ~cache_capacity:capacity ~plan
+      ~make_state:(fun ~vm_id -> ref vm_id)
+  in
+  ignore (Server.attach_vm server ~vm_id:1 ~ep:server_end);
+  let stub =
+    Stub.create e ~cache:(Stub.cache_for_capacity capacity) ~vm_id:1 ~plan
+      ~ep:guest_end
+  in
+  (stub, server)
+
+(* Register a "ping" handler that records every payload it sees and
+   fails loudly if a cache value ever leaks past resolution. *)
+let payload_recorder server seen =
+  Server.register server "ping" (fun _ctx _st args ->
+      match args with
+      | [ Wire.Blob b ] ->
+          seen := Bytes.copy b :: !seen;
+          (0, Wire.int (Bytes.length b), [])
+      | [ (Wire.Blob_ref _ | Wire.Blob_cached _) ] ->
+          Alcotest.fail "handler saw an unresolved cache value"
+      | _ -> (Server.status_bad_arguments, Wire.Unit, []))
+
+let send_payload stub payload =
+  let reply =
+    Result.get_ok
+      (Stub.invoke_sync stub ~fn:"ping" ~env:[]
+         ~args:[ Wire.Blob (Bytes.copy payload) ])
+  in
+  Alcotest.(check int) "status" 0 reply.Message.reply_status;
+  Alcotest.(check (option int))
+    "handler saw full length"
+    (Some (Bytes.length payload))
+    (Wire.to_int reply.Message.reply_ret)
+
+let cache_tests =
+  [
+    Alcotest.test_case "repeated payload travels as a ref" `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = cached_pair e plan ~capacity:(1024 * 1024) in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let payload = Bytes.make 4096 'p' in
+        Engine.run_process e (fun () ->
+            send_payload stub payload;
+            send_payload stub payload;
+            send_payload stub payload);
+        Alcotest.(check int) "one announce" 1 (Stub.cache_announces stub);
+        Alcotest.(check int) "two refs" 2 (Stub.cache_refs stub);
+        Alcotest.(check int) "bytes elided" (2 * 4096)
+          (Stub.cache_saved_bytes stub);
+        Alcotest.(check int) "no naks" 0 (Server.naks_sent server);
+        let c = Server.cache_totals server in
+        Alcotest.(check int) "hits" 2 c.Server.cs_hits;
+        Alcotest.(check int) "insertions" 1 c.Server.cs_insertions;
+        Alcotest.(check int) "handler ran thrice" 3 (List.length !seen);
+        List.iter
+          (fun b -> Alcotest.(check bytes) "payload intact" payload b)
+          !seen);
+    Alcotest.test_case "payloads below the floor are never cached" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = cached_pair e plan ~capacity:(1024 * 1024) in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let payload = Bytes.make 512 's' in
+        Engine.run_process e (fun () ->
+            send_payload stub payload;
+            send_payload stub payload);
+        Alcotest.(check int) "no announces" 0 (Stub.cache_announces stub);
+        Alcotest.(check int) "no refs" 0 (Stub.cache_refs stub);
+        let c = Server.cache_totals server in
+        Alcotest.(check int) "store untouched" 0 c.Server.cs_insertions);
+    (* Eviction then a stale ref: the server NAKs, the stub resends the
+       full payload under the same seq, and the call still succeeds. *)
+    Alcotest.test_case "stale ref heals through nak and resend" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = cached_pair e plan ~capacity:8192 in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let mk c = Bytes.make 4096 c in
+        Engine.run_process e (fun () ->
+            send_payload stub (mk 'a');
+            send_payload stub (mk 'b');
+            (* 'c' overflows the 8 KiB store and evicts 'a' (LRU). *)
+            send_payload stub (mk 'c');
+            (* The stub still believes 'a' is resident: ref -> miss. *)
+            send_payload stub (mk 'a'));
+        Alcotest.(check bool) "evicted" true
+          ((Server.cache_totals server).Server.cs_evictions >= 1);
+        Alcotest.(check int) "one nak" 1 (Server.naks_sent server);
+        Alcotest.(check int) "one full resend" 1
+          (Stub.cache_nak_resends stub);
+        Alcotest.(check int) "four executions" 4 (List.length !seen);
+        Alcotest.(check bytes) "last payload correct" (mk 'a')
+          (List.hd !seen));
+    Alcotest.test_case "flush_cache empties the store, refs heal" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = cached_pair e plan ~capacity:(1024 * 1024) in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let payload = Bytes.make 4096 'f' in
+        Engine.run_process e (fun () ->
+            send_payload stub payload;
+            Server.flush_cache server ~vm_id:1;
+            Alcotest.(check (option int))
+              "resident after flush" (Some 0)
+              (Option.map
+                 (fun c -> c.Server.cs_resident_bytes)
+                 (Server.cache_stats server ~vm_id:1));
+            send_payload stub payload;
+            send_payload stub payload);
+        Alcotest.(check int) "nak healed the stale ref" 1
+          (Server.naks_sent server);
+        Alcotest.(check int) "all calls executed" 3 (List.length !seen));
+    Alcotest.test_case "oversized payloads bypass the cache" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        (* Capacity below the payload size: the stub must not announce
+           (an oversized announce could never become resident and would
+           NAK forever). *)
+        let stub, server = cached_pair e plan ~capacity:2048 in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let payload = Bytes.make 4096 'o' in
+        Engine.run_process e (fun () ->
+            send_payload stub payload;
+            send_payload stub payload);
+        Alcotest.(check int) "no announces" 0 (Stub.cache_announces stub);
+        Alcotest.(check int) "no refs" 0 (Stub.cache_refs stub);
+        Alcotest.(check int) "no naks" 0 (Server.naks_sent server);
+        Alcotest.(check int) "both executed" 2 (List.length !seen));
+  ]
+
 (* A full guest -> router -> server stack over raw endpoints, so tests
    can inject hand-built frames the stub would never produce. *)
 let router_stack e plan =
@@ -694,6 +951,7 @@ let () =
       ("transport-properties", transport_property_tests);
       ("policy", policy_tests);
       ("stub-server", stub_tests);
+      ("transfer-cache", cache_tests);
       ("router", router_tests);
       ("ctx", ctx_tests);
       ("migrate", migrate_tests);
