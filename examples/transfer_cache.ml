@@ -62,7 +62,14 @@ let () =
     c.Server.cs_hits c.Server.cs_insertions c.Server.cs_saved_bytes;
 
   (* Bounce the server mid-run: stale refs NAK and heal. *)
-  let retry = { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5 } in
+  let retry =
+    {
+      Stub.timeout_ns = Time.ms 1;
+      max_retries = 40;
+      backoff = 1.5;
+      jitter = 0.0;
+    }
+  in
   let e, host, guest = deploy ~transfer_cache:capacity ~retry () in
   let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
   Engine.spawn e (fun () ->

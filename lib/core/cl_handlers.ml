@@ -21,8 +21,10 @@ type state = {
   swap : Swap.t option;
 }
 
-let make_state ?swap kd ~vm_id:_ =
-  let api, native = Ava_simcl.Native.create kd in
+(* Thread the VM id down to the device layer as the submitting client, so
+   per-client fault targeting (and TDR blame) can tell tenants apart. *)
+let make_state ?swap kd ~vm_id =
+  let api, native = Ava_simcl.Native.create ~client:vm_id kd in
   { api; native; swap }
 
 (* Reply helpers. *)
@@ -34,7 +36,7 @@ let ok_ret ret outs = (0, ret, outs)
 
 let unknown_handle = (Server.status_unknown_handle, Wire.Unit, [])
 
-exception Unknown_handle
+exception Unknown_handle = Server.Unknown_handle
 
 let resolve ctx v =
   match Server.Ctx.resolve ctx v with

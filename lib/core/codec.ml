@@ -15,7 +15,9 @@ let b bytes = Wire.Blob bytes
 let s str = Wire.Str str
 let l handles = Wire.List (List.map h handles)
 
-exception Bad_args
+(* Alias the server's canonical exception so the dispatch loop's narrow
+   catch classifies marshalling failures without a per-handler guard. *)
+exception Bad_args = Ava_remoting.Server.Bad_args
 
 (* Range-checked: an [I64]/[Handle] outside the native [int] range is a
    marshalling error, never a silent wrap. *)

@@ -18,6 +18,20 @@ module Swap = Ava_remoting.Swap
 open Ava_sim
 open Ava_device
 
+(* Host-side TDR (timeout-detection-and-recovery) policy: a dispatched
+   call whose handler overruns its spec resource estimate by more than
+   [tp_factor] (floored at [tp_min_ns]) is declared wedged; the server
+   resets the device and fails the call with [status_device_lost].  The
+   floor must exceed the longest legitimate single kernel (Inception's
+   8 ms layer), or healthy workloads would trip it. *)
+type tdr_policy = {
+  tp_factor : float;
+  tp_min_ns : Ava_sim.Time.t;
+  tp_poison : bool;  (** scribble surviving device memory on reset *)
+}
+
+let default_tdr = { tp_factor = 20.0; tp_min_ns = Time.ms 50; tp_poison = false }
+
 (* The attachment techniques of the design space (§2). *)
 type technique =
   | Passthrough  (** dedicated device, native driver in the guest *)
@@ -83,12 +97,27 @@ let load_cl_plan ?(sync_only = false) () =
    the pre-cache stack). *)
 let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
-    ?(transfer_cache = 0) ?(tracing = false) engine =
+    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr engine =
   let trace = Ava_sim.Trace.create ~enabled:tracing () in
-  let gpu = Gpu.create ~timing:gpu_timing engine in
+  let gpu = Gpu.create ~timing:gpu_timing ?devfault:devfaults engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let spec, plan = load_cl_plan ~sync_only () in
   let kd = Ava_simcl.Kdriver.create gpu in
+  (* Server-side watchdog: on overrun, reset the one physical GPU all VM
+     silos share.  Wedged work is failed; queued survivors keep draining
+     (Windows-TDR semantics), so innocents see only a blip. *)
+  let server_tdr =
+    Option.map
+      (fun tp ->
+        let policy = if tp.tp_poison then `Poison else `Preserve in
+        {
+          Server.tdr_factor = tp.tp_factor;
+          tdr_min_ns = tp.tp_min_ns;
+          tdr_reset = (fun ~vm_id:_ -> Gpu.reset ~policy gpu);
+          tdr_wedged_by = Some (fun () -> Gpu.wedged_by gpu);
+        })
+      tdr
+  in
   let swap =
     Option.map
       (fun capacity ->
@@ -107,8 +136,8 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
       swap_capacity
   in
   let server =
-    Server.create ~trace ~cache_capacity:transfer_cache engine ~plan
-      ~make_state:(Cl_handlers.make_state ?swap kd)
+    Server.create ~trace ~cache_capacity:transfer_cache ?tdr:server_tdr engine
+      ~plan ~make_state:(Cl_handlers.make_state ?swap kd)
   in
   Cl_handlers.register server;
   let router = Router.create ~trace engine ~virt ~plan in
@@ -137,8 +166,19 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
    [faults] installs fault hooks on the guest-facing link (the hop that
    crosses a real transport); [retry] arms the stub's retransmission
    watchdog — deploy them together for a recoverable lossy stack. *)
+(* Reply statuses that count against a SimCL VM's error budget: the
+   server's device-lost verdict (TDR fired mid-call) and the CL-level
+   CL_DEVICE_NOT_AVAILABLE a later clFinish reports for a kernel the
+   reset killed. *)
+let cl_fault_statuses =
+  [
+    Server.status_device_lost;
+    Ava_simcl.Types.error_to_code Ava_simcl.Types.Device_not_available;
+  ]
+
 let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
-    ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window t ~name =
+    ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window ?breaker t
+    ~name =
   let batch_limit = if batching then 16 else 1 in
   (* Arm the stub half of the transfer cache iff the server store is
      bounded above zero; the stub's max cacheable blob matches the store
@@ -190,8 +230,9 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       let router_server_end, server_end = Transport.direct t.engine in
       ignore
         (Router.attach_vm ?rate_per_s ?weight:(Option.map Fun.id weight)
-           ?quota_cost ?quota_window t.router vm ~guest_side:router_guest_end
-           ~server_side:router_server_end);
+           ?quota_cost ?quota_window ?breaker
+           ~breaker_statuses:cl_fault_statuses t.router vm
+           ~guest_side:router_guest_end ~server_side:router_server_end);
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
         Stub.create ~batch_limit ?retry ?cache t.engine ~vm_id ~plan:t.plan
@@ -235,12 +276,27 @@ let load_nc_plan () =
   | Error e -> failwith ("mvnc plan compilation failed: " ^ e)
 
 let create_nc_host ?(virt = Timing.default_virt)
-    ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) engine =
-  let dev = Ncs.create ~timing:ncs_timing engine in
+    ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) ?devfaults ?tdr
+    engine =
+  let dev = Ncs.create ~timing:ncs_timing ?devfault:devfaults engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let _spec, plan = load_nc_plan () in
+  (* NCS recovery = re-enumerate the stick: loaded graphs are gone, the
+     guest re-allocates through the normal API path. *)
+  let server_tdr =
+    Option.map
+      (fun tp ->
+        {
+          Server.tdr_factor = tp.tp_factor;
+          tdr_min_ns = tp.tp_min_ns;
+          tdr_reset = (fun ~vm_id:_ -> Ncs.reset dev);
+          (* Single-owner USB device: no cross-VM wedge to blame. *)
+          tdr_wedged_by = None;
+        })
+      tdr
+  in
   let server =
-    Server.create ~cache_capacity:transfer_cache engine ~plan
+    Server.create ~cache_capacity:transfer_cache ?tdr:server_tdr engine ~plan
       ~make_state:(Nc_handlers.make_state dev)
   in
   Nc_handlers.register server;
@@ -254,14 +310,24 @@ let create_nc_host ?(virt = Timing.default_virt)
     nc_server = server;
   }
 
-let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
+(* NCS fault budget: server device-lost plus the MVNC-level GONE status
+   an unplugged/reset stick reports. *)
+let nc_fault_statuses =
+  [
+    Server.status_device_lost;
+    Ava_simnc.Types.status_to_code Ava_simnc.Types.Gone;
+  ]
+
+let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight ?breaker t
+    ~name =
   let vm = Ava_hv.Hypervisor.create_vm t.nc_hv ~name in
   let vm_id = Ava_hv.Vm.id vm in
   let virt = Ava_hv.Hypervisor.virt t.nc_hv in
   let guest_end, router_guest_end = Transport.make transport t.nc_engine ~virt in
   let router_server_end, server_end = Transport.direct t.nc_engine in
   ignore
-    (Router.attach_vm ?rate_per_s ?weight t.nc_router vm
+    (Router.attach_vm ?rate_per_s ?weight ?breaker
+       ~breaker_statuses:nc_fault_statuses t.nc_router vm
        ~guest_side:router_guest_end ~server_side:router_server_end);
   ignore (Server.attach_vm t.nc_server ~vm_id ~ep:server_end);
   let cache =

@@ -19,6 +19,21 @@ module Swap = Ava_remoting.Swap
 open Ava_sim
 open Ava_device
 
+(** Host-side TDR (timeout-detection-and-recovery) policy: a dispatched
+    call whose handler overruns its spec resource estimate by more than
+    [tp_factor] (floored at [tp_min_ns]) is declared wedged; the server
+    resets the device and fails the call with
+    {!Server.status_device_lost}.  Keep [tp_min_ns] above the longest
+    legitimate single kernel or healthy workloads trip it. *)
+type tdr_policy = {
+  tp_factor : float;
+  tp_min_ns : Time.t;
+  tp_poison : bool;  (** scribble surviving device memory on reset *)
+}
+
+val default_tdr : tdr_policy
+(** 20x overrun, 50 ms floor, preserve memory. *)
+
 (** The attachment techniques of the design space (§2). *)
 type technique =
   | Passthrough  (** dedicated device, native driver in the guest *)
@@ -67,6 +82,8 @@ val create_cl_host :
   ?sync_only:bool ->
   ?transfer_cache:int ->
   ?tracing:bool ->
+  ?devfaults:Devfault.t ->
+  ?tdr:tdr_policy ->
   Engine.t ->
   cl_host
 (** [swap_capacity] enables swapping with the given device-memory budget
@@ -76,7 +93,10 @@ val create_cl_host :
     [transfer_cache] bounds the server's per-VM content store in bytes
     and arms the matching stub-side digest cache on every remoted guest
     (default 0: cache off, wire traffic byte-identical to the pre-cache
-    stack). *)
+    stack).  [devfaults] arms seeded device-fault injection on the GPU;
+    [tdr] arms the server's hang watchdog with device reset — both off
+    by default, leaving the stack bit-identical to the fault-free
+    build. *)
 
 val add_cl_vm :
   ?technique:technique ->
@@ -87,6 +107,7 @@ val add_cl_vm :
   ?weight:float ->
   ?quota_cost:float ->
   ?quota_window:Time.t ->
+  ?breaker:Ava_remoting.Policy.Breaker.config ->
   cl_host ->
   name:string ->
   cl_guest
@@ -96,7 +117,11 @@ val add_cl_vm :
     the guest-facing transport hop; [retry] arms the stub's
     retransmission watchdog — deploy them together for a recoverable
     lossy stack (both absent by default: the stack is then bit-identical
-    to the fault-free build). *)
+    to the fault-free build).  [breaker] arms the router's per-VM
+    circuit breaker, fed by device-lost and CL_DEVICE_NOT_AVAILABLE
+    replies: a faulting VM is quarantined
+    ({!Server.status_vm_quarantined}) without perturbing its
+    neighbours. *)
 
 val native_cl :
   ?gpu_timing:Timing.gpu -> Engine.t -> (module Ava_simcl.Api.S) * Gpu.t
@@ -128,17 +153,24 @@ val create_nc_host :
   ?virt:Timing.virt ->
   ?ncs_timing:Timing.ncs ->
   ?transfer_cache:int ->
+  ?devfaults:Devfault.t ->
+  ?tdr:tdr_policy ->
   Engine.t ->
   nc_host
-(** [transfer_cache] as in {!create_cl_host}. *)
+(** [transfer_cache], [devfaults] and [tdr] as in {!create_cl_host}
+    ([tdr]'s reset re-enumerates the stick; [tp_poison] is meaningless
+    for the NCS and ignored). *)
 
 val add_nc_vm :
   ?transport:Transport.kind ->
   ?rate_per_s:float ->
   ?weight:float ->
+  ?breaker:Ava_remoting.Policy.Breaker.config ->
   nc_host ->
   name:string ->
   nc_guest
+(** [breaker] as in {!add_cl_vm}; the NCS fault budget counts
+    device-lost and MVNC GONE replies. *)
 
 val native_nc :
   ?ncs_timing:Timing.ncs -> Engine.t -> (module Ava_simnc.Api.S) * Ncs.t

@@ -21,7 +21,7 @@ let err (s : status) : int * Wire.value * Wire.value list =
 let ok_unit = (0, Wire.Unit, [])
 let ok_ret ret outs = (0, ret, outs)
 
-exception Unknown_handle
+exception Unknown_handle = Server.Unknown_handle
 
 let resolve ctx v =
   match Server.Ctx.resolve ctx v with

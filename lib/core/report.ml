@@ -51,6 +51,11 @@ type t = {
   r_cache : Server.cache_stats;
       (** server content-store totals (transfer cache) *)
   r_naks : int;  (** cache-miss NAK messages the server sent *)
+  r_device_lost : int;  (** calls failed with [status_device_lost] *)
+  r_tdr_resets : int;  (** watchdog-triggered device resets *)
+  r_gpu_resets : int;  (** resets the device itself performed *)
+  r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
+  r_quarantined : int;  (** calls rejected by open circuit breakers *)
 }
 
 let guest_stats (guest : Host.cl_guest) =
@@ -100,6 +105,11 @@ let snapshot (host : Host.cl_host) guests =
         host.Host.swap;
     r_cache = Server.cache_totals host.Host.server;
     r_naks = Server.naks_sent host.Host.server;
+    r_device_lost = Server.device_lost host.Host.server;
+    r_tdr_resets = Server.tdr_resets host.Host.server;
+    r_gpu_resets = Gpu.resets host.Host.gpu;
+    r_unexpected_exns = Server.unexpected_exns host.Host.server;
+    r_quarantined = Router.quarantined host.Host.router;
   }
 
 let pp ppf r =
@@ -118,6 +128,15 @@ let pp ppf r =
       r.r_restarts r.r_lost_while_down r.r_replayed r.r_requeued;
   Fmt.pf ppf "  device: %d kernels, busy %a, %d B resident, %d B over DMA@."
     r.r_kernels Time.pp r.r_gpu_busy r.r_gpu_mem_used r.r_dma_bytes;
+  if
+    r.r_device_lost > 0 || r.r_tdr_resets > 0 || r.r_gpu_resets > 0
+    || r.r_unexpected_exns > 0 || r.r_quarantined > 0
+  then
+    Fmt.pf ppf
+      "  faults: %d device-lost, %d tdr resets (%d device), %d quarantined, \
+       %d unexpected exns@."
+      r.r_device_lost r.r_tdr_resets r.r_gpu_resets r.r_quarantined
+      r.r_unexpected_exns;
   (match r.r_swap with
   | Some (resident, evictions, restores) ->
       Fmt.pf ppf "  swap: %d B resident, %d evictions, %d restores@."

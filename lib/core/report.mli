@@ -45,6 +45,11 @@ type t = {
   r_cache : Ava_remoting.Server.cache_stats;
       (** server content-store totals (transfer cache) *)
   r_naks : int;  (** cache-miss NAK messages the server sent *)
+  r_device_lost : int;  (** calls failed with [status_device_lost] *)
+  r_tdr_resets : int;  (** watchdog-triggered device resets *)
+  r_gpu_resets : int;  (** resets the device itself performed *)
+  r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
+  r_quarantined : int;  (** calls rejected by open circuit breakers *)
 }
 
 val guest_stats : Host.cl_guest -> guest_stats

@@ -1,0 +1,104 @@
+(* Seeded device-fault model for the simulated accelerators.
+
+   Mirrors the transport-level [Ava_transport.Faults] idiom: a pure
+   configuration record, a deterministic RNG stream, and mutable
+   counters.  All draws are gated on the fault being armed (probability
+   > 0) and, for GPU faults, on the submitting client matching
+   [gpu_target] — so a disarmed model makes zero RNG draws and is
+   bit-identical to no model at all, and a targeted model's draw
+   sequence depends only on the target VM's own operations, never on
+   interleaving with innocent VMs. *)
+
+open Ava_sim
+
+type gpu_config = {
+  gpu_hang : float;  (** P(command processor wedges on a launch) *)
+  gpu_launch_fail : float;  (** P(transient launch failure) *)
+  gpu_dma_corrupt : float;  (** P(one byte flipped per DMA transfer) *)
+  gpu_target : int option;  (** only this client draws faults, if set *)
+}
+
+type ncs_config = {
+  ncs_unplug : float;  (** P(USB unplug per transaction) *)
+  ncs_reenum_ns : Time.t;  (** re-enumeration delay after an unplug *)
+}
+
+let gpu_none =
+  { gpu_hang = 0.0; gpu_launch_fail = 0.0; gpu_dma_corrupt = 0.0; gpu_target = None }
+
+let ncs_none = { ncs_unplug = 0.0; ncs_reenum_ns = Time.ms 5 }
+
+type stats = {
+  mutable hangs : int;
+  mutable launch_failures : int;
+  mutable dma_corruptions : int;
+  mutable unplugs : int;
+  mutable replugs : int;
+}
+
+type t = {
+  rng : Rng.t;
+  gpu : gpu_config;
+  ncs : ncs_config;
+  stats : stats;
+}
+
+let create ?(gpu = gpu_none) ?(ncs = ncs_none) ~seed () =
+  {
+    rng = Rng.create (Int64.of_int (0x9e3779b9 lxor seed));
+    gpu;
+    ncs;
+    stats =
+      {
+        hangs = 0;
+        launch_failures = 0;
+        dma_corruptions = 0;
+        unplugs = 0;
+        replugs = 0;
+      };
+  }
+
+let stats t = t.stats
+let ncs_config t = t.ncs
+
+let targeted t ~client =
+  match t.gpu.gpu_target with None -> true | Some c -> c = client
+
+(* Only armed faults consume randomness: [p = 0] short-circuits before
+   the draw, keeping disarmed configurations stream-identical. *)
+let draw t p = p > 0.0 && Rng.float t.rng < p
+
+let gpu_hangs t ~client =
+  targeted t ~client
+  && draw t t.gpu.gpu_hang
+  && begin
+       t.stats.hangs <- t.stats.hangs + 1;
+       true
+     end
+
+let gpu_launch_fails t ~client =
+  targeted t ~client
+  && draw t t.gpu.gpu_launch_fail
+  && begin
+       t.stats.launch_failures <- t.stats.launch_failures + 1;
+       true
+     end
+
+let gpu_dma_corrupts t ~client =
+  targeted t ~client
+  && draw t t.gpu.gpu_dma_corrupt
+  && begin
+       t.stats.dma_corruptions <- t.stats.dma_corruptions + 1;
+       true
+     end
+
+let ncs_unplugs t =
+  draw t t.ncs.ncs_unplug
+  && begin
+       t.stats.unplugs <- t.stats.unplugs + 1;
+       true
+     end
+
+let record_replug t = t.stats.replugs <- t.stats.replugs + 1
+
+let corrupt_pos t ~len = Rng.int t.rng len

@@ -34,6 +34,8 @@ type completion = {
   queued_at : Time.t;
   mutable started_at : Time.t;
   mutable finished_at : Time.t;
+  client : int;
+  mutable failed : bool;
   done_ : unit Ivar.t;
 }
 
@@ -45,6 +47,10 @@ type t = {
   mem : Devmem.t;
   ring : (kernel_work * completion) Channel.t;
   buffers : (int, buffer) Hashtbl.t;
+  fault : Devfault.t option;
+  mutable wedged : (kernel_work * completion) option;
+  mutable cp_resume : (unit -> unit) option;
+  mutable resets : int;
   mutable next_buf_id : int;
   mutable busy_ns : Time.t;
   mutable kernels_executed : int;
@@ -59,7 +65,7 @@ let kernel_duration (timing : Timing.gpu) work =
   Time.add timing.Timing.kernel_launch_ns
     (Time.of_float_s (Float.max compute_s memory_s))
 
-let create ?(timing = Timing.gtx1080) engine =
+let create ?(timing = Timing.gtx1080) ?devfault engine =
   let t =
     {
       engine;
@@ -69,6 +75,10 @@ let create ?(timing = Timing.gtx1080) engine =
       mem = Devmem.create timing.Timing.mem_capacity;
       ring = Channel.create ~capacity:1024 ();
       buffers = Hashtbl.create 64;
+      fault = devfault;
+      wedged = None;
+      cp_resume = None;
+      resets = 0;
       next_buf_id = 1;
       busy_ns = 0;
       kernels_executed = 0;
@@ -77,20 +87,36 @@ let create ?(timing = Timing.gtx1080) engine =
   in
   Mmio.on_write t.mmio ~addr:doorbell_addr (fun _ ->
       t.doorbells <- t.doorbells + 1);
-  (* Command processor: drain the ring forever. *)
+  (* Command processor: drain the ring forever.  Faults intercept a
+     launch before the roofline path: a hang parks the CP (until
+     [reset] resumes it); a transient launch failure charges only the
+     launch overhead and completes the command as failed. *)
   Engine.spawn engine ~name:"gpu-cp" (fun () ->
       let rec loop () =
         let work, completion = Channel.recv t.ring in
-        completion.started_at <- Engine.now engine;
-        let d = kernel_duration timing work in
-        Engine.delay d;
-        (match work.action with Some f -> f () | None -> ());
-        t.busy_ns <- t.busy_ns + d;
-        t.kernels_executed <- t.kernels_executed + 1;
-        completion.finished_at <- Engine.now engine;
-        Mmio.write t.mmio ~addr:status_addr
-          (Int64.of_int t.kernels_executed);
-        Ivar.fill completion.done_ ();
+        (match t.fault with
+        | Some f when Devfault.gpu_hangs f ~client:completion.client ->
+            completion.started_at <- Engine.now engine;
+            t.wedged <- Some (work, completion);
+            Engine.await (fun resume -> t.cp_resume <- Some resume)
+        | Some f when Devfault.gpu_launch_fails f ~client:completion.client
+          ->
+            completion.started_at <- Engine.now engine;
+            Engine.delay timing.Timing.kernel_launch_ns;
+            completion.failed <- true;
+            completion.finished_at <- Engine.now engine;
+            Ivar.fill completion.done_ ()
+        | _ ->
+            completion.started_at <- Engine.now engine;
+            let d = kernel_duration timing work in
+            Engine.delay d;
+            (match work.action with Some f -> f () | None -> ());
+            t.busy_ns <- t.busy_ns + d;
+            t.kernels_executed <- t.kernels_executed + 1;
+            completion.finished_at <- Engine.now engine;
+            Mmio.write t.mmio ~addr:status_addr
+              (Int64.of_int t.kernels_executed);
+            Ivar.fill completion.done_ ());
         loop ()
       in
       loop ());
@@ -104,6 +130,12 @@ let mem t = t.mem
 let busy_ns t = t.busy_ns
 let kernels_executed t = t.kernels_executed
 let doorbells t = t.doorbells
+let resets t = t.resets
+let wedged t = t.wedged <> None
+
+(* The client whose command wedged the CP (TDR blame). *)
+let wedged_by t =
+  Option.map (fun (_, (c : completion)) -> c.client) t.wedged
 
 (* Buffer management (device-side objects backed by real bytes). *)
 
@@ -132,32 +164,80 @@ let live_buffers t = Hashtbl.length t.buffers
 (* Submit a kernel to the hardware ring; the returned completion's
    [done_] ivar fills when execution finishes.  The caller (kernel
    driver) is responsible for doorbell MMIO and interrupt latency. *)
-let submit t work =
+let submit ?(client = 0) t work =
   let completion =
     {
       queued_at = Engine.now t.engine;
       started_at = 0;
       finished_at = 0;
+      client;
+      failed = false;
       done_ = Ivar.create ();
     }
   in
   Channel.send t.ring (work, completion);
   completion
 
+(* TDR-style device reset (Windows-TDR semantics): the wedged command is
+   invalidated and completed as failed, ring survivors drain normally
+   once the command processor resumes, and device memory is preserved or
+   poisoned per policy.  Harmless when the CP is not wedged. *)
+let reset ?(policy = `Preserve) t =
+  t.resets <- t.resets + 1;
+  (match t.wedged with
+  | Some (_work, completion) ->
+      completion.failed <- true;
+      completion.finished_at <- Engine.now t.engine;
+      Ivar.fill completion.done_ ();
+      t.wedged <- None
+  | None -> ());
+  (match policy with
+  | `Poison ->
+      Hashtbl.iter
+        (fun _ buf -> Bytes.fill buf.data 0 (Bytes.length buf.data) '\xA5')
+        t.buffers
+  | `Preserve -> ());
+  match t.cp_resume with
+  | Some resume ->
+      t.cp_resume <- None;
+      resume ()
+  | None -> ()
+
 (* Host <-> device data movement; blocks for the DMA duration.
    [per_page_ns] lets full virtualization charge shadow-paging costs. *)
-let write_buffer ?(per_page_ns = 0) t ~buf ~offset ~src =
+(* ECC/DMA corruption: flip the high bit of one deterministic byte of
+   the transferred range. *)
+let flip_byte data pos =
+  Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 0x80))
+
+let dma_corrupts t ~client ~len =
+  len > 0
+  &&
+  match t.fault with
+  | Some f -> Devfault.gpu_dma_corrupts f ~client
+  | None -> false
+
+let write_buffer ?(per_page_ns = 0) ?(client = 0) t ~buf ~offset ~src =
   let len = Bytes.length src in
   if offset < 0 || offset + len > buf.size then
     invalid_arg "Gpu.write_buffer: out of range";
   Dma.transfer ~per_page_ns t.dma ~bytes:len;
-  Bytes.blit src 0 buf.data offset len
+  Bytes.blit src 0 buf.data offset len;
+  if dma_corrupts t ~client ~len then
+    match t.fault with
+    | Some f -> flip_byte buf.data (offset + Devfault.corrupt_pos f ~len)
+    | None -> ()
 
-let read_buffer ?(per_page_ns = 0) t ~buf ~offset ~len =
+let read_buffer ?(per_page_ns = 0) ?(client = 0) t ~buf ~offset ~len =
   if offset < 0 || offset + len > buf.size then
     invalid_arg "Gpu.read_buffer: out of range";
   Dma.transfer ~per_page_ns t.dma ~bytes:len;
-  Bytes.sub buf.data offset len
+  let out = Bytes.sub buf.data offset len in
+  if dma_corrupts t ~client ~len then (
+    match t.fault with
+    | Some f -> flip_byte out (Devfault.corrupt_pos f ~len)
+    | None -> ());
+  out
 
 let utilization t ~elapsed =
   if elapsed <= 0 then 0.0

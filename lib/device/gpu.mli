@@ -30,11 +30,15 @@ type kernel_work = {
   action : (unit -> unit) option;  (** semantic effect, if any *)
 }
 
-(** Per-command lifecycle timestamps (OpenCL-style profiling). *)
+(** Per-command lifecycle timestamps (OpenCL-style profiling), plus the
+    submitting client and a failure flag set by fault injection or a
+    device reset. *)
 type completion = {
   queued_at : Time.t;
   mutable started_at : Time.t;
   mutable finished_at : Time.t;
+  client : int;
+  mutable failed : bool;
   done_ : unit Ivar.t;
 }
 
@@ -43,8 +47,9 @@ type t
 val kernel_duration : Timing.gpu -> kernel_work -> Time.t
 (** Roofline execution time for one launch. *)
 
-val create : ?timing:Timing.gpu -> Engine.t -> t
-(** Also spawns the command-processor process. *)
+val create : ?timing:Timing.gpu -> ?devfault:Devfault.t -> Engine.t -> t
+(** Also spawns the command-processor process.  Without [devfault]
+    (the default) behaviour is bit-identical to a fault-free device. *)
 
 val engine : t -> Engine.t
 val timing : t -> Timing.gpu
@@ -55,6 +60,17 @@ val mem : t -> Devmem.t
 val busy_ns : t -> Time.t
 val kernels_executed : t -> int
 val doorbells : t -> int
+
+val resets : t -> int
+(** Device resets performed so far. *)
+
+val wedged : t -> bool
+(** Whether the command processor is currently hung on a command. *)
+
+val wedged_by : t -> int option
+(** The client whose command is wedging the CP, if any — the server's
+    TDR watchdog uses this to blame the culprit rather than whichever
+    VM's call happens to time out first. *)
 
 (** {1 Buffers} *)
 
@@ -68,16 +84,35 @@ val live_buffers : t -> int
 
 (** {1 Execution and data movement} *)
 
-val submit : t -> kernel_work -> completion
-(** Enqueue a command on the hardware ring; [done_] fills at completion.
-    The caller (kernel driver) is responsible for doorbell MMIO and
-    interrupt latency. *)
+val submit : ?client:int -> t -> kernel_work -> completion
+(** Enqueue a command on the hardware ring; [done_] fills at completion
+    (check [failed] afterwards).  [client] attributes the command to a
+    VM for targeted fault injection; the caller (kernel driver) is
+    responsible for doorbell MMIO and interrupt latency. *)
 
-val write_buffer : ?per_page_ns:Time.t -> t -> buf:buffer -> offset:int -> src:bytes -> unit
+val reset : ?policy:[ `Preserve | `Poison ] -> t -> unit
+(** TDR-style device reset: complete the wedged command (if any) as
+    failed, resume the command processor so ring survivors drain, and
+    preserve or poison ([`Poison]: fill with [0xA5]) device memory. *)
+
+val write_buffer :
+  ?per_page_ns:Time.t ->
+  ?client:int ->
+  t ->
+  buf:buffer ->
+  offset:int ->
+  src:bytes ->
+  unit
 (** Host-to-device DMA; blocks for the transfer duration. *)
 
 val read_buffer :
-  ?per_page_ns:Time.t -> t -> buf:buffer -> offset:int -> len:int -> bytes
+  ?per_page_ns:Time.t ->
+  ?client:int ->
+  t ->
+  buf:buffer ->
+  offset:int ->
+  len:int ->
+  bytes
 (** Device-to-host DMA; blocks and returns a copy of the data. *)
 
 val utilization : t -> elapsed:Time.t -> float

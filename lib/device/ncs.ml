@@ -22,18 +22,26 @@ type t = {
   link : Semaphore.t;  (** the USB pipe: one transaction at a time *)
   stick : Semaphore.t;  (** the compute engine: one inference at a time *)
   graphs : (int, graph) Hashtbl.t;
+  fault : Devfault.t option;
+  mutable plugged : bool;
+  mutable resets : int;
   mutable next_graph_id : int;
   mutable inferences : int;
   mutable busy_ns : Time.t;
 }
 
-let create ?(timing = Timing.movidius) engine =
+exception Device_lost
+
+let create ?(timing = Timing.movidius) ?devfault engine =
   {
     engine;
     timing;
     link = Semaphore.create 1;
     stick = Semaphore.create 1;
     graphs = Hashtbl.create 8;
+    fault = devfault;
+    plugged = true;
+    resets = 0;
     next_graph_id = 1;
     inferences = 0;
     busy_ns = 0;
@@ -43,8 +51,35 @@ let engine t = t.engine
 let inferences t = t.inferences
 let busy_ns t = t.busy_ns
 let live_graphs t = Hashtbl.length t.graphs
+let plugged t = t.plugged
+let resets t = t.resets
+
+let replug t =
+  if not t.plugged then begin
+    t.plugged <- true;
+    match t.fault with Some f -> Devfault.record_replug f | None -> ()
+  end
+
+(* Forced re-enumeration (the TDR reset path): plug the stick straight
+   back in without waiting out the natural re-enumeration delay. *)
+let reset t =
+  t.resets <- t.resets + 1;
+  replug t
 
 let usb_transfer t ~bytes =
+  if not t.plugged then raise Device_lost;
+  (match t.fault with
+  | Some f when Devfault.ncs_unplugs f ->
+      (* Unplug: stick state (loaded graphs) is gone; a background
+         process re-enumerates the device after the configured delay. *)
+      t.plugged <- false;
+      Hashtbl.reset t.graphs;
+      let reenum = (Devfault.ncs_config f).ncs_reenum_ns in
+      Engine.spawn t.engine ~name:"ncs-reenum" (fun () ->
+          Engine.delay reenum;
+          replug t);
+      raise Device_lost
+  | _ -> ());
   Semaphore.with_acquired t.link (fun () ->
       Engine.delay t.timing.Timing.usb_latency_ns;
       Engine.delay
@@ -64,9 +99,11 @@ let load_graph t ~graph_bytes ~layer_flops =
 let find_graph t id = Hashtbl.find_opt t.graphs id
 
 let unload_graph t id =
-  if not (Hashtbl.mem t.graphs id) then
-    invalid_arg "Ncs.unload_graph: unknown graph";
-  Hashtbl.remove t.graphs id
+  if not (Hashtbl.mem t.graphs id) then Error `Unknown_graph
+  else begin
+    Hashtbl.remove t.graphs id;
+    Ok ()
+  end
 
 (* The deterministic "network": each layer rotates and xors the tensor
    with a layer-dependent constant, so output depends on every layer. *)
@@ -91,6 +128,10 @@ let apply_layers graph input =
 (* Run one inference: tensor in over USB, layer schedule on-stick,
    result back over USB.  Returns the output tensor. *)
 let infer t graph ~input ~output_bytes =
+  (* An unplug wipes on-stick state: a graph loaded before the unplug is
+     no longer resident even after re-enumeration. *)
+  if not (t.plugged && Hashtbl.mem t.graphs graph.graph_id) then
+    raise Device_lost;
   usb_transfer t ~bytes:(Bytes.length input);
   let result =
     Semaphore.with_acquired t.stick (fun () ->

@@ -18,27 +18,50 @@ type graph = {
 
 type t
 
-val create : ?timing:Timing.ncs -> Engine.t -> t
+exception Device_lost
+(** Raised by USB operations when the stick is unplugged (or unplugs
+    mid-transaction under fault injection).  The device re-enumerates
+    on its own after [ncs_reenum_ns]; loaded graphs do not survive. *)
+
+val create : ?timing:Timing.ncs -> ?devfault:Devfault.t -> Engine.t -> t
+(** Without [devfault] (the default) behaviour is bit-identical to a
+    fault-free stick. *)
 
 val engine : t -> Engine.t
 val inferences : t -> int
 val busy_ns : t -> Time.t
 val live_graphs : t -> int
 
+val plugged : t -> bool
+(** Whether the stick is currently enumerated. *)
+
+val resets : t -> int
+(** Forced re-enumerations via {!reset}. *)
+
+val reset : t -> unit
+(** Force immediate re-enumeration (the TDR reset path).  Loaded graphs
+    are already gone; this just brings the device back. *)
+
 val usb_transfer : t -> bytes:int -> unit
-(** Occupy the USB pipe for one transaction; blocks. *)
+(** Occupy the USB pipe for one transaction; blocks.
+    @raise Device_lost if the stick is (or becomes) unplugged. *)
 
 val load_graph : t -> graph_bytes:int -> layer_flops:float list -> graph
-(** Upload and compile a graph; blocks for transfer + parse time. *)
+(** Upload and compile a graph; blocks for transfer + parse time.
+    @raise Device_lost if the stick is (or becomes) unplugged. *)
 
 val find_graph : t -> int -> graph option
 
-val unload_graph : t -> int -> unit
-(** @raise Invalid_argument on an unknown graph id. *)
+val unload_graph : t -> int -> (unit, [ `Unknown_graph ]) result
+(** Remove a resident graph; [Error `Unknown_graph] on an unknown (or
+    unplug-wiped) graph id — never an exception, so a buggy guest
+    cannot kill a shared API server through a double unload. *)
 
 val apply_layers : graph -> bytes -> bytes
 (** The deterministic "network" function, exposed for reference checks. *)
 
 val infer : t -> graph -> input:bytes -> output_bytes:int -> bytes
 (** One inference: tensor in over USB, layer schedule on-stick, result
-    back over USB.  Blocks; serialized with other inferences. *)
+    back over USB.  Blocks; serialized with other inferences.
+    @raise Device_lost if the stick is unplugged or the graph is no
+    longer resident. *)

@@ -141,6 +141,136 @@ module Wfq = struct
       t.flows false
 end
 
+module Breaker = struct
+  (* Per-VM error-budget circuit breaker: [failure_threshold] fault
+     replies within a sliding [cooldown_ns] window trip the breaker
+     open; while open, new calls are rejected at admission.  After
+     [cooldown_ns] the breaker half-opens and admits exactly one probe
+     call — a clean reply closes it, another fault re-opens it
+     (restarting the cooldown).
+
+     The budget is windowed, not consecutive: a faulting guest's error
+     replies are interleaved with successful async acknowledgements
+     (every forwarded enqueue replies OK), so a consecutive count would
+     never trip on real traffic shapes. *)
+
+  type state = Closed | Open | Half_open
+
+  type config = { failure_threshold : int; cooldown_ns : Time.t }
+
+  let default_config = { failure_threshold = 3; cooldown_ns = Time.ms 10 }
+
+  type t = {
+    engine : Engine.t;
+    config : config;
+    mutable state : state;
+    failures : Time.t Queue.t;  (** fault-reply timestamps, pruned to window *)
+    mutable opened_at : Time.t;
+    mutable probe_in_flight : bool;
+    mutable trips : int;  (** transitions into [Open] *)
+    mutable rejections : int;  (** calls refused at admission *)
+  }
+
+  let create engine config =
+    if config.failure_threshold <= 0 then
+      invalid_arg "Breaker.create: failure_threshold must be positive";
+    {
+      engine;
+      config;
+      state = Closed;
+      failures = Queue.create ();
+      opened_at = 0;
+      probe_in_flight = false;
+      trips = 0;
+      rejections = 0;
+    }
+
+  (* Open -> Half_open happens lazily, on the first admission attempt
+     after the cooldown elapses. *)
+  let refresh t =
+    match t.state with
+    | Open
+      when Engine.now t.engine - t.opened_at >= t.config.cooldown_ns ->
+        t.state <- Half_open;
+        t.probe_in_flight <- false
+    | _ -> ()
+
+  let state t =
+    refresh t;
+    t.state
+
+  (* May this call proceed?  [Half_open] admits one probe at a time. *)
+  let admit t =
+    refresh t;
+    match t.state with
+    | Closed -> true
+    | Open ->
+        t.rejections <- t.rejections + 1;
+        false
+    | Half_open ->
+        if t.probe_in_flight then begin
+          t.rejections <- t.rejections + 1;
+          false
+        end
+        else begin
+          t.probe_in_flight <- true;
+          true
+        end
+
+  let trip t =
+    t.state <- Open;
+    t.opened_at <- Engine.now t.engine;
+    t.probe_in_flight <- false;
+    t.trips <- t.trips + 1
+
+  (* Drop failure timestamps that have aged out of the window. *)
+  let prune t =
+    let now = Engine.now t.engine in
+    while
+      (not (Queue.is_empty t.failures))
+      && now - Queue.peek t.failures > t.config.cooldown_ns
+    do
+      ignore (Queue.pop t.failures)
+    done
+
+  let record_failure t =
+    refresh t;
+    match t.state with
+    | Half_open -> trip t (* failed probe: straight back to open *)
+    | Closed ->
+        Queue.push (Engine.now t.engine) t.failures;
+        prune t;
+        if Queue.length t.failures >= t.config.failure_threshold then begin
+          Queue.clear t.failures;
+          trip t
+        end
+    | Open -> ()
+
+  let record_success t =
+    refresh t;
+    match t.state with
+    | Half_open ->
+        (* Successful probe: service is healthy again. *)
+        t.state <- Closed;
+        Queue.clear t.failures;
+        t.probe_in_flight <- false
+    | Closed ->
+        (* Successes don't erase the failure budget: a burst of fault
+           replies trips the breaker even when healthy async
+           acknowledgements interleave with it. *)
+        prune t
+    | Open -> ()
+
+  (* Administrative clear: force the breaker closed. *)
+  let reset t =
+    t.state <- Closed;
+    Queue.clear t.failures;
+    t.probe_in_flight <- false
+
+  let trips t = t.trips
+  let rejections t = t.rejections
+end
+
 module Quota = struct
   (* Windowed budget: a VM may consume [budget] cost units per window;
      excess calls stall until the next window. *)

@@ -44,6 +44,50 @@ module Wfq : sig
   (** Is any flow other than [flow_id] non-empty?  (Contention probe.) *)
 end
 
+(** Per-VM error-budget circuit breaker: [failure_threshold] fault
+    replies within a sliding [cooldown_ns] window trip the breaker open;
+    while open, new calls are rejected at admission.  After
+    [cooldown_ns] the breaker half-opens and admits exactly one probe
+    call — a clean reply closes it, another fault re-opens it.  The
+    budget is windowed rather than consecutive so that the successful
+    async acknowledgements interleaved with a guest's fault replies
+    cannot mask a fault burst. *)
+module Breaker : sig
+  type state = Closed | Open | Half_open
+
+  type config = { failure_threshold : int; cooldown_ns : Time.t }
+
+  val default_config : config
+  (** 3 failures within a 10 ms window; 10 ms cooldown. *)
+
+  type t
+
+  val create : Engine.t -> config -> t
+
+  val state : t -> state
+  (** Current state ([Open] lazily becomes [Half_open] once the cooldown
+      has elapsed). *)
+
+  val admit : t -> bool
+  (** May this call proceed?  [Half_open] admits one probe at a time;
+      refusals bump {!rejections}. *)
+
+  val record_failure : t -> unit
+  (** Feed a fault reply (device-lost, TDR reset) into the budget. *)
+
+  val record_success : t -> unit
+  (** Feed a clean reply; closes a half-open breaker. *)
+
+  val reset : t -> unit
+  (** Administrative clear: force the breaker closed. *)
+
+  val trips : t -> int
+  (** Transitions into [Open]. *)
+
+  val rejections : t -> int
+  (** Calls refused at admission. *)
+end
+
 (** Windowed budget: a VM may consume [budget] cost units per window;
     excess calls stall until the next window. *)
 module Quota : sig

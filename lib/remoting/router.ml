@@ -34,6 +34,10 @@ type vm_conn = {
   mutable bucket : Policy.Token_bucket.t option;
   mutable quota : Policy.Quota.t option;
   mutable in_flight : in_flight list;  (** newest first *)
+  mutable breaker : Policy.Breaker.t option;
+  mutable fault_statuses : int list;
+      (** reply statuses fed to the breaker as failures *)
+  mutable fault_replies : int;  (** fault-status replies seen *)
 }
 
 type t = {
@@ -45,6 +49,8 @@ type t = {
   mutable forwarded : int;
   mutable rejected : int;
   mutable requeued : int;
+  mutable quarantined : int;
+      (** calls rejected at admission by an open breaker *)
   mutable paced_ns : Time.t;
   mutable dispatcher_started : bool;
   trace : Trace.t option;
@@ -66,20 +72,24 @@ let create ?trace engine ~virt ~plan =
     forwarded = 0;
     rejected = 0;
     requeued = 0;
+    quarantined = 0;
     paced_ns = 0;
     dispatcher_started = false;
     trace;
   }
 
-let record_trace t fmt =
+let record_trace_cat t category fmt =
   match t.trace with
   | Some tr when Trace.is_enabled tr ->
-      Trace.record tr ~at:(Engine.now t.engine) ~category:trace_category fmt
+      Trace.record tr ~at:(Engine.now t.engine) ~category fmt
   | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let record_trace t fmt = record_trace_cat t trace_category fmt
 
 let forwarded t = t.forwarded
 let rejected t = t.rejected
 let requeued t = t.requeued
+let quarantined t = t.quarantined
 
 let find_conn t vm_id = List.assoc_opt vm_id t.conns
 
@@ -165,7 +175,9 @@ let start_dispatcher t =
    - [weight]: WFQ share,
    - [quota_cost]/[quota_window]: device-time budget per window. *)
 let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
-    ?(quota_window = Time.ms 100) t vm ~guest_side ~server_side =
+    ?(quota_window = Time.ms 100) ?breaker
+    ?(breaker_statuses = [ Server.status_device_lost ]) t vm ~guest_side
+    ~server_side =
   let conn =
     {
       rc_vm = vm;
@@ -181,6 +193,9 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
             Policy.Quota.create t.engine ~window_ns:quota_window ~budget)
           quota_cost;
       in_flight = [];
+      breaker = Option.map (Policy.Breaker.create t.engine) breaker;
+      fault_statuses = breaker_statuses;
+      fault_replies = 0;
     }
   in
   t.conns <- (Vm.id vm, conn) :: t.conns;
@@ -222,6 +237,22 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
               | None -> ());
               Some cost
         in
+        (* Circuit-breaker admission: while this VM is quarantined its
+           calls are rejected outright with a distinct status — they
+           never reach the WFQ, so other VMs' service is unperturbed. *)
+        let admitted (c : Message.call) =
+          match conn.breaker with
+          | Some b when not (Policy.Breaker.admit b) ->
+              t.quarantined <- t.quarantined + 1;
+              record_trace_cat t "breaker" "vm%d quarantined %s seq=%d"
+                (Vm.id vm) c.Message.call_fn c.Message.call_seq;
+              reject_call conn c Server.status_vm_quarantined;
+              None
+          | _ -> Some c
+        in
+        let admit_and_police c =
+          match admitted c with None -> None | Some c -> police c
+        in
         (match Message.decode data with
         | Error _ -> t.rejected <- t.rejected + 1
         | Ok (Message.Reply _) | Ok (Message.Upcall _) | Ok (Message.Skip _)
@@ -230,7 +261,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
             t.rejected <- t.rejected + 1
         | Ok (Message.Call c) -> (
             Vm.charge_bytes vm (Bytes.length data);
-            match police c with
+            match admit_and_police c with
             | None -> send_skip conn [ c.Message.call_seq ]
             | Some cost ->
                 Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
@@ -242,7 +273,9 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
                rejected members got rejection replies above and their
                seqs are skipped at the server.  Never drop a verified,
                already-charged call. *)
-            let results = List.map (fun c -> (c, police c)) calls in
+            let results =
+              List.map (fun c -> (c, admit_and_police c)) calls
+            in
             let rejected_seqs =
               List.filter_map
                 (fun ((c : Message.call), v) ->
@@ -288,7 +321,30 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         let data = Transport.recv server_side in
         Vm.charge_bytes vm (Bytes.length data);
         (match Message.decode data with
-        | Ok (Message.Reply r) -> mark_replied conn r.Message.reply_seq
+        | Ok (Message.Reply r) ->
+            mark_replied conn r.Message.reply_seq;
+            (* Feed the reply into this VM's error budget: fault
+               statuses count against it; any other reply proves the
+               service path healthy. *)
+            let faulty =
+              List.mem r.Message.reply_status conn.fault_statuses
+            in
+            if faulty then conn.fault_replies <- conn.fault_replies + 1;
+            (match conn.breaker with
+            | Some b ->
+                if faulty then begin
+                  let was = Policy.Breaker.state b in
+                  Policy.Breaker.record_failure b;
+                  if Policy.Breaker.state b = Policy.Breaker.Open then
+                    record_trace_cat t "breaker"
+                      "vm%d breaker %s status=%d" (Vm.id vm)
+                      (match was with
+                      | Policy.Breaker.Open -> "open"
+                      | _ -> "tripped open")
+                      r.Message.reply_status
+                end
+                else Policy.Breaker.record_success b
+            | None -> ())
         | _ -> ());
         Transport.send conn.guest_side data;
         loop ()
@@ -323,6 +379,55 @@ let throttle_ns t ~vm_id =
   match find_conn t vm_id with
   | Some { bucket = Some b; _ } -> Policy.Token_bucket.throttle_ns b
   | _ -> 0
+
+(* Circuit-breaker administration. *)
+
+type breaker_info = {
+  bi_state : Policy.Breaker.state;
+  bi_trips : int;
+  bi_rejections : int;
+  bi_fault_replies : int;
+}
+
+let set_breaker t ~vm_id config =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.set_breaker: unknown vm"
+  | Some conn ->
+      conn.breaker <- Some (Policy.Breaker.create t.engine config)
+
+let breaker_info t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.breaker_info: unknown vm"
+  | Some conn ->
+      Option.map
+        (fun b ->
+          {
+            bi_state = Policy.Breaker.state b;
+            bi_trips = Policy.Breaker.trips b;
+            bi_rejections = Policy.Breaker.rejections b;
+            bi_fault_replies = conn.fault_replies;
+          })
+        conn.breaker
+
+let clear_breaker t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.clear_breaker: unknown vm"
+  | Some conn -> (
+      match conn.breaker with
+      | Some b ->
+          Policy.Breaker.reset b;
+          record_trace_cat t "breaker" "vm%d breaker cleared" vm_id
+      | None -> ())
+
+let breaker_trips t ~vm_id =
+  match find_conn t vm_id with
+  | Some { breaker = Some b; _ } -> Policy.Breaker.trips b
+  | _ -> 0
+
+let fault_replies t ~vm_id =
+  match find_conn t vm_id with
+  | Some conn -> conn.fault_replies
+  | None -> 0
 
 let paced_ns t = t.paced_ns
 

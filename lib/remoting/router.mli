@@ -31,6 +31,10 @@ val rejected : t -> int
 val requeued : t -> int
 (** Messages re-pushed through the WFQ by {!requeue_in_flight}. *)
 
+val quarantined : t -> int
+(** Calls rejected at admission by an open circuit breaker (summed over
+    all VMs). *)
+
 val paced_ns : t -> Time.t
 (** Cumulative scheduler pacing applied at dispatch. *)
 
@@ -40,6 +44,8 @@ val attach_vm :
   ?weight:float ->
   ?quota_cost:float ->
   ?quota_window:Time.t ->
+  ?breaker:Policy.Breaker.config ->
+  ?breaker_statuses:int list ->
   t ->
   Vm.t ->
   guest_side:Transport.endpoint ->
@@ -48,7 +54,13 @@ val attach_vm :
 (** Attach one VM between its guest-facing and server-facing endpoints.
     Policy knobs: [rate_per_s]/[burst] arm an API-call rate limit;
     [weight] sets the WFQ share (default 1); [quota_cost] per
-    [quota_window] arms a device-time budget. *)
+    [quota_window] arms a device-time budget; [breaker] arms a per-VM
+    error-budget circuit breaker fed by replies whose status is in
+    [breaker_statuses] (default [[Server.status_device_lost]]) —
+    while open, the VM's calls are rejected at admission with
+    {!Server.status_vm_quarantined} and never reach the WFQ, so other
+    VMs' service is unperturbed.  Breaker transitions are traced under
+    the ["breaker"] category. *)
 
 (** {1 Administration interface (§4.3)} *)
 
@@ -59,6 +71,29 @@ val set_quota : t -> vm_id:int -> budget:float -> window_ns:Time.t -> unit
 
 val throttle_ns : t -> vm_id:int -> Time.t
 (** Time the VM has spent rate-limit throttled. *)
+
+(** Snapshot of one VM's circuit breaker for the admin interface. *)
+type breaker_info = {
+  bi_state : Policy.Breaker.state;
+  bi_trips : int;
+  bi_rejections : int;
+  bi_fault_replies : int;
+}
+
+val set_breaker : t -> vm_id:int -> Policy.Breaker.config -> unit
+(** Arm (or re-arm) the VM's circuit breaker at runtime. *)
+
+val breaker_info : t -> vm_id:int -> breaker_info option
+(** Inspect the VM's breaker; [None] if no breaker is armed. *)
+
+val clear_breaker : t -> vm_id:int -> unit
+(** Administrative clear: force the VM's breaker closed (no-op when no
+    breaker is armed). *)
+
+val breaker_trips : t -> vm_id:int -> int
+val fault_replies : t -> vm_id:int -> int
+(** Fault-status replies (device-lost etc.) observed flowing back to
+    this VM. *)
 
 (** {1 Recovery (fault model)} *)
 

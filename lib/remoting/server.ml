@@ -186,6 +186,25 @@ type 'st vm_entry = {
   ve_store : Store.t;  (** per-VM content store (transfer cache) *)
 }
 
+(* TDR watchdog configuration: a dispatched call whose handler has not
+   returned after [tdr_factor] times its spec resource estimate (floored
+   at [tdr_min_ns]) is declared wedged; [tdr_reset] resets the device and
+   the call fails with [status_device_lost].
+
+   [tdr_wedged_by], when provided, names the client wedging the shared
+   device so blame lands on the culprit: an innocent VM whose call is
+   merely stuck *behind* the wedge triggers the reset but keeps its call
+   alive — after the reset unwedges the device the call completes
+   normally (Windows-TDR semantics: only the offending context's work is
+   killed).  Without the query every timeout is blamed on its own
+   call. *)
+type tdr = {
+  tdr_factor : float;
+  tdr_min_ns : Time.t;
+  tdr_reset : vm_id:int -> unit;
+  tdr_wedged_by : (unit -> int option) option;
+}
+
 type 'st t = {
   engine : Engine.t;
   plan : Plan.t;
@@ -202,6 +221,12 @@ type 'st t = {
   trace : Trace.t option;
   cache_capacity : int;  (** per-VM content-store bound; 0 = cache off *)
   mutable naks_sent : int;  (** cache-miss NAK messages sent *)
+  tdr : tdr option;  (** [None]: no watchdog (default) *)
+  mutable tdr_resets : int;  (** watchdog-triggered device resets *)
+  mutable device_lost : int;  (** calls failed with [status_device_lost] *)
+  mutable unexpected_exns : int;
+      (** handler exceptions outside the known protocol set — genuine
+          bugs, not guest errors *)
 }
 
 (* Remoting-level failure codes carried in reply status (disjoint from
@@ -215,8 +240,23 @@ let status_unknown_handle = -9003
    (never sent by the server itself). *)
 let status_timeout = -9004
 
-let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?trace
-    engine ~plan ~make_state =
+(* The device was lost under this call (hung kernel, TDR reset, USB
+   unplug); the silo survives and later calls may succeed again. *)
+let status_device_lost = -9005
+
+(* Synthesized by the router for calls rejected while their VM is
+   quarantined by the circuit breaker (never sent by the server). *)
+let status_vm_quarantined = -9006
+
+(* The handler exception protocol: handlers raise these to signal the
+   corresponding statuses; anything else escaping a handler is counted
+   as an unexpected exception (a bug surfaced, not a guest error). *)
+exception Unknown_handle
+exception Bad_args
+exception Device_lost
+
+let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
+    ?trace engine ~plan ~make_state =
   {
     engine;
     plan;
@@ -233,6 +273,10 @@ let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?trace
     trace;
     cache_capacity = Stdlib.max 0 cache_capacity;
     naks_sent = 0;
+    tdr;
+    tdr_resets = 0;
+    device_lost = 0;
+    unexpected_exns = 0;
   }
 
 let record_trace_cat t category fmt =
@@ -254,6 +298,9 @@ let restarts t = t.restarts
 let lost_while_down t = t.lost_while_down
 let naks_sent t = t.naks_sent
 let cache_capacity t = t.cache_capacity
+let tdr_resets t = t.tdr_resets
+let device_lost t = t.device_lost
+let unexpected_exns t = t.unexpected_exns
 
 let find_vm t vm_id = List.assoc_opt vm_id t.vm_entries
 
@@ -302,6 +349,121 @@ let flush_cache t ~vm_id =
   | None -> invalid_arg "Server.flush_cache: unknown vm"
   | Some e -> Store.clear e.ve_store
 
+(* Map a handler exception to a reply status.  The known protocol
+   exceptions are guest-attributable; anything else is a server-side bug
+   and is counted loudly rather than silently masquerading as a guest
+   error. *)
+let classify_exn t entry (c : Message.call) = function
+  | Unknown_handle ->
+      t.rejected <- t.rejected + 1;
+      (status_unknown_handle, Wire.Unit, [])
+  | Bad_args ->
+      t.rejected <- t.rejected + 1;
+      (status_bad_arguments, Wire.Unit, [])
+  | Device_lost ->
+      t.device_lost <- t.device_lost + 1;
+      (status_device_lost, Wire.Unit, [])
+  | e ->
+      t.unexpected_exns <- t.unexpected_exns + 1;
+      t.rejected <- t.rejected + 1;
+      record_trace t "vm%d %s seq=%d UNEXPECTED exception %s"
+        entry.ve_ctx.Ctx.ctx_vm c.Message.call_fn c.Message.call_seq
+        (Printexc.to_string e);
+      (status_bad_arguments, Wire.Unit, [])
+
+(* The watchdog's execution budget for one call: the spec resource
+   estimate (same cost model the router's WFQ uses) converted with the
+   router's conservative cost->ns factor, scaled by the allowance
+   factor, floored at [tdr_min_ns] so chatty zero-cost calls are never
+   reset during normal queue drain. *)
+let tdr_budget t (tdr : tdr) (c : Message.call) =
+  let cost =
+    match Plan.find t.plan c.Message.call_fn with
+    | None -> 1.0
+    | Some plan -> (
+        let env =
+          try
+            List.fold_left2
+              (fun env (name, action) v ->
+                match (action, Wire.to_int v) with
+                | Plan.Pass_scalar, Some n -> (name, n) :: env
+                | _ -> env)
+              [] plan.Plan.cp_params c.Message.call_args
+          with Invalid_argument _ -> []
+        in
+        match Plan.resource_estimate plan ~env "device_time" with
+        | Some c -> float_of_int (Stdlib.max 1 c)
+        | None -> (
+            match Plan.resource_estimate plan ~env "bus_bytes" with
+            | Some b -> float_of_int (Stdlib.max 1 (b / 64))
+            | None -> 1.0))
+  in
+  Time.max tdr.tdr_min_ns (int_of_float (cost *. 0.02 *. tdr.tdr_factor))
+
+(* Dispatch one handler.  Without a watchdog this is a plain call.  With
+   one, the handler runs in a child process raced against a timer: if
+   the budget elapses first the device is reset (unwedging the command
+   processor, so the abandoned handler still unblocks and finishes
+   harmlessly) and the call fails with [status_device_lost]. *)
+let run_handler t entry handler (c : Message.call) =
+  match t.tdr with
+  | None -> (
+      match handler entry.ve_ctx entry.ve_state c.Message.call_args with
+      | result ->
+          t.executed <- t.executed + 1;
+          result
+      | exception e -> classify_exn t entry c e)
+  | Some tdr -> (
+      let iv = Ivar.create () in
+      Engine.spawn t.engine
+        ~name:
+          (Printf.sprintf "ava-server-exec-vm%d" entry.ve_ctx.Ctx.ctx_vm)
+        (fun () ->
+          match handler entry.ve_ctx entry.ve_state c.Message.call_args with
+          | r -> Ivar.fill_if_empty iv (`Returned r)
+          | exception e -> Ivar.fill_if_empty iv (`Raised e));
+      Engine.spawn t.engine
+        ~name:(Printf.sprintf "ava-server-tdr-vm%d" entry.ve_ctx.Ctx.ctx_vm)
+        (fun () ->
+          Engine.delay (tdr_budget t tdr c);
+          if not (Ivar.is_filled iv) then begin
+            let self = entry.ve_ctx.Ctx.ctx_vm in
+            let reset verdict =
+              t.tdr_resets <- t.tdr_resets + 1;
+              record_trace_cat t "tdr" "vm%d %s seq=%d watchdog reset (%s)"
+                self c.Message.call_fn c.Message.call_seq verdict;
+              tdr.tdr_reset ~vm_id:self
+            in
+            (match tdr.tdr_wedged_by with
+            | None ->
+                (* No blame query: every timeout is this call's fault. *)
+                reset "blamed";
+                Ivar.fill_if_empty iv `Timed_out
+            | Some wedged_by -> (
+                match wedged_by () with
+                | Some culprit when culprit = self ->
+                    reset "guilty";
+                    Ivar.fill_if_empty iv `Timed_out
+                | Some _ ->
+                    (* Stuck behind another client's wedge: unwedge the
+                       device and let this call finish on its own. *)
+                    reset "innocent bystander"
+                | None ->
+                    (* Device not wedged — the call is slow, not hung
+                       (e.g. draining a deep queue after a reset).  Let
+                       it run; the simulated device always completes
+                       un-wedged work. *)
+                    ()))
+          end);
+      match Ivar.read iv with
+      | `Returned result ->
+          t.executed <- t.executed + 1;
+          result
+      | `Raised e -> classify_exn t entry c e
+      | `Timed_out ->
+          t.device_lost <- t.device_lost + 1;
+          (status_device_lost, Wire.Unit, []))
+
 (* Run one call against a VM's state; no reply is sent. *)
 let execute_call t entry (c : Message.call) =
   Engine.delay t.exec_overhead_ns;
@@ -310,14 +472,7 @@ let execute_call t entry (c : Message.call) =
     | None ->
         t.rejected <- t.rejected + 1;
         (status_unknown_function, Wire.Unit, [])
-    | Some handler -> (
-        match handler entry.ve_ctx entry.ve_state c.Message.call_args with
-        | result ->
-            t.executed <- t.executed + 1;
-            result
-        | exception _ ->
-            t.rejected <- t.rejected + 1;
-            (status_bad_arguments, Wire.Unit, []))
+    | Some handler -> run_handler t entry handler c
   in
   record_trace t "vm%d %s seq=%d status=%d" entry.ve_ctx.Ctx.ctx_vm
     c.Message.call_fn c.Message.call_seq status;

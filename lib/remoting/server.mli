@@ -72,9 +72,46 @@ val status_timeout : int
 (** Synthesized by the guest stub when a call exhausts its retry budget
     (never sent by the server itself). *)
 
+val status_device_lost : int
+(** The device was lost under this call (hung kernel, TDR reset, USB
+    unplug); the silo survives and later calls may succeed again. *)
+
+val status_vm_quarantined : int
+(** Synthesized by the router for calls rejected while their VM is
+    quarantined by the circuit breaker (never sent by the server). *)
+
+(** {1 Handler exception protocol}
+
+    Handlers raise these to signal the corresponding reply statuses;
+    any other exception escaping a handler is counted in
+    {!unexpected_exns} (a server-side bug, not a guest error). *)
+
+exception Unknown_handle
+exception Bad_args
+exception Device_lost
+
+(** TDR watchdog configuration: a dispatched call whose handler has not
+    returned after [tdr_factor] times its spec resource estimate
+    (floored at [tdr_min_ns]) triggers [tdr_reset] and fails with
+    {!status_device_lost}.  The reply enters the normal reply log, so
+    retransmitted duplicates replay the same error.
+
+    [tdr_wedged_by] (optional) names the client currently wedging the
+    shared device, directing blame: a call stuck {e behind} another
+    client's wedge triggers the reset but survives and completes
+    normally once the device recovers; only the culprit's call fails.
+    Without the query every timeout is blamed on its own call. *)
+type tdr = {
+  tdr_factor : float;
+  tdr_min_ns : Time.t;
+  tdr_reset : vm_id:int -> unit;
+  tdr_wedged_by : (unit -> int option) option;
+}
+
 val create :
   ?exec_overhead_ns:Time.t ->
   ?cache_capacity:int ->
+  ?tdr:tdr ->
   ?trace:Trace.t ->
   Engine.t ->
   plan:Plan.t ->
@@ -83,9 +120,10 @@ val create :
 (** [make_state] builds one fresh silo instance per attached VM.
     [cache_capacity] bounds each VM's content store in payload bytes
     (default 0: transfer cache off, behaviour byte-identical to the
-    pre-cache stack).  With [trace] (enabled), every executed call is
-    recorded under the ["server"] category and cache-miss NAKs under
-    ["cache"]. *)
+    pre-cache stack).  [tdr] arms the timeout-detection-and-recovery
+    watchdog (default off; armed, watchdog resets are traced under
+    ["tdr"]).  With [trace] (enabled), every executed call is recorded
+    under the ["server"] category and cache-miss NAKs under ["cache"]. *)
 
 val register : 'st t -> string -> 'st handler -> unit
 
@@ -105,6 +143,17 @@ val lost_while_down : 'st t -> int
 
 val naks_sent : 'st t -> int
 (** Cache-miss NAK messages sent to guests. *)
+
+val tdr_resets : 'st t -> int
+(** Device resets triggered by the TDR watchdog. *)
+
+val device_lost : 'st t -> int
+(** Calls failed with {!status_device_lost} (watchdog timeouts plus
+    handlers raising {!Device_lost}). *)
+
+val unexpected_exns : 'st t -> int
+(** Handler exceptions outside the known protocol set — genuine bugs
+    surfaced instead of masquerading as guest errors. *)
 
 val cache_capacity : 'st t -> int
 (** The per-VM content-store bound this server was created with. *)

@@ -38,10 +38,20 @@ type pending = {
 (* Recovery policy for lost calls/replies: after [timeout_ns] without a
    reply the encoded call is resent under its original seq (the server
    deduplicates); the timeout scales by [backoff] per attempt, and after
-   [max_retries] resends the call fails with {!Server.status_timeout}. *)
-type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
+   [max_retries] resends the call fails with {!Server.status_timeout}.
+   Each sleep is additionally scattered by a seeded per-VM jitter factor
+   in [1-jitter, 1+jitter] so guests sharing a fate event (server
+   restart, device reset) don't resend in lockstep; [jitter = 0.0]
+   reproduces the pure exponential schedule bit-for-bit. *)
+type retry = {
+  timeout_ns : Time.t;
+  max_retries : int;
+  backoff : float;
+  jitter : float;
+}
 
-let default_retry = { timeout_ns = Time.ms 20; max_retries = 12; backoff = 2.0 }
+let default_retry =
+  { timeout_ns = Time.ms 20; max_retries = 12; backoff = 2.0; jitter = 0.25 }
 
 (* Content-addressed transfer cache (guest half): blobs within
    [min_bytes, max_bytes] are hashed (FNV-1a 64); once the server has
@@ -59,6 +69,7 @@ type t = {
   plan : Plan.t;
   ep : Transport.endpoint;
   retry : retry option;  (** [None]: no watchdogs at all (default) *)
+  retry_rng : Rng.t;  (** per-VM stream for watchdog jitter *)
   mutable next_seq : int;
   mutable next_handle : int;
   pending : (int, pending) Hashtbl.t;
@@ -93,6 +104,9 @@ let create ?(batch_limit = 1) ?retry ?cache engine ~vm_id ~plan ~ep =
       plan;
       ep;
       retry;
+      (* Deterministic per-VM stream: two stubs with the same retry
+         policy still scatter their resends differently. *)
+      retry_rng = Rng.create (Int64.of_int (0x5eed + (vm_id * 7919)));
       next_seq = 0;
       next_handle = first_guest_handle;
       pending = Hashtbl.create 32;
@@ -291,15 +305,26 @@ let give_up t seq p =
   else
     t.deferred_errors <- (p.p_fn, Server.status_timeout) :: t.deferred_errors
 
+(* Scatter one watchdog sleep by the policy's jitter factor.  Zero
+   jitter draws nothing from the RNG, keeping the schedule (and the
+   stream) bit-identical to the pure exponential one. *)
+let jittered t r base_ns =
+  if r.jitter <= 0.0 then base_ns
+  else
+    let f = 1.0 +. (r.jitter *. ((2.0 *. Rng.float t.retry_rng) -. 1.0)) in
+    Stdlib.max 1 (int_of_float (float_of_int base_ns *. f))
+
 (* Per-call watchdog: as long as the seq is pending, resend its encoded
-   frame on an exponential-backoff schedule.  Resends carry the original
-   seq, so the server executes at most once and replays the cached reply
-   for duplicates; a lost reply is recovered the same way. *)
+   frame on an exponential-backoff schedule (each sleep scattered by the
+   per-VM jitter; the un-jittered base drives the backoff).  Resends
+   carry the original seq, so the server executes at most once and
+   replays the cached reply for duplicates; a lost reply is recovered
+   the same way. *)
 let start_watchdog t r seq =
   Engine.spawn t.engine ~name:(Printf.sprintf "ava-stub-retry-%d" seq)
     (fun () ->
-      let rec watch delay_ns =
-        Engine.delay delay_ns;
+      let rec watch base_ns =
+        Engine.delay (jittered t r base_ns);
         match Hashtbl.find_opt t.pending seq with
         | None -> () (* replied; nothing to do *)
         | Some p ->
@@ -310,7 +335,7 @@ let start_watchdog t r seq =
               Transport.send t.ep p.p_data;
               watch
                 (Stdlib.max 1
-                   (int_of_float (float_of_int delay_ns *. r.backoff)))
+                   (int_of_float (float_of_int base_ns *. r.backoff)))
             end
       in
       watch r.timeout_ns)

@@ -24,11 +24,20 @@ type t
     deduplicates and replays cached replies), the timeout scales by
     [backoff] per attempt, and after [max_retries] resends the call
     fails with {!Server.status_timeout} — surfaced directly for sync
-    calls, through the deferred-error channel for async ones. *)
-type retry = { timeout_ns : Time.t; max_retries : int; backoff : float }
+    calls, through the deferred-error channel for async ones.  Each
+    individual sleep is scattered uniformly in [±jitter] of the base
+    schedule by a per-VM seeded stream, so two stubs that lose frames at
+    the same instant do not resend in lockstep; [jitter = 0.0] draws
+    nothing and reproduces the pure exponential schedule bit-for-bit. *)
+type retry = {
+  timeout_ns : Time.t;
+  max_retries : int;
+  backoff : float;
+  jitter : float;
+}
 
 val default_retry : retry
-(** 20 ms initial timeout, doubling, 12 attempts. *)
+(** 20 ms initial timeout, doubling, 12 attempts, 25% jitter. *)
 
 (** Guest half of the content-addressed transfer cache: blobs within
     [cache_min_bytes, cache_max_bytes] are hashed (FNV-1a 64) and, once

@@ -55,9 +55,9 @@ let find_buffer t id = Gpu.find_buffer t.gpu id
    makes trap-based interposition so expensive (§2). *)
 let descriptor_words = 16
 
-let submit t work =
+let submit ?client t work =
   ioctl t (fun () ->
-      let completion = Gpu.submit t.gpu work in
+      let completion = Gpu.submit ?client t.gpu work in
       for word = 0 to descriptor_words - 1 do
         t.port.Mmio.port_write ~addr:(0x100 + (8 * word))
           (Int64.of_int (word * 7))
@@ -72,13 +72,15 @@ let wait t (completion : Gpu.completion) =
   Ivar.read completion.Gpu.done_;
   Engine.delay t.timing.Timing.irq_ns
 
-let write_buffer t ~buf ~offset ~src =
+let write_buffer ?client t ~buf ~offset ~src =
   ioctl t (fun () ->
-      Gpu.write_buffer ~per_page_ns:t.per_page_ns t.gpu ~buf ~offset ~src)
+      Gpu.write_buffer ~per_page_ns:t.per_page_ns ?client t.gpu ~buf ~offset
+        ~src)
 
-let read_buffer t ~buf ~offset ~len =
+let read_buffer ?client t ~buf ~offset ~len =
   ioctl t (fun () ->
-      Gpu.read_buffer ~per_page_ns:t.per_page_ns t.gpu ~buf ~offset ~len)
+      Gpu.read_buffer ~per_page_ns:t.per_page_ns ?client t.gpu ~buf ~offset
+        ~len)
 
 (* Device-to-device copy and fill ride the command ring so they order
    with kernels naturally. *)

@@ -31,15 +31,19 @@ val alloc_buffer : t -> size:int -> (Gpu.buffer, [ `Out_of_memory ]) result
 val free_buffer : t -> int -> unit
 val find_buffer : t -> int -> Gpu.buffer option
 
-val submit : t -> Gpu.kernel_work -> Gpu.completion
+val submit : ?client:int -> t -> Gpu.kernel_work -> Gpu.completion
 (** Write the descriptor and ring the doorbell; returns immediately with
-    the command's completion record. *)
+    the command's completion record.  [client] attributes the command
+    to a VM for targeted fault injection. *)
 
 val wait : t -> Gpu.completion -> unit
 (** Block until a command completes, plus interrupt delivery time. *)
 
-val write_buffer : t -> buf:Gpu.buffer -> offset:int -> src:bytes -> unit
-val read_buffer : t -> buf:Gpu.buffer -> offset:int -> len:int -> bytes
+val write_buffer :
+  ?client:int -> t -> buf:Gpu.buffer -> offset:int -> src:bytes -> unit
+
+val read_buffer :
+  ?client:int -> t -> buf:Gpu.buffer -> offset:int -> len:int -> bytes
 
 val copy_work :
   src:Gpu.buffer ->

@@ -38,6 +38,9 @@ type queue = {
       (** every incomplete op on this queue went through the hardware
           ring, so a new ring op may be submitted immediately (the FIFO
           ring preserves in-order semantics) *)
+  mutable q_failed : bool;
+      (** a command on this queue was killed by a device fault or reset;
+          reported once at the next [clFinish] (deferred-error style) *)
 }
 
 type memobj = {
@@ -65,6 +68,7 @@ type kern = {
 type st = {
   engine : Engine.t;
   kd : Kdriver.t;
+  client : int;  (* VM attribution for targeted fault injection *)
   mutable next_handle : int;
   contexts : (context, ctx) Hashtbl.t;
   queues : (command_queue, queue) Hashtbl.t;
@@ -175,11 +179,12 @@ let enqueue_ring_op st q ~wait_list ~want_event work =
     let e, handle = new_ev st ~register:want_event in
     q.q_last <- Some e;
     q.q_tail_is_ring <- true;
-    let completion = Kdriver.submit st.kd work in
+    let completion = Kdriver.submit ~client:st.client st.kd work in
     e.ev_status <- Submitted;
     e.ev_submitted <- Engine.now st.engine;
     Engine.spawn st.engine (fun () ->
         Kdriver.wait st.kd completion;
+        if completion.Ava_device.Gpu.failed then q.q_failed <- true;
         e.ev_status <- Running;
         e.ev_started <- completion.Ava_device.Gpu.started_at;
         complete_ev st e);
@@ -187,8 +192,9 @@ let enqueue_ring_op st q ~wait_list ~want_event work =
   end
   else
     enqueue_op st q ~wait_list ~want_event ~blocking:false (fun () ->
-        let completion = Kdriver.submit st.kd work in
-        Kdriver.wait st.kd completion)
+        let completion = Kdriver.submit ~client:st.client st.kd work in
+        Kdriver.wait st.kd completion;
+        if completion.Ava_device.Gpu.failed then q.q_failed <- true)
 
 (* Snapshot kernel args and resolve them against live buffers. *)
 let resolve_args st k =
@@ -214,11 +220,12 @@ let resolve_args st k =
   in
   if !missing then Error Invalid_arg_value else Ok args
 
-let create kd =
+let create ?(client = 0) kd =
   let st =
     {
       engine = Kdriver.engine kd;
       kd;
+      client;
       next_handle = 100;
       contexts = Hashtbl.create 8;
       queues = Hashtbl.create 8;
@@ -314,6 +321,7 @@ let create kd =
             q_refs = 1;
             q_last = None;
             q_tail_is_ring = true;
+            q_failed = false;
           };
         Ok h
       end
@@ -522,7 +530,8 @@ let create kd =
         let dst = Bytes.make size '\000' in
         let op () =
           let data =
-            Kdriver.read_buffer st.kd ~buf:mo.m_buf ~offset ~len:size
+            Kdriver.read_buffer ~client:st.client st.kd ~buf:mo.m_buf ~offset
+              ~len:size
           in
           Bytes.blit data 0 dst 0 size
         in
@@ -542,7 +551,8 @@ let create kd =
            it after the caller has moved on. *)
         let src = Bytes.copy src in
         enqueue_op st queue ~wait_list ~want_event ~blocking (fun () ->
-            Kdriver.write_buffer st.kd ~buf:mo.m_buf ~offset ~src)
+            Kdriver.write_buffer ~client:st.client st.kd ~buf:mo.m_buf ~offset
+              ~src)
 
     let clEnqueueCopyBuffer q ~src ~dst ~src_offset ~dst_offset ~size
         ~wait_list ~want_event =
@@ -586,7 +596,13 @@ let create kd =
       (match queue.q_last with
       | Some e -> Ivar.read e.ev_done
       | None -> ());
-      Ok ()
+      (* Deferred-error convention: a command killed by a device fault
+         or reset reports once, at the synchronization point. *)
+      if queue.q_failed then begin
+        queue.q_failed <- false;
+        Error Device_not_available
+      end
+      else Ok ()
 
     let clWaitForEvents events =
       enter st;

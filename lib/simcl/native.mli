@@ -14,7 +14,9 @@
 type st
 (** Instance state (opaque; exposed for introspection and migration). *)
 
-val create : Kdriver.t -> (module Api.S) * st
+val create : ?client:int -> Kdriver.t -> (module Api.S) * st
+(** [client] attributes this instance's device commands to a VM for
+    targeted fault injection (defaults to 0). *)
 
 (** {1 Introspection} *)
 

@@ -35,6 +35,9 @@ type error =
   | Out_of_host_memory
   | Profiling_info_not_available
   | Build_program_failure
+  | Device_not_available
+      (** The device was lost (hang, TDR reset, quarantine) while this
+          command was in flight. *)
   | Remoting_failure of string
       (** Transport/stack failure surfaced by a virtualized implementation;
           has no native counterpart. *)
@@ -59,6 +62,7 @@ let error_to_string = function
   | Out_of_host_memory -> "CL_OUT_OF_HOST_MEMORY"
   | Profiling_info_not_available -> "CL_PROFILING_INFO_NOT_AVAILABLE"
   | Build_program_failure -> "CL_BUILD_PROGRAM_FAILURE"
+  | Device_not_available -> "CL_DEVICE_NOT_AVAILABLE"
   | Remoting_failure msg -> "AVA_REMOTING_FAILURE(" ^ msg ^ ")"
 
 (* Stable numeric codes for wire transport (mirrors CL error numbering
@@ -83,6 +87,7 @@ let error_to_code = function
   | Out_of_host_memory -> -6
   | Profiling_info_not_available -> -7
   | Build_program_failure -> -11
+  | Device_not_available -> -2
   | Remoting_failure _ -> -9999
 
 let error_of_code = function
@@ -105,6 +110,9 @@ let error_of_code = function
   | -6 -> Out_of_host_memory
   | -7 -> Profiling_info_not_available
   | -11 -> Build_program_failure
+  (* -9005/-9006 are the remoting stack's device-lost / quarantined
+     statuses; both surface as CL_DEVICE_NOT_AVAILABLE at the API. *)
+  | -2 | -9005 | -9006 -> Device_not_available
   | n -> Remoting_failure (Printf.sprintf "unknown error code %d" n)
 
 type 'a result = ('a, error) Stdlib.result

@@ -14,7 +14,9 @@ type graph_state = {
   g_dev : device_handle;
   g_graph : Ava_device.Ncs.graph;
   g_output_bytes : int;
-  pending : bytes Ivar.t Queue.t;  (** completions in FIFO order *)
+  pending : bytes result Ivar.t Queue.t;
+      (** completions in FIFO order; [Error Gone] if the stick unplugged
+          while the inference was in flight *)
   mutable last_infer_us : int;
 }
 
@@ -76,29 +78,37 @@ let create ncs =
       else
         match Graphdef.decode graph_data with
         | Error `Bad_graph -> Error Unsupported_graph_file
-        | Ok def ->
-            let g =
+        | Ok def -> (
+            match
               Ava_device.Ncs.load_graph st.ncs
                 ~graph_bytes:(Bytes.length graph_data)
                 ~layer_flops:def.Graphdef.layer_flops
-            in
-            let h = fresh st in
-            Hashtbl.replace st.graphs h
-              {
-                g_dev = d;
-                g_graph = g;
-                g_output_bytes = def.Graphdef.output_bytes;
-                pending = Queue.create ();
-                last_infer_us = 0;
-              };
-            Ok h
+            with
+            | exception Ava_device.Ncs.Device_lost -> Error Gone
+            | g ->
+                let h = fresh st in
+                Hashtbl.replace st.graphs h
+                  {
+                    g_dev = d;
+                    g_graph = g;
+                    g_output_bytes = def.Graphdef.output_bytes;
+                    pending = Queue.create ();
+                    last_infer_us = 0;
+                  };
+                Ok h)
 
     let mvncDeallocateGraph g =
       enter st;
       match Hashtbl.find_opt st.graphs g with
       | None -> Error Invalid_parameters
       | Some gs ->
-          Ava_device.Ncs.unload_graph st.ncs gs.g_graph.Ava_device.Ncs.graph_id;
+          (* [Error `Unknown_graph] means an unplug already wiped the
+             on-stick copy; the host-side handle is still freed. *)
+          (match
+             Ava_device.Ncs.unload_graph st.ncs
+               gs.g_graph.Ava_device.Ncs.graph_id
+           with
+          | Ok () | Error `Unknown_graph -> ());
           Hashtbl.remove st.graphs g;
           Ok ()
 
@@ -112,13 +122,17 @@ let create ncs =
           let input = Bytes.copy tensor in
           Engine.spawn st.engine (fun () ->
               let t0 = Engine.now st.engine in
-              let out =
+              match
                 Ava_device.Ncs.infer st.ncs gs.g_graph ~input
                   ~output_bytes:gs.g_output_bytes
-              in
-              gs.last_infer_us <-
-                int_of_float (Time.to_float_us (Engine.now st.engine - t0));
-              Ivar.fill iv out);
+              with
+              | exception Ava_device.Ncs.Device_lost ->
+                  Ivar.fill iv (Error Gone)
+              | out ->
+                  gs.last_infer_us <-
+                    int_of_float
+                      (Time.to_float_us (Engine.now st.engine - t0));
+                  Ivar.fill iv (Ok out));
           Ok ()
 
     let mvncGetResult g =
@@ -129,7 +143,7 @@ let create ncs =
           if Queue.is_empty gs.pending then Error No_data
           else begin
             let iv = Queue.pop gs.pending in
-            Ok (Ivar.read iv)
+            Ivar.read iv
           end
 
     let mvncGetGraphOption g opt =

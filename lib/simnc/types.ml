@@ -40,7 +40,9 @@ let status_of_code = function
   | -5 -> Out_of_memory
   | -10 -> Unsupported_graph_file
   | -8 -> No_data
-  | -9 -> Gone
+  (* -9005/-9006 are the remoting stack's device-lost / quarantined
+     statuses; both surface as MVNC_GONE at the API. *)
+  | -9 | -9005 | -9006 -> Gone
   | _ -> General_error
 
 type 'a result = ('a, status) Stdlib.result

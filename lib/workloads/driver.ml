@@ -57,18 +57,22 @@ type profile = {
   pr_cache_misses : int;
   pr_cache_saved_bytes : int;  (** payload bytes served from the store *)
   pr_cache_evictions : int;
+  pr_device_lost : int;  (** calls the server failed with device-lost *)
+  pr_tdr_resets : int;  (** watchdog-triggered device resets *)
+  pr_quarantined : int;  (** calls rejected by open circuit breakers *)
 }
 
 (* Run a SimCL program remoted (AvA over the shm ring by default) with
    the given transfer-cache capacity, measuring wire bytes and content
-   store counters alongside end-to-end time. *)
+   store counters alongside end-to-end time.  [devfaults]/[tdr]/[breaker]
+   arm the fault-domain machinery for chaos profiling. *)
 let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
-    ?(transfer_cache = 0) program =
+    ?(transfer_cache = 0) ?devfaults ?tdr ?breaker program =
   let e = Engine.create () in
   let result = ref None in
   Engine.spawn e (fun () ->
-      let host = Host.create_cl_host ~transfer_cache e in
-      let guest = Host.add_cl_vm host ~technique ~name:"guest" in
+      let host = Host.create_cl_host ~transfer_cache ?devfaults ?tdr e in
+      let guest = Host.add_cl_vm host ~technique ?breaker ~name:"guest" in
       program guest.Host.g_api;
       let c = Ava_remoting.Server.cache_totals host.Host.server in
       result :=
@@ -80,6 +84,9 @@ let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
             pr_cache_misses = c.Ava_remoting.Server.cs_misses;
             pr_cache_saved_bytes = c.Ava_remoting.Server.cs_saved_bytes;
             pr_cache_evictions = c.Ava_remoting.Server.cs_evictions;
+            pr_device_lost = Ava_remoting.Server.device_lost host.Host.server;
+            pr_tdr_resets = Ava_remoting.Server.tdr_resets host.Host.server;
+            pr_quarantined = Ava_remoting.Router.quarantined host.Host.router;
           });
   Engine.run e;
   match !result with
@@ -87,12 +94,12 @@ let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
   | None -> failwith "workload stalled"
 
 (* MVNC counterpart of [profile_cl]. *)
-let profile_nc ?(transfer_cache = 0) program =
+let profile_nc ?(transfer_cache = 0) ?devfaults ?tdr ?breaker program =
   let e = Engine.create () in
   let result = ref None in
   Engine.spawn e (fun () ->
-      let host = Host.create_nc_host ~transfer_cache e in
-      let guest = Host.add_nc_vm host ~name:"guest" in
+      let host = Host.create_nc_host ~transfer_cache ?devfaults ?tdr e in
+      let guest = Host.add_nc_vm host ?breaker ~name:"guest" in
       program guest.Host.ng_api;
       let c = Ava_remoting.Server.cache_totals host.Host.nc_server in
       result :=
@@ -104,6 +111,11 @@ let profile_nc ?(transfer_cache = 0) program =
             pr_cache_misses = c.Ava_remoting.Server.cs_misses;
             pr_cache_saved_bytes = c.Ava_remoting.Server.cs_saved_bytes;
             pr_cache_evictions = c.Ava_remoting.Server.cs_evictions;
+            pr_device_lost =
+              Ava_remoting.Server.device_lost host.Host.nc_server;
+            pr_tdr_resets = Ava_remoting.Server.tdr_resets host.Host.nc_server;
+            pr_quarantined =
+              Ava_remoting.Router.quarantined host.Host.nc_router;
           });
   Engine.run e;
   match !result with

@@ -28,18 +28,31 @@ type profile = {
   pr_cache_misses : int;
   pr_cache_saved_bytes : int;  (** payload bytes served from the store *)
   pr_cache_evictions : int;
+  pr_device_lost : int;  (** calls the server failed with device-lost *)
+  pr_tdr_resets : int;  (** watchdog-triggered device resets *)
+  pr_quarantined : int;  (** calls rejected by open circuit breakers *)
 }
 
 val profile_cl :
   ?technique:Host.technique ->
   ?transfer_cache:int ->
+  ?devfaults:Ava_device.Devfault.t ->
+  ?tdr:Host.tdr_policy ->
+  ?breaker:Ava_remoting.Policy.Breaker.config ->
   ((module Ava_simcl.Api.S) -> unit) ->
   profile
 (** Run a SimCL program remoted (AvA over the shm ring by default) with
-    the given transfer-cache capacity in bytes (0 = cache off). *)
+    the given transfer-cache capacity in bytes (0 = cache off).
+    [devfaults]/[tdr]/[breaker] arm the fault-domain machinery for
+    chaos profiling (all off by default). *)
 
 val profile_nc :
-  ?transfer_cache:int -> ((module Ava_simnc.Api.S) -> unit) -> profile
+  ?transfer_cache:int ->
+  ?devfaults:Ava_device.Devfault.t ->
+  ?tdr:Host.tdr_policy ->
+  ?breaker:Ava_remoting.Policy.Breaker.config ->
+  ((module Ava_simnc.Api.S) -> unit) ->
+  profile
 (** MVNC counterpart of {!profile_cl}. *)
 
 type row = {

@@ -270,8 +270,12 @@ let ncs_tests =
             Alcotest.(check int) "live" 1 (Ncs.live_graphs ncs);
             Alcotest.(check bool) "found" true
               (Ncs.find_graph ncs g.Ncs.graph_id <> None);
-            Ncs.unload_graph ncs g.Ncs.graph_id;
-            Alcotest.(check int) "gone" 0 (Ncs.live_graphs ncs));
+            Alcotest.(check bool) "unload ok" true
+              (Ncs.unload_graph ncs g.Ncs.graph_id = Ok ());
+            Alcotest.(check int) "gone" 0 (Ncs.live_graphs ncs);
+            (* Unloading twice is an error status, not an exception. *)
+            Alcotest.(check bool) "unload twice rejected" true
+              (Ncs.unload_graph ncs g.Ncs.graph_id = Error `Unknown_graph));
         Alcotest.(check bool) "load took usb+parse time" true
           (Engine.now e > Time.ms 2));
     Alcotest.test_case "inference is deterministic" `Quick (fun () ->

@@ -134,6 +134,13 @@ let injection_tests =
    the guest transport and the retry watchdog armed.  Completion is part
    of the assertion: a hang drains the event queue and
    [Engine.run_process] raises [Stalled]. *)
+(* CI sweeps the chaos-case fault seeds via [AVA_CHAOS_SEED]; the
+   fixed-seed determinism tests below are seed-independent. *)
+let chaos_seed_base =
+  match Sys.getenv_opt "AVA_CHAOS_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 0L
+
 let run_chaos ?faults ?retry ~kind program =
   let e = Engine.create () in
   let host = Host.create_cl_host e in
@@ -173,7 +180,9 @@ let chaos_tests =
   List.concat_map
     (fun kind ->
       List.mapi
-        (fun i b -> chaos_case b kind (Int64.of_int ((i * 37) + 101)))
+        (fun i b ->
+          chaos_case b kind
+            (Int64.add chaos_seed_base (Int64.of_int ((i * 37) + 101))))
         Rodinia.all)
     [ Transport.Shm_ring; Transport.Network ]
 
@@ -224,7 +233,7 @@ let crash_tests =
         (* A short retry period so recovery happens within the outage
            scale rather than dominating the run. *)
         let retry =
-          { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5 }
+          { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5; jitter = 0.0 }
         in
         let guest =
           Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring) ~retry
@@ -266,7 +275,7 @@ let crash_tests =
         let e = Engine.create () in
         let host = Host.create_cl_host e in
         let retry =
-          { Stub.timeout_ns = Time.us 200; max_retries = 60; backoff = 1.2 }
+          { Stub.timeout_ns = Time.us 200; max_retries = 60; backoff = 1.2; jitter = 0.0 }
         in
         let guest =
           Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring) ~retry
@@ -503,7 +512,7 @@ let cache_chaos_tests =
         let e = Engine.create () in
         let host = Host.create_cl_host ~transfer_cache:cache_capacity e in
         let retry =
-          { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5 }
+          { Stub.timeout_ns = Time.ms 1; max_retries = 40; backoff = 1.5; jitter = 0.0 }
         in
         let guest =
           Host.add_cl_vm host ~technique:(Host.Ava Transport.Shm_ring) ~retry

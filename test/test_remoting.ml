@@ -522,6 +522,32 @@ let stub_tests =
         let b = Stub.fresh_handle stub in
         Alcotest.(check bool) "distinct, ordered" true
           (b = a + 1 && a >= 0x100000));
+    Alcotest.test_case "unexpected handler exception is counted, not masked"
+      `Quick (fun () ->
+        (* A handler bug (an exception outside the Unknown_handle /
+           Bad_args / Device_lost protocol) must fail the call and bump
+           the server's bug counter instead of silently masquerading as
+           an ordinary guest error. *)
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server = stub_server_pair e plan in
+        Server.register server "ping" (fun _ _ _ -> failwith "handler bug");
+        let reply =
+          Engine.run_process e (fun () ->
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[] ~args:[ Wire.int 1 ]))
+        in
+        Alcotest.(check int) "call failed"
+          Server.status_bad_arguments reply.Message.reply_status;
+        Alcotest.(check int) "bug counted" 1 (Server.unexpected_exns server);
+        (* The worker survives: the next call still executes. *)
+        Server.register server "ping" (fun _ _ _ -> (0, Wire.Unit, []));
+        let reply =
+          Engine.run_process e (fun () ->
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[] ~args:[ Wire.int 2 ]))
+        in
+        Alcotest.(check int) "worker survived" 0 reply.Message.reply_status);
   ]
 
 (* Stub/server pair with the transfer cache armed on both halves. *)
@@ -763,6 +789,98 @@ let router_tests =
           !statuses;
         Alcotest.(check int) "nothing forwarded" 0 (Router.forwarded router);
         Alcotest.(check int) "nothing executed" 0 (Server.executed server));
+    Alcotest.test_case "admin interface is safe under a backlogged WFQ"
+      `Quick (fun () ->
+        (* Two VMs flood the router with async calls while an
+           administrator reconfigures weights, quotas, rate limits and
+           the circuit breaker mid-drain: every call must still be
+           answered exactly once and the in-flight ledger must drain. *)
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let virt = Ava_device.Timing.default_virt in
+        let hv = Ava_hv.Hypervisor.create ~virt e in
+        let server =
+          Server.create e ~plan ~make_state:(fun ~vm_id -> ref vm_id)
+        in
+        Server.register server "fire" (fun _ _ _ -> (0, Wire.Unit, []));
+        let router = Router.create e ~virt ~plan in
+        let attach name rate =
+          let vm = Ava_hv.Hypervisor.create_vm hv ~name in
+          let vm_id = Ava_hv.Vm.id vm in
+          let guest_end, router_guest_end = Transport.direct e in
+          let router_server_end, server_end = Transport.direct e in
+          ignore (Server.attach_vm server ~vm_id ~ep:server_end);
+          ignore
+            (Router.attach_vm ~rate_per_s:rate ~burst:4.0 router vm
+               ~guest_side:router_guest_end ~server_side:router_server_end);
+          (guest_end, vm_id)
+        in
+        (* Low initial rate limits keep a backlog in front of the WFQ
+           for the whole admin sequence. *)
+        let g1, vm1 = attach "noisy" 2e5 in
+        let g2, vm2 = attach "peer" 2e5 in
+        let n = 40 in
+        let burst ep vm_id =
+          for seq = 0 to n - 1 do
+            Transport.send ep
+              (Message.encode
+                 (Message.Call
+                    {
+                      Message.call_seq = seq;
+                      call_vm = vm_id;
+                      call_fn = "fire";
+                      call_args = [ Wire.int seq ];
+                    }))
+          done
+        in
+        let drain ep got =
+          let done_ = Ivar.create () in
+          Engine.spawn e (fun () ->
+              for _ = 1 to n do
+                match Message.decode (Transport.recv ep) with
+                | Ok (Message.Reply r) ->
+                    if r.Message.reply_status = 0 then incr got
+                | _ -> Alcotest.fail "expected a reply frame"
+              done;
+              Ivar.fill done_ ());
+          done_
+        in
+        let got1 = ref 0 and got2 = ref 0 in
+        Engine.run_process e (fun () ->
+            burst g1 vm1;
+            burst g2 vm2;
+            let d1 = drain g1 got1 and d2 = drain g2 got2 in
+            (* Reconfigure everything while the backlog drains. *)
+            Engine.delay (Time.us 20);
+            Router.set_weight router ~vm_id:vm1 ~weight:8.0;
+            Router.set_quota router ~vm_id:vm2 ~budget:1e9
+              ~window_ns:(Time.ms 1);
+            Router.set_rate_limit router ~vm_id:vm2 ~rate_per_s:1e6
+              ~burst:8.0;
+            Router.set_breaker router ~vm_id:vm2
+              Policy.Breaker.default_config;
+            (match Router.breaker_info router ~vm_id:vm2 with
+            | Some info ->
+                Alcotest.(check bool) "breaker installed mid-run" true
+                  (info.Router.bi_state = Policy.Breaker.Closed)
+            | None -> Alcotest.fail "breaker not visible");
+            Engine.delay (Time.us 20);
+            Router.clear_rate_limit router ~vm_id:vm1;
+            Router.clear_rate_limit router ~vm_id:vm2;
+            Router.clear_breaker router ~vm_id:vm2;
+            Ivar.read d1;
+            Ivar.read d2);
+        Alcotest.(check int) "vm1 got every reply" n !got1;
+        Alcotest.(check int) "vm2 got every reply" n !got2;
+        Alcotest.(check int) "all calls forwarded" (2 * n)
+          (Router.forwarded router);
+        Alcotest.(check int) "no rejections" 0 (Router.rejected router);
+        Alcotest.(check int) "nothing quarantined" 0
+          (Router.quarantined router);
+        Alcotest.(check int) "vm1 ledger drained" 0
+          (Router.in_flight_calls router ~vm_id:vm1);
+        Alcotest.(check int) "vm2 ledger drained" 0
+          (Router.in_flight_calls router ~vm_id:vm2));
   ]
 
 let ctx_tests =
