@@ -19,6 +19,7 @@
 
 module Transport = Ava_transport.Transport
 module Swap = Ava_remoting.Swap
+module Json = Ava_obs.Json
 
 open Ava_sim
 open Ava_core
@@ -27,18 +28,84 @@ open Ava_workloads
 let section title = Fmt.pr "@.=== %s ===@." title
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
 
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty json);
+  close_out oc
+
+(* Per-phase latency summaries of a profiled run, as the ["phases"]
+   fragment the perf gate compares against the baseline. *)
+let profile_phases (p : Driver.profile) =
+  Json.List
+    (List.map
+       (fun (name, s) ->
+         match Ava_obs.Export.json_of_summary s with
+         | Json.Obj fields -> Json.Obj (("phase", Json.String name) :: fields)
+         | j -> j)
+       p.Driver.pr_phases)
+
+let profile_call_latency (p : Driver.profile) =
+  match p.Driver.pr_call_latency with
+  | Some s -> Ava_obs.Export.json_of_summary s
+  | None -> Json.Null
+
 (* ---------------------------------------------------------------- E1 -- *)
 
 let fig5_opencl () =
   section "E1 | Figure 5 (OpenCL): Rodinia end-to-end relative runtime";
   Fmt.pr "paper: <= 1.16 max, ~1.08 average (AvA vs native GTX 1080)@.";
   hr ();
-  let rows = Driver.fig5_opencl () in
+  (* Profile the remoted runs with obs armed: attribution is passive,
+     so the relative runtimes are identical to the unobserved ones. *)
+  let entries =
+    List.map
+      (fun (b : Rodinia.benchmark) ->
+        let native = Driver.time_cl b.Rodinia.run in
+        let prof = Driver.profile_cl ~obs:true b.Rodinia.run in
+        let row =
+          {
+            Driver.row_name = b.Rodinia.name;
+            native_ns = native;
+            subject_ns = prof.Driver.pr_ns;
+            relative =
+              Driver.relative_runtime ~native ~subject:prof.Driver.pr_ns;
+          }
+        in
+        (row, prof))
+      Rodinia.all
+  in
+  let rows = List.map fst entries in
   List.iter (fun r -> Fmt.pr "%a@." Driver.pp_row r) rows;
   hr ();
+  let max_rel =
+    List.fold_left (fun acc r -> Float.max acc r.Driver.relative) 0.0 rows
+  in
   Fmt.pr "mean relative runtime: %.3f   (paper ~1.08)@." (Driver.mean rows);
-  Fmt.pr "max  relative runtime: %.3f   (paper <=1.16)@."
-    (List.fold_left (fun acc r -> Float.max acc r.Driver.relative) 0.0 rows)
+  Fmt.pr "max  relative runtime: %.3f   (paper <=1.16)@." max_rel;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "fig5-opencl");
+        ( "rows",
+          Json.List
+            (List.map
+               (fun (r, p) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String r.Driver.row_name);
+                     ("native_ns", Json.Int r.Driver.native_ns);
+                     ("remoted_ns", Json.Int r.Driver.subject_ns);
+                     ("relative", Json.Float r.Driver.relative);
+                     ("call_latency", profile_call_latency p);
+                     ("phases", profile_phases p);
+                   ])
+               entries) );
+        ("mean_relative", Json.Float (Driver.mean rows));
+        ("max_relative", Json.Float max_rel);
+      ]
+  in
+  write_json "BENCH_fig5_opencl.json" json;
+  Fmt.pr "wrote BENCH_fig5_opencl.json@."
 
 (* ---------------------------------------------------------------- E2 -- *)
 
@@ -57,7 +124,26 @@ let async_ablation () =
     "paper: async spec gives 8.6%% speedup over unoptimized; ~5%% overhead \
      vs native@.";
   hr ();
-  let rows = Driver.async_ablation () in
+  let entries =
+    List.map
+      (fun (b : Rodinia.benchmark) ->
+        let native = Driver.time_cl b.Rodinia.run in
+        let async_p = Driver.profile_cl ~obs:true b.Rodinia.run in
+        let sync_p =
+          Driver.profile_cl ~sync_only:true ~obs:true b.Rodinia.run
+        in
+        let row =
+          {
+            Driver.ab_name = b.Rodinia.name;
+            ab_native_ns = native;
+            ab_async_ns = async_p.Driver.pr_ns;
+            ab_sync_ns = sync_p.Driver.pr_ns;
+          }
+        in
+        (row, async_p, sync_p))
+      Rodinia.all
+  in
+  let rows = List.map (fun (r, _, _) -> r) entries in
   List.iter (fun r -> Fmt.pr "%a@." Driver.pp_ablation_row r) rows;
   hr ();
   let speedup r =
@@ -67,10 +153,47 @@ let async_ablation () =
   let overhead r =
     float_of_int r.Driver.ab_async_ns /. float_of_int r.Driver.ab_native_ns
   in
+  let mean_speedup = 100.0 *. Stats.mean (List.map speedup rows) in
+  let mean_overhead =
+    100.0 *. (Stats.mean (List.map overhead rows) -. 1.0)
+  in
   Fmt.pr "mean speedup from async annotations: %.1f%%   (paper 8.6%%)@."
-    (100.0 *. Stats.mean (List.map speedup rows));
+    mean_speedup;
   Fmt.pr "mean overhead of optimized spec:     %.1f%%   (paper ~5-8%%)@."
-    (100.0 *. (Stats.mean (List.map overhead rows) -. 1.0))
+    mean_overhead;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "async-ablation");
+        ( "rows",
+          Json.List
+            (List.map
+               (fun (r, async_p, sync_p) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String r.Driver.ab_name);
+                     ("native_ns", Json.Int r.Driver.ab_native_ns);
+                     ("async_ns", Json.Int r.Driver.ab_async_ns);
+                     ("sync_ns", Json.Int r.Driver.ab_sync_ns);
+                     ( "async_rel",
+                       Json.Float
+                         (float_of_int r.Driver.ab_async_ns
+                         /. float_of_int r.Driver.ab_native_ns) );
+                     ( "sync_rel",
+                       Json.Float
+                         (float_of_int r.Driver.ab_sync_ns
+                         /. float_of_int r.Driver.ab_native_ns) );
+                     ("speedup_pct", Json.Float (100.0 *. speedup r));
+                     ("async_phases", profile_phases async_p);
+                     ("sync_phases", profile_phases sync_p);
+                   ])
+               entries) );
+        ("mean_speedup_pct", Json.Float mean_speedup);
+        ("mean_overhead_pct", Json.Float mean_overhead);
+      ]
+  in
+  write_json "BENCH_async.json" json;
+  Fmt.pr "wrote BENCH_async.json@."
 
 (* ---------------------------------------------------------------- E4 -- *)
 
@@ -499,6 +622,7 @@ type cache_row = {
   cr_misses : int;
   cr_saved_bytes : int;
   cr_evictions : int;
+  cr_phases : Json.t;  (** attribution of the uncached remoted run *)
 }
 
 let cache_hit_rate r =
@@ -513,29 +637,31 @@ let wire_reduction_pct r =
     *. (1.0 -. (float_of_int r.cr_wire_bytes_cached /. float_of_int r.cr_wire_bytes))
 
 let emit_bench_json ~capacity rows =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"experiment\": \"remoting-cache\",\n";
-  Printf.bprintf buf "  \"cache_capacity_bytes\": %d,\n" capacity;
-  Buffer.add_string buf "  \"workloads\": [\n";
-  List.iteri
-    (fun idx r ->
-      Printf.bprintf buf
-        "    {\"name\": %S, \"native_ns\": %d, \"remoted_ns\": %d, \
-         \"cached_ns\": %d, \"wire_bytes\": %d, \"wire_bytes_cached\": %d, \
-         \"wire_reduction_pct\": %.2f, \"cache_hits\": %d, \"cache_misses\": \
-         %d, \"cache_hit_rate\": %.4f, \"cache_saved_bytes\": %d, \
-         \"cache_evictions\": %d}%s\n"
-        r.cr_name r.cr_native_ns r.cr_remoted_ns r.cr_cached_ns
-        r.cr_wire_bytes r.cr_wire_bytes_cached (wire_reduction_pct r)
-        r.cr_hits r.cr_misses (cache_hit_rate r) r.cr_saved_bytes
-        r.cr_evictions
-        (if idx = List.length rows - 1 then "" else ","))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out "BENCH_remoting.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc
+  let row_json r =
+    Json.Obj
+      [
+        ("name", Json.String r.cr_name);
+        ("native_ns", Json.Int r.cr_native_ns);
+        ("remoted_ns", Json.Int r.cr_remoted_ns);
+        ("cached_ns", Json.Int r.cr_cached_ns);
+        ("wire_bytes", Json.Int r.cr_wire_bytes);
+        ("wire_bytes_cached", Json.Int r.cr_wire_bytes_cached);
+        ("wire_reduction_pct", Json.Float (wire_reduction_pct r));
+        ("cache_hits", Json.Int r.cr_hits);
+        ("cache_misses", Json.Int r.cr_misses);
+        ("cache_hit_rate", Json.Float (cache_hit_rate r));
+        ("cache_saved_bytes", Json.Int r.cr_saved_bytes);
+        ("cache_evictions", Json.Int r.cr_evictions);
+        ("phases", r.cr_phases);
+      ]
+  in
+  write_json "BENCH_remoting.json"
+    (Json.Obj
+       [
+         ("experiment", Json.String "remoting-cache");
+         ("cache_capacity_bytes", Json.Int capacity);
+         ("workloads", Json.List (List.map row_json rows));
+       ])
 
 let remoting_cache () =
   section "Extension | Content-addressed transfer cache (wire-byte dedup)";
@@ -554,7 +680,7 @@ let remoting_cache () =
       (fun (b : Rodinia.benchmark) ->
         let program = twice b.Rodinia.run in
         let native = Driver.time_cl program in
-        let plain = Driver.profile_cl program in
+        let plain = Driver.profile_cl ~obs:true program in
         let cached = Driver.profile_cl ~transfer_cache:cl_capacity program in
         {
           cr_name = b.Rodinia.name;
@@ -567,6 +693,7 @@ let remoting_cache () =
           cr_misses = cached.Driver.pr_cache_misses;
           cr_saved_bytes = cached.Driver.pr_cache_saved_bytes;
           cr_evictions = cached.Driver.pr_cache_evictions;
+          cr_phases = profile_phases plain;
         })
       Rodinia.all
   in
@@ -575,7 +702,7 @@ let remoting_cache () =
   let inception_twice = twice (Inception.run ~inferences:4) in
   let nc_row =
     let native = Driver.time_nc inception_twice in
-    let plain = Driver.profile_nc inception_twice in
+    let plain = Driver.profile_nc ~obs:true inception_twice in
     let cached = Driver.profile_nc ~transfer_cache:nc_capacity inception_twice in
     {
       cr_name = "inception-restart";
@@ -588,6 +715,7 @@ let remoting_cache () =
       cr_misses = cached.Driver.pr_cache_misses;
       cr_saved_bytes = cached.Driver.pr_cache_saved_bytes;
       cr_evictions = cached.Driver.pr_cache_evictions;
+      cr_phases = profile_phases plain;
     }
   in
   let rows = cl_rows @ [ nc_row ] in

@@ -1,0 +1,149 @@
+(* Perf gate: compare bench JSON outputs against a checked-in baseline
+   and fail (exit 1) when a gated latency metric regressed beyond the
+   tolerance.  CI runs this after the bench jobs; the markdown verdict
+   lands in $GITHUB_STEP_SUMMARY when that variable is set.
+
+     perf_gate --baseline bench/BASELINE.json BENCH_fig5_opencl.json ...
+     perf_gate --write-baseline bench/BASELINE.json BENCH_*.json
+     perf_gate --baseline ... --inflate 25 ...   # self-test: must fail
+
+   Each current file is keyed by its top-level "experiment" member, so
+   the combined document compares path-for-path against a baseline of
+   the shape {"fig5-opencl": {...}, "async-ablation": {...}}. *)
+
+module Json = Ava_obs.Json
+module Gate = Ava_obs.Gate
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Json.parse_opt (read_file path) with
+  | Some j -> j
+  | None -> Fmt.failwith "%s: not valid JSON" path
+
+(* Combine current bench files into one object keyed by experiment. *)
+let combine paths =
+  Json.Obj
+    (List.map
+       (fun path ->
+         let doc = load path in
+         let key =
+           match Option.bind (Json.member "experiment" doc) Json.to_string_opt
+           with
+           | Some name -> name
+           | None -> Filename.remove_extension (Filename.basename path)
+         in
+         (key, doc))
+       paths)
+
+let emit_summary markdown =
+  (match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | Some path when path <> "" ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat ] 0o644 path
+      in
+      output_string oc markdown;
+      output_string oc "\n";
+      close_out oc
+  | _ -> ());
+  print_string markdown;
+  print_newline ()
+
+let run baseline_path write_baseline tolerance inflate currents =
+  if currents = [] then begin
+    prerr_endline "perf_gate: no bench JSON files given";
+    2
+  end
+  else
+    let current = combine currents in
+    match write_baseline with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string_pretty current);
+        close_out oc;
+        Fmt.pr "wrote baseline %s (%d experiments)@." path
+          (List.length currents);
+        0
+    | None -> (
+        match baseline_path with
+        | None ->
+            prerr_endline
+              "perf_gate: --baseline or --write-baseline is required";
+            2
+        | Some path ->
+            let baseline = load path in
+            let current =
+              if inflate > 0.0 then Gate.inflate ~pct:inflate current
+              else current
+            in
+            let verdict =
+              Gate.compare_metrics ~tolerance_pct:tolerance ~baseline
+                ~current
+            in
+            emit_summary (Gate.to_markdown ~tolerance_pct:tolerance verdict);
+            if Gate.passed verdict then begin
+              Fmt.pr "perf gate: PASS (%d metrics compared)@."
+                verdict.Gate.v_compared;
+              0
+            end
+            else begin
+              Fmt.epr "perf gate: FAIL (%d regressions of %d compared)@."
+                verdict.Gate.v_regressions verdict.Gate.v_compared;
+              1
+            end)
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"PATH"
+        ~doc:"Checked-in baseline JSON to compare against.")
+
+let write_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-baseline" ] ~docv:"PATH"
+        ~doc:
+          "Instead of gating, combine the given bench files and write \
+           them as a new baseline to $(docv).")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "tolerance" ] ~docv:"PCT"
+        ~doc:"Allowed regression before the gate fails (percent).")
+
+let inflate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "inflate" ] ~docv:"PCT"
+        ~doc:
+          "Self-test: synthetically inflate every gated metric of the \
+           current results by $(docv) percent before comparing.  CI uses \
+           this to prove the gate actually fails on a regression.")
+
+let currents_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"BENCH_JSON" ~doc:"Current bench output files.")
+
+let () =
+  let info =
+    Cmd.info "perf_gate" ~version:"1.0"
+      ~doc:
+        "Gate bench results against a baseline: fail on latency \
+         regressions beyond the tolerance."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const run $ baseline_arg $ write_baseline_arg $ tolerance_arg
+            $ inflate_arg $ currents_arg)))

@@ -14,6 +14,7 @@ module Server = Ava_remoting.Server
 module Router = Ava_remoting.Router
 module Migrate = Ava_remoting.Migrate
 module Swap = Ava_remoting.Swap
+module Obs = Ava_obs.Obs
 
 open Ava_sim
 open Ava_device
@@ -59,6 +60,7 @@ type cl_host = {
   swap : Swap.t option;
   recorders : (int, Migrate.t) Hashtbl.t;
   trace : Ava_sim.Trace.t;
+  obs : Obs.t option;
 }
 
 type cl_guest = {
@@ -94,10 +96,13 @@ let load_cl_plan ?(sync_only = false) () =
    [transfer_cache] bounds the server's per-VM content store in bytes and
    arms the matching stub-side digest cache on every remoted guest; the
    default 0 disables the cache entirely (wire traffic byte-identical to
-   the pre-cache stack). *)
+   the pre-cache stack).  [obs] arms per-call latency attribution across
+   stub, router and server; the registry is passive (no virtual-time
+   charges), so an armed run is bit-identical in timing to a disarmed
+   one. *)
 let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
-    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr engine =
+    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr ?obs engine =
   let trace = Ava_sim.Trace.create ~enabled:tracing () in
   let gpu = Gpu.create ~timing:gpu_timing ?devfault:devfaults engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
@@ -136,11 +141,11 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
       swap_capacity
   in
   let server =
-    Server.create ~trace ~cache_capacity:transfer_cache ?tdr:server_tdr engine
-      ~plan ~make_state:(Cl_handlers.make_state ?swap kd)
+    Server.create ~trace ~cache_capacity:transfer_cache ?tdr:server_tdr ?obs
+      engine ~plan ~make_state:(Cl_handlers.make_state ?swap kd)
   in
   Cl_handlers.register server;
-  let router = Router.create ~trace engine ~virt ~plan in
+  let router = Router.create ~trace ?obs engine ~virt ~plan in
   let recorders = Hashtbl.create 8 in
   (* Record successfully executed calls per the spec's record classes. *)
   Server.set_call_hook server (fun ~vm_id ~status c ->
@@ -159,7 +164,8 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
             in
             Migrate.observe ?allocated recorder call_plan c
         | _ -> ());
-  { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace }
+  { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace;
+    obs }
 
 (* Attach one guest VM with the chosen technique and policies.
    [batching] enables rCUDA-style API batching in the guest stub.
@@ -211,8 +217,8 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       | None -> ());
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit ?retry ?cache t.engine ~vm_id ~plan:t.plan
-          ~ep:guest_end
+        Stub.create ~batch_limit ?retry ?cache ?obs:t.obs t.engine ~vm_id
+          ~plan:t.plan ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;
@@ -235,8 +241,8 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
            ~guest_side:router_guest_end ~server_side:router_server_end);
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
       let stub =
-        Stub.create ~batch_limit ?retry ?cache t.engine ~vm_id ~plan:t.plan
-          ~ep:guest_end
+        Stub.create ~batch_limit ?retry ?cache ?obs:t.obs t.engine ~vm_id
+          ~plan:t.plan ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;
@@ -261,6 +267,7 @@ type nc_host = {
   nc_plan : Plan.t;
   nc_router : Router.t;
   nc_server : Nc_handlers.state Server.t;
+  nc_obs : Obs.t option;
 }
 
 type nc_guest = {
@@ -277,7 +284,7 @@ let load_nc_plan () =
 
 let create_nc_host ?(virt = Timing.default_virt)
     ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) ?devfaults ?tdr
-    engine =
+    ?obs engine =
   let dev = Ncs.create ~timing:ncs_timing ?devfault:devfaults engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let _spec, plan = load_nc_plan () in
@@ -296,11 +303,11 @@ let create_nc_host ?(virt = Timing.default_virt)
       tdr
   in
   let server =
-    Server.create ~cache_capacity:transfer_cache ?tdr:server_tdr engine ~plan
-      ~make_state:(Nc_handlers.make_state dev)
+    Server.create ~cache_capacity:transfer_cache ?tdr:server_tdr ?obs engine
+      ~plan ~make_state:(Nc_handlers.make_state dev)
   in
   Nc_handlers.register server;
-  let router = Router.create engine ~virt ~plan in
+  let router = Router.create ?obs engine ~virt ~plan in
   {
     nc_engine = engine;
     nc_dev = dev;
@@ -308,6 +315,7 @@ let create_nc_host ?(virt = Timing.default_virt)
     nc_plan = plan;
     nc_router = router;
     nc_server = server;
+    nc_obs = obs;
   }
 
 (* NCS fault budget: server device-lost plus the MVNC-level GONE status
@@ -335,7 +343,10 @@ let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight ?breaker t
     | 0 -> None
     | capacity -> Some (Stub.cache_for_capacity capacity)
   in
-  let stub = Stub.create ?cache t.nc_engine ~vm_id ~plan:t.nc_plan ~ep:guest_end in
+  let stub =
+    Stub.create ?cache ?obs:t.nc_obs t.nc_engine ~vm_id ~plan:t.nc_plan
+      ~ep:guest_end
+  in
   let api, remote = Nc_remote.create stub in
   ignore remote;
   { ng_vm = vm; ng_api = api; ng_stub = Some stub }
@@ -354,6 +365,7 @@ type qa_host = {
   qa_plan : Plan.t;
   qa_router : Router.t;
   qa_server : Qa_handlers.state Server.t;
+  qa_obs : Obs.t option;
 }
 
 type qa_guest = {
@@ -369,15 +381,15 @@ let load_qa_plan () =
   | Error e -> failwith ("qat plan compilation failed: " ^ e)
 
 let create_qa_host ?(virt = Timing.default_virt)
-    ?(qat_timing = Ava_simqa.Device.dh895xcc) engine =
+    ?(qat_timing = Ava_simqa.Device.dh895xcc) ?obs engine =
   let dev = Ava_simqa.Device.create ~timing:qat_timing engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let _spec, plan = load_qa_plan () in
   let server =
-    Server.create engine ~plan ~make_state:(Qa_handlers.make_state dev)
+    Server.create ?obs engine ~plan ~make_state:(Qa_handlers.make_state dev)
   in
   Qa_handlers.register server;
-  let router = Router.create engine ~virt ~plan in
+  let router = Router.create ?obs engine ~virt ~plan in
   {
     qa_engine = engine;
     qa_dev = dev;
@@ -385,6 +397,7 @@ let create_qa_host ?(virt = Timing.default_virt)
     qa_plan = plan;
     qa_router = router;
     qa_server = server;
+    qa_obs = obs;
   }
 
 let add_qa_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
@@ -397,7 +410,9 @@ let add_qa_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight t ~name =
     (Router.attach_vm ?rate_per_s ?weight t.qa_router vm
        ~guest_side:router_guest_end ~server_side:router_server_end);
   ignore (Server.attach_vm t.qa_server ~vm_id ~ep:server_end);
-  let stub = Stub.create t.qa_engine ~vm_id ~plan:t.qa_plan ~ep:guest_end in
+  let stub =
+    Stub.create ?obs:t.qa_obs t.qa_engine ~vm_id ~plan:t.qa_plan ~ep:guest_end
+  in
   let api, remote = Qa_remote.create stub in
   ignore remote;
   { qg_vm = vm; qg_api = api; qg_stub = Some stub }

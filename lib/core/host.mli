@@ -15,6 +15,7 @@ module Server = Ava_remoting.Server
 module Router = Ava_remoting.Router
 module Migrate = Ava_remoting.Migrate
 module Swap = Ava_remoting.Swap
+module Obs = Ava_obs.Obs
 
 open Ava_sim
 open Ava_device
@@ -58,6 +59,8 @@ type cl_host = {
   recorders : (int, Migrate.t) Hashtbl.t;  (** per-VM migration recorders *)
   trace : Ava_sim.Trace.t;
       (** router/server call trace (enabled with [~tracing:true]) *)
+  obs : Obs.t option;
+      (** latency-attribution registry (armed with [~obs]) *)
 }
 
 type cl_guest = {
@@ -84,6 +87,7 @@ val create_cl_host :
   ?tracing:bool ->
   ?devfaults:Devfault.t ->
   ?tdr:tdr_policy ->
+  ?obs:Obs.t ->
   Engine.t ->
   cl_host
 (** [swap_capacity] enables swapping with the given device-memory budget
@@ -96,7 +100,9 @@ val create_cl_host :
     stack).  [devfaults] arms seeded device-fault injection on the GPU;
     [tdr] arms the server's hang watchdog with device reset — both off
     by default, leaving the stack bit-identical to the fault-free
-    build. *)
+    build.  [obs] arms per-call latency attribution across stub, router
+    and server; the registry never advances virtual time, so an armed
+    run's timings are bit-identical to a disarmed run's. *)
 
 val add_cl_vm :
   ?technique:technique ->
@@ -139,6 +145,7 @@ type nc_host = {
   nc_plan : Plan.t;
   nc_router : Router.t;
   nc_server : Nc_handlers.state Server.t;
+  nc_obs : Obs.t option;
 }
 
 type nc_guest = {
@@ -155,11 +162,12 @@ val create_nc_host :
   ?transfer_cache:int ->
   ?devfaults:Devfault.t ->
   ?tdr:tdr_policy ->
+  ?obs:Obs.t ->
   Engine.t ->
   nc_host
-(** [transfer_cache], [devfaults] and [tdr] as in {!create_cl_host}
-    ([tdr]'s reset re-enumerates the stick; [tp_poison] is meaningless
-    for the NCS and ignored). *)
+(** [transfer_cache], [devfaults], [tdr] and [obs] as in
+    {!create_cl_host} ([tdr]'s reset re-enumerates the stick;
+    [tp_poison] is meaningless for the NCS and ignored). *)
 
 val add_nc_vm :
   ?transport:Transport.kind ->
@@ -184,6 +192,7 @@ type qa_host = {
   qa_plan : Plan.t;
   qa_router : Router.t;
   qa_server : Qa_handlers.state Server.t;
+  qa_obs : Obs.t option;
 }
 
 type qa_guest = {
@@ -197,8 +206,10 @@ val load_qa_plan : unit -> Ava_spec.Ast.api_spec * Plan.t
 val create_qa_host :
   ?virt:Timing.virt ->
   ?qat_timing:Ava_simqa.Device.timing ->
+  ?obs:Obs.t ->
   Engine.t ->
   qa_host
+(** [obs] as in {!create_cl_host}. *)
 
 val add_qa_vm :
   ?transport:Transport.kind ->

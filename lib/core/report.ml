@@ -56,6 +56,11 @@ type t = {
   r_gpu_resets : int;  (** resets the device itself performed *)
   r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
   r_quarantined : int;  (** calls rejected by open circuit breakers *)
+  r_phases : (string * Ava_obs.Hist.summary) list;
+      (** per-phase latency attribution, merged across VMs and APIs;
+          empty when the host was built without [~obs] *)
+  r_total_latency : Ava_obs.Hist.summary option;
+      (** end-to-end call latency; [None] when obs is disarmed *)
 }
 
 let guest_stats (guest : Host.cl_guest) =
@@ -110,6 +115,17 @@ let snapshot (host : Host.cl_host) guests =
     r_gpu_resets = Gpu.resets host.Host.gpu;
     r_unexpected_exns = Server.unexpected_exns host.Host.server;
     r_quarantined = Router.quarantined host.Host.router;
+    r_phases =
+      (match host.Host.obs with
+      | None -> []
+      | Some o ->
+          List.filter_map
+            (fun (p, s) ->
+              if s.Ava_obs.Hist.h_count = 0 then None
+              else Some (Ava_obs.Obs.phase_name p, s))
+            (Ava_obs.Obs.phase_summaries o));
+    r_total_latency =
+      Option.map (fun o -> Ava_obs.Obs.total_summary o) host.Host.obs;
   }
 
 let pp ppf r =
@@ -142,6 +158,14 @@ let pp ppf r =
       Fmt.pf ppf "  swap: %d B resident, %d evictions, %d restores@."
         resident evictions restores
   | None -> ());
+  (match r.r_total_latency with
+  | Some s when s.Ava_obs.Hist.h_count > 0 ->
+      Fmt.pf ppf "  latency: end-to-end %a@." Ava_obs.Hist.pp_summary s;
+      List.iter
+        (fun (name, ph) ->
+          Fmt.pf ppf "    %-15s %a@." name Ava_obs.Hist.pp_summary ph)
+        r.r_phases
+  | _ -> ());
   (let c = r.r_cache in
    if
      c.Server.cs_hits > 0 || c.Server.cs_insertions > 0 || r.r_naks > 0

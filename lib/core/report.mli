@@ -50,6 +50,11 @@ type t = {
   r_gpu_resets : int;  (** resets the device itself performed *)
   r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
   r_quarantined : int;  (** calls rejected by open circuit breakers *)
+  r_phases : (string * Ava_obs.Hist.summary) list;
+      (** per-phase latency attribution, merged across VMs and APIs;
+          empty when the host was built without [~obs] *)
+  r_total_latency : Ava_obs.Hist.summary option;
+      (** end-to-end call latency; [None] when obs is disarmed *)
 }
 
 val guest_stats : Host.cl_guest -> guest_stats

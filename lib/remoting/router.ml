@@ -12,6 +12,7 @@
 
 module Plan = Ava_codegen.Plan
 module Transport = Ava_transport.Transport
+module Obs = Ava_obs.Obs
 
 open Ava_sim
 open Ava_hv
@@ -54,6 +55,7 @@ type t = {
   mutable paced_ns : Time.t;
   mutable dispatcher_started : bool;
   trace : Trace.t option;
+  obs : Obs.t option;
 }
 
 (* Conservative conversion from abstract cost units (work items / bytes)
@@ -62,7 +64,7 @@ type t = {
 let pacing_ns_of_cost cost =
   Stdlib.min (Time.us 500) (int_of_float (cost *. 0.02))
 
-let create ?trace engine ~virt ~plan =
+let create ?trace ?obs engine ~virt ~plan =
   {
     engine;
     virt;
@@ -76,6 +78,7 @@ let create ?trace engine ~virt ~plan =
     paced_ns = 0;
     dispatcher_started = false;
     trace;
+    obs;
   }
 
 let record_trace_cat t category fmt =
@@ -154,6 +157,15 @@ let start_dispatcher t =
             conn.in_flight <-
               { if_data = data; if_cost = cost; if_seqs = seqs }
               :: conn.in_flight;
+          (match t.obs with
+          | Some o ->
+              let now = Engine.now t.engine in
+              List.iter
+                (fun seq ->
+                  Obs.mark o ~vm:(Vm.id conn.rc_vm) ~seq Obs.M_dispatched
+                    ~at:now)
+                seqs
+          | None -> ());
           Transport.send conn.server_side data;
           (* Schedule at call granularity (§4.3): pace dispatch by the
              call's estimated device time.  The estimate is a strict
@@ -207,6 +219,16 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
       let rec loop () =
         let data = Transport.recv guest_side in
         Engine.delay t.virt.Ava_device.Timing.router_check_ns;
+        (* Ingress stamp: ends the guest->router transport phase for
+           every call in the message (rejected ones included — their
+           spans then close on the rejection reply). *)
+        let mark_in (c : Message.call) =
+          match t.obs with
+          | Some o ->
+              Obs.mark o ~vm:(Vm.id vm) ~seq:c.Message.call_seq
+                Obs.M_router_in ~at:(Engine.now t.engine)
+          | None -> ()
+        in
         (* Verify and cost one call; policing happens per contained
            call so batching cannot dodge rate limits or quotas. *)
         let police (c : Message.call) =
@@ -261,6 +283,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
             t.rejected <- t.rejected + 1
         | Ok (Message.Call c) -> (
             Vm.charge_bytes vm (Bytes.length data);
+            mark_in c;
             match admit_and_police c with
             | None -> send_skip conn [ c.Message.call_seq ]
             | Some cost ->
@@ -268,6 +291,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
                   (conn, cost, data, [ c.Message.call_seq ]))
         | Ok (Message.Batch calls) ->
             Vm.charge_bytes vm (Bytes.length data);
+            List.iter mark_in calls;
             (* Police per contained call; every member is answered:
                verified members are forwarded (and were charged),
                rejected members got rejection replies above and their

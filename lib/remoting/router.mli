@@ -21,9 +21,16 @@ type vm_conn
 type t
 
 val create :
-  ?trace:Trace.t -> Engine.t -> virt:Ava_device.Timing.virt -> plan:Plan.t -> t
+  ?trace:Trace.t ->
+  ?obs:Ava_obs.Obs.t ->
+  Engine.t ->
+  virt:Ava_device.Timing.virt ->
+  plan:Plan.t ->
+  t
 (** With [trace] (enabled), every verified call is recorded under the
-    ["router"] category. *)
+    ["router"] category.  With [obs], the router stamps ingress and
+    WFQ-dispatch marks on each call's span (passive; no timing
+    impact). *)
 
 val forwarded : t -> int
 val rejected : t -> int

@@ -11,6 +11,7 @@
 
 module Plan = Ava_codegen.Plan
 module Transport = Ava_transport.Transport
+module Obs = Ava_obs.Obs
 
 open Ava_sim
 
@@ -219,6 +220,7 @@ type 'st t = {
   mutable on_call : (vm_id:int -> status:int -> Message.call -> unit) option;
   exec_overhead_ns : Time.t;
   trace : Trace.t option;
+  obs : Obs.t option;
   cache_capacity : int;  (** per-VM content-store bound; 0 = cache off *)
   mutable naks_sent : int;  (** cache-miss NAK messages sent *)
   tdr : tdr option;  (** [None]: no watchdog (default) *)
@@ -256,7 +258,7 @@ exception Bad_args
 exception Device_lost
 
 let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
-    ?trace engine ~plan ~make_state =
+    ?trace ?obs engine ~plan ~make_state =
   {
     engine;
     plan;
@@ -271,6 +273,7 @@ let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
     on_call = None;
     exec_overhead_ns;
     trace;
+    obs;
     cache_capacity = Stdlib.max 0 cache_capacity;
     naks_sent = 0;
     tdr;
@@ -467,6 +470,14 @@ let run_handler t entry handler (c : Message.call) =
 (* Run one call against a VM's state; no reply is sent. *)
 let execute_call t entry (c : Message.call) =
   Engine.delay t.exec_overhead_ns;
+  let obs_mark m =
+    match t.obs with
+    | Some o ->
+        Obs.mark o ~vm:entry.ve_ctx.Ctx.ctx_vm ~seq:c.Message.call_seq m
+          ~at:(Engine.now t.engine)
+    | None -> ()
+  in
+  obs_mark Obs.M_exec_start;
   let ((status, _, _) as result) =
     match Hashtbl.find_opt t.handlers c.Message.call_fn with
     | None ->
@@ -474,6 +485,7 @@ let execute_call t entry (c : Message.call) =
         (status_unknown_function, Wire.Unit, [])
     | Some handler -> run_handler t entry handler c
   in
+  obs_mark Obs.M_exec_end;
   record_trace t "vm%d %s seq=%d status=%d" entry.ve_ctx.Ctx.ctx_vm
     c.Message.call_fn c.Message.call_seq status;
   (match t.on_call with

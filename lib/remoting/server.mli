@@ -113,6 +113,7 @@ val create :
   ?cache_capacity:int ->
   ?tdr:tdr ->
   ?trace:Trace.t ->
+  ?obs:Ava_obs.Obs.t ->
   Engine.t ->
   plan:Plan.t ->
   make_state:(vm_id:int -> 'st) ->

@@ -9,6 +9,7 @@
 
 module Plan = Ava_codegen.Plan
 module Transport = Ava_transport.Transport
+module Obs = Ava_obs.Obs
 
 open Ava_sim
 
@@ -87,6 +88,9 @@ type t = {
   callbacks : (int, Wire.value list -> unit) Hashtbl.t;
   mutable next_callback : int;
   mutable upcalls : int;
+  obs : Obs.t option;
+      (** latency-attribution registry; purely passive, never advances
+          virtual time, so arming it cannot perturb the run *)
   cache : cache option;  (** [None]: transfer cache off (default) *)
   acked : (int64, unit) Hashtbl.t;
       (** digests the server has acknowledged as store-resident *)
@@ -96,7 +100,7 @@ type t = {
   mutable cache_nak_resends : int;  (** full resends after a cache miss *)
 }
 
-let create ?(batch_limit = 1) ?retry ?cache engine ~vm_id ~plan ~ep =
+let create ?(batch_limit = 1) ?retry ?cache ?obs engine ~vm_id ~plan ~ep =
   let t =
     {
       engine;
@@ -124,6 +128,7 @@ let create ?(batch_limit = 1) ?retry ?cache engine ~vm_id ~plan ~ep =
       callbacks = Hashtbl.create 8;
       next_callback = 1;
       upcalls = 0;
+      obs;
       cache;
       acked = Hashtbl.create 32;
       cache_refs = 0;
@@ -143,6 +148,14 @@ let create ?(batch_limit = 1) ?retry ?cache engine ~vm_id ~plan ~ep =
             | None -> () (* late reply for a cancelled call: drop *)
             | Some p ->
                 Hashtbl.remove t.pending r.Message.reply_seq;
+                (match t.obs with
+                | Some o ->
+                    let now = Engine.now engine in
+                    Obs.mark o ~vm:vm_id ~seq:r.Message.reply_seq
+                      Obs.M_reply_recv ~at:now;
+                    Obs.span_close o ~vm:vm_id ~seq:r.Message.reply_seq
+                      ~status:r.Message.reply_status ~at:now
+                | None -> ());
                 (* A reply means the server resolved every payload of this
                    call, so its digests are now store-resident. *)
                 List.iter
@@ -270,6 +283,17 @@ let cache_substitute t c args =
     List.rev !digests,
     !hashed )
 
+(* Stamp departure on every call leaving for the wire (first write wins,
+   so watchdog resends never rewind a span). *)
+let mark_sent t seqs =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let now = Engine.now t.engine in
+      List.iter
+        (fun seq -> Obs.mark o ~vm:t.vm_id ~seq Obs.M_sent ~at:now)
+        seqs
+
 (* Send any buffered asynchronous calls as one batch message (rCUDA-style
    API batching, §4.2).  Marshalling costs were already charged when each
    call was buffered; the flush pays one transport send. *)
@@ -279,11 +303,13 @@ let flush_batch t =
   | [ only ] ->
       t.batch <- [];
       t.batch_bytes <- 0;
+      mark_sent t [ only.Message.call_seq ];
       Transport.send t.ep (Message.encode (Message.Call only))
   | calls ->
       t.batch <- [];
       t.batch_bytes <- 0;
       t.batches_sent <- t.batches_sent + 1;
+      mark_sent t (List.map (fun (c : Message.call) -> c.Message.call_seq) calls);
       Transport.send t.ep (Message.encode (Message.Batch calls))
 
 (* Give up on a pending call: synthesize a timeout reply so the caller
@@ -292,6 +318,11 @@ let flush_batch t =
 let give_up t seq p =
   Hashtbl.remove t.pending seq;
   t.timeouts <- t.timeouts + 1;
+  (match t.obs with
+  | Some o ->
+      Obs.span_close o ~vm:t.vm_id ~seq ~status:Server.status_timeout
+        ~at:(Engine.now t.engine)
+  | None -> ());
   let reply =
     {
       Message.reply_seq = seq;
@@ -347,6 +378,10 @@ let start_watchdog t r seq =
 let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
+  (match t.obs with
+  | Some o ->
+      Obs.span_open o ~vm:t.vm_id ~seq ~fn ~at:(Engine.now t.engine)
+  | None -> ());
   let sent_args, full_args, announced, hashed =
     match t.cache with
     | None -> (args, args, [], 0)
@@ -368,17 +403,26 @@ let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   t.marshalled_bytes <- t.marshalled_bytes + Bytes.length data;
   if hashed > 0 then Engine.delay (hash_cost_ns hashed);
   Engine.delay (marshal_cost_ns (Bytes.length data));
+  (match t.obs with
+  | Some o ->
+      Obs.mark o ~vm:t.vm_id ~seq Obs.M_marshal_done
+        ~at:(Engine.now t.engine)
+  | None -> ());
   let p =
     { p_fn = fn; p_sync = sync; p_ivar = Ivar.create (); p_on_reply = on_reply;
       p_data = data; p_full = full; p_announced = announced; p_tries = 0 }
   in
   Hashtbl.replace t.pending seq p;
   (match t.retry with Some r -> start_watchdog t r seq | None -> ());
-  if t.batch_limit = 1 then Transport.send t.ep data
+  if t.batch_limit = 1 then begin
+    mark_sent t [ seq ];
+    Transport.send t.ep data
+  end
   else if sync then begin
     (* Synchronous calls flush held work first so ordering is preserved,
        then travel alone (their reply is awaited). *)
     flush_batch t;
+    mark_sent t [ seq ];
     Transport.send t.ep data
   end
   else if not holdable then begin

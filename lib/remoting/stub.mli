@@ -56,6 +56,7 @@ val create :
   ?batch_limit:int ->
   ?retry:retry ->
   ?cache:cache ->
+  ?obs:Ava_obs.Obs.t ->
   Engine.t ->
   vm_id:int ->
   plan:Plan.t ->
@@ -69,7 +70,9 @@ val create :
     watchdog processes exist and the stub behaves exactly as before).
     [cache] arms the transfer cache (off by default: without it no
     hashing happens and the wire traffic is byte-identical to the
-    pre-cache stack). *)
+    pre-cache stack).  [obs] arms per-call latency attribution: the stub
+    opens a span per forwarded call and stamps its marshal/send/reply
+    marks; the registry is passive and never advances virtual time. *)
 
 val vm_id : t -> int
 

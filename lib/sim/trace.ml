@@ -42,11 +42,16 @@ let by_category t category =
 (* Distinct categories seen so far, in first-recorded order (e.g.
    "router", "server", "cache"). *)
 let categories t =
-  List.fold_left
-    (fun acc e ->
-      if List.exists (String.equal e.category) acc then acc
-      else acc @ [ e.category ])
-    [] (events t)
+  let seen = Hashtbl.create 16 in
+  List.rev
+    (List.fold_left
+       (fun acc e ->
+         if Hashtbl.mem seen e.category then acc
+         else begin
+           Hashtbl.add seen e.category ();
+           e.category :: acc
+         end)
+       [] (events t))
 
 let clear t =
   t.events <- [];

@@ -49,7 +49,8 @@ let time_nc ?(virtualized = false) program =
   | None -> failwith "workload stalled"
 
 (* Remoted-run profile: end-to-end time plus the wire/cache measurements
-   the transfer-cache evaluation needs. *)
+   the transfer-cache evaluation needs, and (with [~obs:true]) the
+   per-phase latency attribution the observability evaluation needs. *)
 type profile = {
   pr_ns : Time.t;  (** end-to-end virtual nanoseconds *)
   pr_wire_bytes : int;  (** bytes through the router, both directions *)
@@ -60,18 +61,40 @@ type profile = {
   pr_device_lost : int;  (** calls the server failed with device-lost *)
   pr_tdr_resets : int;  (** watchdog-triggered device resets *)
   pr_quarantined : int;  (** calls rejected by open circuit breakers *)
+  pr_phases : (string * Ava_obs.Hist.summary) list;
+      (** per-phase latency summaries in pipeline order, phases with no
+          samples omitted; empty when obs was off *)
+  pr_call_latency : Ava_obs.Hist.summary option;
+      (** end-to-end per-call latency; [None] when obs was off *)
 }
+
+let obs_phases = function
+  | None -> []
+  | Some o ->
+      List.filter_map
+        (fun (p, s) ->
+          if s.Ava_obs.Hist.h_count = 0 then None
+          else Some (Ava_obs.Obs.phase_name p, s))
+        (Ava_obs.Obs.phase_summaries o)
 
 (* Run a SimCL program remoted (AvA over the shm ring by default) with
    the given transfer-cache capacity, measuring wire bytes and content
    store counters alongside end-to-end time.  [devfaults]/[tdr]/[breaker]
-   arm the fault-domain machinery for chaos profiling. *)
+   arm the fault-domain machinery for chaos profiling; [obs] arms
+   per-call latency attribution (passive: end-to-end times are
+   bit-identical either way); [sync_only] deploys the unoptimized
+   all-sync spec. *)
 let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
-    ?(transfer_cache = 0) ?devfaults ?tdr ?breaker program =
+    ?(transfer_cache = 0) ?(sync_only = false) ?(obs = false) ?devfaults ?tdr
+    ?breaker program =
   let e = Engine.create () in
+  let registry = if obs then Some (Ava_obs.Obs.create ()) else None in
   let result = ref None in
   Engine.spawn e (fun () ->
-      let host = Host.create_cl_host ~transfer_cache ?devfaults ?tdr e in
+      let host =
+        Host.create_cl_host ~transfer_cache ~sync_only ?devfaults ?tdr
+          ?obs:registry e
+      in
       let guest = Host.add_cl_vm host ~technique ?breaker ~name:"guest" in
       program guest.Host.g_api;
       let c = Ava_remoting.Server.cache_totals host.Host.server in
@@ -87,6 +110,9 @@ let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
             pr_device_lost = Ava_remoting.Server.device_lost host.Host.server;
             pr_tdr_resets = Ava_remoting.Server.tdr_resets host.Host.server;
             pr_quarantined = Ava_remoting.Router.quarantined host.Host.router;
+            pr_phases = obs_phases registry;
+            pr_call_latency =
+              Option.map Ava_obs.Obs.total_summary registry;
           });
   Engine.run e;
   match !result with
@@ -94,11 +120,15 @@ let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
   | None -> failwith "workload stalled"
 
 (* MVNC counterpart of [profile_cl]. *)
-let profile_nc ?(transfer_cache = 0) ?devfaults ?tdr ?breaker program =
+let profile_nc ?(transfer_cache = 0) ?(obs = false) ?devfaults ?tdr ?breaker
+    program =
   let e = Engine.create () in
+  let registry = if obs then Some (Ava_obs.Obs.create ()) else None in
   let result = ref None in
   Engine.spawn e (fun () ->
-      let host = Host.create_nc_host ~transfer_cache ?devfaults ?tdr e in
+      let host =
+        Host.create_nc_host ~transfer_cache ?devfaults ?tdr ?obs:registry e
+      in
       let guest = Host.add_nc_vm host ?breaker ~name:"guest" in
       program guest.Host.ng_api;
       let c = Ava_remoting.Server.cache_totals host.Host.nc_server in
@@ -116,6 +146,9 @@ let profile_nc ?(transfer_cache = 0) ?devfaults ?tdr ?breaker program =
             pr_tdr_resets = Ava_remoting.Server.tdr_resets host.Host.nc_server;
             pr_quarantined =
               Ava_remoting.Router.quarantined host.Host.nc_router;
+            pr_phases = obs_phases registry;
+            pr_call_latency =
+              Option.map Ava_obs.Obs.total_summary registry;
           });
   Engine.run e;
   match !result with

@@ -20,7 +20,8 @@ val time_nc :
   ?virtualized:bool -> ((module Ava_simnc.Api.S) -> unit) -> Time.t
 
 (** Remoted-run profile: end-to-end time plus the wire/cache measurements
-    the transfer-cache evaluation needs. *)
+    the transfer-cache evaluation needs, and (with [~obs:true]) per-phase
+    latency attribution. *)
 type profile = {
   pr_ns : Time.t;  (** end-to-end virtual nanoseconds *)
   pr_wire_bytes : int;  (** bytes through the router, both directions *)
@@ -31,11 +32,18 @@ type profile = {
   pr_device_lost : int;  (** calls the server failed with device-lost *)
   pr_tdr_resets : int;  (** watchdog-triggered device resets *)
   pr_quarantined : int;  (** calls rejected by open circuit breakers *)
+  pr_phases : (string * Ava_obs.Hist.summary) list;
+      (** per-phase latency summaries in pipeline order, phases with no
+          samples omitted; empty when obs was off *)
+  pr_call_latency : Ava_obs.Hist.summary option;
+      (** end-to-end per-call latency; [None] when obs was off *)
 }
 
 val profile_cl :
   ?technique:Host.technique ->
   ?transfer_cache:int ->
+  ?sync_only:bool ->
+  ?obs:bool ->
   ?devfaults:Ava_device.Devfault.t ->
   ?tdr:Host.tdr_policy ->
   ?breaker:Ava_remoting.Policy.Breaker.config ->
@@ -43,11 +51,14 @@ val profile_cl :
   profile
 (** Run a SimCL program remoted (AvA over the shm ring by default) with
     the given transfer-cache capacity in bytes (0 = cache off).
-    [devfaults]/[tdr]/[breaker] arm the fault-domain machinery for
-    chaos profiling (all off by default). *)
+    [sync_only] deploys the unoptimized all-sync spec.  [obs] arms
+    per-call latency attribution (passive: [pr_ns] is bit-identical
+    either way).  [devfaults]/[tdr]/[breaker] arm the fault-domain
+    machinery for chaos profiling (all off by default). *)
 
 val profile_nc :
   ?transfer_cache:int ->
+  ?obs:bool ->
   ?devfaults:Ava_device.Devfault.t ->
   ?tdr:Host.tdr_policy ->
   ?breaker:Ava_remoting.Policy.Breaker.config ->
