@@ -14,6 +14,7 @@
      swapping                   §4.3 buffer-granularity swapping (E7)
      automation-metrics         §5 developer-effort metrics (E8)
      transport-sweep            pluggable-transport ablation
+     pool-scaling               device-pool throughput + rebalancing
      microbench                 Bechamel microbenchmarks (E9)
 *)
 
@@ -581,6 +582,181 @@ let consolidation () =
         (100.0 *. float_of_int busy /. float_of_int makespan))
     [ 1; 2; 4; 8 ]
 
+(* ------------------------------------------------ device pool scaling -- *)
+
+(* Multi-device pool: aggregate Rodinia throughput as the pool grows
+   1 -> 2 -> 4 devices under eight concurrent tenants, plus the
+   skewed-tenant rebalancing gain.  The devices=1 row carries a gated
+   [relative] against the classic single-GPU stack: the pool
+   indirection must be free when there is nothing to place. *)
+
+let pool_tenants = 8
+let pool_tenant_benches = [| "bfs"; "nn"; "srad"; "backprop" |]
+
+(* Eight tenants, two of each Rodinia workload, racing on one host.
+   Returns (makespan, per-device stats, migrations). *)
+let pool_run ?devices ?placement () =
+  let e = Engine.create () in
+  let host = Host.create_cl_host ?devices ?placement e in
+  let done_at = Array.make pool_tenants 0 in
+  for i = 0 to pool_tenants - 1 do
+    let name =
+      pool_tenant_benches.(i mod Array.length pool_tenant_benches)
+    in
+    let b = Option.get (Rodinia.find name) in
+    let guest =
+      Host.add_cl_vm host ~name:(Printf.sprintf "%s%d" name i)
+    in
+    Engine.spawn e (fun () ->
+        b.Rodinia.run guest.Host.g_api;
+        done_at.(i) <- Engine.now e)
+  done;
+  Engine.run e;
+  let makespan = Array.fold_left Stdlib.max 0 done_at in
+  let stats, migrations =
+    match host.Host.pool with
+    | Some p -> (Host.Pool.stats p, Host.Pool.migrations p)
+    | None -> ([], 0)
+  in
+  (makespan, stats, migrations)
+
+(* Three identical tenants pinned to dev0 of a two-device pool: the
+   static run leaves dev1 idle; the skew monitor must move load over. *)
+let pool_skew_run ?rebalance () =
+  let e = Engine.create () in
+  let host = Host.create_cl_host ~devices:2 ?rebalance e in
+  let pool = Option.get host.Host.pool in
+  let done_at = Array.make 3 0 in
+  for i = 0 to 2 do
+    let guest =
+      Host.add_cl_vm host ~device:0 ~name:(Printf.sprintf "heavy%d" i)
+    in
+    Engine.spawn e (fun () ->
+        (Option.get (Rodinia.find "bfs")).Rodinia.run guest.Host.g_api;
+        done_at.(i) <- Engine.now e)
+  done;
+  if rebalance <> None then
+    Engine.spawn e (fun () ->
+        let rec wait () =
+          if Array.exists (fun t -> t = 0) done_at then begin
+            Engine.delay (Time.us 100);
+            wait ()
+          end
+          else Host.Pool.stop pool
+        in
+        wait ());
+  Engine.run e;
+  (Array.fold_left Stdlib.max 0 done_at, Host.Pool.rebalances pool)
+
+let pool_scaling () =
+  section "Extension | Device pool: throughput scaling and rebalancing";
+  Fmt.pr
+    "%d tenants (2x each of %s) on round-robin placement@." pool_tenants
+    (String.concat ", " (Array.to_list pool_tenant_benches));
+  hr ();
+  let classic, _, _ = pool_run () in
+  let throughput ns =
+    float_of_int pool_tenants /. (float_of_int ns *. 1e-9)
+  in
+  Fmt.pr "classic host (no pool):      makespan %s  (%.0f jobs/s)@."
+    (Time.to_string classic) (throughput classic);
+  let rows =
+    List.map
+      (fun n ->
+        let makespan, stats, migrations =
+          pool_run ~devices:n ~placement:Host.Pool.Round_robin ()
+        in
+        (n, makespan, stats, migrations))
+      [ 1; 2; 4 ]
+  in
+  let base1 =
+    match rows with (_, m, _, _) :: _ -> m | [] -> classic
+  in
+  Fmt.pr "%-8s %14s %10s %10s %11s@." "devices" "makespan" "jobs/s"
+    "speedup" "migrations";
+  List.iter
+    (fun (n, makespan, stats, migrations) ->
+      Fmt.pr "%-8d %14s %10.0f %9.2fx %11d@." n (Time.to_string makespan)
+        (throughput makespan)
+        (float_of_int base1 /. float_of_int makespan)
+        migrations;
+      List.iter
+        (fun (d : Host.Pool.device_stats) ->
+          Fmt.pr "         dev%d: %d vms, %d kernels, busy %s@."
+            d.Host.Pool.ds_id
+            (List.length d.Host.Pool.ds_resident)
+            d.Host.Pool.ds_kernels
+            (Time.to_string d.Host.Pool.ds_busy_ns))
+        stats)
+    rows;
+  hr ();
+  let t_static, _ = pool_skew_run () in
+  let t_rebal, moves =
+    pool_skew_run
+      ~rebalance:{ Host.Pool.rb_interval = Time.us 500; rb_skew = 1.5 }
+      ()
+  in
+  Fmt.pr "skewed tenants (3 pinned to dev0 of 2): static %s, rebalanced \
+          %s (%d migrations, %.2fx gain)@."
+    (Time.to_string t_static) (Time.to_string t_rebal) moves
+    (float_of_int t_static /. float_of_int t_rebal);
+  let row_json (n, makespan, stats, migrations) =
+    let gated =
+      (* Only the pool-off-but-built configuration is latency-gated:
+         scaling numbers for 2/4 devices are reported, not gated. *)
+      if n = 1 then
+        [
+          ( "relative",
+            Json.Float (float_of_int makespan /. float_of_int classic) );
+        ]
+      else []
+    in
+    Json.Obj
+      ([
+         ("devices", Json.Int n);
+         ("makespan_ns", Json.Int makespan);
+         ("throughput_jobs_per_s", Json.Float (throughput makespan));
+         ( "speedup",
+           Json.Float (float_of_int base1 /. float_of_int makespan) );
+         ("migrations", Json.Int migrations);
+         ( "per_device",
+           Json.List
+             (List.map
+                (fun (d : Host.Pool.device_stats) ->
+                  Json.Obj
+                    [
+                      ("id", Json.Int d.Host.Pool.ds_id);
+                      ( "residents",
+                        Json.Int (List.length d.Host.Pool.ds_resident) );
+                      ("kernels", Json.Int d.Host.Pool.ds_kernels);
+                      ("busy_ns", Json.Int d.Host.Pool.ds_busy_ns);
+                    ])
+                stats) );
+       ]
+      @ gated)
+  in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "pool-scaling");
+        ("tenants", Json.Int pool_tenants);
+        ("classic_makespan_ns", Json.Int classic);
+        ("rows", Json.List (List.map row_json rows));
+        ( "rebalance",
+          Json.Obj
+            [
+              ("static_makespan_ns", Json.Int t_static);
+              ("rebalanced_makespan_ns", Json.Int t_rebal);
+              ("migrations", Json.Int moves);
+              ( "gain",
+                Json.Float
+                  (float_of_int t_static /. float_of_int t_rebal) );
+            ] );
+      ]
+  in
+  write_json "BENCH_pool.json" json;
+  Fmt.pr "wrote BENCH_pool.json@."
+
 (* ------------------------------------------------- transport ablation -- *)
 
 let transport_sweep () =
@@ -814,6 +990,7 @@ let experiments =
     ("swap-granularity", swap_granularity);
     ("batching-ablation", batching_ablation);
     ("consolidation", consolidation);
+    ("pool-scaling", pool_scaling);
     ("policy-overhead", policy_overhead);
     ("transport-sweep", transport_sweep);
     ("remoting-cache", remoting_cache);

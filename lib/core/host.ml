@@ -15,6 +15,7 @@ module Router = Ava_remoting.Router
 module Migrate = Ava_remoting.Migrate
 module Swap = Ava_remoting.Swap
 module Obs = Ava_obs.Obs
+module Pool = Ava_pool.Pool
 
 open Ava_sim
 open Ava_device
@@ -50,17 +51,19 @@ let technique_to_string = function
 
 type cl_host = {
   engine : Engine.t;
-  gpu : Gpu.t;
+  gpu : Gpu.t;  (** device 0 in a pooled host *)
   hv : Ava_hv.Hypervisor.t;
   plan : Plan.t;
   spec : Ava_spec.Ast.api_spec;
   router : Router.t;
-  server : Cl_handlers.state Server.t;
+  server : Cl_handlers.state Server.t;  (** device 0's server when pooled *)
   kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
   swap : Swap.t option;
   recorders : (int, Migrate.t) Hashtbl.t;
   trace : Ava_sim.Trace.t;
   obs : Obs.t option;
+  pool : Cl_handlers.state Pool.t option;
+      (** the device pool; [None] on a classic single-device host *)
 }
 
 type cl_guest = {
@@ -88,66 +91,10 @@ let load_cl_plan ?(sync_only = false) () =
   | Ok plan -> (spec, plan)
   | Error e -> failwith ("simcl plan compilation failed: " ^ e)
 
-(* [swap_capacity] enables swapping with the given device-memory budget
-   in bytes; [swap_page_granularity] switches the data movement from one
-   transfer per buffer object to one per 4 KiB page (the page/chunk-based
-   schemes of [32,33,55] the paper argues against).  [sync_only] deploys
-   the unoptimized (no-async-forwarding) spec for the §5 ablation.
-   [transfer_cache] bounds the server's per-VM content store in bytes and
-   arms the matching stub-side digest cache on every remoted guest; the
-   default 0 disables the cache entirely (wire traffic byte-identical to
-   the pre-cache stack).  [obs] arms per-call latency attribution across
-   stub, router and server; the registry is passive (no virtual-time
-   charges), so an armed run is bit-identical in timing to a disarmed
-   one. *)
-let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
-    ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
-    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr ?obs engine =
-  let trace = Ava_sim.Trace.create ~enabled:tracing () in
-  let gpu = Gpu.create ~timing:gpu_timing ?devfault:devfaults engine in
-  let hv = Ava_hv.Hypervisor.create ~virt engine in
-  let spec, plan = load_cl_plan ~sync_only () in
-  let kd = Ava_simcl.Kdriver.create gpu in
-  (* Server-side watchdog: on overrun, reset the one physical GPU all VM
-     silos share.  Wedged work is failed; queued survivors keep draining
-     (Windows-TDR semantics), so innocents see only a blip. *)
-  let server_tdr =
-    Option.map
-      (fun tp ->
-        let policy = if tp.tp_poison then `Poison else `Preserve in
-        {
-          Server.tdr_factor = tp.tp_factor;
-          tdr_min_ns = tp.tp_min_ns;
-          tdr_reset = (fun ~vm_id:_ -> Gpu.reset ~policy gpu);
-          tdr_wedged_by = Some (fun () -> Gpu.wedged_by gpu);
-        })
-      tdr
-  in
-  let swap =
-    Option.map
-      (fun capacity ->
-        let dma_move ~key:_ ~bytes =
-          if swap_page_granularity then begin
-            (* One descriptor + transfer per page: the per-operation
-               setup cost is paid (size / 4K) times. *)
-            let pages = (bytes + 4095) / 4096 in
-            for _ = 1 to pages do
-              Dma.transfer (Gpu.dma gpu) ~bytes:4096
-            done
-          end
-          else Dma.transfer (Gpu.dma gpu) ~bytes
-        in
-        Swap.create ~capacity ~evict:dma_move ~restore:dma_move)
-      swap_capacity
-  in
-  let server =
-    Server.create ~trace ~cache_capacity:transfer_cache ?tdr:server_tdr ?obs
-      engine ~plan ~make_state:(Cl_handlers.make_state ?swap kd)
-  in
-  Cl_handlers.register server;
-  let router = Router.create ~trace ?obs engine ~virt ~plan in
-  let recorders = Hashtbl.create 8 in
-  (* Record successfully executed calls per the spec's record classes. *)
+(* Record successfully executed calls per the spec's record classes.
+   One hook closure per server, so [Server.Ctx.last_fresh] reads the
+   right per-server context in a pooled host. *)
+let install_recorder_hook server ~plan ~recorders =
   Server.set_call_hook server (fun ~vm_id ~status c ->
       if status = 0 then
         match
@@ -163,9 +110,234 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
               | _ -> None
             in
             Migrate.observe ?allocated recorder call_plan c
-        | _ -> ());
-  { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace;
-    obs }
+        | _ -> ())
+
+(* Live clCreateBuffer allocations still in a record log, with sizes
+   recovered from the recorded arguments.  (Private copy of
+   [Migration.live_buffers]; that module sits above this one in the
+   dependency order.) *)
+let pool_live_buffers recorder =
+  List.filter_map
+    (fun (r : Migrate.recorded) ->
+      if String.equal r.Migrate.rc_fn "clCreateBuffer" then
+        match (r.Migrate.rc_primary, r.Migrate.rc_args) with
+        | Some vid, [ _ctx; _flags; Ava_remoting.Wire.I64 size; _err ] ->
+            Some (vid, Int64.to_int size)
+        | _ -> None
+      else None)
+    (Migrate.replay_log recorder)
+
+(* The pool's cross-server silo copy: snapshot live buffers off the
+   source device, replay the record log into the (freshly attached)
+   destination silo re-binding each object to its original virtual id,
+   then restore buffer contents — the same procedure as
+   [Migration.migrate], but across two servers instead of one server's
+   state swap.  Must run inside a simulation process. *)
+let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
+    ~(kds : Ava_simcl.Kdriver.t array) ~vm_id ~src ~dst =
+  let src_srv = servers.(src) and dst_srv = servers.(dst) in
+  let recorder =
+    match Hashtbl.find_opt recorders vm_id with
+    | Some r -> r
+    | None -> invalid_arg "Host.pool_transfer: unknown vm"
+  in
+  let require = function
+    | Some x -> x
+    | None -> invalid_arg "Host.pool_transfer: vm not attached"
+  in
+  let src_ctx = require (Server.vm_ctx src_srv ~vm_id) in
+  let src_state = require (Server.vm_state src_srv ~vm_id) in
+  let dst_ctx = require (Server.vm_ctx dst_srv ~vm_id) in
+  let dst_state = require (Server.vm_state dst_srv ~vm_id) in
+  (* The content store belongs to the source front-end; the guest's
+     stale refs heal through the cache-miss NAK/resend path. *)
+  Server.flush_cache src_srv ~vm_id;
+  let bytes_moved = ref 0 in
+  let snapshot =
+    List.filter_map
+      (fun (vid, size) ->
+        match Server.Ctx.resolve src_ctx vid with
+        | None -> None
+        | Some host_mem -> (
+            match
+              Ava_simcl.Native.find_mem src_state.Cl_handlers.native host_mem
+            with
+            | None -> None
+            | Some buf ->
+                let data =
+                  Ava_simcl.Kdriver.read_buffer kds.(src) ~buf ~offset:0
+                    ~len:size
+                in
+                bytes_moved := !bytes_moved + size;
+                Some (vid, data)))
+      (pool_live_buffers recorder)
+  in
+  (* Replay with recording suspended so it doesn't re-record itself. *)
+  Hashtbl.remove recorders vm_id;
+  List.iter
+    (fun (r : Migrate.recorded) ->
+      let call =
+        {
+          Ava_remoting.Message.call_seq = 0;
+          call_vm = vm_id;
+          call_fn = r.Migrate.rc_fn;
+          call_args = r.Migrate.rc_args;
+        }
+      in
+      ignore (Server.execute_direct dst_srv ~vm_id call);
+      match (r.Migrate.rc_class, r.Migrate.rc_primary) with
+      | Ava_spec.Ast.Object_alloc, Some orig_vid -> (
+          let fresh_vid = Server.Ctx.last_fresh dst_ctx in
+          if fresh_vid <> orig_vid then
+            match Server.Ctx.resolve dst_ctx fresh_vid with
+            | Some host_h ->
+                Server.Ctx.forget dst_ctx fresh_vid;
+                Server.Ctx.bind dst_ctx ~guest:orig_vid ~host:host_h
+            | None -> ())
+      | _ -> ())
+    (Migrate.replay_log recorder);
+  Hashtbl.replace recorders vm_id recorder;
+  List.iter
+    (fun (vid, data) ->
+      match Server.Ctx.resolve dst_ctx vid with
+      | None -> ()
+      | Some host_mem -> (
+          match
+            Ava_simcl.Native.find_mem dst_state.Cl_handlers.native host_mem
+          with
+          | None -> ()
+          | Some buf ->
+              Ava_simcl.Kdriver.write_buffer kds.(dst) ~buf ~offset:0
+                ~src:data;
+              bytes_moved := !bytes_moved + Bytes.length data))
+    snapshot;
+  !bytes_moved
+
+(* [swap_capacity] enables swapping with the given device-memory budget
+   in bytes; [swap_page_granularity] switches the data movement from one
+   transfer per buffer object to one per 4 KiB page (the page/chunk-based
+   schemes of [32,33,55] the paper argues against).  [sync_only] deploys
+   the unoptimized (no-async-forwarding) spec for the §5 ablation.
+   [transfer_cache] bounds the server's per-VM content store in bytes and
+   arms the matching stub-side digest cache on every remoted guest; the
+   default 0 disables the cache entirely (wire traffic byte-identical to
+   the pre-cache stack).  [obs] arms per-call latency attribution across
+   stub, router and server; the registry is passive (no virtual-time
+   charges), so an armed run is bit-identical in timing to a disarmed
+   one.
+
+   [devices], [placement] and [rebalance] stand up the device pool:
+   [devices] simulated GPUs (each fronted by its own API server and
+   router dispatch lane), placement of remoted VMs onto them, and the
+   optional periodic skew monitor.  With [devices:1] and no placement
+   or rebalance the pool is not built at all and the stack is the
+   classic single-device host, bit-identical to the pre-pool code.
+   Swapping composes with single-device hosts only. *)
+let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
+    ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
+    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr ?obs
+    ?(devices = 1) ?placement ?rebalance engine =
+  if devices < 1 then invalid_arg "create_cl_host: devices must be >= 1";
+  let pooled = devices > 1 || placement <> None || rebalance <> None in
+  let trace = Ava_sim.Trace.create ~enabled:tracing () in
+  if not pooled then begin
+    let gpu = Gpu.create ~timing:gpu_timing ?devfault:devfaults engine in
+    let hv = Ava_hv.Hypervisor.create ~virt engine in
+    let spec, plan = load_cl_plan ~sync_only () in
+    let kd = Ava_simcl.Kdriver.create gpu in
+    (* Server-side watchdog: on overrun, reset the one physical GPU all
+       VM silos share.  Wedged work is failed; queued survivors keep
+       draining (Windows-TDR semantics), so innocents see only a blip. *)
+    let server_tdr =
+      Option.map
+        (fun tp ->
+          let policy = if tp.tp_poison then `Poison else `Preserve in
+          {
+            Server.tdr_factor = tp.tp_factor;
+            tdr_min_ns = tp.tp_min_ns;
+            tdr_reset = (fun ~vm_id:_ -> Gpu.reset ~policy gpu);
+            tdr_wedged_by = Some (fun () -> Gpu.wedged_by gpu);
+          })
+        tdr
+    in
+    let swap =
+      Option.map
+        (fun capacity ->
+          let dma_move ~key:_ ~bytes =
+            if swap_page_granularity then begin
+              (* One descriptor + transfer per page: the per-operation
+                 setup cost is paid (size / 4K) times. *)
+              let pages = (bytes + 4095) / 4096 in
+              for _ = 1 to pages do
+                Dma.transfer (Gpu.dma gpu) ~bytes:4096
+              done
+            end
+            else Dma.transfer (Gpu.dma gpu) ~bytes
+          in
+          Swap.create ~capacity ~evict:dma_move ~restore:dma_move)
+        swap_capacity
+    in
+    let server =
+      Server.create ~trace ~cache_capacity:transfer_cache ?tdr:server_tdr ?obs
+        engine ~plan ~make_state:(Cl_handlers.make_state ?swap kd)
+    in
+    Cl_handlers.register server;
+    let router = Router.create ~trace ?obs engine ~virt ~plan in
+    let recorders = Hashtbl.create 8 in
+    install_recorder_hook server ~plan ~recorders;
+    { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace;
+      obs; pool = None }
+  end
+  else begin
+    if swap_capacity <> None then
+      invalid_arg "create_cl_host: swapping requires a single-device host";
+    let placement = Option.value placement ~default:Pool.Round_robin in
+    (* One GPU + kernel driver + API server per pool device; each
+       server's TDR watchdog resets (and blames through) its own
+       board. *)
+    let gpus =
+      Array.init devices (fun _ ->
+          Gpu.create ~timing:gpu_timing ?devfault:devfaults engine)
+    in
+    let hv = Ava_hv.Hypervisor.create ~virt engine in
+    let spec, plan = load_cl_plan ~sync_only () in
+    let kds = Array.map Ava_simcl.Kdriver.create gpus in
+    let recorders = Hashtbl.create 8 in
+    let servers =
+      Array.init devices (fun i ->
+          let gpu = gpus.(i) in
+          let server_tdr =
+            Option.map
+              (fun tp ->
+                let policy = if tp.tp_poison then `Poison else `Preserve in
+                {
+                  Server.tdr_factor = tp.tp_factor;
+                  tdr_min_ns = tp.tp_min_ns;
+                  tdr_reset = (fun ~vm_id:_ -> Gpu.reset ~policy gpu);
+                  tdr_wedged_by = Some (fun () -> Gpu.wedged_by gpu);
+                })
+              tdr
+          in
+          let server =
+            Server.create ~trace ~cache_capacity:transfer_cache
+              ?tdr:server_tdr ?obs ~device_id:i engine ~plan
+              ~make_state:(Cl_handlers.make_state kds.(i))
+          in
+          Cl_handlers.register server;
+          install_recorder_hook server ~plan ~recorders;
+          server)
+    in
+    let router = Router.create ~trace ?obs engine ~virt ~plan in
+    let pool =
+      Pool.create ~trace engine ~router ~placement
+        ~transfer:(pool_transfer ~recorders ~servers ~kds)
+        (Array.to_list
+           (Array.init devices (fun i -> (gpus.(i), servers.(i)))))
+    in
+    Option.iter (fun config -> Pool.start_rebalancer ~config pool) rebalance;
+    { engine; gpu = gpus.(0); hv; plan; spec; router; server = servers.(0);
+      kd = kds.(0); swap = None; recorders; trace; obs; pool = Some pool }
+  end
 
 (* Attach one guest VM with the chosen technique and policies.
    [batching] enables rCUDA-style API batching in the guest stub.
@@ -183,8 +355,8 @@ let cl_fault_statuses =
   ]
 
 let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
-    ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window ?breaker t
-    ~name =
+    ?retry ?faults ?rate_per_s ?weight ?quota_cost ?quota_window ?breaker
+    ?footprint ?device t ~name =
   let batch_limit = if batching then 16 else 1 in
   (* Arm the stub half of the transfer cache iff the server store is
      bounded above zero; the stub's max cacheable blob matches the store
@@ -197,18 +369,26 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
   let vm = Ava_hv.Hypervisor.create_vm t.hv ~name in
   let vm_id = Ava_hv.Vm.id vm in
   Hashtbl.replace t.recorders vm_id (Migrate.create ());
+  (* Dedicated-device techniques pin a pool device ([device], default
+     0); on a classic host there is only the one GPU. *)
+  let pinned_gpu () =
+    match t.pool with
+    | Some pool -> Pool.gpu pool (Option.value device ~default:0)
+    | None -> t.gpu
+  in
   match technique with
   | Passthrough ->
-      let kd = Ava_hv.Hypervisor.attach_passthrough t.hv t.gpu in
+      let kd = Ava_hv.Hypervisor.attach_passthrough t.hv ~vm (pinned_gpu ()) in
       let api, _ = Ava_simcl.Native.create kd in
       { g_vm = vm; g_api = api; g_stub = None; g_technique = technique }
   | Full_virt ->
-      let kd = Ava_hv.Hypervisor.attach_fullvirt t.hv t.gpu in
+      let kd = Ava_hv.Hypervisor.attach_fullvirt t.hv ~vm (pinned_gpu ()) in
       let api, _ = Ava_simcl.Native.create kd in
       { g_vm = vm; g_api = api; g_stub = None; g_technique = technique }
   | User_rpc ->
       (* Guest connects straight to the API server: no router, no
-         hypervisor interposition. *)
+         hypervisor interposition — and, pooled, no placement: the
+         stack it bypasses is exactly the one that steers. *)
       let guest_end, server_end =
         Transport.user_rpc t.engine ~virt:(Ava_hv.Hypervisor.virt t.hv)
       in
@@ -225,6 +405,15 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       { g_vm = vm; g_api = api; g_stub = Some stub; g_technique = technique }
   | Ava kind ->
       let virt = Ava_hv.Hypervisor.virt t.hv in
+      (* Pooled: the placement policy (or an explicit [device] pin)
+         picks the backend; its server executes this VM's calls. *)
+      let backend, server =
+        match t.pool with
+        | Some pool ->
+            let d = Pool.place ?footprint ?device pool ~vm in
+            (d, Pool.server pool d)
+        | None -> (0, t.server)
+      in
       (* Hop 1: guest <-> router over the chosen transport.  Faults live
          here — the hop that crosses a ring/socket/network in a real
          deployment; the router <-> server queue is host-internal. *)
@@ -237,9 +426,9 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       ignore
         (Router.attach_vm ?rate_per_s ?weight:(Option.map Fun.id weight)
            ?quota_cost ?quota_window ?breaker
-           ~breaker_statuses:cl_fault_statuses t.router vm
+           ~breaker_statuses:cl_fault_statuses ~backend t.router vm
            ~guest_side:router_guest_end ~server_side:router_server_end);
-      ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
+      ignore (Server.attach_vm server ~vm_id ~ep:server_end);
       let stub =
         Stub.create ~batch_limit ?retry ?cache ?obs:t.obs t.engine ~vm_id
           ~plan:t.plan ~ep:guest_end

@@ -16,6 +16,7 @@ module Router = Ava_remoting.Router
 module Migrate = Ava_remoting.Migrate
 module Swap = Ava_remoting.Swap
 module Obs = Ava_obs.Obs
+module Pool = Ava_pool.Pool
 
 open Ava_sim
 open Ava_device
@@ -48,12 +49,12 @@ val technique_to_string : technique -> string
 
 type cl_host = {
   engine : Engine.t;
-  gpu : Gpu.t;
+  gpu : Gpu.t;  (** device 0 in a pooled host *)
   hv : Ava_hv.Hypervisor.t;
   plan : Plan.t;
   spec : Ava_spec.Ast.api_spec;
   router : Router.t;
-  server : Cl_handlers.state Server.t;
+  server : Cl_handlers.state Server.t;  (** device 0's server when pooled *)
   kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
   swap : Swap.t option;
   recorders : (int, Migrate.t) Hashtbl.t;  (** per-VM migration recorders *)
@@ -61,6 +62,8 @@ type cl_host = {
       (** router/server call trace (enabled with [~tracing:true]) *)
   obs : Obs.t option;
       (** latency-attribution registry (armed with [~obs]) *)
+  pool : Cl_handlers.state Pool.t option;
+      (** the device pool; [None] on a classic single-device host *)
 }
 
 type cl_guest = {
@@ -88,6 +91,9 @@ val create_cl_host :
   ?devfaults:Devfault.t ->
   ?tdr:tdr_policy ->
   ?obs:Obs.t ->
+  ?devices:int ->
+  ?placement:Pool.placement ->
+  ?rebalance:Pool.rebalance ->
   Engine.t ->
   cl_host
 (** [swap_capacity] enables swapping with the given device-memory budget
@@ -102,7 +108,17 @@ val create_cl_host :
     by default, leaving the stack bit-identical to the fault-free
     build.  [obs] arms per-call latency attribution across stub, router
     and server; the registry never advances virtual time, so an armed
-    run's timings are bit-identical to a disarmed run's. *)
+    run's timings are bit-identical to a disarmed run's.
+
+    [devices], [placement] and [rebalance] stand up the device pool:
+    [devices] simulated GPUs, each fronted by its own API server and
+    router dispatch lane, with remoted VMs placed onto them by
+    [placement] (default {!Pool.Round_robin} once pooled) and an
+    optional periodic skew monitor ([rebalance] — stop it with
+    [Pool.stop] or [Engine.run] never returns).  With [devices:1] and
+    neither [placement] nor [rebalance] the pool is not built and the
+    stack is the classic single-device host, bit-identical to the
+    pre-pool code.  Swapping composes with single-device hosts only. *)
 
 val add_cl_vm :
   ?technique:technique ->
@@ -114,6 +130,8 @@ val add_cl_vm :
   ?quota_cost:float ->
   ?quota_window:Time.t ->
   ?breaker:Ava_remoting.Policy.Breaker.config ->
+  ?footprint:int ->
+  ?device:int ->
   cl_host ->
   name:string ->
   cl_guest
@@ -127,7 +145,15 @@ val add_cl_vm :
     circuit breaker, fed by device-lost and CL_DEVICE_NOT_AVAILABLE
     replies: a faulting VM is quarantined
     ({!Server.status_vm_quarantined}) without perturbing its
-    neighbours. *)
+    neighbours.
+
+    On a pooled host, [footprint] declares the VM's device-memory
+    appetite in bytes (the bin-packing policy's input) and [device]
+    pins a pool device outright, bypassing the placement policy —
+    for remoted guests via {!Pool.place}, and for pass-through /
+    full-virt guests by dedicating that pool device's GPU (recorded
+    with {!Ava_hv.Hypervisor.attachment}).  Both are ignored on a
+    classic host; [User_rpc] guests bypass placement entirely. *)
 
 val native_cl :
   ?gpu_timing:Timing.gpu -> Engine.t -> (module Ava_simcl.Api.S) * Gpu.t

@@ -31,6 +31,33 @@ type guest_stats = {
   gs_cache_naks : int;  (** full resends after a cache miss *)
 }
 
+(* One pool device's row in the report: residency, load and fault
+   traffic, so an administrator can see placement and evacuations at a
+   glance. *)
+type device_stats = {
+  dv_id : int;
+  dv_healthy : bool;
+  dv_resident : int list;  (** vm ids, sorted *)
+  dv_load_est : int;  (** accumulated cost-unit estimates of residents *)
+  dv_busy : Time.t;
+  dv_kernels : int;
+  dv_executed : int;  (** calls executed by this device's server *)
+  dv_bytes : int;  (** DMA bytes moved on this device *)
+  dv_mem_used : int;
+  dv_evac_in : int;
+  dv_evac_out : int;
+}
+
+(* Pool-level counters (present only on a pooled host). *)
+type pool_stats = {
+  pl_placement : string;
+  pl_devices : int;
+  pl_migrations : int;
+  pl_evacuations : int;
+  pl_rebalances : int;
+  pl_resteered : int;  (** router flows live-moved between backends *)
+}
+
 type t = {
   r_at : Time.t;
   r_guests : guest_stats list;
@@ -56,6 +83,9 @@ type t = {
   r_gpu_resets : int;  (** resets the device itself performed *)
   r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
   r_quarantined : int;  (** calls rejected by open circuit breakers *)
+  r_devices : device_stats list;
+      (** per-device rows, in id order; empty on a classic host *)
+  r_pool : pool_stats option;  (** [None] on a classic host *)
   r_phases : (string * Ava_obs.Hist.summary) list;
       (** per-phase latency attribution, merged across VMs and APIs;
           empty when the host was built without [~obs] *)
@@ -87,34 +117,101 @@ let guest_stats (guest : Host.cl_guest) =
     gs_cache_naks = stat Stub.cache_nak_resends 0;
   }
 
+(* On a pooled host every device-side counter must be summed across the
+   pool's servers and GPUs — the [host.server] / [host.gpu] singletons
+   are only device 0. *)
+let add_cache (a : Server.cache_stats) (b : Server.cache_stats) =
+  {
+    Server.cs_hits = a.Server.cs_hits + b.Server.cs_hits;
+    cs_misses = a.Server.cs_misses + b.Server.cs_misses;
+    cs_insertions = a.Server.cs_insertions + b.Server.cs_insertions;
+    cs_evictions = a.Server.cs_evictions + b.Server.cs_evictions;
+    cs_resident_bytes = a.Server.cs_resident_bytes + b.Server.cs_resident_bytes;
+    cs_saved_bytes = a.Server.cs_saved_bytes + b.Server.cs_saved_bytes;
+    cs_rejected = a.Server.cs_rejected + b.Server.cs_rejected;
+  }
+
 let snapshot (host : Host.cl_host) guests =
+  let servers, gpus =
+    match host.Host.pool with
+    | None -> ([ host.Host.server ], [ host.Host.gpu ])
+    | Some p ->
+        let n = Host.Pool.n_devices p in
+        ( List.init n (Host.Pool.server p),
+          List.init n (Host.Pool.gpu p) )
+  in
+  let sum_s f = List.fold_left (fun acc s -> acc + f s) 0 servers in
+  let sum_g f = List.fold_left (fun acc g -> acc + f g) 0 gpus in
+  let devices =
+    match host.Host.pool with
+    | None -> []
+    | Some p ->
+        List.map
+          (fun (ds : Host.Pool.device_stats) ->
+            let srv = Host.Pool.server p ds.Host.Pool.ds_id in
+            let gpu = Host.Pool.gpu p ds.Host.Pool.ds_id in
+            {
+              dv_id = ds.Host.Pool.ds_id;
+              dv_healthy = ds.Host.Pool.ds_healthy;
+              dv_resident = ds.Host.Pool.ds_resident;
+              dv_load_est = ds.Host.Pool.ds_load_ns;
+              dv_busy = ds.Host.Pool.ds_busy_ns;
+              dv_kernels = ds.Host.Pool.ds_kernels;
+              dv_executed = Server.executed srv;
+              dv_bytes = Dma.bytes_moved (Gpu.dma gpu);
+              dv_mem_used = Devmem.used (Gpu.mem gpu);
+              dv_evac_in = ds.Host.Pool.ds_evac_in;
+              dv_evac_out = ds.Host.Pool.ds_evac_out;
+            })
+          (Host.Pool.stats p)
+  in
+  let pool_stats =
+    Option.map
+      (fun p ->
+        {
+          pl_placement =
+            Host.Pool.placement_to_string (Host.Pool.placement p);
+          pl_devices = Host.Pool.n_devices p;
+          pl_migrations = Host.Pool.migrations p;
+          pl_evacuations = Host.Pool.evacuations p;
+          pl_rebalances = Host.Pool.rebalances p;
+          pl_resteered = Router.resteered host.Host.router;
+        })
+      host.Host.pool
+  in
   {
     r_at = Engine.now host.Host.engine;
     r_guests = List.map guest_stats guests;
     r_forwarded = Router.forwarded host.Host.router;
     r_rejected_router = Router.rejected host.Host.router;
     r_requeued = Router.requeued host.Host.router;
-    r_executed = Server.executed host.Host.server;
-    r_rejected_server = Server.rejected host.Host.server;
-    r_replayed = Server.replayed host.Host.server;
-    r_restarts = Server.restarts host.Host.server;
-    r_lost_while_down = Server.lost_while_down host.Host.server;
+    r_executed = sum_s Server.executed;
+    r_rejected_server = sum_s Server.rejected;
+    r_replayed = sum_s Server.replayed;
+    r_restarts = sum_s Server.restarts;
+    r_lost_while_down = sum_s Server.lost_while_down;
     r_paced = Router.paced_ns host.Host.router;
-    r_kernels = Gpu.kernels_executed host.Host.gpu;
-    r_gpu_busy = Gpu.busy_ns host.Host.gpu;
-    r_gpu_mem_used = Devmem.used (Gpu.mem host.Host.gpu);
-    r_dma_bytes = Dma.bytes_moved (Gpu.dma host.Host.gpu);
+    r_kernels = sum_g Gpu.kernels_executed;
+    r_gpu_busy = sum_g Gpu.busy_ns;
+    r_gpu_mem_used = sum_g (fun g -> Devmem.used (Gpu.mem g));
+    r_dma_bytes = sum_g (fun g -> Dma.bytes_moved (Gpu.dma g));
     r_swap =
       Option.map
         (fun sw -> (Swap.resident_bytes sw, Swap.evictions sw, Swap.restores sw))
         host.Host.swap;
-    r_cache = Server.cache_totals host.Host.server;
-    r_naks = Server.naks_sent host.Host.server;
-    r_device_lost = Server.device_lost host.Host.server;
-    r_tdr_resets = Server.tdr_resets host.Host.server;
-    r_gpu_resets = Gpu.resets host.Host.gpu;
-    r_unexpected_exns = Server.unexpected_exns host.Host.server;
+    r_cache =
+      List.fold_left
+        (fun acc s -> add_cache acc (Server.cache_totals s))
+        (Server.cache_totals (List.hd servers))
+        (List.tl servers);
+    r_naks = sum_s Server.naks_sent;
+    r_device_lost = sum_s Server.device_lost;
+    r_tdr_resets = sum_s Server.tdr_resets;
+    r_gpu_resets = sum_g Gpu.resets;
+    r_unexpected_exns = sum_s Server.unexpected_exns;
     r_quarantined = Router.quarantined host.Host.router;
+    r_devices = devices;
+    r_pool = pool_stats;
     r_phases =
       (match host.Host.obs with
       | None -> []
@@ -144,6 +241,28 @@ let pp ppf r =
       r.r_restarts r.r_lost_while_down r.r_replayed r.r_requeued;
   Fmt.pf ppf "  device: %d kernels, busy %a, %d B resident, %d B over DMA@."
     r.r_kernels Time.pp r.r_gpu_busy r.r_gpu_mem_used r.r_dma_bytes;
+  (match r.r_pool with
+  | Some p ->
+      Fmt.pf ppf
+        "  pool: %d devices, %s placement, %d migrations (%d rebalance, %d \
+         evacuation), %d resteered@."
+        p.pl_devices p.pl_placement p.pl_migrations p.pl_rebalances
+        p.pl_evacuations p.pl_resteered
+  | None -> ());
+  List.iter
+    (fun d ->
+      Fmt.pf ppf
+        "    dev%-2d %-5s vms=[%s] load=%a busy=%a kernels=%-5d calls=%-6d \
+         mem=%dB dma=%dB%s@."
+        d.dv_id
+        (if d.dv_healthy then "ok" else "LOST")
+        (String.concat ";" (List.map string_of_int d.dv_resident))
+        Time.pp d.dv_load_est Time.pp d.dv_busy d.dv_kernels d.dv_executed
+        d.dv_mem_used d.dv_bytes
+        (if d.dv_evac_in > 0 || d.dv_evac_out > 0 then
+           Printf.sprintf " evac=%d/%d" d.dv_evac_in d.dv_evac_out
+         else ""))
+    r.r_devices;
   if
     r.r_device_lost > 0 || r.r_tdr_resets > 0 || r.r_gpu_resets > 0
     || r.r_unexpected_exns > 0 || r.r_quarantined > 0

@@ -24,6 +24,32 @@ type guest_stats = {
   gs_cache_naks : int;  (** full resends after a cache miss *)
 }
 
+(** One pool device's row: residency, load and fault traffic, so an
+    administrator can see placement and evacuations at a glance. *)
+type device_stats = {
+  dv_id : int;
+  dv_healthy : bool;
+  dv_resident : int list;  (** vm ids, sorted *)
+  dv_load_est : int;  (** accumulated cost-unit estimates of residents *)
+  dv_busy : Time.t;
+  dv_kernels : int;
+  dv_executed : int;  (** calls executed by this device's server *)
+  dv_bytes : int;  (** DMA bytes moved on this device *)
+  dv_mem_used : int;
+  dv_evac_in : int;
+  dv_evac_out : int;
+}
+
+(** Pool-level counters (present only on a pooled host). *)
+type pool_stats = {
+  pl_placement : string;
+  pl_devices : int;
+  pl_migrations : int;
+  pl_evacuations : int;
+  pl_rebalances : int;
+  pl_resteered : int;  (** router flows live-moved between backends *)
+}
+
 type t = {
   r_at : Time.t;
   r_guests : guest_stats list;
@@ -50,6 +76,9 @@ type t = {
   r_gpu_resets : int;  (** resets the device itself performed *)
   r_unexpected_exns : int;  (** handler exceptions outside the protocol *)
   r_quarantined : int;  (** calls rejected by open circuit breakers *)
+  r_devices : device_stats list;
+      (** per-device rows, in id order; empty on a classic host *)
+  r_pool : pool_stats option;  (** [None] on a classic host *)
   r_phases : (string * Ava_obs.Hist.summary) list;
       (** per-phase latency attribution, merged across VMs and APIs;
           empty when the host was built without [~obs] *)

@@ -49,6 +49,7 @@ type t = {
   buffers : (int, buffer) Hashtbl.t;
   fault : Devfault.t option;
   mutable wedged : (kernel_work * completion) option;
+  mutable dead : bool;  (** board lost: every command fails instantly *)
   mutable cp_resume : (unit -> unit) option;
   mutable resets : int;
   mutable next_buf_id : int;
@@ -77,6 +78,7 @@ let create ?(timing = Timing.gtx1080) ?devfault engine =
       buffers = Hashtbl.create 64;
       fault = devfault;
       wedged = None;
+      dead = false;
       cp_resume = None;
       resets = 0;
       next_buf_id = 1;
@@ -94,7 +96,15 @@ let create ?(timing = Timing.gtx1080) ?devfault engine =
   Engine.spawn engine ~name:"gpu-cp" (fun () ->
       let rec loop () =
         let work, completion = Channel.recv t.ring in
-        (match t.fault with
+        (if t.dead then begin
+           (* Lost board: commands fail instantly, no time charged. *)
+           completion.started_at <- Engine.now engine;
+           completion.failed <- true;
+           completion.finished_at <- Engine.now engine;
+           Ivar.fill completion.done_ ()
+         end
+         else
+        match t.fault with
         | Some f when Devfault.gpu_hangs f ~client:completion.client ->
             completion.started_at <- Engine.now engine;
             t.wedged <- Some (work, completion);
@@ -132,6 +142,28 @@ let kernels_executed t = t.kernels_executed
 let doorbells t = t.doorbells
 let resets t = t.resets
 let wedged t = t.wedged <> None
+let is_dead t = t.dead
+
+(* Permanent device loss (board falls off the bus): the wedged command
+   (if any) completes as failed, ring survivors and all future
+   submissions fail instantly, and no reset revives the board.  Device
+   memory stays readable so an evacuation can still snapshot buffers. *)
+let kill t =
+  if not t.dead then begin
+    t.dead <- true;
+    (match t.wedged with
+    | Some (_work, completion) ->
+        completion.failed <- true;
+        completion.finished_at <- Engine.now t.engine;
+        Ivar.fill completion.done_ ();
+        t.wedged <- None
+    | None -> ());
+    match t.cp_resume with
+    | Some resume ->
+        t.cp_resume <- None;
+        resume ()
+    | None -> ()
+  end
 
 (* The client whose command wedged the CP (TDR blame). *)
 let wedged_by t =

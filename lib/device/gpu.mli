@@ -72,6 +72,16 @@ val wedged_by : t -> int option
     TDR watchdog uses this to blame the culprit rather than whichever
     VM's call happens to time out first. *)
 
+val kill : t -> unit
+(** Permanent device loss (the board falls off the bus): the wedged
+    command, ring survivors and all future submissions complete as
+    failed instantly, and no {!reset} revives the board.  Device memory
+    stays readable so an evacuation can still snapshot buffers.
+    Idempotent. *)
+
+val is_dead : t -> bool
+(** Whether {!kill} has been called. *)
+
 (** {1 Buffers} *)
 
 val create_buffer : t -> size:int -> (buffer, [ `Out_of_memory ]) result

@@ -20,10 +20,12 @@ type t = {
   mutable vms : Vm.t list;
   mutable next_vm_id : int;
   mutable traps : int;
+  mutable attachments : (int * Gpu.t) list;
+      (** vm_id -> dedicated device, for pass-through / full-virt guests *)
 }
 
 let create ?(virt = Timing.default_virt) engine =
-  { engine; virt; vms = []; next_vm_id = 1; traps = 0 }
+  { engine; virt; vms = []; next_vm_id = 1; traps = 0; attachments = [] }
 
 let engine t = t.engine
 let virt t = t.virt
@@ -38,15 +40,25 @@ let create_vm t ~name =
 
 let find_vm t vm_id = List.find_opt (fun vm -> Vm.id vm = vm_id) t.vms
 
+let record_attachment t vm gpu =
+  match vm with
+  | Some vm -> t.attachments <- (Vm.id vm, gpu) :: t.attachments
+  | None -> ()
+
+let attachment t ~vm_id = List.assoc_opt vm_id t.attachments
+
 (* Pass-through: dedicate the physical device to one guest.  The guest
-   runs the vendor silo on a native port; the hypervisor sees nothing. *)
-let attach_passthrough t gpu =
-  ignore t;
+   runs the vendor silo on a native port; the hypervisor sees nothing.
+   [vm] records which guest the device is dedicated to, so a pooled
+   host can tell which pool device a pass-through guest pinned. *)
+let attach_passthrough ?vm t gpu =
+  record_attachment t vm gpu;
   Ava_simcl.Kdriver.create gpu
 
 (* Full virtualization: the guest runs the same vendor silo, but each
    MMIO access VM-exits and DMA is emulated page by page. *)
-let attach_fullvirt t gpu =
+let attach_fullvirt ?vm t gpu =
+  record_attachment t vm gpu;
   let counting_port =
     let inner = Mmio.trapped_port (Gpu.mmio gpu) ~virt:t.virt in
     {

@@ -31,8 +31,15 @@ val traps : t -> int
 val create_vm : t -> name:string -> Vm.t
 val find_vm : t -> int -> Vm.t option
 
-val attach_passthrough : t -> Gpu.t -> Ava_simcl.Kdriver.t
-(** Dedicate the device: native port, no interposition. *)
+val attach_passthrough : ?vm:Vm.t -> t -> Gpu.t -> Ava_simcl.Kdriver.t
+(** Dedicate the device: native port, no interposition.  [vm] records
+    the attachment (see {!attachment}), so a pooled host can tell which
+    pool device a pass-through guest pinned. *)
 
-val attach_fullvirt : t -> Gpu.t -> Ava_simcl.Kdriver.t
-(** Same silo, trapped port and per-page DMA emulation costs. *)
+val attach_fullvirt : ?vm:Vm.t -> t -> Gpu.t -> Ava_simcl.Kdriver.t
+(** Same silo, trapped port and per-page DMA emulation costs.  [vm] as
+    in {!attach_passthrough}. *)
+
+val attachment : t -> vm_id:int -> Gpu.t option
+(** The device dedicated to the VM by {!attach_passthrough} /
+    {!attach_fullvirt}, when the attach recorded one. *)

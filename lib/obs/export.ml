@@ -8,14 +8,8 @@
 (* One histogram family member: cumulative le buckets (only buckets
    that grow the cumulative count, plus +Inf — scrapers do not require
    a fixed le schedule), then _sum and _count. *)
-let hist_lines name ~vm ~api ~phase h =
+let hist_lines_labeled name ~labels:base h =
   let label_str extra =
-    let base =
-      Printf.sprintf "vm=\"%d\",api=\"%s\"%s" vm api
-        (match phase with
-        | Some p -> Printf.sprintf ",phase=\"%s\"" (Obs.phase_name p)
-        | None -> "")
-    in
     match extra with
     | Some le -> Printf.sprintf "{%s,le=\"%s\"}" base le
     | None -> Printf.sprintf "{%s}" base
@@ -42,6 +36,41 @@ let hist_lines name ~vm ~api ~phase h =
     (Printf.sprintf "%s_count%s %d\n" name (label_str None) (Hist.count h));
   Buffer.contents b
 
+let hist_lines name ~vm ~api ~phase h =
+  hist_lines_labeled name
+    ~labels:
+      (Printf.sprintf "vm=\"%d\",api=\"%s\"%s" vm api
+         (match phase with
+         | Some p -> Printf.sprintf ",phase=\"%s\"" (Obs.phase_name p)
+         | None -> ""))
+    h
+
+(* Per-device execute-phase histograms, rebuilt from retained spans'
+   execute segments.  Empty outside a pooled host (no span ever gets a
+   device stamp), so the legacy exposition is byte-identical. *)
+let device_exec_hists t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (sp : Obs.span) ->
+      if sp.Obs.sp_device >= 0 then begin
+        let s = sp.Obs.sp_marks.(Obs.mark_index Obs.M_exec_start) in
+        let e = sp.Obs.sp_marks.(Obs.mark_index Obs.M_exec_end) in
+        if s >= 0 && e >= s then begin
+          let h =
+            match Hashtbl.find_opt tbl sp.Obs.sp_device with
+            | Some h -> h
+            | None ->
+                let h = Hist.create () in
+                Hashtbl.replace tbl sp.Obs.sp_device h;
+                h
+          in
+          Hist.add h (e - s)
+        end
+      end)
+    (Obs.spans t);
+  Hashtbl.fold (fun d h acc -> (d, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b)
+
 let prometheus t =
   let b = Buffer.create 4096 in
   let header name typ help =
@@ -62,6 +91,18 @@ let prometheus t =
       Buffer.add_string b
         (hist_lines "ava_call_total_ns" ~vm ~api ~phase:None h))
     (Obs.raw_totals t);
+  (match device_exec_hists t with
+  | [] -> ()
+  | per_dev ->
+      header "ava_device_exec_ns" "histogram"
+        "Execute-phase latency per pool device, in virtual nanoseconds.";
+      List.iter
+        (fun (dev, h) ->
+          Buffer.add_string b
+            (hist_lines_labeled "ava_device_exec_ns"
+               ~labels:(Printf.sprintf "device=\"%d\"" dev)
+               h))
+        per_dev);
   header "ava_spans_opened_total" "counter" "Spans opened by the stub.";
   Buffer.add_string b
     (Printf.sprintf "ava_spans_opened_total %d\n" (Obs.spans_opened t));
@@ -101,6 +142,16 @@ let lane_name = function
   | 3 -> "router"
   | _ -> "server"
 
+(* In a pooled host, server-side segments of a device-stamped span get
+   their own lane per device so migrations read as a track switch;
+   unstamped spans keep the legacy shared server lane (tid 4). *)
+let device_lane d = 10 + d
+
+let span_lane (sp : Obs.span) phase =
+  let lane = lane_of_phase phase in
+  if lane = 4 && sp.Obs.sp_device >= 0 then device_lane sp.Obs.sp_device
+  else lane
+
 let us_of_ns ns = float_of_int ns /. 1000.0
 
 (* Reconstruct the (phase, start, stop) segments of one closed span:
@@ -136,28 +187,41 @@ let chrome_trace t =
   let meta =
     List.concat_map
       (fun vm ->
-        Json.Obj
-          [
-            ("name", Json.String "process_name");
-            ("ph", Json.String "M");
-            ("pid", Json.Int vm);
-            ("tid", Json.Int 0);
-            ( "args",
-              Json.Obj
-                [ ("name", Json.String (Printf.sprintf "vm%d" vm)) ] );
-          ]
-        :: List.map
-             (fun lane ->
+        let devices =
+          List.filter_map
+            (fun sp ->
+              if sp.Obs.sp_vm = vm && sp.Obs.sp_device >= 0 then
+                Some sp.Obs.sp_device
+              else None)
+            spans
+          |> List.sort_uniq Stdlib.compare
+        in
+        let thread_meta tid name =
+          Json.Obj
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int vm);
+              ("tid", Json.Int tid);
+              ("args", Json.Obj [ ("name", Json.String name) ]);
+            ]
+        in
+        (Json.Obj
+           [
+             ("name", Json.String "process_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int vm);
+             ("tid", Json.Int 0);
+             ( "args",
                Json.Obj
-                 [
-                   ("name", Json.String "thread_name");
-                   ("ph", Json.String "M");
-                   ("pid", Json.Int vm);
-                   ("tid", Json.Int lane);
-                   ( "args",
-                     Json.Obj [ ("name", Json.String (lane_name lane)) ] );
-                 ])
-             [ 1; 2; 3; 4 ])
+                 [ ("name", Json.String (Printf.sprintf "vm%d" vm)) ] );
+           ]
+        :: List.map (fun lane -> thread_meta lane (lane_name lane)) [ 1; 2; 3; 4 ]
+        )
+        @ List.map
+            (fun d ->
+              thread_meta (device_lane d) (Printf.sprintf "server-dev%d" d))
+            devices)
       vms
   in
   let events =
@@ -176,7 +240,7 @@ let chrome_trace t =
                 ("ts", Json.Float (us_of_ns start));
                 ("dur", Json.Float (us_of_ns (stop - start)));
                 ("pid", Json.Int sp.Obs.sp_vm);
-                ("tid", Json.Int (lane_of_phase phase));
+                ("tid", Json.Int (span_lane sp phase));
                 ( "args",
                   Json.Obj
                     [

@@ -7,13 +7,18 @@ val prometheus : Obs.t -> string
 (** Prometheus text exposition: [ava_call_phase_ns] and
     [ava_call_total_ns] histogram families (cumulative [le] buckets,
     [_sum], [_count]), span counters, the in-flight gauge, and every
-    named registry counter as [ava_<name>_total]. *)
+    named registry counter as [ava_<name>_total].  When spans carry a
+    pool device stamp, an [ava_device_exec_ns] family labelled
+    [device="<id>"] is appended; without one the exposition is
+    byte-identical to the pre-pool output. *)
 
 val chrome_trace : Obs.t -> Json.t
 (** Chrome trace-event JSON built from retained spans: one complete
     ("X") event per phase segment, [pid] = VM, [tid] = lane (guest /
-    wire / router / server), timestamps in microseconds.  Loadable in
-    [chrome://tracing] and Perfetto. *)
+    wire / router / server), timestamps in microseconds.  Server-side
+    segments of device-stamped spans get a per-device lane
+    ([server-dev<id>], tid 10+id) instead of the shared server lane.
+    Loadable in [chrome://tracing] and Perfetto. *)
 
 val chrome_trace_string : Obs.t -> string
 

@@ -83,6 +83,7 @@ type span = {
   sp_marks : Time.t array; (* indexed by [mark_index]; -1 = unset *)
   mutable sp_close : Time.t; (* -1 while open *)
   mutable sp_status : int;
+  mutable sp_device : int; (* pool device that executed it; -1 = unknown *)
 }
 
 type series_key = { k_vm : int; k_fn : string; k_phase : phase }
@@ -150,6 +151,7 @@ let span_open t ~vm ~seq ~fn ~at =
         sp_marks = Array.make n_marks (-1);
         sp_close = -1;
         sp_status = 0;
+        sp_device = -1;
       }
     in
     Hashtbl.replace t.live key sp;
@@ -164,6 +166,13 @@ let mark t ~vm ~seq m ~at =
   | Some sp ->
       let i = mark_index m in
       if sp.sp_marks.(i) < 0 then sp.sp_marks.(i) <- at
+
+(* First write wins, like marks: a duplicate execution after a
+   re-steer must not reattribute the span's original device. *)
+let set_device t ~vm ~seq ~device =
+  match Hashtbl.find_opt t.live (vm, seq) with
+  | None -> ()
+  | Some sp -> if sp.sp_device < 0 then sp.sp_device <- device
 
 let hist_for t key =
   match Hashtbl.find_opt t.series key with

@@ -48,6 +48,8 @@ type span = {
   sp_marks : Time.t array;  (** indexed by mark; -1 = never stamped *)
   mutable sp_close : Time.t;  (** -1 while still open *)
   mutable sp_status : int;
+  mutable sp_device : int;
+      (** pool device that executed the call; -1 outside a pooled host *)
 }
 
 val mark_index : mark -> int
@@ -66,6 +68,10 @@ val span_open : t -> vm:int -> seq:int -> fn:string -> at:Time.t -> unit
 
 val mark : t -> vm:int -> seq:int -> mark -> at:Time.t -> unit
 (** No-op on unknown spans and on already-stamped marks. *)
+
+val set_device : t -> vm:int -> seq:int -> device:int -> unit
+(** Attribute the live span to a pool device.  First write wins, like
+    marks; no-op on unknown spans. *)
 
 val span_close : t -> vm:int -> seq:int -> status:int -> at:Time.t -> unit
 (** Records phase durations and the end-to-end total, then retains the

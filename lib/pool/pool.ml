@@ -1,0 +1,440 @@
+(* The device pool: N simulated GPUs, each fronted by its own API
+   server and router dispatch lane, with placement of remoted VMs onto
+   backends and migration-driven rebalancing on top.
+
+   The pool is generic over the silo state ['st]: everything
+   API-specific — snapshotting live buffers, replaying the record log
+   onto the destination silo, restoring contents — is injected as the
+   [transfer] closure by the stack-assembly layer.  What lives here is
+   the orchestration: placement policies, the pause/drain/attach/
+   re-steer migration sequence, device-loss evacuation with blame
+   routing, and the periodic skew monitor. *)
+
+module Server = Ava_remoting.Server
+module Router = Ava_remoting.Router
+module Transport = Ava_transport.Transport
+
+open Ava_sim
+open Ava_device
+open Ava_hv
+
+let trace_category = "pool"
+
+(* Placement policies for newly attached (or evacuated) VMs. *)
+type placement =
+  | Round_robin  (** rotate over healthy devices *)
+  | Least_loaded  (** least accumulated estimated device time *)
+  | Bin_pack  (** best-fit on declared buffer footprint *)
+
+let placement_to_string = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Bin_pack -> "bin-pack"
+
+let placement_of_string = function
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-loaded" | "ll" -> Some Least_loaded
+  | "bin-pack" | "bp" -> Some Bin_pack
+  | _ -> None
+
+(* Skew monitor configuration: every [rb_interval], migrate one VM off
+   the hottest device when its load exceeds [rb_skew] times the healthy
+   average. *)
+type rebalance = { rb_interval : Time.t; rb_skew : float }
+
+let default_rebalance = { rb_interval = Time.ms 5; rb_skew = 1.5 }
+
+type 'st device = {
+  dev_id : int;
+  dev_gpu : Gpu.t;
+  dev_server : 'st Server.t;
+  mutable dev_healthy : bool;
+  mutable dev_resident : int list;  (** vm ids, unordered *)
+  mutable dev_evac_in : int;
+  mutable dev_evac_out : int;
+}
+
+type vm_info = {
+  vi_vm : Vm.t;
+  vi_footprint : int;  (** declared device-memory footprint, bytes *)
+  mutable vi_device : int;
+}
+
+type 'st t = {
+  engine : Engine.t;
+  router : Router.t;
+  placement : placement;
+  devices : 'st device array;
+  transfer : vm_id:int -> src:int -> dst:int -> int;
+      (** API-specific silo copy; returns bytes moved *)
+  drain_ns : Time.t;
+  trace : Trace.t option;
+  mutable vms : (int * vm_info) list;
+  mutable rr_cursor : int;
+  mutable migrations : int;
+  mutable evacuations : int;
+  mutable rebalances : int;
+  mutable stopped : bool;  (** quiesces the skew monitor *)
+}
+
+let record_trace t fmt =
+  match t.trace with
+  | Some tr when Trace.is_enabled tr ->
+      Trace.record tr ~at:(Engine.now t.engine) ~category:trace_category fmt
+  | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let create ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
+    ~transfer devices =
+  if devices = [] then invalid_arg "Pool.create: no devices";
+  let devices =
+    Array.of_list
+      (List.mapi
+         (fun i (gpu, server) ->
+           {
+             dev_id = i;
+             dev_gpu = gpu;
+             dev_server = server;
+             dev_healthy = true;
+             dev_resident = [];
+             dev_evac_in = 0;
+             dev_evac_out = 0;
+           })
+         devices)
+  in
+  (* Lane 0 exists from Router.create; register the rest. *)
+  Array.iter
+    (fun d -> if d.dev_id > 0 then Router.add_backend router ~id:d.dev_id)
+    devices;
+  {
+    engine;
+    router;
+    placement;
+    devices;
+    transfer;
+    drain_ns;
+    trace;
+    vms = [];
+    rr_cursor = 0;
+    migrations = 0;
+    evacuations = 0;
+    rebalances = 0;
+    stopped = false;
+  }
+
+(* {1 Read-out} *)
+
+let n_devices t = Array.length t.devices
+let placement t = t.placement
+let migrations t = t.migrations
+let evacuations t = t.evacuations
+let rebalances t = t.rebalances
+
+let device t i =
+  if i < 0 || i >= Array.length t.devices then
+    invalid_arg (Printf.sprintf "Pool.device: no device %d" i);
+  t.devices.(i)
+
+let gpu t i = (device t i).dev_gpu
+let server t i = (device t i).dev_server
+let is_healthy t i = (device t i).dev_healthy
+let resident t i = List.sort Stdlib.compare (device t i).dev_resident
+
+let device_of t ~vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | Some info -> Some info.vi_device
+  | None -> None
+
+let find_info t vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "Pool: unknown vm %d" vm_id)
+
+(* Estimated load of a device: the accumulated charged device time of
+   its residents (the router's spec-estimate accounting) — the same
+   currency WFQ costs are expressed in. *)
+let load t (d : 'st device) =
+  List.fold_left
+    (fun acc vm_id ->
+      match List.assoc_opt vm_id t.vms with
+      | Some info -> acc + Vm.device_time_ns info.vi_vm
+      | None -> acc)
+    0 d.dev_resident
+
+let load_of t i = load t (device t i)
+
+let footprint_used t (d : 'st device) =
+  List.fold_left
+    (fun acc vm_id ->
+      match List.assoc_opt vm_id t.vms with
+      | Some info -> acc + info.vi_footprint
+      | None -> acc)
+    0 d.dev_resident
+
+type device_stats = {
+  ds_id : int;
+  ds_healthy : bool;
+  ds_resident : int list;
+  ds_load_ns : Time.t;
+  ds_busy_ns : Time.t;
+  ds_kernels : int;
+  ds_footprint : int;
+  ds_evac_in : int;
+  ds_evac_out : int;
+}
+
+let stats t =
+  Array.to_list
+    (Array.map
+       (fun d ->
+         {
+           ds_id = d.dev_id;
+           ds_healthy = d.dev_healthy;
+           ds_resident = List.sort Stdlib.compare d.dev_resident;
+           ds_load_ns = load t d;
+           ds_busy_ns = Gpu.busy_ns d.dev_gpu;
+           ds_kernels = Gpu.kernels_executed d.dev_gpu;
+           ds_footprint = footprint_used t d;
+           ds_evac_in = d.dev_evac_in;
+           ds_evac_out = d.dev_evac_out;
+         })
+       t.devices)
+
+(* {1 Placement} *)
+
+let healthy_list t =
+  List.filter (fun d -> d.dev_healthy) (Array.to_list t.devices)
+
+(* Pick a device for a VM with the given declared footprint; [None]
+   when every device is lost. *)
+let choose t ~footprint =
+  let healthy = healthy_list t in
+  match healthy with
+  | [] -> None
+  | _ -> (
+      match t.placement with
+      | Round_robin ->
+          let n = Array.length t.devices in
+          let rec find k steps =
+            if steps >= n then None
+            else
+              let d = t.devices.(k mod n) in
+              if d.dev_healthy then begin
+                t.rr_cursor <- (k + 1) mod n;
+                Some d.dev_id
+              end
+              else find (k + 1) (steps + 1)
+          in
+          find t.rr_cursor 0
+      | Least_loaded ->
+          (* Ties break to the lowest device id. *)
+          let best =
+            List.fold_left
+              (fun acc d ->
+                let l = load t d in
+                match acc with
+                | Some (_, bl) when bl <= l -> acc
+                | _ -> Some (d, l))
+              None healthy
+          in
+          Option.map (fun (d, _) -> d.dev_id) best
+      | Bin_pack ->
+          (* Best-fit on declared footprints: among devices where the
+             VM still fits, the one with the least remaining slack; if
+             nothing fits (declared footprints oversubscribe memory),
+             fall back to the least-committed device. *)
+          let slack d =
+            Devmem.capacity (Gpu.mem d.dev_gpu) - footprint_used t d
+          in
+          let fits = List.filter (fun d -> slack d >= footprint) healthy in
+          let pick_min key ds =
+            List.fold_left
+              (fun acc d ->
+                let k = key d in
+                match acc with
+                | Some (_, bk) when bk <= k -> acc
+                | _ -> Some (d, k))
+              None ds
+          in
+          let best =
+            match fits with
+            | [] -> pick_min (fun d -> footprint_used t d) healthy
+            | _ -> pick_min slack fits
+          in
+          Option.map (fun (d, _) -> d.dev_id) best)
+
+(* Place a new VM, recording residency; [device] pins it explicitly. *)
+let place ?(footprint = 0) ?device t ~vm =
+  let dev_id =
+    match device with
+    | Some i ->
+        if i < 0 || i >= Array.length t.devices then
+          invalid_arg (Printf.sprintf "Pool.place: no device %d" i);
+        i
+    | None -> (
+        match choose t ~footprint with
+        | Some i -> i
+        | None -> invalid_arg "Pool.place: no healthy device")
+  in
+  t.vms <-
+    (Vm.id vm, { vi_vm = vm; vi_footprint = footprint; vi_device = dev_id })
+    :: t.vms;
+  let d = t.devices.(dev_id) in
+  d.dev_resident <- Vm.id vm :: d.dev_resident;
+  record_trace t "vm%d placed on dev%d (%s, footprint=%dB)" (Vm.id vm) dev_id
+    (placement_to_string t.placement)
+    footprint;
+  dev_id
+
+(* {1 Live migration} *)
+
+(* Move one VM's silo onto another device, re-steering its call flow.
+   Must run inside a simulation process.
+
+   Sequence: pause the source worker; wait a drain window for calls
+   already at the source to finish (a call it executed but had not
+   answered may execute again at the destination — at-least-once, the
+   same contract as the restart/requeue path); attach the VM to the
+   destination server (fresh context + silo) and seed its in-order
+   cursor with the first live seq; replay the record log and restore
+   buffer contents (the injected [transfer]); finally re-steer the
+   router flow.  The source entry stays paused forever — its worker
+   and egress block harmlessly on a dead endpoint. *)
+let migrate_vm t ~vm_id ~dest =
+  let info = find_info t vm_id in
+  if dest < 0 || dest >= Array.length t.devices then
+    invalid_arg (Printf.sprintf "Pool.migrate_vm: no device %d" dest);
+  if dest = info.vi_device then 0
+  else begin
+    let src = t.devices.(info.vi_device) in
+    let dst = t.devices.(dest) in
+    record_trace t "vm%d migrating dev%d -> dev%d" vm_id src.dev_id dst.dev_id;
+    Server.pause_vm src.dev_server ~vm_id;
+    Engine.delay t.drain_ns;
+    let seq = Router.next_seq t.router ~vm_id in
+    let router_end, server_end = Transport.direct t.engine in
+    ignore (Server.attach_vm dst.dev_server ~vm_id ~ep:server_end);
+    Server.set_expected dst.dev_server ~vm_id ~seq;
+    let bytes = t.transfer ~vm_id ~src:src.dev_id ~dst:dest in
+    Router.resteer t.router ~vm_id ~backend:dest ~server_side:router_end;
+    src.dev_resident <- List.filter (fun v -> v <> vm_id) src.dev_resident;
+    dst.dev_resident <- vm_id :: dst.dev_resident;
+    info.vi_device <- dest;
+    t.migrations <- t.migrations + 1;
+    record_trace t "vm%d now on dev%d (expected seq %d, %dB moved)" vm_id
+      dest seq bytes;
+    bytes
+  end
+
+(* {1 Device loss and evacuation} *)
+
+(* Permanently lose a device (TDR poison escalation, NCS unplug) and
+   evacuate its residents onto healthy devices via the placement
+   policy.  The client wedging the device at death keeps any open
+   circuit breaker — it earned it; every other evacuee's breaker is
+   cleared so innocent VMs resume service immediately.  Must run
+   inside a simulation process. *)
+let kill_device t ~device:dev_id =
+  let dev = device t dev_id in
+  if dev.dev_healthy then begin
+    (* Blame before [Gpu.kill]: the kill clears the wedge. *)
+    let blamed = Gpu.wedged_by dev.dev_gpu in
+    Gpu.kill dev.dev_gpu;
+    dev.dev_healthy <- false;
+    record_trace t "dev%d lost (%d resident, blamed=%s)" dev_id
+      (List.length dev.dev_resident)
+      (match blamed with Some v -> string_of_int v | None -> "-");
+    let victims = List.sort Stdlib.compare dev.dev_resident in
+    List.iter
+      (fun vm_id ->
+        let info = find_info t vm_id in
+        match choose t ~footprint:info.vi_footprint with
+        | None -> record_trace t "vm%d stranded: no healthy device" vm_id
+        | Some dest ->
+            ignore (migrate_vm t ~vm_id ~dest);
+            t.evacuations <- t.evacuations + 1;
+            dev.dev_evac_out <- dev.dev_evac_out + 1;
+            t.devices.(dest).dev_evac_in <- t.devices.(dest).dev_evac_in + 1;
+            if blamed <> Some vm_id then
+              Router.clear_breaker t.router ~vm_id)
+      victims
+  end
+
+(* {1 Rebalancing} *)
+
+(* One rebalance step: when the hottest healthy device's load exceeds
+   [skew] times the healthy average, migrate the resident whose load
+   best halves the hot-cold gap onto the coldest device.  Returns
+   whether a migration happened.  Must run inside a simulation
+   process. *)
+let rebalance_now ?(skew = default_rebalance.rb_skew) t =
+  let healthy = healthy_list t in
+  if List.length healthy < 2 then false
+  else begin
+    let loads = List.map (fun d -> (d, load t d)) healthy in
+    let total = List.fold_left (fun a (_, l) -> a + l) 0 loads in
+    let avg = total / List.length healthy in
+    let hot, hot_load =
+      List.fold_left
+        (fun (bd, bl) (d, l) -> if l > bl then (d, l) else (bd, bl))
+        (List.hd loads) (List.tl loads)
+    in
+    let cold, cold_load =
+      List.fold_left
+        (fun (bd, bl) (d, l) -> if l < bl then (d, l) else (bd, bl))
+        (List.hd loads) (List.tl loads)
+    in
+    if
+      total = 0
+      || float_of_int hot_load <= skew *. float_of_int avg
+      || List.length hot.dev_resident < 2
+      || hot.dev_id = cold.dev_id
+    then false
+    else begin
+      (* The ideal emigrant carries half the hot-cold gap. *)
+      let target = (hot_load - cold_load) / 2 in
+      let victim =
+        List.fold_left
+          (fun acc vm_id ->
+            match List.assoc_opt vm_id t.vms with
+            | None -> acc
+            | Some info ->
+                let w = Vm.device_time_ns info.vi_vm in
+                if w = 0 then acc
+                else
+                  let fit = abs (w - target) in
+                  let better =
+                    match acc with
+                    | None -> true
+                    | Some (bvm, bfit) ->
+                        fit < bfit || (fit = bfit && vm_id < bvm)
+                  in
+                  if better then Some (vm_id, fit) else acc)
+          None hot.dev_resident
+      in
+      match victim with
+      | None -> false
+      | Some (vm_id, _) ->
+          record_trace t
+            "rebalance: dev%d load=%d avg=%d -> moving vm%d to dev%d" hot.dev_id
+            hot_load avg vm_id cold.dev_id;
+          ignore (migrate_vm t ~vm_id ~dest:cold.dev_id);
+          t.rebalances <- t.rebalances + 1;
+          true
+    end
+  end
+
+(* The skew monitor: a periodic process checking [rebalance_now].  It
+   must be stopped explicitly ([stop]) or [Engine.run] would never
+   drain its event queue. *)
+let start_rebalancer ?(config = default_rebalance) t =
+  Engine.spawn t.engine ~name:"ava-pool-rebalance" (fun () ->
+      let rec loop () =
+        if not t.stopped then begin
+          Engine.delay config.rb_interval;
+          if not t.stopped then ignore (rebalance_now ~skew:config.rb_skew t);
+          loop ()
+        end
+      in
+      loop ())
+
+let stop t = t.stopped <- true

@@ -1,0 +1,151 @@
+(** The device pool: N simulated GPUs, each fronted by its own API
+    server and router dispatch lane, with pluggable placement of
+    remoted VMs onto backends and migration-driven rebalancing.
+
+    The pool is generic over the silo state ['st]: the API-specific
+    work of moving a VM's silo between devices — replaying the record
+    log, restoring buffer contents — is injected as the [transfer]
+    closure by the stack-assembly layer ({!Ava_core.Host}).  The pool
+    owns the orchestration: placement, the pause / drain / attach /
+    re-steer migration sequence, device-loss evacuation with blame
+    routing, and the periodic skew monitor. *)
+
+open Ava_sim
+open Ava_device
+open Ava_hv
+
+module Server = Ava_remoting.Server
+module Router = Ava_remoting.Router
+
+(** Placement policies for newly attached (or evacuated) VMs. *)
+type placement =
+  | Round_robin  (** rotate over healthy devices *)
+  | Least_loaded  (** least accumulated estimated device time *)
+  | Bin_pack  (** best-fit on declared buffer footprint *)
+
+val placement_to_string : placement -> string
+val placement_of_string : string -> placement option
+
+(** Skew monitor configuration: every [rb_interval], migrate one VM off
+    the hottest device when its load exceeds [rb_skew] times the
+    healthy average. *)
+type rebalance = { rb_interval : Time.t; rb_skew : float }
+
+val default_rebalance : rebalance
+(** 5 ms interval, 1.5x skew. *)
+
+type 'st device = {
+  dev_id : int;
+  dev_gpu : Gpu.t;
+  dev_server : 'st Server.t;
+  mutable dev_healthy : bool;
+  mutable dev_resident : int list;  (** vm ids, unordered *)
+  mutable dev_evac_in : int;
+  mutable dev_evac_out : int;
+}
+
+type 'st t
+
+val create :
+  ?trace:Trace.t ->
+  ?drain_ns:Time.t ->
+  Engine.t ->
+  router:Router.t ->
+  placement:placement ->
+  transfer:(vm_id:int -> src:int -> dst:int -> int) ->
+  (Gpu.t * 'st Server.t) list ->
+  'st t
+(** [create engine ~router ~placement ~transfer devices] assumes
+    ownership of [devices] in order (device ids are list positions) and
+    registers a router dispatch lane per device beyond lane 0.
+    [transfer] performs the API-specific silo copy between two device
+    ids for a VM already attached to both servers, returning the bytes
+    moved.  [drain_ns] is the quiesce window a migration waits after
+    pausing the source worker (default 200 us). *)
+
+(** {1 Read-out} *)
+
+val n_devices : 'st t -> int
+val placement : 'st t -> placement
+val device : 'st t -> int -> 'st device
+val gpu : 'st t -> int -> Gpu.t
+val server : 'st t -> int -> 'st Server.t
+val is_healthy : 'st t -> int -> bool
+
+val resident : 'st t -> int -> int list
+(** VM ids resident on the device, sorted. *)
+
+val device_of : 'st t -> vm_id:int -> int option
+(** The device currently hosting the VM. *)
+
+val load_of : 'st t -> int -> Time.t
+(** Estimated device load: accumulated charged device time of the
+    residents (the router's spec-estimate accounting). *)
+
+val migrations : 'st t -> int
+val evacuations : 'st t -> int
+
+val rebalances : 'st t -> int
+(** Migrations initiated by {!rebalance_now} / the skew monitor. *)
+
+(** Per-device snapshot for reports and benchmarks. *)
+type device_stats = {
+  ds_id : int;
+  ds_healthy : bool;
+  ds_resident : int list;
+  ds_load_ns : Time.t;  (** estimated (charged) device time *)
+  ds_busy_ns : Time.t;  (** actual device busy time *)
+  ds_kernels : int;
+  ds_footprint : int;  (** declared resident footprint, bytes *)
+  ds_evac_in : int;
+  ds_evac_out : int;
+}
+
+val stats : 'st t -> device_stats list
+(** In device-id order. *)
+
+(** {1 Placement} *)
+
+val choose : 'st t -> footprint:int -> int option
+(** The device the policy would pick for a VM with the given declared
+    footprint; [None] when every device is lost.  Round-robin advances
+    its cursor. *)
+
+val place : ?footprint:int -> ?device:int -> 'st t -> vm:Vm.t -> int
+(** Place a new VM (recording residency) and return its device;
+    [device] pins it explicitly, bypassing the policy.
+    @raise Invalid_argument when no healthy device remains. *)
+
+(** {1 Live migration} *)
+
+val migrate_vm : 'st t -> vm_id:int -> dest:int -> int
+(** Move the VM's silo onto [dest] and re-steer its call flow there;
+    returns the bytes moved (0 when already resident).  Calls the
+    source server executed but had not answered may execute again at
+    the destination — at-least-once, the same contract as the
+    restart/requeue path.  Must run inside a simulation process. *)
+
+val kill_device : 'st t -> device:int -> unit
+(** Permanently lose the device ({!Gpu.kill}) and evacuate its
+    residents via the placement policy.  The client wedging the device
+    at death keeps any open circuit breaker; every other evacuee's
+    breaker is cleared.  Residents stranded with no healthy device
+    left stay attached to the dead one.  Must run inside a simulation
+    process. *)
+
+(** {1 Rebalancing} *)
+
+val rebalance_now : ?skew:float -> 'st t -> bool
+(** One rebalance step: when the hottest healthy device's load exceeds
+    [skew] (default {!default_rebalance}) times the healthy average,
+    migrate the resident whose load best halves the hot-cold gap onto
+    the coldest device.  Returns whether a migration happened.  Must
+    run inside a simulation process. *)
+
+val start_rebalancer : ?config:rebalance -> 'st t -> unit
+(** Spawn the periodic skew monitor.  It keeps the engine's event
+    queue non-empty, so call {!stop} (e.g. when the workload
+    completes) or [Engine.run] will never return. *)
+
+val stop : 'st t -> unit
+(** Quiesce the skew monitor; it exits at its next tick. *)

@@ -57,7 +57,7 @@ module Wfq = struct
      Flows are VMs; item cost is the router's resource estimate for the
      forwarded call. *)
 
-  type 'a item = { tag : float; payload : 'a }
+  type 'a item = { tag : float; cost : float; payload : 'a }
 
   type 'a flow = {
     flow_id : int;
@@ -82,10 +82,34 @@ module Wfq = struct
     Hashtbl.replace t.flows flow_id
       { flow_id; weight; last_tag = 0.0; items = Queue.create () }
 
+  (* Weight changes take effect immediately: the flow's pending items
+     are re-tagged in FIFO order as if freshly enqueued at the current
+     scheduler virtual time under the new weight, so a backlogged flow
+     does not keep draining at the old rate until its queue empties. *)
   let set_weight t ~flow_id ~weight =
+    if weight <= 0.0 then invalid_arg "Wfq.set_weight: weight must be positive";
     match Hashtbl.find_opt t.flows flow_id with
     | None -> invalid_arg "Wfq.set_weight: unknown flow"
-    | Some f -> f.weight <- weight
+    | Some f ->
+        f.weight <- weight;
+        if not (Queue.is_empty f.items) then begin
+          let retagged = Queue.create () in
+          let last = ref t.vtime in
+          Queue.iter
+            (fun it ->
+              let tag = !last +. (Float.max 1.0 it.cost /. weight) in
+              last := tag;
+              Queue.push { it with tag } retagged)
+            f.items;
+          Queue.clear f.items;
+          Queue.transfer retagged f.items;
+          f.last_tag <- !last
+        end
+
+  let flow_weight t ~flow_id =
+    match Hashtbl.find_opt t.flows flow_id with
+    | None -> invalid_arg "Wfq.flow_weight: unknown flow"
+    | Some f -> f.weight
 
   let push t ~flow_id ~cost payload =
     match Hashtbl.find_opt t.flows flow_id with
@@ -94,7 +118,7 @@ module Wfq = struct
         let start = Float.max t.vtime f.last_tag in
         let tag = start +. (Float.max 1.0 cost /. f.weight) in
         f.last_tag <- tag;
-        Queue.push { tag; payload } f.items;
+        Queue.push { tag; cost; payload } f.items;
         t.enqueued <- t.enqueued + 1;
         (match t.waiter with
         | Some resume ->
@@ -130,6 +154,21 @@ module Wfq = struct
         pop t
 
   let backlog t = t.enqueued - t.dequeued
+
+  (* Remove a flow, handing back its queued (payload, cost) items in
+     FIFO order.  The items stop counting toward [backlog]; the caller
+     re-enqueues them elsewhere (the router uses this to re-steer a VM
+     onto another backend's scheduler). *)
+  let remove_flow t ~flow_id =
+    match Hashtbl.find_opt t.flows flow_id with
+    | None -> invalid_arg "Wfq.remove_flow: unknown flow"
+    | Some f ->
+        let drained =
+          Queue.fold (fun acc it -> (it.payload, it.cost) :: acc) [] f.items
+        in
+        t.dequeued <- t.dequeued + Queue.length f.items;
+        Hashtbl.remove t.flows flow_id;
+        List.rev drained
 
   (* Is any other flow waiting?  The router paces dispatch by estimated
      device time only under cross-VM contention, so single-tenant

@@ -28,10 +28,23 @@ module Wfq : sig
 
   val create : unit -> 'a t
   val add_flow : 'a t -> flow_id:int -> weight:float -> unit
+
   val set_weight : 'a t -> flow_id:int -> weight:float -> unit
+  (** Takes effect immediately: the flow's pending items are re-tagged
+      in FIFO order under the new weight, as if freshly enqueued at the
+      scheduler's current virtual time, so a backlogged flow does not
+      keep draining at its old rate until the backlog clears. *)
+
+  val flow_weight : 'a t -> flow_id:int -> float
+  (** The flow's current weight. *)
 
   val push : 'a t -> flow_id:int -> cost:float -> 'a -> unit
   (** Enqueue one item; wakes the blocked popper, if any. *)
+
+  val remove_flow : 'a t -> flow_id:int -> ('a * float) list
+  (** Remove the flow, returning its queued (payload, cost) items in
+      FIFO order; they stop counting toward {!backlog}.  Used to
+      re-steer a flow onto another scheduler instance. *)
 
   val pop : 'a t -> int * 'a
   (** Remove the item with the smallest finish tag, blocking the calling

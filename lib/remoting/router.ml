@@ -31,7 +31,13 @@ type in_flight = {
 type vm_conn = {
   rc_vm : Vm.t;
   guest_side : Transport.endpoint;  (** router's endpoint facing the guest *)
-  server_side : Transport.endpoint;  (** router's endpoint facing the server *)
+  mutable server_side : Transport.endpoint;
+      (** router's endpoint facing the VM's current backend server *)
+  mutable rc_backend : int;  (** backend currently steering this VM *)
+  mutable last_seq : int;  (** highest call seq seen at ingress *)
+  mutable pending_seqs : int list;  (** seqs queued in the WFQ, unordered *)
+  mutable skipped_seqs : int list;
+      (** seqs policed away whose Skip notice went to the current backend *)
   mutable bucket : Policy.Token_bucket.t option;
   mutable quota : Policy.Quota.t option;
   mutable in_flight : in_flight list;  (** newest first *)
@@ -41,19 +47,28 @@ type vm_conn = {
   mutable fault_replies : int;  (** fault-status replies seen *)
 }
 
+(* One dispatch lane: each backend server gets its own WFQ and its own
+   pacing dispatcher, so a pool of devices schedules independently
+   (lifting the single-popper limit of [Policy.Wfq.pop]). *)
+type backend = {
+  bs_id : int;
+  bs_wfq : (vm_conn * float * bytes * int list) Policy.Wfq.t;
+  mutable bs_started : bool;  (** dispatcher process spawned *)
+}
+
 type t = {
   engine : Engine.t;
   virt : Ava_device.Timing.virt;
   plan : Plan.t;
-  wfq : (vm_conn * float * bytes * int list) Policy.Wfq.t;
+  mutable backends : (int * backend) list;
   mutable conns : (int * vm_conn) list;
   mutable forwarded : int;
   mutable rejected : int;
   mutable requeued : int;
   mutable quarantined : int;
       (** calls rejected at admission by an open breaker *)
+  mutable resteered : int;  (** VMs live-moved between backends *)
   mutable paced_ns : Time.t;
-  mutable dispatcher_started : bool;
   trace : Trace.t option;
   obs : Obs.t option;
 }
@@ -64,22 +79,34 @@ type t = {
 let pacing_ns_of_cost cost =
   Stdlib.min (Time.us 500) (int_of_float (cost *. 0.02))
 
+let make_backend id = { bs_id = id; bs_wfq = Policy.Wfq.create (); bs_started = false }
+
 let create ?trace ?obs engine ~virt ~plan =
   {
     engine;
     virt;
     plan;
-    wfq = Policy.Wfq.create ();
+    backends = [ (0, make_backend 0) ];
     conns = [];
     forwarded = 0;
     rejected = 0;
     requeued = 0;
     quarantined = 0;
+    resteered = 0;
     paced_ns = 0;
-    dispatcher_started = false;
     trace;
     obs;
   }
+
+let backend_exn t id =
+  match List.assoc_opt id t.backends with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Router: unknown backend %d" id)
+
+let add_backend t ~id =
+  if List.mem_assoc id t.backends then
+    invalid_arg (Printf.sprintf "Router.add_backend: backend %d exists" id);
+  t.backends <- t.backends @ [ (id, make_backend id) ]
 
 let record_trace_cat t category fmt =
   match t.trace with
@@ -93,6 +120,7 @@ let forwarded t = t.forwarded
 let rejected t = t.rejected
 let requeued t = t.requeued
 let quarantined t = t.quarantined
+let resteered t = t.resteered
 
 let find_conn t vm_id = List.assoc_opt vm_id t.conns
 
@@ -129,12 +157,16 @@ let reject_call conn (c : Message.call) status =
   Transport.send conn.guest_side (Message.encode reply)
 
 (* Tell the server the named seqs were policed away and will never
-   arrive, so its in-order execution can advance past them. *)
+   arrive, so its in-order execution can advance past them.  Skips are
+   remembered so a later re-steer can forward the still-relevant ones
+   to the new backend (whose skip set starts empty). *)
 let send_skip conn seqs =
-  if seqs <> [] then
+  if seqs <> [] then begin
+    conn.skipped_seqs <- seqs @ conn.skipped_seqs;
     Transport.send conn.server_side
       (Message.encode
          (Message.Skip { skip_vm = Vm.id conn.rc_vm; skip_seqs = seqs }))
+  end
 
 (* A reply flowed back: release its seq from the in-flight ledger. *)
 let mark_replied conn seq =
@@ -146,17 +178,24 @@ let mark_replied conn seq =
         m.if_seqs <> [])
       conn.in_flight
 
-let start_dispatcher t =
-  if not t.dispatcher_started then begin
-    t.dispatcher_started <- true;
-    Engine.spawn t.engine ~name:"ava-router-dispatch" (fun () ->
+let dispatcher_name b =
+  if b.bs_id = 0 then "ava-router-dispatch"
+  else Printf.sprintf "ava-router-dispatch-b%d" b.bs_id
+
+let start_dispatcher t b =
+  if not b.bs_started then begin
+    b.bs_started <- true;
+    Engine.spawn t.engine ~name:(dispatcher_name b) (fun () ->
         let rec loop () =
-          let flow_id, (conn, cost, data, seqs) = Policy.Wfq.pop t.wfq in
+          let flow_id, (conn, cost, data, seqs) = Policy.Wfq.pop b.bs_wfq in
           t.forwarded <- t.forwarded + 1;
-          if seqs <> [] then
+          if seqs <> [] then begin
+            conn.pending_seqs <-
+              List.filter (fun s -> not (List.mem s seqs)) conn.pending_seqs;
             conn.in_flight <-
               { if_data = data; if_cost = cost; if_seqs = seqs }
-              :: conn.in_flight;
+              :: conn.in_flight
+          end;
           (match t.obs with
           | Some o ->
               let now = Engine.now t.engine in
@@ -181,20 +220,69 @@ let start_dispatcher t =
         loop ())
   end
 
+(* Egress: server -> guest for one (conn, endpoint) pair, with byte
+   accounting and in-flight bookkeeping (a reply releases its seq from
+   the requeue ledger).  Factored out of [attach_vm] because a re-steer
+   spawns a fresh egress on the new backend's endpoint; the old one
+   keeps draining residual replies from the previous server, which
+   [mark_replied] dedups harmlessly. *)
+let spawn_egress t conn ep =
+  let vm = conn.rc_vm in
+  Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-out-vm%d" (Vm.id vm))
+    (fun () ->
+      let rec loop () =
+        let data = Transport.recv ep in
+        Vm.charge_bytes vm (Bytes.length data);
+        (match Message.decode data with
+        | Ok (Message.Reply r) ->
+            mark_replied conn r.Message.reply_seq;
+            (* Feed the reply into this VM's error budget: fault
+               statuses count against it; any other reply proves the
+               service path healthy. *)
+            let faulty =
+              List.mem r.Message.reply_status conn.fault_statuses
+            in
+            if faulty then conn.fault_replies <- conn.fault_replies + 1;
+            (match conn.breaker with
+            | Some b ->
+                if faulty then begin
+                  let was = Policy.Breaker.state b in
+                  Policy.Breaker.record_failure b;
+                  if Policy.Breaker.state b = Policy.Breaker.Open then
+                    record_trace_cat t "breaker"
+                      "vm%d breaker %s status=%d" (Vm.id vm)
+                      (match was with
+                      | Policy.Breaker.Open -> "open"
+                      | _ -> "tripped open")
+                      r.Message.reply_status
+                end
+                else Policy.Breaker.record_success b
+            | None -> ())
+        | _ -> ());
+        Transport.send conn.guest_side data;
+        loop ()
+      in
+      loop ())
+
 (* Attach one VM.  [guest_side]/[server_side] are the router's ends of
-   the guest and server transports.  Policy knobs:
+   the guest and server transports.  [backend] names the dispatch lane
+   (pool device) the VM starts on.  Policy knobs:
    - [rate_per_s]/[burst]: API-call rate limit,
    - [weight]: WFQ share,
    - [quota_cost]/[quota_window]: device-time budget per window. *)
 let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
     ?(quota_window = Time.ms 100) ?breaker
-    ?(breaker_statuses = [ Server.status_device_lost ]) t vm ~guest_side
-    ~server_side =
+    ?(breaker_statuses = [ Server.status_device_lost ]) ?(backend = 0) t vm
+    ~guest_side ~server_side =
   let conn =
     {
       rc_vm = vm;
       guest_side;
       server_side;
+      rc_backend = backend;
+      last_seq = 0;
+      pending_seqs = [];
+      skipped_seqs = [];
       bucket =
         Option.map
           (fun r -> Policy.Token_bucket.create t.engine ~rate_per_s:r ~burst)
@@ -211,8 +299,9 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
     }
   in
   t.conns <- (Vm.id vm, conn) :: t.conns;
-  Policy.Wfq.add_flow t.wfq ~flow_id:(Vm.id vm) ~weight;
-  start_dispatcher t;
+  let b = backend_exn t backend in
+  Policy.Wfq.add_flow b.bs_wfq ~flow_id:(Vm.id vm) ~weight;
+  start_dispatcher t b;
   (* Ingress: guest -> verify -> police -> WFQ. *)
   Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-in-vm%d" (Vm.id vm))
     (fun () ->
@@ -221,13 +310,22 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         Engine.delay t.virt.Ava_device.Timing.router_check_ns;
         (* Ingress stamp: ends the guest->router transport phase for
            every call in the message (rejected ones included — their
-           spans then close on the rejection reply). *)
+           spans then close on the rejection reply).  Also advances the
+           high-water seq used by [next_seq] after a re-steer. *)
         let mark_in (c : Message.call) =
+          conn.last_seq <- Stdlib.max conn.last_seq c.Message.call_seq;
           match t.obs with
           | Some o ->
               Obs.mark o ~vm:(Vm.id vm) ~seq:c.Message.call_seq
                 Obs.M_router_in ~at:(Engine.now t.engine)
           | None -> ()
+        in
+        (* Push into whichever backend currently steers this VM. *)
+        let push_wfq ~cost data seqs =
+          let b = backend_exn t conn.rc_backend in
+          conn.pending_seqs <- seqs @ conn.pending_seqs;
+          Policy.Wfq.push b.bs_wfq ~flow_id:(Vm.id vm) ~cost
+            (conn, cost, data, seqs)
         in
         (* Verify and cost one call; policing happens per contained
            call so batching cannot dodge rate limits or quotas. *)
@@ -286,9 +384,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
             mark_in c;
             match admit_and_police c with
             | None -> send_skip conn [ c.Message.call_seq ]
-            | Some cost ->
-                Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
-                  (conn, cost, data, [ c.Message.call_seq ]))
+            | Some cost -> push_wfq ~cost data [ c.Message.call_seq ])
         | Ok (Message.Batch calls) ->
             Vm.charge_bytes vm (Bytes.length data);
             List.iter mark_in calls;
@@ -332,48 +428,11 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
                         Message.encode
                           (Message.Batch (List.map fst accepted))
                 in
-                Policy.Wfq.push t.wfq ~flow_id:(Vm.id vm) ~cost
-                  (conn, cost, data, seqs)));
+                push_wfq ~cost data seqs));
         loop ()
       in
       loop ());
-  (* Egress: server -> guest, with byte accounting and in-flight
-     bookkeeping (a reply releases its seq from the requeue ledger). *)
-  Engine.spawn t.engine ~name:(Printf.sprintf "ava-router-out-vm%d" (Vm.id vm))
-    (fun () ->
-      let rec loop () =
-        let data = Transport.recv server_side in
-        Vm.charge_bytes vm (Bytes.length data);
-        (match Message.decode data with
-        | Ok (Message.Reply r) ->
-            mark_replied conn r.Message.reply_seq;
-            (* Feed the reply into this VM's error budget: fault
-               statuses count against it; any other reply proves the
-               service path healthy. *)
-            let faulty =
-              List.mem r.Message.reply_status conn.fault_statuses
-            in
-            if faulty then conn.fault_replies <- conn.fault_replies + 1;
-            (match conn.breaker with
-            | Some b ->
-                if faulty then begin
-                  let was = Policy.Breaker.state b in
-                  Policy.Breaker.record_failure b;
-                  if Policy.Breaker.state b = Policy.Breaker.Open then
-                    record_trace_cat t "breaker"
-                      "vm%d breaker %s status=%d" (Vm.id vm)
-                      (match was with
-                      | Policy.Breaker.Open -> "open"
-                      | _ -> "tripped open")
-                      r.Message.reply_status
-                end
-                else Policy.Breaker.record_success b
-            | None -> ())
-        | _ -> ());
-        Transport.send conn.guest_side data;
-        loop ()
-      in
-      loop ());
+  spawn_egress t conn server_side;
   conn
 
 (* Administration interface (§4.3): adjust policies at runtime. *)
@@ -391,7 +450,12 @@ let clear_rate_limit t ~vm_id =
   | Some conn -> conn.bucket <- None
 
 let set_weight t ~vm_id ~weight =
-  Policy.Wfq.set_weight t.wfq ~flow_id:vm_id ~weight
+  match find_conn t vm_id with
+  | None -> invalid_arg "Wfq.set_weight: unknown flow"
+  | Some conn ->
+      Policy.Wfq.set_weight
+        (backend_exn t conn.rc_backend).bs_wfq
+        ~flow_id:vm_id ~weight
 
 let set_quota t ~vm_id ~budget ~window_ns =
   match find_conn t vm_id with
@@ -459,23 +523,87 @@ let paced_ns t = t.paced_ns
    owing replies goes back through the WFQ and is re-sent.  Seqs the
    server did execute before crashing are answered from its reply log
    (idempotent replay), so wholesale requeue is safe. *)
+let requeue_conn t conn ~vm_id =
+  let wfq = (backend_exn t conn.rc_backend).bs_wfq in
+  let msgs = List.rev conn.in_flight (* oldest first *) in
+  conn.in_flight <- [];
+  List.iter
+    (fun m ->
+      t.requeued <- t.requeued + 1;
+      record_trace t "vm%d requeue %d seqs" vm_id (List.length m.if_seqs);
+      conn.pending_seqs <- m.if_seqs @ conn.pending_seqs;
+      Policy.Wfq.push wfq ~flow_id:vm_id ~cost:m.if_cost
+        (conn, m.if_cost, m.if_data, m.if_seqs))
+    msgs;
+  List.length msgs
+
 let requeue_in_flight t ~vm_id =
   match find_conn t vm_id with
   | None -> invalid_arg "Router.requeue_in_flight: unknown vm"
-  | Some conn ->
-      let msgs = List.rev conn.in_flight (* oldest first *) in
-      conn.in_flight <- [];
-      List.iter
-        (fun m ->
-          t.requeued <- t.requeued + 1;
-          record_trace t "vm%d requeue %d seqs" vm_id (List.length m.if_seqs);
-          Policy.Wfq.push t.wfq ~flow_id:vm_id ~cost:m.if_cost
-            (conn, m.if_cost, m.if_data, m.if_seqs))
-        msgs;
-      List.length msgs
+  | Some conn -> requeue_conn t conn ~vm_id
 
 let in_flight_calls t ~vm_id =
   match find_conn t vm_id with
   | None -> 0
   | Some conn ->
       List.fold_left (fun a m -> a + List.length m.if_seqs) 0 conn.in_flight
+
+(* {1 Multi-backend steering (device pool)} *)
+
+let backend_of t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.backend_of: unknown vm"
+  | Some conn -> conn.rc_backend
+
+(* The first live seq a new backend will observe for this VM: the
+   smallest seq still queued or in flight, else one past the ingress
+   high-water mark.  Migration calls this while the source worker is
+   paused, then seeds the destination's in-order cursor with it. *)
+let next_seq t ~vm_id =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.next_seq: unknown vm"
+  | Some conn ->
+      let outstanding =
+        conn.pending_seqs
+        @ List.concat_map (fun m -> m.if_seqs) conn.in_flight
+      in
+      List.fold_left Stdlib.min (conn.last_seq + 1) outstanding
+
+(* Live re-steer: move the VM's flow — WFQ backlog, in-flight calls,
+   future ingress — onto another backend.  In-flight calls are
+   re-forwarded wholesale; ones the old server already executed may run
+   again on the new one (at-least-once, same contract as the
+   restart/requeue path).  Skip notices the old backend consumed are
+   re-sent to the new one so policed-away seqs cannot park its in-order
+   cursor. *)
+let resteer t ~vm_id ~backend ~server_side =
+  match find_conn t vm_id with
+  | None -> invalid_arg "Router.resteer: unknown vm"
+  | Some conn ->
+      if not (List.mem_assoc backend t.backends) then
+        invalid_arg (Printf.sprintf "Router.resteer: unknown backend %d" backend);
+      let src = backend_exn t conn.rc_backend in
+      let dst = backend_exn t backend in
+      let weight = Policy.Wfq.flow_weight src.bs_wfq ~flow_id:vm_id in
+      let queued = Policy.Wfq.remove_flow src.bs_wfq ~flow_id:vm_id in
+      Policy.Wfq.add_flow dst.bs_wfq ~flow_id:vm_id ~weight;
+      conn.rc_backend <- backend;
+      conn.server_side <- server_side;
+      List.iter
+        (fun (payload, cost) ->
+          Policy.Wfq.push dst.bs_wfq ~flow_id:vm_id ~cost payload)
+        queued;
+      let requeued = requeue_conn t conn ~vm_id in
+      (* Forward skips the new backend has not seen and might wait on. *)
+      let expected = next_seq t ~vm_id in
+      let live_skips =
+        List.sort_uniq Stdlib.compare
+          (List.filter (fun s -> s >= expected) conn.skipped_seqs)
+      in
+      conn.skipped_seqs <- [];
+      send_skip conn live_skips;
+      start_dispatcher t dst;
+      spawn_egress t conn server_side;
+      t.resteered <- t.resteered + 1;
+      record_trace t "vm%d resteer %d->%d (%d queued, %d requeued)" vm_id
+        src.bs_id dst.bs_id (List.length queued) requeued

@@ -42,6 +42,9 @@ val quarantined : t -> int
 (** Calls rejected at admission by an open circuit breaker (summed over
     all VMs). *)
 
+val resteered : t -> int
+(** VMs live-moved between backends by {!resteer}. *)
+
 val paced_ns : t -> Time.t
 (** Cumulative scheduler pacing applied at dispatch. *)
 
@@ -53,12 +56,15 @@ val attach_vm :
   ?quota_window:Time.t ->
   ?breaker:Policy.Breaker.config ->
   ?breaker_statuses:int list ->
+  ?backend:int ->
   t ->
   Vm.t ->
   guest_side:Transport.endpoint ->
   server_side:Transport.endpoint ->
   vm_conn
 (** Attach one VM between its guest-facing and server-facing endpoints.
+    [backend] names the dispatch lane (pool device) the VM starts on
+    (default 0, the lane every router is created with).
     Policy knobs: [rate_per_s]/[burst] arm an API-call rate limit;
     [weight] sets the WFQ share (default 1); [quota_cost] per
     [quota_window] arms a device-time budget; [breaker] arms a per-VM
@@ -114,3 +120,33 @@ val requeue_in_flight : t -> vm_id:int -> int
 val in_flight_calls : t -> vm_id:int -> int
 (** Calls forwarded to the server whose replies have not yet flowed
     back. *)
+
+(** {1 Multi-backend steering (device pool)}
+
+    Each backend is an independent dispatch lane — its own WFQ and its
+    own pacing dispatcher — fronting one pool device's API server.
+    Backend 0 exists from {!create}; a single-backend router is
+    behaviourally identical to the pre-pool router. *)
+
+val add_backend : t -> id:int -> unit
+(** Register a new dispatch lane.  Raises [Invalid_argument] if [id]
+    already exists. *)
+
+val backend_of : t -> vm_id:int -> int
+(** The backend currently steering the VM. *)
+
+val next_seq : t -> vm_id:int -> int
+(** The first live seq a new backend would observe for this VM: the
+    smallest seq still queued or in flight, else one past the highest
+    seq seen at ingress.  Migration calls this (source worker paused)
+    to seed the destination's in-order cursor via
+    {!Server.set_expected}. *)
+
+val resteer : t -> vm_id:int -> backend:int -> server_side:Transport.endpoint -> unit
+(** Live-move the VM's flow onto [backend], whose server the router
+    reaches via [server_side]: WFQ backlog and in-flight calls are
+    re-forwarded there (at-least-once — calls the old server executed
+    but had not answered may execute again, the same contract as the
+    restart/requeue path), skip notices the old backend consumed are
+    re-sent, and future ingress steers to the new lane.  The old
+    egress keeps draining residual replies harmlessly. *)

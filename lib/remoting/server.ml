@@ -221,6 +221,7 @@ type 'st t = {
   exec_overhead_ns : Time.t;
   trace : Trace.t option;
   obs : Obs.t option;
+  device_id : int;  (** pool device this server fronts; -1 = unpooled *)
   cache_capacity : int;  (** per-VM content-store bound; 0 = cache off *)
   mutable naks_sent : int;  (** cache-miss NAK messages sent *)
   tdr : tdr option;  (** [None]: no watchdog (default) *)
@@ -258,7 +259,7 @@ exception Bad_args
 exception Device_lost
 
 let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
-    ?trace ?obs engine ~plan ~make_state =
+    ?trace ?obs ?(device_id = -1) engine ~plan ~make_state =
   {
     engine;
     plan;
@@ -274,6 +275,7 @@ let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
     exec_overhead_ns;
     trace;
     obs;
+    device_id;
     cache_capacity = Stdlib.max 0 cache_capacity;
     naks_sent = 0;
     tdr;
@@ -304,6 +306,7 @@ let cache_capacity t = t.cache_capacity
 let tdr_resets t = t.tdr_resets
 let device_lost t = t.device_lost
 let unexpected_exns t = t.unexpected_exns
+let device_id t = t.device_id
 
 let find_vm t vm_id = List.assoc_opt vm_id t.vm_entries
 
@@ -477,6 +480,11 @@ let execute_call t entry (c : Message.call) =
           ~at:(Engine.now t.engine)
     | None -> ()
   in
+  (match t.obs with
+  | Some o when t.device_id >= 0 ->
+      Obs.set_device o ~vm:entry.ve_ctx.Ctx.ctx_vm ~seq:c.Message.call_seq
+        ~device:t.device_id
+  | _ -> ());
   obs_mark Obs.M_exec_start;
   let ((status, _, _) as result) =
     match Hashtbl.find_opt t.handlers c.Message.call_fn with
@@ -705,6 +713,15 @@ let is_crashed t ~vm_id =
   match find_vm t vm_id with
   | None -> invalid_arg "Server.is_crashed: unknown vm"
   | Some e -> e.ve_crashed
+
+(* Fast-forward the in-order cursor after a migration: replayed log
+   entries run with seq 0 (outside the live window), so the destination
+   entry must be told where the guest's live seq stream resumes or every
+   steered call would park as a future seq. *)
+let set_expected t ~vm_id ~seq =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.set_expected: unknown vm"
+  | Some e -> e.ve_expected <- seq
 
 (* Suspend/resume a VM's worker (used by migration §4.3). *)
 let pause_vm t ~vm_id =

@@ -114,6 +114,7 @@ val create :
   ?tdr:tdr ->
   ?trace:Trace.t ->
   ?obs:Ava_obs.Obs.t ->
+  ?device_id:int ->
   Engine.t ->
   plan:Plan.t ->
   make_state:(vm_id:int -> 'st) ->
@@ -124,7 +125,10 @@ val create :
     pre-cache stack).  [tdr] arms the timeout-detection-and-recovery
     watchdog (default off; armed, watchdog resets are traced under
     ["tdr"]).  With [trace] (enabled), every executed call is recorded
-    under the ["server"] category and cache-miss NAKs under ["cache"]. *)
+    under the ["server"] category and cache-miss NAKs under ["cache"].
+    [device_id] names the pool device this server fronts (default -1:
+    unpooled); when set and [obs] is armed, executed calls stamp their
+    span with the device for per-device attribution. *)
 
 val register : 'st t -> string -> 'st handler -> unit
 
@@ -159,6 +163,9 @@ val unexpected_exns : 'st t -> int
 val cache_capacity : 'st t -> int
 (** The per-VM content-store bound this server was created with. *)
 
+val device_id : 'st t -> int
+(** The pool device this server fronts; -1 when unpooled. *)
+
 val cache_stats : 'st t -> vm_id:int -> cache_stats option
 val cache_totals : 'st t -> cache_stats
 (** Content-store counters for one VM / summed over all attached VMs. *)
@@ -183,6 +190,12 @@ val crash : 'st t -> vm_id:int -> unit
 
 val restart : 'st t -> vm_id:int -> unit
 val is_crashed : 'st t -> vm_id:int -> bool
+
+val set_expected : 'st t -> vm_id:int -> seq:int -> unit
+(** Fast-forward the VM's in-order cursor.  Migration replays log
+    entries with seq 0 (outside the live window), so the destination
+    entry must be told where the guest's live seq stream resumes or
+    every steered call would park as a future seq. *)
 
 val pause_vm : 'st t -> vm_id:int -> unit
 (** Stall the worker before its next call (migration §4.3). *)

@@ -1,0 +1,699 @@
+(* Device-pool suite: placement policies, per-backend scheduling, live
+   migration between pool devices, device-loss evacuation, and
+   migration-driven rebalancing.
+
+   The contract under test (ISSUE tentpole): a pooled host owns N
+   simulated GPUs, each fronted by its own API server and router
+   dispatch lane.  Remoted VMs are placed onto devices by a pluggable
+   policy, can be live-migrated (record/replay plus in-flight queue
+   re-steering), and are evacuated onto survivors when a device is
+   lost.  Same-seed runs are bit-identical; a single-device pooled
+   stack is bit-identical in virtual time to the classic host.
+
+   [AVA_CHAOS_SEED] perturbs the evacuation schedule (the CI pool job
+   sweeps a small seed matrix); the determinism and containment
+   assertions hold for any seed. *)
+
+module Transport = Ava_transport.Transport
+module Policy = Ava_remoting.Policy
+module Router = Ava_remoting.Router
+module Server = Ava_remoting.Server
+module Swap = Ava_remoting.Swap
+module Pool = Ava_pool.Pool
+
+open Ava_sim
+open Ava_device
+open Ava_core
+open Ava_workloads
+open Ava_simcl.Types
+
+let chaos_seed =
+  match Sys.getenv_opt "AVA_CHAOS_SEED" with
+  | Some s -> int_of_string s
+  | None -> 42
+
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+let bench name = Option.get (Rodinia.find name)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error %s" (error_to_string e)
+
+let the_pool (host : Host.cl_host) = Option.get host.Host.pool
+
+(* The reference guest program: upload two vectors, add on the device,
+   read back; returns whether the device computed the right sums. *)
+let vec_add_ok (module CL : Ava_simcl.Api.S) n =
+  let p = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let d = List.hd (ok (CL.clGetDeviceIDs p Device_gpu)) in
+  let ctx = ok (CL.clCreateContext [ d ]) in
+  let q = ok (CL.clCreateCommandQueue ctx d ~profiling:false) in
+  let a = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+  let b = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+  let out = ok (CL.clCreateBuffer ctx ~size:(4 * n)) in
+  let i32_bytes l =
+    let by = Bytes.create (4 * List.length l) in
+    List.iteri (fun i v -> Bytes.set_int32_le by (4 * i) (Int32.of_int v)) l;
+    by
+  in
+  let av = List.init n (fun i -> i) and bv = List.init n (fun i -> 7 * i) in
+  ignore
+    (ok
+       (CL.clEnqueueWriteBuffer q a ~blocking:false ~offset:0
+          ~src:(i32_bytes av) ~wait_list:[] ~want_event:false));
+  ignore
+    (ok
+       (CL.clEnqueueWriteBuffer q b ~blocking:false ~offset:0
+          ~src:(i32_bytes bv) ~wait_list:[] ~want_event:false));
+  let prog = ok (CL.clCreateProgramWithSource ctx ~source:"builtin vec_add") in
+  ok (CL.clBuildProgram prog ~options:"");
+  let k = ok (CL.clCreateKernel prog ~name:"vec_add") in
+  ok (CL.clSetKernelArg k ~index:0 (Arg_mem a));
+  ok (CL.clSetKernelArg k ~index:1 (Arg_mem b));
+  ok (CL.clSetKernelArg k ~index:2 (Arg_mem out));
+  ignore
+    (ok
+       (CL.clEnqueueNDRangeKernel q k ~global_work_size:n ~local_work_size:64
+          ~wait_list:[] ~want_event:false));
+  let data, _ =
+    ok
+      (CL.clEnqueueReadBuffer q out ~blocking:true ~offset:0 ~size:(4 * n)
+         ~wait_list:[] ~want_event:false)
+  in
+  ok (CL.clFinish q);
+  let got =
+    List.init n (fun i -> Int32.to_int (Bytes.get_int32_le data (4 * i)))
+  in
+  got = List.map2 ( + ) av bv
+
+(* --- WFQ weight changes (satellite: live re-tagging) ---------------------- *)
+
+let wfq_tests =
+  [
+    Alcotest.test_case "set_weight re-tags a backlogged flow" `Quick (fun () ->
+        let q = Policy.Wfq.create () in
+        Policy.Wfq.add_flow q ~flow_id:1 ~weight:1.0;
+        Policy.Wfq.add_flow q ~flow_id:2 ~weight:1.0;
+        for i = 1 to 4 do
+          Policy.Wfq.push q ~flow_id:1 ~cost:1.0 (Printf.sprintf "a%d" i)
+        done;
+        for i = 1 to 3 do
+          Policy.Wfq.push q ~flow_id:2 ~cost:1.0 (Printf.sprintf "b%d" i)
+        done;
+        (* Both flows carry finish tags 1,2,3(,4).  Quadrupling flow 2's
+           weight must re-tag its backlog (0.25, 0.5, 0.75), not let it
+           drain at the old rate: the next three pops are all flow 2. *)
+        Policy.Wfq.set_weight q ~flow_id:2 ~weight:4.0;
+        Alcotest.(check (float 0.0)) "weight visible" 4.0
+          (Policy.Wfq.flow_weight q ~flow_id:2);
+        let order = List.init 7 (fun _ -> fst (Policy.Wfq.pop q)) in
+        Alcotest.(check (list int)) "re-tagged flow served first"
+          [ 2; 2; 2; 1; 1; 1; 1 ] order;
+        Alcotest.(check int) "drained" 0 (Policy.Wfq.backlog q));
+    Alcotest.test_case "set_weight preserves FIFO within the flow" `Quick
+      (fun () ->
+        let q = Policy.Wfq.create () in
+        Policy.Wfq.add_flow q ~flow_id:1 ~weight:1.0;
+        List.iter
+          (fun p -> Policy.Wfq.push q ~flow_id:1 ~cost:2.0 p)
+          [ "first"; "second"; "third" ];
+        Policy.Wfq.set_weight q ~flow_id:1 ~weight:0.5;
+        let order = List.init 3 (fun _ -> snd (Policy.Wfq.pop q)) in
+        Alcotest.(check (list string)) "order kept"
+          [ "first"; "second"; "third" ] order);
+    Alcotest.test_case "set_weight on an unknown flow raises" `Quick (fun () ->
+        let q : unit Policy.Wfq.t = Policy.Wfq.create () in
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Wfq.set_weight: unknown flow") (fun () ->
+            Policy.Wfq.set_weight q ~flow_id:9 ~weight:2.0));
+    Alcotest.test_case "remove_flow hands back the backlog in order" `Quick
+      (fun () ->
+        let q = Policy.Wfq.create () in
+        Policy.Wfq.add_flow q ~flow_id:1 ~weight:1.0;
+        Policy.Wfq.add_flow q ~flow_id:2 ~weight:1.0;
+        Policy.Wfq.push q ~flow_id:1 ~cost:3.0 "x";
+        Policy.Wfq.push q ~flow_id:1 ~cost:5.0 "y";
+        Policy.Wfq.push q ~flow_id:2 ~cost:1.0 "z";
+        let drained = Policy.Wfq.remove_flow q ~flow_id:1 in
+        Alcotest.(check (list (pair string (float 0.0))))
+          "payloads and costs, FIFO"
+          [ ("x", 3.0); ("y", 5.0) ]
+          drained;
+        Alcotest.(check int) "backlog excludes removed items" 1
+          (Policy.Wfq.backlog q);
+        Alcotest.(check string) "other flow unaffected" "z"
+          (snd (Policy.Wfq.pop q)));
+  ]
+
+(* --- placement ------------------------------------------------------------ *)
+
+let placement_tests =
+  [
+    Alcotest.test_case "round-robin spreads 8 VMs over 4 devices" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:4 ~placement:Pool.Round_robin e
+        in
+        let pool = the_pool host in
+        let guests =
+          List.init 8 (fun i ->
+              Host.add_cl_vm host ~name:(Printf.sprintf "vm%d" i))
+        in
+        List.iteri
+          (fun i g ->
+            Alcotest.(check (option int))
+              (Printf.sprintf "vm%d device" i)
+              (Some (i mod 4))
+              (Pool.device_of pool ~vm_id:(Ava_hv.Vm.id g.Host.g_vm)))
+          guests;
+        let results = Array.make 8 false in
+        List.iteri
+          (fun i g ->
+            Engine.spawn e
+              ~name:(Printf.sprintf "app%d" i)
+              (fun () -> results.(i) <- vec_add_ok g.Host.g_api 1024))
+          guests;
+        Engine.run e;
+        Array.iteri
+          (fun i r ->
+            Alcotest.(check bool) (Printf.sprintf "vm%d result" i) true r)
+          results;
+        List.iter
+          (fun (ds : Pool.device_stats) ->
+            Alcotest.(check int)
+              (Printf.sprintf "dev%d residents" ds.Pool.ds_id)
+              2
+              (List.length ds.Pool.ds_resident);
+            Alcotest.(check bool)
+              (Printf.sprintf "dev%d ran kernels" ds.Pool.ds_id)
+              true (ds.Pool.ds_kernels > 0))
+          (Pool.stats pool));
+    Alcotest.test_case "least-loaded tracks accumulated device time" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Least_loaded e
+        in
+        let pool = the_pool host in
+        let dev_of g = Pool.device_of pool ~vm_id:(Ava_hv.Vm.id g.Host.g_vm) in
+        let g1 = Host.add_cl_vm host ~name:"g1" in
+        Alcotest.(check (option int)) "empty pool ties to dev0" (Some 0)
+          (dev_of g1);
+        Engine.run_process e (fun () ->
+            (bench "bfs").Rodinia.run g1.Host.g_api);
+        Alcotest.(check bool) "dev0 accrued load" true (Pool.load_of pool 0 > 0);
+        let g2 = Host.add_cl_vm host ~name:"g2" in
+        Alcotest.(check (option int)) "g2 avoids the loaded device" (Some 1)
+          (dev_of g2);
+        Engine.run_process e (fun () ->
+            (bench "bfs").Rodinia.run g2.Host.g_api;
+            (bench "bfs").Rodinia.run g2.Host.g_api);
+        Alcotest.(check bool) "dev1 now hotter" true
+          (Pool.load_of pool 1 > Pool.load_of pool 0);
+        let g3 = Host.add_cl_vm host ~name:"g3" in
+        Alcotest.(check (option int)) "g3 lands on the cooler device" (Some 0)
+          (dev_of g3));
+    Alcotest.test_case "bin-pack best-fits declared footprints" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host = Host.create_cl_host ~devices:2 ~placement:Pool.Bin_pack e in
+        let pool = the_pool host in
+        (* 8 GiB per device (gtx1080 preset).  5G -> dev0; the second 5G
+           no longer fits there -> dev1; 2G best-fits dev0 (equal slack,
+           lowest id); 4G fits nowhere -> least-committed fallback. *)
+        let place fp name =
+          let g = Host.add_cl_vm host ~footprint:fp ~name in
+          Option.get (Pool.device_of pool ~vm_id:(Ava_hv.Vm.id g.Host.g_vm))
+        in
+        Alcotest.(check int) "first 5G" 0 (place (gib 5) "a");
+        Alcotest.(check int) "second 5G spills" 1 (place (gib 5) "b");
+        Alcotest.(check int) "2G best-fit" 0 (place (gib 2) "c");
+        Alcotest.(check int) "oversubscribed 4G falls back" 1
+          (place (gib 4) "d");
+        let s = Pool.stats pool in
+        Alcotest.(check (list int)) "declared footprints tracked"
+          [ gib 7; gib 9 ]
+          (List.map (fun d -> d.Pool.ds_footprint) s));
+    Alcotest.test_case "explicit pin overrides the policy" `Quick (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:3 ~placement:Pool.Round_robin e
+        in
+        let pool = the_pool host in
+        let g = Host.add_cl_vm host ~device:2 ~name:"pinned" in
+        Alcotest.(check (option int)) "pinned" (Some 2)
+          (Pool.device_of pool ~vm_id:(Ava_hv.Vm.id g.Host.g_vm)));
+    Alcotest.test_case "pass-through guest pins a pool device" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin e
+        in
+        let pool = the_pool host in
+        let g =
+          Host.add_cl_vm host ~technique:Host.Passthrough ~device:1 ~name:"pt"
+        in
+        (match
+           Ava_hv.Hypervisor.attachment host.Host.hv
+             ~vm_id:(Ava_hv.Vm.id g.Host.g_vm)
+         with
+        | Some gpu ->
+            Alcotest.(check bool) "dedicated device 1" true
+              (gpu == Pool.gpu pool 1)
+        | None -> Alcotest.fail "attachment not recorded");
+        Engine.run_process e (fun () ->
+            Alcotest.(check bool) "native path works" true
+              (vec_add_ok g.Host.g_api 256));
+        Alcotest.(check bool) "work landed on device 1" true
+          (Gpu.kernels_executed (Pool.gpu pool 1) > 0);
+        Alcotest.(check int) "device 0 untouched" 0
+          (Gpu.kernels_executed (Pool.gpu pool 0)));
+  ]
+
+(* --- identity and determinism --------------------------------------------- *)
+
+let timed_bfs_run mk_host =
+  let e = Engine.create () in
+  let host = mk_host e in
+  let guest = Host.add_cl_vm host ~name:"guest" in
+  Engine.run_process e (fun () ->
+      (bench "bfs").Rodinia.run guest.Host.g_api;
+      Engine.now e)
+
+let identity_tests =
+  [
+    Alcotest.test_case "single-device pool is bit-identical to the classic \
+                        host" `Quick (fun () ->
+        let classic = timed_bfs_run (fun e -> Host.create_cl_host e) in
+        (* devices:1 without placement takes the classic branch... *)
+        let unpooled =
+          timed_bfs_run (fun e -> Host.create_cl_host ~devices:1 e)
+        in
+        Alcotest.(check int) "devices:1 is the classic host" classic unpooled;
+        (* ...and even the built pool must not perturb virtual time when
+           it has one device and no rebalancer. *)
+        let pooled =
+          timed_bfs_run (fun e ->
+              Host.create_cl_host ~devices:1 ~placement:Pool.Round_robin e)
+        in
+        Alcotest.(check int) "pooled devices:1 bit-identical" classic pooled);
+    Alcotest.test_case "same seed, same multi-device run" `Quick (fun () ->
+        let run () =
+          let e = Engine.create () in
+          let host =
+            Host.create_cl_host ~devices:4 ~placement:Pool.Least_loaded e
+          in
+          let pool = the_pool host in
+          let guests =
+            List.init 8 (fun i ->
+                Host.add_cl_vm host ~name:(Printf.sprintf "vm%d" i))
+          in
+          List.iteri
+            (fun i g ->
+              Engine.spawn e
+                ~name:(Printf.sprintf "app%d" i)
+                (fun () -> ignore (vec_add_ok g.Host.g_api (256 * (i + 1)))))
+            guests;
+          Engine.run e;
+          (Engine.now e, Pool.stats pool)
+        in
+        let t1, s1 = run () in
+        let t2, s2 = run () in
+        Alcotest.(check int) "virtual end time identical" t1 t2;
+        Alcotest.(check bool) "per-device stats identical" true (s1 = s2));
+  ]
+
+(* --- live migration ------------------------------------------------------- *)
+
+let migration_tests =
+  [
+    Alcotest.test_case "pool migration preserves handles and data" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin e
+        in
+        let pool = the_pool host in
+        let guest = Host.add_cl_vm host ~name:"mover" in
+        let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
+        let module CL = (val guest.Host.g_api) in
+        Engine.run_process e (fun () ->
+            let s = Clutil.open_session guest.Host.g_api in
+            let q = s.Clutil.queue in
+            let m = ok (CL.clCreateBuffer s.Clutil.context ~size:(mib 1)) in
+            let payload =
+              Bytes.init 4096 (fun i -> Char.chr ((i * 7) land 0xff))
+            in
+            ignore
+              (ok
+                 (CL.clEnqueueWriteBuffer q m ~blocking:true ~offset:64
+                    ~src:payload ~wait_list:[] ~want_event:false));
+            let k = List.hd (Clutil.build_kernels s [ ("mig", 1e5, 8.0) ]) in
+            ok (CL.clFinish q);
+            let moved = Pool.migrate_vm pool ~vm_id ~dest:1 in
+            Alcotest.(check bool) "payload bytes moved" true (moved >= 4096);
+            Alcotest.(check (option int)) "now resident on dev1" (Some 1)
+              (Pool.device_of pool ~vm_id);
+            (* The guest continues with its old handles on the new
+               device: data survived, the kernel handle still works. *)
+            let back, _ =
+              ok
+                (CL.clEnqueueReadBuffer q m ~blocking:true ~offset:64
+                   ~size:4096 ~wait_list:[] ~want_event:false)
+            in
+            Alcotest.(check bytes) "data survived" payload back;
+            Clutil.launch s k ~global:256 ~local:16;
+            ok (CL.clFinish q);
+            Alcotest.(check bool) "kernel ran on the destination" true
+              (Gpu.kernels_executed (Pool.gpu pool 1) > 0);
+            Alcotest.(check int) "one migration counted" 1
+              (Pool.migrations pool);
+            Alcotest.(check int) "flow re-steered" 1
+              (Router.resteered host.Host.router)));
+    Alcotest.test_case "replay onto a second device with live swap state"
+      `Quick (fun () ->
+        (* Satellite: Migrate.replay against a different destination
+           device while the source silo has live swap state — evicted
+           buffers must be snapshot/restored and the primary objects
+           (context, queue, kernel, buffers) remapped to their original
+           handles. *)
+        let e = Engine.create () in
+        let host = Host.create_cl_host ~swap_capacity:(mib 8) e in
+        let guest = Host.add_cl_vm host ~name:"swapper" in
+        let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
+        let module CL = (val guest.Host.g_api) in
+        Engine.run_process e (fun () ->
+            let s = Clutil.open_session guest.Host.g_api in
+            let q = s.Clutil.queue in
+            (* 4 x 4 MiB against an 8 MiB swap budget: live swap state
+               with at least two buffers evicted at migration time. *)
+            let bufs =
+              List.init 4 (fun _ ->
+                  ok (CL.clCreateBuffer s.Clutil.context ~size:(mib 4)))
+            in
+            List.iteri
+              (fun idx m ->
+                ignore
+                  (ok
+                     (CL.clEnqueueFillBuffer q m
+                        ~pattern:(Char.chr (Char.code 'a' + idx))
+                        ~offset:0 ~size:(mib 4) ~wait_list:[]
+                        ~want_event:false)))
+              bufs;
+            let k = List.hd (Clutil.build_kernels s [ ("swapk", 1e5, 8.0) ]) in
+            ok (CL.clSetKernelArg k ~index:0 (Arg_mem (List.hd bufs)));
+            ok (CL.clFinish q);
+            let sw = Option.get host.Host.swap in
+            Alcotest.(check bool) "swap state is live" true
+              (Swap.evictions sw > 0);
+            let dest_gpu = Gpu.create e in
+            let dest_kd = Ava_simcl.Kdriver.create dest_gpu in
+            let report = Migration.migrate host ~vm_id ~dest_kd in
+            Alcotest.(check int) "all four buffers restored" 4
+              report.Migration.buffers_restored;
+            Alcotest.(check bool) "replayed the setup calls" true
+              (report.Migration.replayed_calls >= 6);
+            (* Old handles address the re-bound objects on the new
+               device, evicted content included. *)
+            List.iteri
+              (fun idx m ->
+                let back, _ =
+                  ok
+                    (CL.clEnqueueReadBuffer q m ~blocking:true ~offset:0
+                       ~size:(mib 4) ~wait_list:[] ~want_event:false)
+                in
+                Alcotest.(check string)
+                  (Printf.sprintf "buffer %d content" idx)
+                  (String.make (mib 4) (Char.chr (Char.code 'a' + idx)))
+                  (Bytes.to_string back))
+              bufs;
+            Alcotest.(check string) "kernel handle remapped" "swapk"
+              (ok (CL.clGetKernelInfo k));
+            Clutil.launch s k ~global:256 ~local:16;
+            ok (CL.clFinish q);
+            Alcotest.(check bool) "kernel ran on the destination" true
+              (Gpu.kernels_executed dest_gpu > 0)));
+  ]
+
+(* --- device loss and evacuation ------------------------------------------- *)
+
+type evac_outcome = {
+  eo_clean_done_at : Time.t;
+  eo_victims_ok : int;
+  eo_victims_lost : int;  (** device-lost-class errors the victims saw *)
+  eo_evacuations : int;
+  eo_victim_devices : int option list;
+  eo_dev0_healthy : bool;
+  eo_report_evac : int;  (** evacuations via the Report pool section *)
+}
+
+(* Two devices: two victims pinned to dev0, a clean tenant alone on
+   dev1.  Mid-run, dev0 is lost for good; the victims must be evacuated
+   onto dev1 and complete there, seeing only device-lost-class errors on
+   the way.  The kill instant is seed-perturbed so the CI seed matrix
+   exercises different in-flight states. *)
+let evac_run ~seed () =
+  let e = Engine.create () in
+  let host = Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin e in
+  let pool = the_pool host in
+  let victims =
+    List.init 2 (fun i ->
+        Host.add_cl_vm host ~device:0 ~name:(Printf.sprintf "victim%d" i))
+  in
+  let clean = Host.add_cl_vm host ~device:1 ~name:"clean" in
+  let v_ok = ref 0 and v_lost = ref 0 and v_done = ref 0 in
+  let clean_done_at = ref None in
+  List.iteri
+    (fun i v ->
+      Engine.spawn e
+        ~name:(Printf.sprintf "victim-app%d" i)
+        (fun () ->
+          let module CL = (val v.Host.g_api) in
+          let s = Clutil.open_session v.Host.g_api in
+          let k = List.hd (Clutil.build_kernels s [ ("evac", 1e5, 8.0) ]) in
+          for _ = 1 to 12 do
+            Engine.delay (Time.us 300);
+            (match
+               CL.clEnqueueNDRangeKernel s.Clutil.queue k ~global_work_size:256
+                 ~local_work_size:16 ~wait_list:[] ~want_event:false
+             with
+            | Ok _ -> ()
+            | Error Device_not_available -> incr v_lost
+            | Error err ->
+                Alcotest.failf "victim enqueue: %s" (error_to_string err));
+            match CL.clFinish s.Clutil.queue with
+            | Ok () -> incr v_ok
+            | Error Device_not_available -> incr v_lost
+            | Error err ->
+                Alcotest.failf "victim finish: %s" (error_to_string err)
+          done;
+          incr v_done))
+    victims;
+  Engine.spawn e ~name:"clean-app" (fun () ->
+      (bench "bfs").Rodinia.run clean.Host.g_api;
+      clean_done_at := Some (Engine.now e));
+  Engine.spawn e ~name:"killer" (fun () ->
+      Engine.delay (Time.us (800 + (100 * (seed mod 7))));
+      Pool.kill_device pool ~device:0);
+  Engine.run e;
+  Alcotest.(check int) "both victims ran to completion" 2 !v_done;
+  let report = Report.snapshot host (clean :: victims) in
+  {
+    eo_clean_done_at =
+      (match !clean_done_at with
+      | Some t -> t
+      | None -> Alcotest.fail "clean VM hung");
+    eo_victims_ok = !v_ok;
+    eo_victims_lost = !v_lost;
+    eo_evacuations = Pool.evacuations pool;
+    eo_victim_devices =
+      List.map
+        (fun v -> Pool.device_of pool ~vm_id:(Ava_hv.Vm.id v.Host.g_vm))
+        victims;
+    eo_dev0_healthy = Pool.is_healthy pool 0;
+    eo_report_evac =
+      (match report.Report.r_pool with
+      | Some p -> p.Report.pl_evacuations
+      | None -> Alcotest.fail "pooled host reported no pool section");
+  }
+
+let evac_tests =
+  [
+    Alcotest.test_case "device loss evacuates residents onto the survivor"
+      `Slow (fun () ->
+        let solo = timed_bfs_run (fun e -> Host.create_cl_host e) in
+        let o = evac_run ~seed:chaos_seed () in
+        Alcotest.(check bool) "device 0 is gone" false o.eo_dev0_healthy;
+        Alcotest.(check int) "both residents evacuated" 2 o.eo_evacuations;
+        Alcotest.(check (list (option int))) "victims live on dev1"
+          [ Some 1; Some 1 ] o.eo_victim_devices;
+        Alcotest.(check bool) "victims made progress" true
+          (o.eo_victims_ok > 0);
+        Alcotest.(check int) "report agrees on evacuations" 2
+          o.eo_report_evac;
+        (* The clean tenant had dev1 to itself before the kill and only
+           shares with the tiny evacuated loops after: within 5% of a
+           solo fault-free run. *)
+        let ratio =
+          Time.to_float_ns o.eo_clean_done_at /. Time.to_float_ns solo
+        in
+        if ratio > 1.05 then
+          Alcotest.failf "clean VM degraded by %.1f%% (solo=%d shared=%d)"
+            ((ratio -. 1.0) *. 100.0)
+            solo o.eo_clean_done_at;
+        (* Same seed, same run: completion times, error counts and
+           placement are all bit-identical. *)
+        let o2 = evac_run ~seed:chaos_seed () in
+        Alcotest.(check bool) "same-seed runs identical" true (o = o2));
+  ]
+
+(* --- rebalancing ----------------------------------------------------------- *)
+
+(* Three identical tenants all pinned to dev0 of a two-device pool; a
+   second device sits idle.  Returns (last completion time, rebalance
+   migrations).  With the skew monitor armed, at least one tenant must
+   move to dev1 and the makespan must beat the static run. *)
+let skew_run ?rebalance () =
+  let e = Engine.create () in
+  let host = Host.create_cl_host ~devices:2 ?rebalance e in
+  let pool = the_pool host in
+  let guests =
+    List.init 3 (fun i ->
+        Host.add_cl_vm host ~device:0 ~name:(Printf.sprintf "heavy%d" i))
+  in
+  let done_at = Array.make 3 0 in
+  List.iteri
+    (fun i g ->
+      Engine.spawn e
+        ~name:(Printf.sprintf "heavy-app%d" i)
+        (fun () ->
+          (bench "bfs").Rodinia.run g.Host.g_api;
+          done_at.(i) <- Engine.now e))
+    guests;
+  if rebalance <> None then
+    Engine.spawn e ~name:"master" (fun () ->
+        let rec wait () =
+          if Array.exists (fun t -> t = 0) done_at then begin
+            Engine.delay (Time.us 100);
+            wait ()
+          end
+          else Pool.stop pool
+        in
+        wait ());
+  Engine.run e;
+  (Array.fold_left Stdlib.max 0 done_at, Pool.rebalances pool)
+
+let rebalance_tests =
+  [
+    Alcotest.test_case "skew monitor migrates load off the hot device" `Slow
+      (fun () ->
+        let t_static, r_static = skew_run () in
+        Alcotest.(check int) "static run never migrates" 0 r_static;
+        let t_rebal, r_rebal =
+          skew_run
+            ~rebalance:{ Pool.rb_interval = Time.us 500; rb_skew = 1.5 }
+            ()
+        in
+        Alcotest.(check bool) "at least one rebalance migration" true
+          (r_rebal >= 1);
+        if t_rebal >= t_static then
+          Alcotest.failf
+            "rebalancing did not beat static placement (static=%d rebal=%d)"
+            t_static t_rebal);
+    Alcotest.test_case "rebalance_now is a no-op on balanced load" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin e
+        in
+        let pool = the_pool host in
+        let guests =
+          List.init 2 (fun i ->
+              Host.add_cl_vm host ~name:(Printf.sprintf "vm%d" i))
+        in
+        Engine.run_process e (fun () ->
+            List.iter
+              (fun g -> ignore (vec_add_ok g.Host.g_api 512))
+              guests;
+            Alcotest.(check bool) "no migration" false
+              (Pool.rebalance_now pool));
+        Alcotest.(check int) "counter untouched" 0 (Pool.rebalances pool));
+  ]
+
+(* --- the administrator's view --------------------------------------------- *)
+
+let report_tests =
+  [
+    Alcotest.test_case "report carries the per-device section" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin e
+        in
+        let guests =
+          List.init 2 (fun i ->
+              Host.add_cl_vm host ~name:(Printf.sprintf "vm%d" i))
+        in
+        Engine.run_process e (fun () ->
+            List.iter
+              (fun g -> ignore (vec_add_ok g.Host.g_api 512))
+              guests);
+        let r = Report.snapshot host guests in
+        Alcotest.(check int) "two device rows" 2
+          (List.length r.Report.r_devices);
+        (match r.Report.r_pool with
+        | None -> Alcotest.fail "pool section missing"
+        | Some p ->
+            Alcotest.(check int) "device count" 2 p.Report.pl_devices;
+            Alcotest.(check string) "placement" "round-robin"
+              p.Report.pl_placement);
+        List.iteri
+          (fun i d ->
+            Alcotest.(check int) (Printf.sprintf "dev%d id" i) i
+              d.Report.dv_id;
+            Alcotest.(check (list int))
+              (Printf.sprintf "dev%d residents" i)
+              [ i + 1 ] d.Report.dv_resident;
+            Alcotest.(check bool)
+              (Printf.sprintf "dev%d executed calls" i)
+              true (d.Report.dv_executed > 0))
+          r.Report.r_devices;
+        (* Scalar counters aggregate over the pool. *)
+        Alcotest.(check int) "executed sums the per-device rows"
+          (List.fold_left
+             (fun acc d -> acc + d.Report.dv_executed)
+             0 r.Report.r_devices)
+          r.Report.r_executed;
+        let rendered = Report.to_string r in
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "pool line rendered" true
+          (contains rendered "pool:"));
+    Alcotest.test_case "classic host has no pool section" `Quick (fun () ->
+        let e = Engine.create () in
+        let host = Host.create_cl_host e in
+        let guest = Host.add_cl_vm host ~name:"solo" in
+        Engine.run_process e (fun () ->
+            ignore (vec_add_ok guest.Host.g_api 256));
+        let r = Report.snapshot host [ guest ] in
+        Alcotest.(check bool) "no pool" true (r.Report.r_pool = None);
+        Alcotest.(check (list int)) "no device rows" []
+          (List.map (fun d -> d.Report.dv_id) r.Report.r_devices));
+  ]
+
+let () =
+  Alcotest.run "ava_pool"
+    [
+      ("wfq", wfq_tests);
+      ("placement", placement_tests);
+      ("identity", identity_tests);
+      ("migration", migration_tests);
+      ("evacuation", evac_tests);
+      ("rebalance", rebalance_tests);
+      ("report", report_tests);
+    ]
