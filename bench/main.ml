@@ -15,6 +15,7 @@
      automation-metrics         §5 developer-effort metrics (E8)
      transport-sweep            pluggable-transport ablation
      pool-scaling               device-pool throughput + rebalancing
+     simcore                    DES engine self-benchmark (events/s, allocs)
      microbench                 Bechamel microbenchmarks (E9)
 *)
 
@@ -918,6 +919,154 @@ let remoting_cache () =
   emit_bench_json ~capacity:cl_capacity rows;
   Fmt.pr "wrote BENCH_remoting.json@."
 
+(* ------------------------------------------------ simulator core bench -- *)
+
+(* Self-benchmark of the discrete-event core itself: wall-clock events/s,
+   ns/event and allocated bytes/event (via [Gc.allocated_bytes]) on three
+   microloads — pure timers (heap-only traffic), channel ping-pong
+   (immediate handoff traffic) and a mixed Rodinia replay through the
+   full remoting stack.  Virtual-time results of every load are
+   deterministic; only the wall-clock and allocation columns vary by
+   machine, which is why the CI gate for this experiment runs with a
+   wide tolerance (allocations are near-exact; wall-clock is not). *)
+
+(* Pre-refactor reference numbers for the pure-timer load, measured on
+   the same machine immediately before the flat-heap/immediate-queue
+   rework of lib/sim landed (entry-record heap, closure payloads,
+   Option-allocating pop).  Kept so BENCH_simcore.json carries the
+   speedup evidence for the refactor. *)
+let prerefactor_pure_timer_ns_per_event = 285.3
+let prerefactor_pure_timer_alloc_bytes_per_event = 192.0
+
+let simcore_pure_timer () =
+  let procs = 256 and iters = 4096 in
+  let e = Engine.create () in
+  for p = 0 to procs - 1 do
+    Engine.spawn e (fun () ->
+        for i = 1 to iters do
+          Engine.delay (100 + ((p + i) mod 16))
+        done)
+  done;
+  Engine.run e;
+  Engine.events_executed e
+
+let simcore_ping_pong () =
+  let rounds = 200_000 in
+  let e = Engine.create () in
+  let req = Channel.create ~capacity:1 () in
+  let resp = Channel.create ~capacity:1 () in
+  Engine.spawn e (fun () ->
+      for i = 1 to rounds do
+        Channel.send req i;
+        ignore (Channel.recv resp)
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to rounds do
+        Channel.send resp (Channel.recv req)
+      done);
+  Engine.run e;
+  Engine.events_executed e
+
+let simcore_rodinia_replay () =
+  let b = Option.get (Rodinia.find "bfs") in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      let host = Host.create_cl_host e in
+      let guest = Host.add_cl_vm host ~name:"replay" in
+      b.Rodinia.run guest.Host.g_api);
+  Engine.run e;
+  Engine.events_executed e
+
+(* Best-of-[reps] wall time; allocations from the same rep as the best
+   wall time (they are identical across reps up to GC noise anyway). *)
+let simcore_measure ?(reps = 3) f =
+  let best = ref infinity and alloc = ref 0.0 and events = ref 0 in
+  for _ = 1 to reps do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let n = f () in
+    let t1 = Unix.gettimeofday () in
+    let a1 = Gc.allocated_bytes () in
+    if t1 -. t0 < !best then begin
+      best := t1 -. t0;
+      alloc := a1 -. a0;
+      events := n
+    end
+  done;
+  (!events, !best, !alloc)
+
+let simcore () =
+  section "Simcore | DES hot-path self-benchmark (events/s, allocs/event)";
+  Fmt.pr
+    "wall-clock throughput of lib/sim itself; virtual-time outputs are \
+     deterministic@.";
+  hr ();
+  Fmt.pr "%-16s %12s %12s %12s %14s@." "load" "events" "ns/event"
+    "Mevents/s" "allocB/event";
+  let loads =
+    [
+      ("pure-timer", simcore_pure_timer);
+      ("channel-ping-pong", simcore_ping_pong);
+      ("rodinia-replay", simcore_rodinia_replay);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let events, wall_s, alloc_bytes = simcore_measure f in
+        let ns_per_event = wall_s *. 1e9 /. float_of_int events in
+        let events_per_s = float_of_int events /. wall_s in
+        let alloc_per_event = alloc_bytes /. float_of_int events in
+        Fmt.pr "%-16s %12d %12.1f %12.2f %14.1f@." name events ns_per_event
+          (events_per_s /. 1e6) alloc_per_event;
+        (name, events, ns_per_event, events_per_s, alloc_per_event))
+      loads
+  in
+  hr ();
+  let _, _, pt_ns, _, pt_alloc =
+    List.find (fun (n, _, _, _, _) -> n = "pure-timer") rows
+  in
+  let speedup = prerefactor_pure_timer_ns_per_event /. pt_ns in
+  let alloc_reduction =
+    prerefactor_pure_timer_alloc_bytes_per_event /. pt_alloc
+  in
+  Fmt.pr
+    "pure-timer vs pre-refactor core: %.2fx events/s, %.2fx fewer \
+     alloc bytes/event@."
+    speedup alloc_reduction;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "simcore");
+        ( "loads",
+          Json.List
+            (List.map
+               (fun (name, events, ns_per_event, events_per_s, alloc_per_event)
+                  ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("events", Json.Int events);
+                     ("ns_per_event", Json.Float ns_per_event);
+                     ("events_per_s", Json.Float events_per_s);
+                     ("alloc_bytes_per_event", Json.Float alloc_per_event);
+                   ])
+               rows) );
+        ( "prerefactor_pure_timer",
+          Json.Obj
+            [
+              ( "ns_per_event",
+                Json.Float prerefactor_pure_timer_ns_per_event );
+              ( "alloc_bytes_per_event",
+                Json.Float prerefactor_pure_timer_alloc_bytes_per_event );
+            ] );
+        ("pure_timer_speedup_vs_prerefactor", Json.Float speedup);
+        ("pure_timer_alloc_reduction_vs_prerefactor", Json.Float alloc_reduction);
+      ]
+  in
+  write_json "BENCH_simcore.json" json;
+  Fmt.pr "wrote BENCH_simcore.json@."
+
 (* ---------------------------------------------------------------- E9 -- *)
 
 let microbench () =
@@ -994,6 +1143,7 @@ let experiments =
     ("policy-overhead", policy_overhead);
     ("transport-sweep", transport_sweep);
     ("remoting-cache", remoting_cache);
+    ("simcore", simcore);
     ("microbench", microbench);
   ]
 

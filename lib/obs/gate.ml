@@ -42,10 +42,12 @@ let flatten json =
 
 (* {1 Gated metrics} *)
 
-(* Only lower-is-better latency metrics are gated: the end-to-end
-   ratios the paper's Fig. 5 band is stated in, and the per-phase
-   p50/p95 the tentpole adds.  Counters, byte totals etc. are reported
-   but never fail the gate. *)
+(* Only lower-is-better metrics are gated: the end-to-end ratios the
+   paper's Fig. 5 band is stated in, the per-phase p50/p95, and the
+   simcore self-benchmark's per-event cost and allocation rate.
+   Counters, byte totals, events/s etc. are reported but never fail
+   the gate (events/s is higher-is-better; its inverse ns_per_event is
+   the gated form). *)
 let gated_suffixes =
   [
     "relative";
@@ -55,6 +57,8 @@ let gated_suffixes =
     "max_relative";
     "p50_ns";
     "p95_ns";
+    "ns_per_event";
+    "alloc_bytes_per_event";
   ]
 
 let is_gated path =
@@ -65,13 +69,17 @@ let is_gated path =
   in
   List.mem leaf gated_suffixes
 
-(* Sub-microsecond phases can double from scheduling accidents without
+(* Sub-microsecond phases (and the simcore per-event wall cost, which
+   sits around 100 ns) can double from scheduling accidents without
    meaning anything; absolute slack keeps the gate quiet on them. *)
 let ns_noise_floor = 100.0
 
 let is_ns_metric path =
-  String.length path >= 3
-  && String.sub path (String.length path - 3) 3 = "_ns"
+  let ends_with suffix =
+    let n = String.length path and m = String.length suffix in
+    n >= m && String.sub path (n - m) m = suffix
+  in
+  ends_with "_ns" || ends_with "ns_per_event"
 
 type status = Ok | Regressed | New_metric | Missing_metric
 

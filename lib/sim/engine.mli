@@ -50,7 +50,8 @@ val yield : unit -> unit
 
 val run : ?until:Time.t -> t -> unit
 (** Drain the event queue.  With [~until], stop once the next event lies
-    beyond the horizon; the clock advances to the horizon and pending
+    beyond the horizon; the clock advances to the horizon (also when the
+    queue is empty or drains early, and never backwards) and pending
     events remain for a later [run]. *)
 
 val run_process : t -> (unit -> 'a) -> 'a
@@ -63,3 +64,7 @@ val run_process : t -> (unit -> 'a) -> 'a
 val live_processes : t -> int
 val spawned : t -> int
 val pending_events : t -> int
+
+val events_executed : t -> int
+(** Total events dispatched by {!run} since {!create} — the
+    denominator for the simcore wall-clock metrics. *)

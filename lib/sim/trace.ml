@@ -22,14 +22,17 @@ let is_enabled t = t.enabled
 
 let record t ~at ~category fmt =
   if not t.enabled then Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else if t.count >= t.limit then begin
+    (* Over the cap the event is dropped unformatted: counting it is
+       one increment, not a kasprintf rendering of a discarded string. *)
+    t.dropped <- t.dropped + 1;
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  end
   else
     Format.kasprintf
       (fun message ->
-        if t.count < t.limit then begin
-          t.events <- { at; category; message } :: t.events;
-          t.count <- t.count + 1
-        end
-        else t.dropped <- t.dropped + 1)
+        t.events <- { at; category; message } :: t.events;
+        t.count <- t.count + 1)
       fmt
 
 let events t = List.rev t.events

@@ -360,7 +360,13 @@ let gate_tests =
         Alcotest.(check bool) "native_ns" false (Gate.is_gated "a/native_ns");
         Alcotest.(check bool) "count" false (Gate.is_gated "a/count");
         Alcotest.(check bool) "p95" true (Gate.is_gated "a/b/p95_ns");
-        Alcotest.(check bool) "relative" true (Gate.is_gated "rows/x/relative"));
+        Alcotest.(check bool) "relative" true (Gate.is_gated "rows/x/relative");
+        Alcotest.(check bool) "ns/event" true
+          (Gate.is_gated "simcore/loads/pure-timer/ns_per_event");
+        Alcotest.(check bool) "allocB/event" true
+          (Gate.is_gated "simcore/loads/pure-timer/alloc_bytes_per_event");
+        Alcotest.(check bool) "events/s never gates" false
+          (Gate.is_gated "simcore/loads/pure-timer/events_per_s"));
   ]
 
 (* ---------------------------------------- armed == disarmed timing -- *)
@@ -406,7 +412,11 @@ let identity_tests =
         let plain = Driver.profile_cl ~sync_only:true b.Rodinia.run in
         let armed = Driver.profile_cl ~sync_only:true ~obs:true b.Rodinia.run in
         Alcotest.(check int) "bit-identical end time" plain.Driver.pr_ns
-          armed.Driver.pr_ns);
+          armed.Driver.pr_ns;
+        Alcotest.(check int) "same wire bytes" plain.Driver.pr_wire_bytes
+          armed.Driver.pr_wire_bytes;
+        Alcotest.(check bool) "armed run attributed phases" true
+          (armed.Driver.pr_phases <> []));
     Alcotest.test_case "mvnc path: obs does not perturb timing" `Quick
       (fun () ->
         let program = Inception.run ~inferences:3 in

@@ -66,6 +66,91 @@ let heap_tests =
              | Some e -> drain (e.Heap.key :: acc)
            in
            drain [] = List.sort compare keys));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"heap matches sorted-list model under push/pop interleavings"
+         ~count:300
+         QCheck.(list (pair bool (int_range 0 15)))
+         (fun ops ->
+           (* Model: a stably sorted assoc list of (key, seq); the heap
+              must pop in exactly (key, seq) order, so same-key entries
+              fire in insertion order. *)
+           let h = Heap.create () in
+           let model = ref [] in
+           let seq = ref 0 in
+           let insert k s =
+             let rec go = function
+               | (k', s') :: rest when k' < k || (k' = k && s' < s) ->
+                   (k', s') :: go rest
+               | rest -> (k, s) :: rest
+             in
+             model := go !model
+           in
+           let pop_matches () =
+             match (Heap.pop h, !model) with
+             | None, [] -> true
+             | Some e, (k', s') :: rest ->
+                 model := rest;
+                 e.Heap.key = k' && e.Heap.seq = s' && e.Heap.payload = s'
+             | _ -> false
+           in
+           List.for_all
+             (fun (is_push, k) ->
+               if is_push then begin
+                 incr seq;
+                 Heap.add h ~key:k ~seq:!seq !seq;
+                 insert k !seq;
+                 true
+               end
+               else pop_matches ())
+             ops
+           &&
+           (* Drain whatever is left; sizes must agree throughout. *)
+           let rec drain () =
+             Heap.size h = List.length !model
+             && ((Heap.is_empty h && !model = []) || (pop_matches () && drain ()))
+           in
+           drain ()));
+    Alcotest.test_case "popped payloads are not retained" `Quick (fun () ->
+        (* Regression: the old [pop] left the payload behind in the
+           backing array, pinning every popped closure (and whatever it
+           captured) until the slot was overwritten. *)
+        let h : bytes Heap.t = Heap.create () in
+        let w = Weak.create 8 in
+        for i = 0 to 7 do
+          let payload = Bytes.make 4096 'x' in
+          Weak.set w i (Some payload);
+          Heap.add h ~key:(i * 3 mod 7) ~seq:i payload
+        done;
+        while Heap.pop h <> None do
+          ()
+        done;
+        Gc.full_major ();
+        for i = 0 to 7 do
+          Alcotest.(check bool)
+            (Printf.sprintf "payload %d collected" i)
+            false (Weak.check w i)
+        done;
+        (* Keep the (empty) heap itself alive past the checks. *)
+        Alcotest.(check int) "drained" 0 (Heap.size h));
+    Alcotest.test_case "drained heap retains no live words" `Quick (fun () ->
+        let h : bytes Heap.t = Heap.create () in
+        Gc.full_major ();
+        let base = (Gc.stat ()).Gc.live_words in
+        for i = 0 to 63 do
+          Heap.add h ~key:(i * 7 mod 13) ~seq:i (Bytes.make 4096 'x')
+        done;
+        while Heap.pop h <> None do
+          ()
+        done;
+        Gc.full_major ();
+        let after = (Gc.stat ()).Gc.live_words in
+        (* The 64 x 4 KiB payloads alone would be ~32k words; a drained
+           heap must hold none of them.  The slack covers the heap's own
+           int arrays and allocator noise. *)
+        Alcotest.(check bool) "live words back to baseline" true
+          (after - base < 16_384);
+        Alcotest.(check int) "still empty" 0 (Heap.size h));
   ]
 
 let engine_tests =
@@ -110,6 +195,43 @@ let engine_tests =
         Alcotest.(check int) "clock at horizon" 150 (Engine.now e);
         Engine.run e;
         Alcotest.(check int) "rest fired" 2 !fired);
+    Alcotest.test_case "run ~until on empty engine advances clock" `Quick
+      (fun () ->
+        (* Regression: with nothing queued the clock used to stay at 0
+           instead of advancing to the horizon. *)
+        let e = Engine.create () in
+        Engine.run ~until:500 e;
+        Alcotest.(check int) "clock at horizon" 500 (Engine.now e));
+    Alcotest.test_case "run ~until after drain advances clock" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~at:100 (fun () -> ());
+        Engine.run e;
+        Alcotest.(check int) "drained at 100" 100 (Engine.now e);
+        Engine.run ~until:300 e;
+        Alcotest.(check int) "advanced to horizon" 300 (Engine.now e);
+        (* A horizon in the past never moves the clock backwards. *)
+        Engine.run ~until:50 e;
+        Alcotest.(check int) "clock never rewinds" 300 (Engine.now e));
+    Alcotest.test_case "same instant drains heap, wheel, ring in seq order"
+      `Quick (fun () ->
+        (* Three events land on instant 2000 via the three internal
+           containers: scheduled from t=0 at distance 2000 (min-heap),
+           from t=1500 at distance 500 (calendar wheel), and during the
+           instant itself (immediate ring).  Sequence numbers are
+           monotonic, so draining heap -> wheel -> ring per instant is
+           exactly (time, seq) order. *)
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~at:2000 (fun () ->
+            log := "heap" :: !log;
+            Engine.schedule e ~at:2000 (fun () -> log := "ring" :: !log));
+        Engine.schedule e ~at:1500 (fun () ->
+            Engine.schedule e ~at:2000 (fun () -> log := "wheel" :: !log));
+        Engine.run e;
+        Alcotest.(check (list string))
+          "container drain order" [ "heap"; "wheel"; "ring" ] (List.rev !log);
+        Alcotest.(check int) "clock" 2000 (Engine.now e));
     Alcotest.test_case "processes interleave deterministically" `Quick
       (fun () ->
         let e = Engine.create () in
@@ -270,6 +392,50 @@ let channel_tests =
         Alcotest.(check bool) "send ok" true (Channel.try_send c 1);
         Alcotest.(check bool) "send full" false (Channel.try_send c 2);
         Alcotest.(check (option int)) "recv" (Some 1) (Channel.try_recv c));
+    Alcotest.test_case "parked receivers wake oldest-first" `Quick (fun () ->
+        (* Five receivers park before any send; each send must hand its
+           value to the longest-waiting receiver (FIFO), so receiver i
+           gets value 100+i. *)
+        let e = Engine.create () in
+        let c = Channel.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Engine.spawn e (fun () ->
+              let v = Channel.recv c in
+              log := (i, v) :: !log)
+        done;
+        Engine.spawn e (fun () ->
+            Engine.delay 10;
+            for v = 101 to 105 do
+              Channel.send c v
+            done);
+        Engine.run e;
+        Alcotest.(check (list (pair int int)))
+          "fifo wake order"
+          [ (1, 101); (2, 102); (3, 103); (4, 104); (5, 105) ]
+          (List.rev !log));
+    Alcotest.test_case "parked senders wake oldest-first" `Quick (fun () ->
+        let e = Engine.create () in
+        let c = Channel.create ~capacity:1 () in
+        let completed = ref [] in
+        for i = 1 to 5 do
+          Engine.spawn e (fun () ->
+              Channel.send c i;
+              completed := i :: !completed)
+        done;
+        let got = ref [] in
+        Engine.spawn e (fun () ->
+            Engine.delay 10;
+            for _ = 1 to 5 do
+              got := Channel.recv c :: !got;
+              Engine.delay 1
+            done);
+        Engine.run e;
+        Alcotest.(check (list int))
+          "messages in send order" [ 1; 2; 3; 4; 5 ] (List.rev !got);
+        Alcotest.(check (list int))
+          "senders complete oldest-first" [ 1; 2; 3; 4; 5 ]
+          (List.rev !completed));
     Alcotest.test_case "closed channel raises on send" `Quick (fun () ->
         let c = Channel.create () in
         Channel.close c;
@@ -403,6 +569,21 @@ let stats_tests =
              90.0));
     Alcotest.test_case "geomean" `Quick (fun () ->
         Alcotest.(check (float 1e-9)) "gm" 4.0 (Stats.geomean [ 2.0; 8.0 ]));
+    Alcotest.test_case "summarize golden values" `Quick (fun () ->
+        (* Golden check that the single-sort [summarize] matches the
+           values the sort-per-percentile version produced. *)
+        let s =
+          Stats.summarize [ 5.0; 1.0; 4.0; 1.0; 3.0; 9.0; 2.0; 6.0; 5.0; 3.0 ]
+        in
+        Alcotest.(check int) "count" 10 s.Stats.count;
+        Alcotest.(check (float 1e-9)) "sum" 39.0 s.Stats.sum;
+        Alcotest.(check (float 1e-9)) "avg" 3.9 s.Stats.avg;
+        Alcotest.(check (float 1e-6)) "std" 2.469817807 s.Stats.std;
+        Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.minimum;
+        Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.maximum;
+        Alcotest.(check (float 1e-9)) "p50" 3.5 s.Stats.p50;
+        Alcotest.(check (float 1e-9)) "p95" 7.65 s.Stats.p95;
+        Alcotest.(check (float 1e-9)) "p99" 8.73 s.Stats.p99);
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"percentile lies within sample range" ~count:200
          QCheck.(
