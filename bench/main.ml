@@ -84,6 +84,55 @@ let fig5_opencl () =
   in
   Fmt.pr "mean relative runtime: %.3f   (paper ~1.08)@." (Driver.mean rows);
   Fmt.pr "max  relative runtime: %.3f   (paper <=1.16)@." max_rel;
+  (* Zero-copy ablation: rerun the two large-buffer benchmarks with SVA
+     and doorbell coalescing armed; the headline metric is the combined
+     marshal+doorbell+transport p50, which the mapped-ref wire frames
+     are supposed to collapse. *)
+  hr ();
+  let tm_phases = [ "marshal"; "doorbell"; "transport" ] in
+  let transport_marshal_p50 (p : Driver.profile) =
+    List.fold_left
+      (fun acc (name, s) ->
+        if List.mem name tm_phases then acc +. s.Ava_obs.Hist.h_p50_ns
+        else acc)
+      0.0 p.Driver.pr_phases
+  in
+  let sva_entries =
+    List.filter_map
+      (fun (b : Rodinia.benchmark) ->
+        if not (List.mem b.Rodinia.name [ "gaussian"; "srad" ]) then None
+        else
+          let _, base =
+            List.find
+              (fun (r, _) -> r.Driver.row_name = b.Rodinia.name)
+              entries
+          in
+          let sva =
+            Driver.profile_cl ~obs:true ~sva:true
+              ~doorbell:Transport.default_doorbell b.Rodinia.run
+          in
+          let base_p50 = transport_marshal_p50 base in
+          let sva_p50 = transport_marshal_p50 sva in
+          let reduction =
+            if base_p50 > 0.0 then 1.0 -. (sva_p50 /. base_p50) else 0.0
+          in
+          Fmt.pr
+            "%-12s transport+marshal p50: base=%.0fns sva=%.0fns (-%.1f%%)@."
+            b.Rodinia.name base_p50 sva_p50 (100.0 *. reduction);
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String b.Rodinia.name);
+                 ("sva_ns", Json.Int sva.Driver.pr_ns);
+                 ("transport_marshal_p50_ns", Json.Float sva_p50);
+                 ( "base_transport_marshal_p50_ns",
+                   Json.Float base_p50 (* reported, never gated *) );
+                 ("reduction_pct", Json.Float (100.0 *. reduction));
+                 ("wire_bytes", Json.Int sva.Driver.pr_wire_bytes);
+                 ("phases", profile_phases sva);
+               ]))
+      Rodinia.all
+  in
   let json =
     Json.Obj
       [
@@ -104,6 +153,7 @@ let fig5_opencl () =
                entries) );
         ("mean_relative", Json.Float (Driver.mean rows));
         ("max_relative", Json.Float max_rel);
+        ("sva", Json.List sva_entries);
       ]
   in
   write_json "BENCH_fig5_opencl.json" json;

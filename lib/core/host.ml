@@ -64,6 +64,10 @@ type cl_host = {
   obs : Obs.t option;
   pool : Cl_handlers.state Pool.t option;
       (** the device pool; [None] on a classic single-device host *)
+  sva : bool;  (** zero-copy data path: per-VM IOMMUs + mapped refs *)
+  doorbell : Transport.doorbell_cfg option;
+      (** doorbell coalescing on each guest's shm-ring send side *)
+  iommus : (int, Iommu.t) Hashtbl.t;  (** per-VM IOMMU when [sva] *)
 }
 
 type cl_guest = {
@@ -134,7 +138,8 @@ let pool_live_buffers recorder =
    [Migration.migrate], but across two servers instead of one server's
    state swap.  Must run inside a simulation process. *)
 let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
-    ~(kds : Ava_simcl.Kdriver.t array) ~vm_id ~src ~dst =
+    ~(kds : Ava_simcl.Kdriver.t array) ~iommus ~(gpus : Gpu.t array) ~vm_id
+    ~src ~dst =
   let src_srv = servers.(src) and dst_srv = servers.(dst) in
   let recorder =
     match Hashtbl.find_opt recorders vm_id with
@@ -152,6 +157,16 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
   (* The content store belongs to the source front-end; the guest's
      stale refs heal through the cache-miss NAK/resend path. *)
   Server.flush_cache src_srv ~vm_id;
+  (* SVA: the guest's pinned regions survive (its memory didn't move),
+     but the source device's cached translations must die and resolution
+     must re-point at the destination device — one batched shootdown,
+     then every region refaults on first access from the new device. *)
+  (match Hashtbl.find_opt iommus vm_id with
+  | Some iommu ->
+      Iommu.quiesce iommu;
+      Server.clear_sva src_srv ~vm_id;
+      Server.set_sva dst_srv ~vm_id ~iommu ~dma:(Gpu.dma gpus.(dst))
+  | None -> ());
   let bytes_moved = ref 0 in
   let snapshot =
     List.filter_map
@@ -235,8 +250,8 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
    Swapping composes with single-device hosts only. *)
 let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
-    ?(transfer_cache = 0) ?(tracing = false) ?devfaults ?tdr ?obs
-    ?(devices = 1) ?placement ?rebalance engine =
+    ?(transfer_cache = 0) ?(sva = false) ?doorbell ?(tracing = false)
+    ?devfaults ?tdr ?obs ?(devices = 1) ?placement ?rebalance engine =
   if devices < 1 then invalid_arg "create_cl_host: devices must be >= 1";
   let pooled = devices > 1 || placement <> None || rebalance <> None in
   let trace = Ava_sim.Trace.create ~enabled:tracing () in
@@ -286,7 +301,7 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     let recorders = Hashtbl.create 8 in
     install_recorder_hook server ~plan ~recorders;
     { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace;
-      obs; pool = None }
+      obs; pool = None; sva; doorbell; iommus = Hashtbl.create 8 }
   end
   else begin
     if swap_capacity <> None then
@@ -328,15 +343,17 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
           server)
     in
     let router = Router.create ~trace ?obs engine ~virt ~plan in
+    let iommus = Hashtbl.create 8 in
     let pool =
       Pool.create ~trace engine ~router ~placement
-        ~transfer:(pool_transfer ~recorders ~servers ~kds)
+        ~transfer:(pool_transfer ~recorders ~servers ~kds ~iommus ~gpus)
         (Array.to_list
            (Array.init devices (fun i -> (gpus.(i), servers.(i)))))
     in
     Option.iter (fun config -> Pool.start_rebalancer ~config pool) rebalance;
     { engine; gpu = gpus.(0); hv; plan; spec; router; server = servers.(0);
-      kd = kds.(0); swap = None; recorders; trace; obs; pool = Some pool }
+      kd = kds.(0); swap = None; recorders; trace; obs; pool = Some pool;
+      sva; doorbell; iommus }
   end
 
 (* Attach one guest VM with the chosen technique and policies.
@@ -369,6 +386,17 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
   let vm = Ava_hv.Hypervisor.create_vm t.hv ~name in
   let vm_id = Ava_hv.Vm.id vm in
   Hashtbl.replace t.recorders vm_id (Migrate.create ());
+  (* SVA: one IOMMU (device address space) per remoted guest.  The stub
+     pins through it; whichever server currently fronts the VM's device
+     resolves through it. *)
+  let iommu =
+    if t.sva then begin
+      let i = Iommu.create t.engine in
+      Hashtbl.replace t.iommus vm_id i;
+      Some i
+    end
+    else None
+  in
   (* Dedicated-device techniques pin a pool device ([device], default
      0); on a classic host there is only the one GPU. *)
   let pinned_gpu () =
@@ -396,9 +424,13 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       | Some f -> Faults.wrap f (guest_end, server_end)
       | None -> ());
       ignore (Server.attach_vm t.server ~vm_id ~ep:server_end);
+      Option.iter
+        (fun i ->
+          Server.set_sva t.server ~vm_id ~iommu:i ~dma:(Gpu.dma t.gpu))
+        iommu;
       let stub =
-        Stub.create ~batch_limit ?retry ?cache ?obs:t.obs t.engine ~vm_id
-          ~plan:t.plan ~ep:guest_end
+        Stub.create ~batch_limit ?retry ?cache ?sva:iommu ?obs:t.obs t.engine
+          ~vm_id ~plan:t.plan ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;
@@ -421,6 +453,12 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
       (match faults with
       | Some f -> Faults.wrap f (guest_end, router_guest_end)
       | None -> ());
+      (* Doorbell coalescing lives on the guest's ring send side — the
+         direction whose notify is a hypercall.  Other transports (and
+         the host-internal router↔server queue) keep eager notifies. *)
+      (match (t.doorbell, kind) with
+      | Some cfg, Transport.Shm_ring -> Transport.set_doorbell ~cfg guest_end
+      | _ -> ());
       (* Hop 2: router <-> server over a host-internal queue. *)
       let router_server_end, server_end = Transport.direct t.engine in
       ignore
@@ -429,9 +467,18 @@ let add_cl_vm ?(technique = Ava Transport.Shm_ring) ?(batching = false)
            ~breaker_statuses:cl_fault_statuses ~backend t.router vm
            ~guest_side:router_guest_end ~server_side:router_server_end);
       ignore (Server.attach_vm server ~vm_id ~ep:server_end);
+      Option.iter
+        (fun i ->
+          let backend_gpu =
+            match t.pool with
+            | Some pool -> Pool.gpu pool backend
+            | None -> t.gpu
+          in
+          Server.set_sva server ~vm_id ~iommu:i ~dma:(Gpu.dma backend_gpu))
+        iommu;
       let stub =
-        Stub.create ~batch_limit ?retry ?cache ?obs:t.obs t.engine ~vm_id
-          ~plan:t.plan ~ep:guest_end
+        Stub.create ~batch_limit ?retry ?cache ?sva:iommu ?obs:t.obs t.engine
+          ~vm_id ~plan:t.plan ~ep:guest_end
       in
       let api, remote = Cl_remote.create stub in
       ignore remote;
@@ -457,6 +504,12 @@ type nc_host = {
   nc_router : Router.t;
   nc_server : Nc_handlers.state Server.t;
   nc_obs : Obs.t option;
+  nc_sva : bool;
+  nc_doorbell : Transport.doorbell_cfg option;
+  nc_dma : Dma.t option;
+      (* standalone DMA model for SVA scatter-gather charges: Ncs moves
+         data over USB and exposes no Dma.t of its own *)
+  nc_iommus : (int, Iommu.t) Hashtbl.t;
 }
 
 type nc_guest = {
@@ -472,8 +525,8 @@ let load_nc_plan () =
   | Error e -> failwith ("mvnc plan compilation failed: " ^ e)
 
 let create_nc_host ?(virt = Timing.default_virt)
-    ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) ?devfaults ?tdr
-    ?obs engine =
+    ?(ncs_timing = Timing.movidius) ?(transfer_cache = 0) ?(sva = false)
+    ?doorbell ?devfaults ?tdr ?obs engine =
   let dev = Ncs.create ~timing:ncs_timing ?devfault:devfaults engine in
   let hv = Ava_hv.Hypervisor.create ~virt engine in
   let _spec, plan = load_nc_plan () in
@@ -505,6 +558,13 @@ let create_nc_host ?(virt = Timing.default_virt)
     nc_router = router;
     nc_server = server;
     nc_obs = obs;
+    nc_sva = sva;
+    nc_doorbell = doorbell;
+    (* SVA resolution never streams through this engine (stream:false),
+       so only the descriptor-setup cost matters; GPU PCIe numbers are a
+       fine stand-in for the host-side DMA block. *)
+    nc_dma = (if sva then Some (Dma.of_gpu_timing Timing.gtx1080) else None);
+    nc_iommus = Hashtbl.create 8;
   }
 
 (* NCS fault budget: server device-lost plus the MVNC-level GONE status
@@ -521,20 +581,32 @@ let add_nc_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight ?breaker t
   let vm_id = Ava_hv.Vm.id vm in
   let virt = Ava_hv.Hypervisor.virt t.nc_hv in
   let guest_end, router_guest_end = Transport.make transport t.nc_engine ~virt in
+  (match (t.nc_doorbell, transport) with
+  | Some cfg, Transport.Shm_ring -> Transport.set_doorbell ~cfg guest_end
+  | _ -> ());
   let router_server_end, server_end = Transport.direct t.nc_engine in
   ignore
     (Router.attach_vm ?rate_per_s ?weight ?breaker
        ~breaker_statuses:nc_fault_statuses t.nc_router vm
        ~guest_side:router_guest_end ~server_side:router_server_end);
   ignore (Server.attach_vm t.nc_server ~vm_id ~ep:server_end);
+  let iommu =
+    match (t.nc_sva, t.nc_dma) with
+    | true, Some dma ->
+        let i = Iommu.create t.nc_engine in
+        Hashtbl.replace t.nc_iommus vm_id i;
+        Server.set_sva t.nc_server ~vm_id ~iommu:i ~dma;
+        Some i
+    | _ -> None
+  in
   let cache =
     match Server.cache_capacity t.nc_server with
     | 0 -> None
     | capacity -> Some (Stub.cache_for_capacity capacity)
   in
   let stub =
-    Stub.create ?cache ?obs:t.nc_obs t.nc_engine ~vm_id ~plan:t.nc_plan
-      ~ep:guest_end
+    Stub.create ?cache ?sva:iommu ?obs:t.nc_obs t.nc_engine ~vm_id
+      ~plan:t.nc_plan ~ep:guest_end
   in
   let api, remote = Nc_remote.create stub in
   ignore remote;

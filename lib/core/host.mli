@@ -64,6 +64,10 @@ type cl_host = {
       (** latency-attribution registry (armed with [~obs]) *)
   pool : Cl_handlers.state Pool.t option;
       (** the device pool; [None] on a classic single-device host *)
+  sva : bool;  (** shared virtual addressing armed for remoted guests *)
+  doorbell : Transport.doorbell_cfg option;
+      (** doorbell coalescing config for shm-ring guests; [None] = eager *)
+  iommus : (int, Iommu.t) Hashtbl.t;  (** per-VM device address spaces *)
 }
 
 type cl_guest = {
@@ -87,6 +91,8 @@ val create_cl_host :
   ?swap_page_granularity:bool ->
   ?sync_only:bool ->
   ?transfer_cache:int ->
+  ?sva:bool ->
+  ?doorbell:Transport.doorbell_cfg ->
   ?tracing:bool ->
   ?devfaults:Devfault.t ->
   ?tdr:tdr_policy ->
@@ -109,6 +115,18 @@ val create_cl_host :
     build.  [obs] arms per-call latency attribution across stub, router
     and server; the registry never advances virtual time, so an armed
     run's timings are bit-identical to a disarmed run's.
+
+    [sva] arms shared virtual addressing on every remoted guest: large
+    argument blobs are pinned once into a per-VM device address space
+    ({!Iommu}) and cross the wire as fixed-size {!Wire.Mapped_ref}
+    frames; the server resolves them through the IOMMU with one
+    scatter-gather descriptor per call instead of per-buffer copies.
+    Off by default — the wire traffic and virtual-time behaviour are
+    then bit-identical to the pre-SVA stack.  [doorbell] arms doorbell
+    coalescing on every shm-ring guest transport: up to [db_batch] ring
+    slots ride behind one notify, flushed by a sync kick or the
+    [db_horizon_ns] timer, attributed to the [doorbell] obs phase.
+    [None] (default) keeps eager per-message notifies.
 
     [devices], [placement] and [rebalance] stand up the device pool:
     [devices] simulated GPUs, each fronted by its own API server and
@@ -172,6 +190,12 @@ type nc_host = {
   nc_router : Router.t;
   nc_server : Nc_handlers.state Server.t;
   nc_obs : Obs.t option;
+  nc_sva : bool;
+  nc_doorbell : Transport.doorbell_cfg option;
+  nc_dma : Dma.t option;
+      (** standalone DMA block backing SVA scatter-gather charges (the
+          stick itself moves data over USB) *)
+  nc_iommus : (int, Iommu.t) Hashtbl.t;
 }
 
 type nc_guest = {
@@ -186,13 +210,15 @@ val create_nc_host :
   ?virt:Timing.virt ->
   ?ncs_timing:Timing.ncs ->
   ?transfer_cache:int ->
+  ?sva:bool ->
+  ?doorbell:Transport.doorbell_cfg ->
   ?devfaults:Devfault.t ->
   ?tdr:tdr_policy ->
   ?obs:Obs.t ->
   Engine.t ->
   nc_host
-(** [transfer_cache], [devfaults], [tdr] and [obs] as in
-    {!create_cl_host} ([tdr]'s reset re-enumerates the stick;
+(** [transfer_cache], [sva], [doorbell], [devfaults], [tdr] and [obs]
+    as in {!create_cl_host} ([tdr]'s reset re-enumerates the stick;
     [tp_poison] is meaningless for the NCS and ignored). *)
 
 val add_nc_vm :

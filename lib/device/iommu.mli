@@ -1,0 +1,57 @@
+(** IOMMU model backing shared virtual addressing (SVA).
+
+    Guest buffers are mapped into a device IOVA window once (per-page
+    pin cost); remoted calls then carry fixed-size [(iova, size)]
+    references instead of payload bytes.  The first device access to a
+    mapping pays an IO page fault; invalidation pays an IOTLB
+    shootdown — zero-copy is cheaper than copying, not free.  Costs are
+    charged with [Engine.delay], so [map]/[unmap]/[translate]/[quiesce]
+    must run inside a simulation process. *)
+
+open Ava_sim
+
+val iova_base : int64
+val iova_limit : int64
+(** Valid IOVA window [\[iova_base, iova_limit)].  References outside it
+    are rejected at wire-decode time and by {!translate}. *)
+
+val page_size : int
+
+type t
+
+val create : ?timing:Timing.iommu -> Engine.t -> t
+val engine : t -> Engine.t
+val timing : t -> Timing.iommu
+
+val regs : t -> Mmio.t
+(** The unit's command register file (map / invalidate traffic). *)
+
+val map : t -> bytes -> int64
+(** Pin the buffer's pages and install a translation; returns the IOVA.
+    @raise Failure if the IOVA window is exhausted. *)
+
+val unmap : t -> int64 -> unit
+(** IOTLB shootdown, then unpin.
+    @raise Invalid_argument on an unknown IOVA. *)
+
+val translate : t -> iova:int64 -> size:int -> (bytes, string) result
+(** Resolve a device access: exact-base, in-bounds references return the
+    pinned backing bytes (first touch pays the fault cost); anything
+    else is an [Error] the server maps to a bad-arguments status. *)
+
+val quiesce : t -> unit
+(** One batched shootdown over the whole address space; every mapping
+    refaults on next access.  Used when a VM migrates devices. *)
+
+val pages_of : int -> int
+
+(** {1 Counters} *)
+
+val maps : t -> int
+val unmaps : t -> int
+val faults : t -> int
+val shootdowns : t -> int
+val pinned_bytes : t -> int
+val translated_bytes : t -> int
+val bad_translations : t -> int
+val mappings : t -> int

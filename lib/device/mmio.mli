@@ -24,6 +24,9 @@ val access_count : t -> int
 val write_count : t -> int
 val read_count : t -> int
 
+val snapshot : t -> (int * int64) list
+(** Sorted (address, value) register dump, for tests and reports. *)
+
 (** A driver's view of the register file with access costs baked in.
     Implementations must be called from within a process. *)
 type port = {

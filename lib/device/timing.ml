@@ -53,6 +53,27 @@ let movidius =
     graph_parse_ns_per_kb = Time.of_float_us 2.0;
   }
 
+(* IOMMU / shared-virtual-addressing cost set.  Calibrated against the
+   published SVA microbenchmarks ("Evaluating IOMMU-Based Shared Virtual
+   Addressing"): bulk page pinning amortizes to ~0.1 us/page, an IO page
+   fault (device-side translation miss serviced by the IOMMU driver)
+   costs single-digit microseconds, and an IOTLB shootdown on unmap is
+   comparable to a CPU TLB shootdown IPI round. *)
+type iommu = {
+  pin_page_ns : Time.t;  (** per-4KiB-page pin cost when a region is mapped *)
+  fault_ns : Time.t;  (** IO page fault on first device access to a region *)
+  shootdown_ns : Time.t;  (** IOTLB shootdown when a mapping is invalidated *)
+  iotlb_walk_ns : Time.t;  (** per-page IOTLB walk during SG descriptor access *)
+}
+
+let default_iommu =
+  {
+    pin_page_ns = Time.ns 120;
+    fault_ns = Time.of_float_us 4.0;
+    shootdown_ns = Time.of_float_us 9.0;
+    iotlb_walk_ns = Time.ns 15;
+  }
+
 type virt = {
   trap_ns : Time.t;  (** VM exit + emulate + resume per trapped access *)
   shadow_page_ns : Time.t;  (** shadow page-table/bounce handling per 4 KiB *)

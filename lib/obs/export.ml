@@ -131,7 +131,8 @@ let prometheus t =
    the router and the server each get their own track so the phase
    hand-offs read left-to-right in Perfetto. *)
 let lane_of_phase = function
-  | Obs.P_marshal | Obs.P_stub_queue | Obs.P_unmarshal -> 1 (* guest *)
+  | Obs.P_marshal | Obs.P_stub_queue | Obs.P_doorbell | Obs.P_unmarshal ->
+      1 (* guest *)
   | Obs.P_transport | Obs.P_reply_transport -> 2 (* wire *)
   | Obs.P_router_queue -> 3 (* router *)
   | Obs.P_server_queue | Obs.P_execute -> 4 (* server *)
@@ -169,6 +170,7 @@ let span_segments (sp : Obs.span) =
     [
       Obs.M_marshal_done;
       Obs.M_sent;
+      Obs.M_doorbell;
       Obs.M_router_in;
       Obs.M_dispatched;
       Obs.M_exec_start;

@@ -13,6 +13,7 @@ open Ava_sim
 type phase =
   | P_marshal (* guest-side argument marshalling *)
   | P_stub_queue (* waiting in the stub batch / hold queue *)
+  | P_doorbell (* waiting for the coalesced doorbell to ring *)
   | P_transport (* guest -> router hop *)
   | P_router_queue (* router policing + WFQ wait *)
   | P_server_queue (* router -> server hop + dispatch overhead *)
@@ -24,6 +25,7 @@ let phases =
   [
     P_marshal;
     P_stub_queue;
+    P_doorbell;
     P_transport;
     P_router_queue;
     P_server_queue;
@@ -35,6 +37,7 @@ let phases =
 let phase_name = function
   | P_marshal -> "marshal"
   | P_stub_queue -> "stub_queue"
+  | P_doorbell -> "doorbell"
   | P_transport -> "transport"
   | P_router_queue -> "router_queue"
   | P_server_queue -> "server_queue"
@@ -50,25 +53,28 @@ let phase_name = function
 type mark =
   | M_marshal_done (* ends P_marshal *)
   | M_sent (* ends P_stub_queue *)
+  | M_doorbell (* ends P_doorbell *)
   | M_router_in (* ends P_transport *)
   | M_dispatched (* ends P_router_queue *)
   | M_exec_start (* ends P_server_queue *)
   | M_exec_end (* ends P_execute *)
   | M_reply_recv (* ends P_reply_transport *)
 
-let n_marks = 7
+let n_marks = 8
 let mark_index = function
   | M_marshal_done -> 0
   | M_sent -> 1
-  | M_router_in -> 2
-  | M_dispatched -> 3
-  | M_exec_start -> 4
-  | M_exec_end -> 5
-  | M_reply_recv -> 6
+  | M_doorbell -> 2
+  | M_router_in -> 3
+  | M_dispatched -> 4
+  | M_exec_start -> 5
+  | M_exec_end -> 6
+  | M_reply_recv -> 7
 
 let mark_phase = function
   | M_marshal_done -> P_marshal
   | M_sent -> P_stub_queue
+  | M_doorbell -> P_doorbell
   | M_router_in -> P_transport
   | M_dispatched -> P_router_queue
   | M_exec_start -> P_server_queue
@@ -208,6 +214,7 @@ let record_phases t sp close =
     [
       M_marshal_done;
       M_sent;
+      M_doorbell;
       M_router_in;
       M_dispatched;
       M_exec_start;

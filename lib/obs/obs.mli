@@ -16,6 +16,9 @@ open Ava_sim
 type phase =
   | P_marshal  (** guest-side argument marshalling *)
   | P_stub_queue  (** waiting in the stub batch / hold queue *)
+  | P_doorbell
+      (** waiting for the coalesced ring doorbell to be rung (only
+          stamped when the transport's doorbell batching is armed) *)
   | P_transport  (** guest → router hop *)
   | P_router_queue  (** router policing + WFQ wait *)
   | P_server_queue  (** router → server hop + dispatch overhead *)
@@ -34,6 +37,7 @@ val phase_name : phase -> string
 type mark =
   | M_marshal_done
   | M_sent
+  | M_doorbell
   | M_router_in
   | M_dispatched
   | M_exec_start

@@ -297,8 +297,14 @@ let place ?(footprint = 0) ?device t ~vm =
    destination server (fresh context + silo) and seed its in-order
    cursor with the first live seq; replay the record log and restore
    buffer contents (the injected [transfer]); finally re-steer the
-   router flow.  The source entry stays paused forever — its worker
-   and egress block harmlessly on a dead endpoint. *)
+   router flow and detach the source entry.
+
+   The detach matters beyond hygiene: a paused-forever source entry
+   keeps its per-VM content store alive, and a later migration *back*
+   to that device would find the stale store via [attach_vm]'s old
+   reuse path and NAK digests the guest cache believes are resident —
+   a resend loop no retry can heal.  Detaching frees the store so a
+   return migration starts from an empty, coherent cache. *)
 let migrate_vm t ~vm_id ~dest =
   let info = find_info t vm_id in
   if dest < 0 || dest >= Array.length t.devices then
@@ -316,6 +322,8 @@ let migrate_vm t ~vm_id ~dest =
     Server.set_expected dst.dev_server ~vm_id ~seq;
     let bytes = t.transfer ~vm_id ~src:src.dev_id ~dst:dest in
     Router.resteer t.router ~vm_id ~backend:dest ~server_side:router_end;
+    (* After [transfer] — it still needs the source context and silo. *)
+    Server.detach_vm src.dev_server ~vm_id;
     src.dev_resident <- List.filter (fun v -> v <> vm_id) src.dev_resident;
     dst.dev_resident <- vm_id :: dst.dev_resident;
     info.vi_device <- dest;

@@ -12,6 +12,8 @@
 module Plan = Ava_codegen.Plan
 module Transport = Ava_transport.Transport
 module Obs = Ava_obs.Obs
+module Iommu = Ava_device.Iommu
+module Dma = Ava_device.Dma
 
 open Ava_sim
 
@@ -177,6 +179,10 @@ type 'st vm_entry = {
   mutable ve_paused : bool;
   mutable ve_resume : (unit -> unit) option;
   mutable ve_crashed : bool;  (** down: incoming messages are lost *)
+  mutable ve_detached : bool;
+      (** superseded (migration away, or re-attach of the same VM): the
+          worker exits at its next wakeup instead of racing the
+          replacement for inbox messages *)
   mutable ve_expected : int;  (** next seq to execute, in order *)
   ve_hold : (int, Message.call) Hashtbl.t;
       (** future seqs parked until the gap before them fills *)
@@ -224,6 +230,12 @@ type 'st t = {
   device_id : int;  (** pool device this server fronts; -1 = unpooled *)
   cache_capacity : int;  (** per-VM content-store bound; 0 = cache off *)
   mutable naks_sent : int;  (** cache-miss NAK messages sent *)
+  sva : (int, Iommu.t * Dma.t) Hashtbl.t;
+      (** per-VM SVA plumbing: the IOMMU resolving mapped-buffer refs
+          and the device DMA engine charged for the SG descriptor walk *)
+  mutable sva_resolutions : int;  (** calls that resolved ≥1 mapped ref *)
+  mutable sva_resolved_bytes : int;
+  mutable sva_rejected : int;  (** calls failed on a bad mapped ref *)
   tdr : tdr option;  (** [None]: no watchdog (default) *)
   mutable tdr_resets : int;  (** watchdog-triggered device resets *)
   mutable device_lost : int;  (** calls failed with [status_device_lost] *)
@@ -278,6 +290,10 @@ let create ?(exec_overhead_ns = Time.ns 800) ?(cache_capacity = 0) ?tdr
     device_id;
     cache_capacity = Stdlib.max 0 cache_capacity;
     naks_sent = 0;
+    sva = Hashtbl.create 8;
+    sva_resolutions = 0;
+    sva_resolved_bytes = 0;
+    sva_rejected = 0;
     tdr;
     tdr_resets = 0;
     device_lost = 0;
@@ -303,6 +319,9 @@ let restarts t = t.restarts
 let lost_while_down t = t.lost_while_down
 let naks_sent t = t.naks_sent
 let cache_capacity t = t.cache_capacity
+let sva_resolutions t = t.sva_resolutions
+let sva_resolved_bytes t = t.sva_resolved_bytes
+let sva_rejected t = t.sva_rejected
 let tdr_resets t = t.tdr_resets
 let device_lost t = t.device_lost
 let unexpected_exns t = t.unexpected_exns
@@ -354,6 +373,13 @@ let flush_cache t ~vm_id =
   match find_vm t vm_id with
   | None -> invalid_arg "Server.flush_cache: unknown vm"
   | Some e -> Store.clear e.ve_store
+
+(* Arm SVA resolution for a VM: mapped-buffer refs in its calls resolve
+   through [iommu], and the SG descriptor walk is charged to [dma] (the
+   device this server fronts). *)
+let set_sva t ~vm_id ~iommu ~dma = Hashtbl.replace t.sva vm_id (iommu, dma)
+let clear_sva t ~vm_id = Hashtbl.remove t.sva vm_id
+let sva_for t ~vm_id = Hashtbl.find_opt t.sva vm_id
 
 (* Map a handler exception to a reply status.  The known protocol
    exceptions are guest-attributable; anything else is a server-side bug
@@ -528,7 +554,7 @@ let rec has_cache_values = function
   | Wire.Blob_cached _ | Wire.Blob_ref _ -> true
   | Wire.List vs -> List.exists has_cache_values vs
   | Wire.Unit | Wire.I64 _ | Wire.F64 _ | Wire.Str _ | Wire.Blob _
-  | Wire.Handle _ ->
+  | Wire.Handle _ | Wire.Mapped_ref _ ->
       false
 
 (* Rewrite cache values back to plain [Blob]s before dispatch, so
@@ -569,16 +595,87 @@ let resolve_args store args =
     let args' = List.map resolve args in
     if !missing = [] then Ok args' else Error (List.rev !missing)
 
+(* --- SVA (mapped-buffer reference) resolution -------------------------- *)
+
+let rec has_mapped_refs = function
+  | Wire.Mapped_ref _ -> true
+  | Wire.List vs -> List.exists has_mapped_refs vs
+  | Wire.Unit | Wire.I64 _ | Wire.F64 _ | Wire.Str _ | Wire.Blob _
+  | Wire.Handle _ | Wire.Blob_ref _ | Wire.Blob_cached _ ->
+      false
+
+(* Rewrite mapped-buffer refs back to plain [Blob]s through the VM's
+   IOMMU, so handlers, the reply log and the migration recorder only
+   ever see resolved payloads (same invariant as the transfer cache).
+   One scatter-gather descriptor chain covers every ref in the call:
+   descriptor setup plus the per-page IOTLB walk are charged here, but
+   no bandwidth — the payload streams later on the handler's ordinary
+   DMA path, straight from the pinned guest pages. *)
+let resolve_sva t entry args =
+  if not (List.exists has_mapped_refs args) then Ok args
+  else
+    match Hashtbl.find_opt t.sva entry.ve_ctx.Ctx.ctx_vm with
+    | None -> Error "mapped ref from a VM with no SVA context"
+    | Some (iommu, dma) -> (
+        let segs = ref [] and failure = ref None in
+        let rec resolve v =
+          match v with
+          | Wire.Mapped_ref { mr_iova; mr_size } -> (
+              match Iommu.translate iommu ~iova:mr_iova ~size:mr_size with
+              | Ok data ->
+                  segs := mr_size :: !segs;
+                  Wire.Blob data
+              | Error msg ->
+                  if !failure = None then failure := Some msg;
+                  v)
+          | Wire.List vs -> Wire.List (List.map resolve vs)
+          | v -> v
+        in
+        let args' = List.map resolve args in
+        match !failure with
+        | Some msg -> Error msg
+        | None ->
+            let segs = List.rev !segs in
+            Dma.transfer_sg ~stream:false
+              ~per_page_ns:(Iommu.timing iommu).Ava_device.Timing.iotlb_walk_ns
+              dma ~segs;
+            t.sva_resolutions <- t.sva_resolutions + 1;
+            t.sva_resolved_bytes <-
+              t.sva_resolved_bytes + List.fold_left ( + ) 0 segs;
+            Ok args')
+
 (* Execute the call at [ve_expected] if its payloads resolve; on a cache
    miss, NAK the missing digests and leave [ve_expected] in place — the
    stub's full-payload resend arrives under the same seq and goes through
-   the normal in-order path. *)
+   the normal in-order path.  A bad mapped-buffer ref is the guest's
+   fault, not a transient miss: the call is consumed with
+   [status_bad_arguments] (resending the same ref could never heal it,
+   so a NAK here would loop forever). *)
 let try_run t entry (c : Message.call) =
   match resolve_args entry.ve_store c.Message.call_args with
-  | Ok args ->
-      entry.ve_expected <- c.Message.call_seq + 1;
-      run_call t entry { c with Message.call_args = args };
-      true
+  | Ok args -> (
+      match resolve_sva t entry args with
+      | Ok args ->
+          entry.ve_expected <- c.Message.call_seq + 1;
+          run_call t entry { c with Message.call_args = args };
+          true
+      | Error msg ->
+          t.sva_rejected <- t.sva_rejected + 1;
+          t.rejected <- t.rejected + 1;
+          record_trace_cat t "sva" "vm%d seq=%d bad mapped ref: %s"
+            entry.ve_ctx.Ctx.ctx_vm c.Message.call_seq msg;
+          entry.ve_expected <- c.Message.call_seq + 1;
+          let reply =
+            {
+              Message.reply_seq = c.Message.call_seq;
+              reply_status = status_bad_arguments;
+              reply_ret = Wire.Unit;
+              reply_outs = [];
+            }
+          in
+          cache_reply entry c.Message.call_seq reply;
+          Transport.send entry.ve_ep (Message.encode (Message.Reply reply));
+          true)
   | Error missing ->
       t.naks_sent <- t.naks_sent + 1;
       record_trace_cat t "cache" "vm%d nak seq=%d missing=%d"
@@ -640,8 +737,31 @@ let handle_skip t entry seqs =
     seqs;
   advance t entry
 
-(* Attach a VM: spawn its worker process draining its endpoint. *)
+(* Detach a VM: drop its entry and tell its worker to exit at the next
+   wakeup.  Migration away from this server must detach, or a later
+   migration *back* would leave two workers racing for the same VM's
+   messages (and [find_vm] finding a stale silo). *)
+let detach_vm t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.detach_vm: unknown vm"
+  | Some e ->
+      e.ve_detached <- true;
+      (* Unblock a worker parked in the paused-state await so it can
+         observe the detach flag and exit. *)
+      (match e.ve_resume with
+      | Some resume ->
+          e.ve_resume <- None;
+          resume ()
+      | None -> ());
+      t.vm_entries <- List.remove_assoc vm_id t.vm_entries;
+      Hashtbl.remove t.sva vm_id;
+      record_trace t "vm%d detached" vm_id
+
+(* Attach a VM: spawn its worker process draining its endpoint.  A
+   leftover entry for the same VM (a previous residency the pool never
+   detached) is superseded, never raced. *)
 let attach_vm t ~vm_id ~ep =
+  if List.mem_assoc vm_id t.vm_entries then detach_vm t ~vm_id;
   let entry =
     {
       ve_ctx = Ctx.create ~vm_id;
@@ -650,6 +770,7 @@ let attach_vm t ~vm_id ~ep =
       ve_paused = false;
       ve_resume = None;
       ve_crashed = false;
+      ve_detached = false;
       ve_expected = 0;
       ve_hold = Hashtbl.create 16;
       ve_skipped = Hashtbl.create 16;
@@ -662,23 +783,36 @@ let attach_vm t ~vm_id ~ep =
   Engine.spawn t.engine ~name:(Printf.sprintf "ava-server-vm%d" vm_id)
     (fun () ->
       let rec loop () =
-        let data = Transport.recv ep in
-        if entry.ve_paused then
-          (* Migration in progress: stall new work until resumed. *)
-          Engine.await (fun resume -> entry.ve_resume <- Some resume);
-        if entry.ve_crashed then
-          (* Server down: the message is lost; the stub's retransmission
-             (or the router's requeue on restart) recovers it. *)
-          t.lost_while_down <- t.lost_while_down + 1
-        else
-          (match Message.decode data with
-          | Ok (Message.Call c) -> handle_call t entry c
-          | Ok (Message.Batch calls) -> List.iter (handle_call t entry) calls
-          | Ok (Message.Skip s) -> handle_skip t entry s.Message.skip_seqs
-          | Ok (Message.Reply _) | Ok (Message.Upcall _) | Ok (Message.Nak _)
-          | Error _ ->
-              t.rejected <- t.rejected + 1);
-        loop ()
+        if entry.ve_detached then ()
+        else begin
+          let data = Transport.recv ep in
+          if entry.ve_paused && not entry.ve_detached then
+            (* Migration in progress: stall new work until resumed. *)
+            Engine.await (fun resume -> entry.ve_resume <- Some resume);
+          if entry.ve_detached then
+            (* Superseded while blocked: anything still arriving on the
+               old endpoint belongs to a flow the router already
+               re-steered; drop it and exit. *)
+            ()
+          else begin
+            if entry.ve_crashed then
+              (* Server down: the message is lost; the stub's
+                 retransmission (or the router's requeue on restart)
+                 recovers it. *)
+              t.lost_while_down <- t.lost_while_down + 1
+            else
+              (match Message.decode data with
+              | Ok (Message.Call c) -> handle_call t entry c
+              | Ok (Message.Batch calls) ->
+                  List.iter (handle_call t entry) calls
+              | Ok (Message.Skip s) -> handle_skip t entry s.Message.skip_seqs
+              | Ok (Message.Reply _) | Ok (Message.Upcall _)
+              | Ok (Message.Nak _)
+              | Error _ ->
+                  t.rejected <- t.rejected + 1);
+            loop ()
+          end
+        end
       in
       loop ());
   entry

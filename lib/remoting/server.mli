@@ -176,12 +176,42 @@ val flush_cache : 'st t -> vm_id:int -> unit
     server's {!restart} flushes implicitly: the store is front-end
     process memory. *)
 
+(** {1 Shared virtual addressing}
+
+    With SVA armed for a VM, [Wire.Mapped_ref] arguments in its calls
+    resolve to the pinned guest pages through the VM's IOMMU before
+    dispatch; one scatter-gather descriptor chain per call charges the
+    descriptor setup and per-page IOTLB walk to the device's DMA engine
+    (no bandwidth — the payload streams on the handler's ordinary DMA
+    path).  A reference that fails translation consumes the call with
+    {!status_bad_arguments} — never a NAK, which could not heal it. *)
+
+val set_sva :
+  'st t -> vm_id:int -> iommu:Ava_device.Iommu.t -> dma:Ava_device.Dma.t -> unit
+
+val clear_sva : 'st t -> vm_id:int -> unit
+val sva_for : 'st t -> vm_id:int -> (Ava_device.Iommu.t * Ava_device.Dma.t) option
+
+val sva_resolutions : 'st t -> int
+(** Calls in which at least one mapped-buffer ref resolved. *)
+
+val sva_resolved_bytes : 'st t -> int
+val sva_rejected : 'st t -> int
+(** Calls consumed with {!status_bad_arguments} on a bad mapped ref. *)
+
 val attach_vm : 'st t -> vm_id:int -> ep:Transport.endpoint -> 'st vm_entry
 (** Spawn the VM's worker process draining [ep].  Per-VM calls execute
     strictly in seq order: a late (retransmitted) or early (reordered)
     seq parks until the gap before it fills — via retransmission or a
     router {!Message.Skip} notice — and seqs already executed replay
     their cached reply without touching the silo. *)
+
+val detach_vm : 'st t -> vm_id:int -> unit
+(** Drop the VM's entry and terminate its worker at the next wakeup.
+    Migration away from a server must detach the source residency, or a
+    later migration back would leave two workers racing for the same
+    VM's inbox.  {!attach_vm} of an already-attached VM detaches the
+    stale entry implicitly. *)
 
 val crash : 'st t -> vm_id:int -> unit
 (** Take the VM's worker down: every message that arrives until

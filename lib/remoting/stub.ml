@@ -10,6 +10,7 @@
 module Plan = Ava_codegen.Plan
 module Transport = Ava_transport.Transport
 module Obs = Ava_obs.Obs
+module Iommu = Ava_device.Iommu
 
 open Ava_sim
 
@@ -64,6 +65,15 @@ type cache = { cache_min_bytes : int; cache_max_bytes : int }
 let cache_for_capacity capacity =
   { cache_min_bytes = 1024; cache_max_bytes = capacity }
 
+(* Shared virtual addressing (guest half): blobs of at least a page are
+   pinned into the device IOVA window ([Iommu.map], charged as marshal
+   work) and travel as a 13-byte [Mapped_ref] — the payload bytes never
+   cross the wire at all.  Each call maps its buffers fresh: workloads
+   hand the runtime newly written buffers per call, so memoizing
+   (iova reuse keyed on physical identity) would claim savings the
+   guest's dirtying pattern doesn't justify.  Conservative by design. *)
+let sva_min_bytes = Ava_device.Dma.page_size
+
 type t = {
   engine : Engine.t;
   vm_id : int;
@@ -92,6 +102,9 @@ type t = {
       (** latency-attribution registry; purely passive, never advances
           virtual time, so arming it cannot perturb the run *)
   cache : cache option;  (** [None]: transfer cache off (default) *)
+  sva : Iommu.t option;  (** [None]: SVA off (default) *)
+  mutable sva_maps : int;  (** blobs pinned and sent as [Mapped_ref] *)
+  mutable sva_saved_bytes : int;  (** payload bytes elided by refs *)
   acked : (int64, unit) Hashtbl.t;
       (** digests the server has acknowledged as store-resident *)
   mutable cache_refs : int;  (** payloads sent as [Blob_ref] *)
@@ -100,7 +113,8 @@ type t = {
   mutable cache_nak_resends : int;  (** full resends after a cache miss *)
 }
 
-let create ?(batch_limit = 1) ?retry ?cache ?obs engine ~vm_id ~plan ~ep =
+let create ?(batch_limit = 1) ?retry ?cache ?sva ?obs engine ~vm_id ~plan ~ep
+    =
   let t =
     {
       engine;
@@ -130,6 +144,9 @@ let create ?(batch_limit = 1) ?retry ?cache ?obs engine ~vm_id ~plan ~ep =
       upcalls = 0;
       obs;
       cache;
+      sva;
+      sva_maps = 0;
+      sva_saved_bytes = 0;
       acked = Hashtbl.create 32;
       cache_refs = 0;
       cache_saved_bytes = 0;
@@ -178,7 +195,9 @@ let create ?(batch_limit = 1) ?retry ?cache ?obs engine ~vm_id ~plan ~ep =
             | Some p ->
                 t.cache_nak_resends <- t.cache_nak_resends + 1;
                 p.p_data <- p.p_full;
-                Transport.send t.ep p.p_full)
+                (* Recovery traffic never waits behind a coalescing
+                   horizon: the server is stalled on this seq. *)
+                Transport.send ~kick:true t.ep p.p_full)
         | Ok (Message.Upcall u) -> (
             (* Dispatch a server-to-guest callback in its own process so
                a slow callback never blocks reply delivery. *)
@@ -200,6 +219,8 @@ let upcalls_received t = t.upcalls
 let retries t = t.retries
 let timeouts t = t.timeouts
 let cache_refs t = t.cache_refs
+let sva_maps t = t.sva_maps
+let sva_saved_bytes t = t.sva_saved_bytes
 let cache_saved_bytes t = t.cache_saved_bytes
 let cache_announces t = t.cache_announces
 let cache_nak_resends t = t.cache_nak_resends
@@ -283,6 +304,24 @@ let cache_substitute t c args =
     List.rev !digests,
     !hashed )
 
+(* Pin page-or-larger blobs into the device IOVA window and replace them
+   by [Mapped_ref]s.  Runs before the transfer-cache walk, so mapped
+   buffers are never hashed — the two substitutions partition the blobs
+   by size.  [Iommu.map] delays for the per-page pin cost, which lands
+   in the call's marshal phase (pinning is CPU-side descriptor work). *)
+let sva_substitute t iommu args =
+  let rec subst v =
+    match v with
+    | Wire.Blob b when Bytes.length b >= sva_min_bytes ->
+        let iova = Iommu.map iommu b in
+        t.sva_maps <- t.sva_maps + 1;
+        t.sva_saved_bytes <- t.sva_saved_bytes + Bytes.length b;
+        Wire.Mapped_ref { mr_iova = iova; mr_size = Bytes.length b }
+    | Wire.List vs -> Wire.List (List.map subst vs)
+    | v -> v
+  in
+  List.map subst args
+
 (* Stamp departure on every call leaving for the wire (first write wins,
    so watchdog resends never rewind a span). *)
 let mark_sent t seqs =
@@ -294,6 +333,17 @@ let mark_sent t seqs =
         (fun seq -> Obs.mark o ~vm:t.vm_id ~seq Obs.M_sent ~at:now)
         seqs
 
+(* Stamp the doorbell-commit boundary for a set of seqs.  Only fires on
+   doorbell-armed transports (see [Transport.send ?on_scheduled]), so
+   un-coalesced runs never grow a doorbell phase. *)
+let db_mark t seqs at =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      List.iter
+        (fun seq -> Obs.mark o ~vm:t.vm_id ~seq Obs.M_doorbell ~at)
+        seqs
+
 (* Send any buffered asynchronous calls as one batch message (rCUDA-style
    API batching, §4.2).  Marshalling costs were already charged when each
    call was buffered; the flush pays one transport send. *)
@@ -303,14 +353,22 @@ let flush_batch t =
   | [ only ] ->
       t.batch <- [];
       t.batch_bytes <- 0;
-      mark_sent t [ only.Message.call_seq ];
-      Transport.send t.ep (Message.encode (Message.Call only))
+      let seqs = [ only.Message.call_seq ] in
+      mark_sent t seqs;
+      Transport.send
+        ~on_scheduled:(fun at -> db_mark t seqs at)
+        t.ep
+        (Message.encode (Message.Call only))
   | calls ->
       t.batch <- [];
       t.batch_bytes <- 0;
       t.batches_sent <- t.batches_sent + 1;
-      mark_sent t (List.map (fun (c : Message.call) -> c.Message.call_seq) calls);
-      Transport.send t.ep (Message.encode (Message.Batch calls))
+      let seqs = List.map (fun (c : Message.call) -> c.Message.call_seq) calls in
+      mark_sent t seqs;
+      Transport.send
+        ~on_scheduled:(fun at -> db_mark t seqs at)
+        t.ep
+        (Message.encode (Message.Batch calls))
 
 (* Give up on a pending call: synthesize a timeout reply so the caller
    (or the deferred-error channel) observes the failure instead of
@@ -363,7 +421,7 @@ let start_watchdog t r seq =
             else begin
               p.p_tries <- p.p_tries + 1;
               t.retries <- t.retries + 1;
-              Transport.send t.ep p.p_data;
+              Transport.send ~kick:true t.ep p.p_data;
               watch
                 (Stdlib.max 1
                    (int_of_float (float_of_int base_ns *. r.backoff)))
@@ -382,6 +440,9 @@ let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   | Some o ->
       Obs.span_open o ~vm:t.vm_id ~seq ~fn ~at:(Engine.now t.engine)
   | None -> ());
+  let args =
+    match t.sva with None -> args | Some iommu -> sva_substitute t iommu args
+  in
   let sent_args, full_args, announced, hashed =
     match t.cache with
     | None -> (args, args, [], 0)
@@ -416,14 +477,20 @@ let send_call t ~fn ~args ~sync ~holdable ~on_reply =
   (match t.retry with Some r -> start_watchdog t r seq | None -> ());
   if t.batch_limit = 1 then begin
     mark_sent t [ seq ];
-    Transport.send t.ep data
+    Transport.send ~kick:sync
+      ~on_scheduled:(fun at -> db_mark t [ seq ] at)
+      t.ep data
   end
   else if sync then begin
     (* Synchronous calls flush held work first so ordering is preserved,
-       then travel alone (their reply is awaited). *)
+       then travel alone (their reply is awaited).  The kick rings any
+       coalesced doorbell immediately: the caller is already committed
+       to a round trip, so there is nothing to wait for. *)
     flush_batch t;
     mark_sent t [ seq ];
-    Transport.send t.ep data
+    Transport.send ~kick:true
+      ~on_scheduled:(fun at -> db_mark t [ seq ] at)
+      t.ep data
   end
   else if not holdable then begin
     (* Device work departs now, taking the held calls along. *)

@@ -52,10 +52,15 @@ val cache_for_capacity : int -> cache
 (** [cache_for_capacity capacity] = 1 KiB minimum, [capacity] maximum —
     the stub config matching a server store of that capacity. *)
 
+val sva_min_bytes : int
+(** Blobs of at least this size (one page) are pinned and sent as
+    [Mapped_ref]s when SVA is armed. *)
+
 val create :
   ?batch_limit:int ->
   ?retry:retry ->
   ?cache:cache ->
+  ?sva:Ava_device.Iommu.t ->
   ?obs:Ava_obs.Obs.t ->
   Engine.t ->
   vm_id:int ->
@@ -70,7 +75,11 @@ val create :
     watchdog processes exist and the stub behaves exactly as before).
     [cache] arms the transfer cache (off by default: without it no
     hashing happens and the wire traffic is byte-identical to the
-    pre-cache stack).  [obs] arms per-call latency attribution: the stub
+    pre-cache stack).  [sva] arms shared virtual addressing: blobs of at
+    least {!sva_min_bytes} are pinned into the device IOVA window
+    through the given IOMMU and travel as 13-byte [Mapped_ref]s (off by
+    default; the server needs {!Server.set_sva} with the same IOMMU).
+    [obs] arms per-call latency attribution: the stub
     opens a span per forwarded call and stamps its marshal/send/reply
     marks; the registry is passive and never advances virtual time. *)
 
@@ -101,6 +110,12 @@ val cache_announces : t -> int
 
 val cache_nak_resends : t -> int
 (** Full-payload resends triggered by cache-miss NAKs. *)
+
+val sva_maps : t -> int
+(** Blobs pinned and sent as [Mapped_ref] (SVA armed only). *)
+
+val sva_saved_bytes : t -> int
+(** Payload bytes elided from the wire by mapped refs. *)
 
 val register_callback : t -> (Wire.value list -> unit) -> int
 (** Register a guest closure; the returned id travels in place of a C

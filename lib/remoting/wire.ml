@@ -15,6 +15,10 @@ type value =
   | List of value list
   | Blob_ref of { br_digest : int64; br_size : int }
   | Blob_cached of { bc_digest : int64; bc_data : bytes }
+  | Mapped_ref of { mr_iova : int64; mr_size : int }
+      (** SVA buffer reference: the payload stays in guest pages pinned
+          into the device IOVA window; only (iova, size) crosses the
+          wire.  Decode rejects references outside the window. *)
 
 let int n = I64 (Int64.of_int n)
 
@@ -52,8 +56,10 @@ let rec equal a b =
       Int64.equal x.br_digest y.br_digest && x.br_size = y.br_size
   | Blob_cached x, Blob_cached y ->
       Int64.equal x.bc_digest y.bc_digest && Bytes.equal x.bc_data y.bc_data
+  | Mapped_ref x, Mapped_ref y ->
+      Int64.equal x.mr_iova y.mr_iova && x.mr_size = y.mr_size
   | ( ( Unit | I64 _ | F64 _ | Str _ | Blob _ | Handle _ | List _ | Blob_ref _
-      | Blob_cached _ ),
+      | Blob_cached _ | Mapped_ref _ ),
       _ ) ->
       false
 
@@ -69,6 +75,7 @@ let rec pp ppf = function
       Fmt.pf ppf "<ref %Lx %d>" br_digest br_size
   | Blob_cached { bc_digest; bc_data } ->
       Fmt.pf ppf "<cached %Lx %d>" bc_digest (Bytes.length bc_data)
+  | Mapped_ref { mr_iova; mr_size } -> Fmt.pf ppf "<iova %Lx %d>" mr_iova mr_size
 
 (* Size of the encoded form, used for payload accounting. *)
 let rec encoded_size = function
@@ -79,6 +86,7 @@ let rec encoded_size = function
   | List vs -> 5 + List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
   | Blob_ref _ -> 13
   | Blob_cached { bc_data; _ } -> 13 + Bytes.length bc_data
+  | Mapped_ref _ -> 13
 
 (* --- binary encoding ---------------------------------------------------- *)
 
@@ -116,6 +124,10 @@ let rec encode_value buf = function
       Buffer.add_int64_le buf bc_digest;
       Buffer.add_int32_le buf (Int32.of_int (Bytes.length bc_data));
       Buffer.add_bytes buf bc_data
+  | Mapped_ref { mr_iova; mr_size } ->
+      Buffer.add_char buf '\009';
+      Buffer.add_int64_le buf mr_iova;
+      Buffer.add_int32_le buf (Int32.of_int mr_size)
 
 let encode values =
   let buf = Buffer.create 64 in
@@ -194,6 +206,20 @@ let decode data =
         let b = Bytes.sub data !pos n in
         pos := !pos + n;
         Blob_cached { bc_digest = d; bc_data = b }
+    | 9 ->
+        let iova = i64 () in
+        let n = i32 () in
+        if n < 0 then raise (Decode_error "negative mapped-ref size");
+        (* Range-check at the trust boundary: a reference outside the
+           IOVA window (or overrunning it) can never reach the IOMMU. *)
+        if
+          Int64.compare iova Ava_device.Iommu.iova_base < 0
+          || Int64.compare
+               (Int64.add iova (Int64.of_int n))
+               Ava_device.Iommu.iova_limit
+             > 0
+        then raise (Decode_error "mapped-ref IOVA out of range");
+        Mapped_ref { mr_iova = iova; mr_size = n }
     | tag -> raise (Decode_error (Printf.sprintf "unknown tag %d" tag))
   in
   match

@@ -20,6 +20,11 @@ type value =
   | Blob_cached of { bc_digest : int64; bc_data : bytes }
       (** A [Blob] payload travelling together with its digest — announces
           the digest to the server's content store. *)
+  | Mapped_ref of { mr_iova : int64; mr_size : int }
+      (** SVA buffer reference: the payload stays in guest pages pinned
+          into the device IOVA window ([Ava_device.Iommu]); only
+          (iova, size) crosses the wire — 13 bytes regardless of payload
+          size.  Decode rejects references outside the IOVA window. *)
 
 val int : int -> value
 (** Shorthand for [I64 (Int64.of_int n)]. *)

@@ -83,13 +83,17 @@ let unseal framed =
 
 (* --- hooks ---------------------------------------------------------------- *)
 
+(* Flip one byte in place.  The frame is the fresh buffer [seal] just
+   built — the fault layer owns it exclusively, so cloning the whole
+   frame first (as this used to) only burned an allocation per
+   corrupted message.  Draw order (position, then flip mask) is
+   unchanged, so same-seed runs replay identically. *)
 let corrupt t framed =
-  let mangled = Bytes.copy framed in
-  let pos = Rng.int t.rng (Bytes.length mangled) in
+  let pos = Rng.int t.rng (Bytes.length framed) in
   let flip = 1 + Rng.int t.rng 255 in
-  Bytes.set mangled pos
-    (Char.chr (Char.code (Bytes.get mangled pos) lxor flip));
-  mangled
+  Bytes.set framed pos
+    (Char.chr (Char.code (Bytes.get framed pos) lxor flip));
+  framed
 
 let send_hook t msg =
   let s = t.stats and c = t.config in

@@ -85,15 +85,15 @@ let obs_phases = function
    bit-identical either way); [sync_only] deploys the unoptimized
    all-sync spec. *)
 let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
-    ?(transfer_cache = 0) ?(sync_only = false) ?(obs = false) ?devfaults ?tdr
-    ?breaker program =
+    ?(transfer_cache = 0) ?(sync_only = false) ?(obs = false) ?sva ?doorbell
+    ?devfaults ?tdr ?breaker program =
   let e = Engine.create () in
   let registry = if obs then Some (Ava_obs.Obs.create ()) else None in
   let result = ref None in
   Engine.spawn e (fun () ->
       let host =
-        Host.create_cl_host ~transfer_cache ~sync_only ?devfaults ?tdr
-          ?obs:registry e
+        Host.create_cl_host ~transfer_cache ~sync_only ?sva ?doorbell
+          ?devfaults ?tdr ?obs:registry e
       in
       let guest = Host.add_cl_vm host ~technique ?breaker ~name:"guest" in
       program guest.Host.g_api;
@@ -120,14 +120,15 @@ let profile_cl ?(technique = Host.Ava Transport.Shm_ring)
   | None -> failwith "workload stalled"
 
 (* MVNC counterpart of [profile_cl]. *)
-let profile_nc ?(transfer_cache = 0) ?(obs = false) ?devfaults ?tdr ?breaker
-    program =
+let profile_nc ?(transfer_cache = 0) ?(obs = false) ?sva ?doorbell ?devfaults
+    ?tdr ?breaker program =
   let e = Engine.create () in
   let registry = if obs then Some (Ava_obs.Obs.create ()) else None in
   let result = ref None in
   Engine.spawn e (fun () ->
       let host =
-        Host.create_nc_host ~transfer_cache ?devfaults ?tdr ?obs:registry e
+        Host.create_nc_host ~transfer_cache ?sva ?doorbell ?devfaults ?tdr
+          ?obs:registry e
       in
       let guest = Host.add_nc_vm host ?breaker ~name:"guest" in
       program guest.Host.ng_api;

@@ -44,6 +44,8 @@ val profile_cl :
   ?transfer_cache:int ->
   ?sync_only:bool ->
   ?obs:bool ->
+  ?sva:bool ->
+  ?doorbell:Transport.doorbell_cfg ->
   ?devfaults:Ava_device.Devfault.t ->
   ?tdr:Host.tdr_policy ->
   ?breaker:Ava_remoting.Policy.Breaker.config ->
@@ -53,12 +55,16 @@ val profile_cl :
     the given transfer-cache capacity in bytes (0 = cache off).
     [sync_only] deploys the unoptimized all-sync spec.  [obs] arms
     per-call latency attribution (passive: [pr_ns] is bit-identical
-    either way).  [devfaults]/[tdr]/[breaker] arm the fault-domain
-    machinery for chaos profiling (all off by default). *)
+    either way).  [sva] arms shared virtual addressing and [doorbell]
+    arms doorbell coalescing, as in {!Host.create_cl_host}.
+    [devfaults]/[tdr]/[breaker] arm the fault-domain machinery for
+    chaos profiling (all off by default). *)
 
 val profile_nc :
   ?transfer_cache:int ->
   ?obs:bool ->
+  ?sva:bool ->
+  ?doorbell:Transport.doorbell_cfg ->
   ?devfaults:Ava_device.Devfault.t ->
   ?tdr:Host.tdr_policy ->
   ?breaker:Ava_remoting.Policy.Breaker.config ->

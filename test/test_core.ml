@@ -107,6 +107,29 @@ let technique_tests =
       (check_technique "ava-net" (Some (Host.Ava Transport.Network)));
     Alcotest.test_case "user-space rpc" `Quick
       (check_technique "rpc" (Some Host.User_rpc));
+    Alcotest.test_case "ava with sva + doorbell batching" `Quick (fun () ->
+        (* Zero-copy data path end to end: page-or-larger buffers cross
+           as pinned refs, notifies coalesce, and the program still
+           computes the right sums. *)
+        let correct, stub =
+          run_in_engine (fun e ->
+              let host =
+                Host.create_cl_host ~sva:true
+                  ~doorbell:Transport.default_doorbell e
+              in
+              let guest =
+                Host.add_cl_vm host
+                  ~technique:(Host.Ava Transport.Shm_ring)
+                  ~name:"g0"
+              in
+              let got, expected = vec_add_program guest.Host.g_api 4096 in
+              (got = expected, Option.get guest.Host.g_stub))
+        in
+        Alcotest.(check bool) "computes correctly" true correct;
+        Alcotest.(check bool) "buffers crossed as refs" true
+          (Stub.sva_maps stub > 0);
+        Alcotest.(check bool) "payload bytes stayed off the wire" true
+          (Stub.sva_saved_bytes stub > 0));
     Alcotest.test_case "overheads are ordered" `Quick (fun () ->
         let n = 1_000_000 in
         let _, t_native = run_technique ~n None in

@@ -204,6 +204,39 @@ let determinism_tests =
         let t2, d2 = run () in
         Alcotest.(check int) "bit-identical completion" t1 t2;
         Alcotest.(check int) "identical fault schedule" d1 d2);
+    Alcotest.test_case "same seed, same corrupt schedule (in-place flip)"
+      `Quick (fun () ->
+        (* Regression for the corrupt path rewrite: the byte flip now
+           mutates the sealed frame in place instead of cloning it
+           first.  The frame is freshly sealed (never aliased by the
+           stub's resend buffers), and the RNG draw order is unchanged,
+           so two same-seed runs must stay bit-identical — and every
+           corrupted frame must still be caught and healed. *)
+        let b = Option.get (Rodinia.find "nn") in
+        let run () =
+          let faults =
+            Faults.create ~seed:31337L
+              { Faults.none with corrupt_p = 0.05 }
+          in
+          let t, _, guest =
+            run_chaos ~faults ~retry:Stub.default_retry
+              ~kind:Transport.Shm_ring b.Rodinia.run
+          in
+          let s = Faults.stats faults in
+          ( t,
+            s.Faults.corrupted,
+            s.Faults.checksum_rejects,
+            Stub.timeouts (stub_of guest) )
+        in
+        let t1, c1, r1, to1 = run () in
+        let t2, c2, r2, to2 = run () in
+        Alcotest.(check int) "bit-identical completion" t1 t2;
+        Alcotest.(check int) "identical corrupt schedule" c1 c2;
+        Alcotest.(check int) "identical rejects" r1 r2;
+        Alcotest.(check bool) "corruption actually exercised" true (c1 > 0);
+        Alcotest.(check int) "every corrupt frame caught" c1 r1;
+        Alcotest.(check int) "no call gave up" 0 to1;
+        Alcotest.(check int) "no call gave up (rerun)" 0 to2);
     Alcotest.test_case "faults disabled: bit-identical to the plain stack"
       `Quick (fun () ->
         (* The recovery machinery must be invisible when unused: arming
@@ -218,6 +251,151 @@ let determinism_tests =
         Alcotest.(check int) "identical virtual time" plain armed;
         Alcotest.(check int) "no spurious resends" 0
           (Stub.retries (stub_of guest)));
+  ]
+
+(* --- doorbell coalescing --------------------------------------------------- *)
+
+let db_cfg ?(horizon = Time.ns 800) ?(batch = 8) ?(slot = Time.ns 100)
+    ?(poll = Time.ns 25_000) () =
+  {
+    Transport.db_horizon_ns = horizon;
+    db_batch = batch;
+    db_slot_ns = slot;
+    db_poll_ns = poll;
+  }
+
+let doorbell_tests =
+  [
+    (* Satellite pin: a batched slot whose flush horizon falls exactly on
+       a [run ~until] boundary must be flushed before the clock clamps —
+       the horizon timer is an event at the horizon, and events at the
+       horizon run.  Exercised on both short (calendar-wheel) and long
+       (heap) timer horizons. *)
+    Alcotest.test_case "horizon flush fires before run ~until clamps" `Quick
+      (fun () ->
+        List.iter
+          (fun horizon ->
+            let e = Engine.create () in
+            let a, _b = Transport.direct e in
+            Transport.set_doorbell ~cfg:(db_cfg ~horizon ()) a;
+            Engine.spawn e (fun () -> Transport.send a (Bytes.of_string "m"));
+            Engine.run e ~until:(horizon - 1);
+            Alcotest.(check int) "still pending inside the horizon" 1
+              (Transport.db_pending a);
+            Alcotest.(check int) "no notify yet" 0 (Transport.db_notifies a);
+            Engine.run e ~until:horizon;
+            Alcotest.(check int)
+              (Printf.sprintf "flushed at the %dns horizon" horizon)
+              0 (Transport.db_pending a);
+            Alcotest.(check int) "one notify" 1 (Transport.db_notifies a);
+            Alcotest.(check int) "clock clamped to the horizon" horizon
+              (Engine.now e))
+          [ Time.ns 800; Time.us 5 ]);
+    Alcotest.test_case "kick flushes the whole batch at once" `Quick (fun () ->
+        let e = Engine.create () in
+        let a, b = Transport.shm_ring e ~virt in
+        Transport.set_doorbell ~cfg:(db_cfg ()) a;
+        Engine.spawn e (fun () ->
+            Transport.send a (Bytes.of_string "q1");
+            Transport.send a (Bytes.of_string "q2");
+            Transport.send ~kick:true a (Bytes.of_string "sync"));
+        Engine.run e;
+        Alcotest.(check int) "single notify covers the batch" 1
+          (Transport.db_notifies a);
+        Alcotest.(check int) "nothing left pending" 0 (Transport.db_pending a);
+        let drained = Engine.run_process e (fun () ->
+            let n = ref 0 in
+            let rec go () =
+              match Transport.try_recv b with
+              | Some _ -> incr n; go ()
+              | None -> !n
+            in
+            go ())
+        in
+        Alcotest.(check int) "all three delivered" 3 drained);
+    Alcotest.test_case "batch cap forces a flush" `Quick (fun () ->
+        let e = Engine.create () in
+        let a, _b = Transport.shm_ring e ~virt in
+        Transport.set_doorbell ~cfg:(db_cfg ~batch:3 ~poll:0 ()) a;
+        Engine.spawn e (fun () ->
+            for i = 1 to 3 do
+              Transport.send a (Bytes.of_string (string_of_int i))
+            done);
+        Engine.run e;
+        Alcotest.(check int) "one forced flush" 1
+          (Transport.db_forced_flushes a);
+        Alcotest.(check int) "one notify" 1 (Transport.db_notifies a));
+    Alcotest.test_case "sends in the poll window ride along, no notify"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        let a, _b = Transport.shm_ring e ~virt in
+        Transport.set_doorbell ~cfg:(db_cfg ()) a;
+        Engine.spawn e (fun () ->
+            (* First send pays the notify; the drain plus the 25 us poll
+               grace then covers the rest of the burst. *)
+            Transport.send ~kick:true a (Bytes.of_string "head");
+            for _ = 1 to 5 do
+              Engine.delay (Time.us 2);
+              Transport.send a (Bytes.of_string "tail")
+            done);
+        Engine.run e;
+        Alcotest.(check int) "one notify for the burst" 1
+          (Transport.db_notifies a);
+        Alcotest.(check int) "five suppressed" 5 (Transport.db_suppressed a));
+    Alcotest.test_case "poll window expiry re-arms the interrupt" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let a, _b = Transport.shm_ring e ~virt in
+        Transport.set_doorbell ~cfg:(db_cfg ~poll:(Time.us 25) ()) a;
+        Engine.spawn e (fun () ->
+            Transport.send ~kick:true a (Bytes.of_string "head");
+            (* Far past drain + poll grace: the peer went back to sleep
+               and the next send must ring the doorbell again. *)
+            Engine.delay (Time.us 200);
+            Transport.send ~kick:true a (Bytes.of_string "late"));
+        Engine.run e;
+        Alcotest.(check int) "two notifies" 2 (Transport.db_notifies a);
+        Alcotest.(check int) "nothing suppressed" 0
+          (Transport.db_suppressed a));
+    Alcotest.test_case "peer reply traffic refreshes the poll window" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let a, b = Transport.shm_ring e ~virt in
+        Transport.set_doorbell ~cfg:(db_cfg ~poll:(Time.us 25) ()) a;
+        Engine.spawn e (fun () ->
+            Transport.send ~kick:true a (Bytes.of_string "req");
+            (* Long gap — but the peer posts a reply meanwhile, so its
+               worker is awake and polling when the next request
+               lands. *)
+            Engine.delay (Time.us 200);
+            Transport.send a (Bytes.of_string "follow-up"));
+        Engine.spawn e (fun () ->
+            Engine.delay (Time.us 190);
+            Transport.send b (Bytes.of_string "reply"));
+        Engine.run e;
+        Alcotest.(check int) "follow-up needed no notify" 1
+          (Transport.db_notifies a);
+        Alcotest.(check int) "one suppressed" 1 (Transport.db_suppressed a));
+    Alcotest.test_case "doorbell off: shm-ring path is untouched" `Quick
+      (fun () ->
+        (* Same traffic with and without an armed-but-idle doorbell
+           config on an unrelated endpoint: the unarmed endpoint must
+           time exactly as the historical eager path. *)
+        let run arm =
+          let e = Engine.create () in
+          let a, b = Transport.shm_ring e ~virt in
+          if arm then Transport.set_doorbell ~cfg:(db_cfg ()) b;
+          let finished = ref 0 in
+          Engine.spawn e (fun () ->
+              for _ = 1 to 20 do
+                Transport.send a (Bytes.of_string "payload");
+                Engine.delay (Time.us 1)
+              done;
+              finished := Engine.now e);
+          Engine.run e;
+          !finished
+        in
+        Alcotest.(check int) "identical virtual time" (run false) (run true));
   ]
 
 (* --- crash / restart / requeue -------------------------------------------- *)
@@ -601,6 +779,7 @@ let () =
       ("injection", injection_tests);
       ("chaos", chaos_tests);
       ("determinism", determinism_tests);
+      ("doorbell", doorbell_tests);
       ("crash", crash_tests);
       ("cache-protocol", cache_chaos_tests);
       ("cache-chaos", cached_chaos_tests);

@@ -18,6 +18,7 @@ module Transport = Ava_transport.Transport
 module Policy = Ava_remoting.Policy
 module Router = Ava_remoting.Router
 module Server = Ava_remoting.Server
+module Stub = Ava_remoting.Stub
 module Swap = Ava_remoting.Swap
 module Pool = Ava_pool.Pool
 
@@ -435,6 +436,76 @@ let migration_tests =
             ok (CL.clFinish q);
             Alcotest.(check bool) "kernel ran on the destination" true
               (Gpu.kernels_executed dest_gpu > 0)));
+    Alcotest.test_case "transfer cache stays coherent across migrations"
+      `Quick (fun () ->
+        (* Satellite regression: the pool left the VM attached (paused
+           forever) on the migration source, so the source server kept
+           the per-VM content store alive.  A later migration back found
+           a stale entry whose store disagreed with the guest digest
+           cache — refs the guest believed resident NAKed against stale
+           state and the resend loop never healed.  The fix detaches the
+           source entry, so every arrival attaches fresh: one NAK per
+           cached payload per hop, then refs hit again. *)
+        let e = Engine.create () in
+        let host =
+          Host.create_cl_host ~devices:2 ~placement:Pool.Round_robin
+            ~transfer_cache:(mib 4) e
+        in
+        let pool = the_pool host in
+        let guest = Host.add_cl_vm host ~name:"pingpong" in
+        let vm_id = Ava_hv.Vm.id guest.Host.g_vm in
+        let stub = Option.get guest.Host.g_stub in
+        let module CL = (val guest.Host.g_api) in
+        Engine.run_process e (fun () ->
+            let s = Clutil.open_session guest.Host.g_api in
+            let q = s.Clutil.queue in
+            let m = ok (CL.clCreateBuffer s.Clutil.context ~size:(mib 1)) in
+            let payload =
+              Bytes.init (64 * 1024) (fun i -> Char.chr ((i * 13) land 0xff))
+            in
+            let write () =
+              ignore
+                (ok
+                   (CL.clEnqueueWriteBuffer q m ~blocking:true ~offset:0
+                      ~src:payload ~wait_list:[] ~want_event:false))
+            in
+            let readback_ok () =
+              let back, _ =
+                ok
+                  (CL.clEnqueueReadBuffer q m ~blocking:true ~offset:0
+                     ~size:(64 * 1024) ~wait_list:[] ~want_event:false)
+              in
+              Bytes.equal back payload
+            in
+            (* Populate the cache on dev0: announce once, then refs. *)
+            write ();
+            write ();
+            Alcotest.(check bool) "refs in use before migration" true
+              (Stub.cache_refs stub > 0);
+            let hops = [ 1; 0; 1 ] in
+            List.iteri
+              (fun i dest ->
+                let src = Option.get (Pool.device_of pool ~vm_id) in
+                ignore (Pool.migrate_vm pool ~vm_id ~dest);
+                (* The source must not keep a ghost residency — that
+                   ghost is exactly what went stale. *)
+                Alcotest.(check bool)
+                  (Printf.sprintf "hop %d: source entry gone" i)
+                  true
+                  (Server.vm_ctx (Pool.server pool src) ~vm_id = None);
+                let naks_before = Server.naks_sent (Pool.server pool dest) in
+                write ();
+                write ();
+                Alcotest.(check int)
+                  (Printf.sprintf "hop %d: one heal NAK, then refs hit" i)
+                  1
+                  (Server.naks_sent (Pool.server pool dest) - naks_before);
+                Alcotest.(check bool)
+                  (Printf.sprintf "hop %d: data intact" i)
+                  true (readback_ok ()))
+              hops;
+            Alcotest.(check int) "no watchdog timeouts" 0
+              (Stub.timeouts stub)));
   ]
 
 (* --- device loss and evacuation ------------------------------------------- *)

@@ -36,6 +36,16 @@ let value_gen =
             let b = Bytes.of_string s in
             Wire.Blob_cached { bc_digest = Wire.digest b; bc_data = b })
           (string_size (0 -- 256));
+        (* Any (iova, size) inside the window — offsets up to 1 GiB with
+           sizes up to 16 MiB stay well below [iova_limit]. *)
+        map
+          (fun (off, n) ->
+            Wire.Mapped_ref
+              {
+                mr_iova = Int64.add Ava_device.Iommu.iova_base (Int64.of_int off);
+                mr_size = n;
+              })
+          (pair (int_bound 0x4000_0000) (int_bound 0x100_0000));
       ]
   in
   sized (fun n ->
@@ -79,6 +89,77 @@ let wire_tests =
       `Quick (fun () ->
         let v = Wire.Blob (Bytes.create 1000) in
         Alcotest.(check int) "blob size" 1005 (Wire.encoded_size v));
+    Alcotest.test_case "mapped ref is 13 bytes regardless of payload size"
+      `Quick (fun () ->
+        let v =
+          Wire.Mapped_ref
+            { mr_iova = Ava_device.Iommu.iova_base; mr_size = 64 * 1024 * 1024 }
+        in
+        Alcotest.(check int) "fixed size" 13 (Wire.encoded_size v);
+        (* 4-byte count prefix + tag + iova + size on the wire too. *)
+        Alcotest.(check int) "framed size" 17 (Bytes.length (Wire.encode [ v ])));
+    Alcotest.test_case "out-of-window IOVA rejected at decode" `Quick
+      (fun () ->
+        let expect_error what v =
+          (* Encode never validates (the sender owns its refs); the trust
+             boundary is decode on the receiving side. *)
+          match Wire.decode (Wire.encode [ v ]) with
+          | Ok _ -> Alcotest.failf "%s accepted" what
+          | Error e ->
+              Alcotest.(check bool)
+                (what ^ " names the IOVA check")
+                true
+                (String.length e > 0)
+        in
+        expect_error "iova below the window"
+          (Wire.Mapped_ref
+             {
+               mr_iova = Int64.sub Ava_device.Iommu.iova_base 1L;
+               mr_size = 16;
+             });
+        expect_error "iova past the window"
+          (Wire.Mapped_ref { mr_iova = Ava_device.Iommu.iova_limit; mr_size = 1 });
+        expect_error "size overruns the window limit"
+          (Wire.Mapped_ref
+             {
+               mr_iova = Int64.sub Ava_device.Iommu.iova_limit 4096L;
+               mr_size = 8192;
+             });
+        (* The boundary cases stay valid: base itself, and a ref ending
+           exactly at the limit. *)
+        List.iter
+          (fun v ->
+            match Wire.decode (Wire.encode [ v ]) with
+            | Ok [ d ] ->
+                Alcotest.(check bool) "roundtrips" true (Wire.equal v d)
+            | Ok _ -> Alcotest.fail "wrong arity"
+            | Error e -> Alcotest.failf "valid ref rejected: %s" e)
+          [
+            Wire.Mapped_ref
+              { mr_iova = Ava_device.Iommu.iova_base; mr_size = 4096 };
+            Wire.Mapped_ref
+              {
+                mr_iova = Int64.sub Ava_device.Iommu.iova_limit 4096L;
+                mr_size = 4096;
+              };
+          ]);
+    Alcotest.test_case "truncated mapped-ref frame is an error, not a raise"
+      `Quick (fun () ->
+        let data =
+          Wire.encode
+            [
+              Wire.Mapped_ref
+                { mr_iova = Ava_device.Iommu.iova_base; mr_size = 4096 };
+            ]
+        in
+        for cut = 0 to Bytes.length data - 1 do
+          match Wire.decode (Bytes.sub data 0 cut) with
+          | Ok _ -> Alcotest.failf "truncation to %d accepted" cut
+          | Error _ -> ()
+          | exception e ->
+              Alcotest.failf "truncation to %d raised %s" cut
+                (Printexc.to_string e)
+        done);
     (* Regression: decode built lists with [List.init n (fun _ -> value ())],
        whose evaluation order is unspecified — nested collections could
        come back permuted.  Pin the order with a mixed nested value. *)
@@ -694,6 +775,89 @@ let cache_tests =
         Alcotest.(check int) "both executed" 2 (List.length !seen));
   ]
 
+(* Stub/server pair with shared virtual addressing armed: the stub pins
+   page-or-larger blobs into [iommu] and sends [Mapped_ref]s; the server
+   resolves them back through the same IOMMU before dispatch. *)
+let sva_pair e plan =
+  let guest_end, server_end = Transport.direct e in
+  let iommu = Ava_device.Iommu.create e in
+  let dma = Ava_device.Dma.of_gpu_timing Ava_device.Timing.gtx1080 in
+  let server = Server.create e ~plan ~make_state:(fun ~vm_id -> ref vm_id) in
+  ignore (Server.attach_vm server ~vm_id:1 ~ep:server_end);
+  Server.set_sva server ~vm_id:1 ~iommu ~dma;
+  let stub = Stub.create e ~sva:iommu ~vm_id:1 ~plan ~ep:guest_end in
+  (stub, server, iommu)
+
+let sva_tests =
+  [
+    Alcotest.test_case "page-sized blob crosses as a 13-byte ref" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server, iommu = sva_pair e plan in
+        let seen = ref [] in
+        payload_recorder server seen;
+        let payload = Bytes.init 8192 (fun i -> Char.chr (i land 0xff)) in
+        Engine.run_process e (fun () -> send_payload stub payload);
+        Alcotest.(check int) "one blob pinned" 1 (Stub.sva_maps stub);
+        Alcotest.(check int) "payload bytes elided" 8192
+          (Stub.sva_saved_bytes stub);
+        Alcotest.(check int) "server resolved it" 1
+          (Server.sva_resolutions server);
+        Alcotest.(check int) "resolved byte count" 8192
+          (Server.sva_resolved_bytes server);
+        Alcotest.(check int) "iommu holds the pin" 1
+          (Ava_device.Iommu.mappings iommu);
+        (* The handler must see the original bytes, not the ref. *)
+        (match !seen with
+        | [ b ] ->
+            Alcotest.(check bool) "payload intact" true (Bytes.equal b payload)
+        | _ -> Alcotest.fail "handler ran wrong number of times"));
+    Alcotest.test_case "sub-page blobs stay inline" `Quick (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server, _ = sva_pair e plan in
+        let seen = ref [] in
+        payload_recorder server seen;
+        Engine.run_process e (fun () ->
+            send_payload stub (Bytes.make 64 'i');
+            send_payload stub (Bytes.make 4095 'j'));
+        Alcotest.(check int) "nothing pinned" 0 (Stub.sva_maps stub);
+        Alcotest.(check int) "no resolutions" 0 (Server.sva_resolutions server));
+    Alcotest.test_case "unmapped ref fails the call, worker survives" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let plan = mini_plan () in
+        let stub, server, _ = sva_pair e plan in
+        let seen = ref [] in
+        payload_recorder server seen;
+        Engine.run_process e (fun () ->
+            (* Forged ref: inside the decode window, never pinned.  The
+               server must fail this call — never NAK, never raise — and
+               keep serving. *)
+            let reply =
+              Result.get_ok
+                (Stub.invoke_sync stub ~fn:"ping" ~env:[]
+                   ~args:
+                     [
+                       Wire.Mapped_ref
+                         {
+                           mr_iova =
+                             Int64.add Ava_device.Iommu.iova_base 0x10_0000L;
+                           mr_size = 4096;
+                         };
+                     ])
+            in
+            Alcotest.(check int) "bad-arguments status"
+              Server.status_bad_arguments reply.Message.reply_status;
+            Alcotest.(check int) "rejection counted" 1
+              (Server.sva_rejected server);
+            Alcotest.(check int) "handler never ran" 0 (List.length !seen);
+            send_payload stub (Bytes.make 8192 'k'));
+        Alcotest.(check int) "later call resolved fine" 1
+          (Server.sva_resolutions server));
+  ]
+
 (* A full guest -> router -> server stack over raw endpoints, so tests
    can inject hand-built frames the stub would never produce. *)
 let router_stack e plan =
@@ -1070,6 +1234,7 @@ let () =
       ("policy", policy_tests);
       ("stub-server", stub_tests);
       ("transfer-cache", cache_tests);
+      ("sva", sva_tests);
       ("router", router_tests);
       ("ctx", ctx_tests);
       ("migrate", migrate_tests);

@@ -86,6 +86,62 @@ let fig5_tests =
         Alcotest.(check bool) "sync-only slower" true (as_sync > as_async));
   ]
 
+(* Combined transport+marshal+doorbell p50 — the "wire tax" the SVA
+   data path is meant to collapse (ISSUE acceptance: >= 40% reduction
+   on gaussian and srad). *)
+let transport_marshal_p50 (p : Driver.profile) =
+  List.fold_left
+    (fun acc (name, s) ->
+      if List.mem name [ "marshal"; "doorbell"; "transport" ] then
+        acc +. s.Ava_obs.Hist.h_p50_ns
+      else acc)
+    0.0 p.Driver.pr_phases
+
+let sva_tests =
+  [
+    Alcotest.test_case "sva collapses the wire tax >= 40% (acceptance)"
+      `Slow (fun () ->
+        List.iter
+          (fun name ->
+            let b = Option.get (Rodinia.find name) in
+            let base = Driver.profile_cl ~obs:true b.Rodinia.run in
+            let sva =
+              Driver.profile_cl ~obs:true ~sva:true
+                ~doorbell:Transport.default_doorbell b.Rodinia.run
+            in
+            let tm_base = transport_marshal_p50 base in
+            let tm_sva = transport_marshal_p50 sva in
+            let reduction = 100.0 *. (1.0 -. (tm_sva /. tm_base)) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.1f%% reduction (%.0f -> %.0f ns) >= 40%%"
+                 name reduction tm_base tm_sva)
+              true
+              (reduction >= 40.0);
+            (* Refs shrink the wire too: payloads stay in pinned guest
+               pages. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: fewer wire bytes" name)
+              true
+              (sva.Driver.pr_wire_bytes < base.Driver.pr_wire_bytes))
+          [ "gaussian"; "srad" ]);
+    Alcotest.test_case "sva stack is deterministic" `Quick (fun () ->
+        let b = Option.get (Rodinia.find "gaussian") in
+        let run () =
+          (Driver.profile_cl ~sva:true ~doorbell:Transport.default_doorbell
+             b.Rodinia.run)
+            .Driver.pr_ns
+        in
+        Alcotest.(check int) "bit-identical" (run ()) (run ()));
+    Alcotest.test_case "sva off is bit-identical to the pre-SVA stack"
+      `Quick (fun () ->
+        (* The knobs default off; passing them explicitly as off must
+           not perturb virtual time by a single tick. *)
+        let b = Option.get (Rodinia.find "srad") in
+        let plain = (Driver.profile_cl b.Rodinia.run).Driver.pr_ns in
+        let off = (Driver.profile_cl ~sva:false b.Rodinia.run).Driver.pr_ns in
+        Alcotest.(check int) "bit-identical" plain off);
+  ]
+
 let inception_tests =
   [
     Alcotest.test_case "layer schedule matches inception v3 profile" `Quick
@@ -112,5 +168,6 @@ let () =
       ("benchmarks", benchmark_tests);
       ("determinism", determinism_tests);
       ("fig5", fig5_tests);
+      ("sva", sva_tests);
       ("inception", inception_tests);
     ]
