@@ -1,0 +1,12 @@
+(* Shared AVA_CHAOS_SEED parsing.  The chaos suites and the campaign
+   runner all derive their randomized schedules from this one variable;
+   reading it in one place keeps the CI seed-matrix contract ("export
+   AVA_CHAOS_SEED=N perturbs every chaos suite") honest. *)
+
+let raw () = Sys.getenv_opt "AVA_CHAOS_SEED"
+
+let seed ~default =
+  match raw () with Some s -> int_of_string s | None -> default
+
+let seed64 ~default =
+  match raw () with Some s -> Int64.of_string s | None -> default

@@ -1,0 +1,15 @@
+(** The one reader of the [AVA_CHAOS_SEED] environment variable.
+
+    Every chaos-flavoured suite (transport faults, device faults, pool
+    evacuation, scenario campaigns) perturbs its schedule from this
+    variable so CI can sweep a seed matrix over the same binaries.
+    Parsing lives here once; each suite keeps its historical default by
+    passing it explicitly. *)
+
+val seed : default:int -> int
+(** The seed as an [int] ([int_of_string]); [default] when the variable
+    is unset.  @raise Failure on a malformed value, as the historical
+    per-suite parsers did. *)
+
+val seed64 : default:int64 -> int64
+(** The seed as an [int64] ([Int64.of_string]); [default] when unset. *)

@@ -1,0 +1,86 @@
+(* Trace shrinking: ddmin-style chunk deletion, then per-op deletion,
+   then delay shrinking, iterated to a fixpoint under an oracle budget.
+
+   The interpreter is total over subsequences (ops whose references
+   died become no-ops), so deletion candidates are always valid traces;
+   the oracle — "does this still violate the same invariant?" — is the
+   only arbiter.  Both shrinker guarantees are structural: we never
+   insert ops, so the result cannot outgrow its parent, and we only
+   ever keep oracle-approved candidates, so the result still
+   violates. *)
+
+let last_runs = ref 0
+let runs () = !last_runs
+
+let minimize ?(max_runs = 250) ~oracle trace =
+  last_runs := 0;
+  let check t =
+    if !last_runs >= max_runs then false
+    else begin
+      incr last_runs;
+      oracle t
+    end
+  in
+  let drop_range l lo len =
+    List.filteri (fun i _ -> i < lo || i >= lo + len) l
+  in
+  (* One ddmin pass at the given chunk size; returns the (possibly)
+     reduced trace. *)
+  let rec drop_chunks t size =
+    if size < 1 || List.length t <= 1 then t
+    else begin
+      let n = List.length t in
+      let rec try_from lo t =
+        if lo >= List.length t then t
+        else
+          let cand = drop_range t lo size in
+          if cand <> [] && List.length cand < List.length t && check cand
+          then
+            (* Keep the deletion; retry the same offset, which now
+               holds the next chunk. *)
+            try_from lo cand
+          else try_from (lo + size) t
+      in
+      let t' = try_from 0 t in
+      if size = 1 then t'
+      else drop_chunks t' (Stdlib.max 1 (Stdlib.min (size / 2) (n / 2)))
+    end
+  in
+  (* Shrink delays: zero every delay at once if possible, else halve
+     one op's delay at a time to a fixpoint. *)
+  let shrink_delays t =
+    let zeroed = List.map (fun op -> { op with Op.delay_ns = 0 }) t in
+    if zeroed <> t && check zeroed then zeroed
+    else
+      let shrink_at t i =
+        List.mapi
+          (fun j op ->
+            if j = i then { op with Op.delay_ns = op.Op.delay_ns / 2 }
+            else op)
+          t
+      in
+      let rec per_op t i =
+        if i >= List.length t then t
+        else
+          let op = List.nth t i in
+          if op.Op.delay_ns = 0 then per_op t (i + 1)
+          else
+            let cand = shrink_at t i in
+            if check cand then per_op cand i else per_op t (i + 1)
+      in
+      per_op t 0
+  in
+  let rec fixpoint t =
+    let before = !last_runs in
+    let t' = drop_chunks t (Stdlib.max 1 (List.length t / 2)) in
+    let t' = shrink_delays t' in
+    if List.length t' < List.length t && !last_runs < max_runs then
+      fixpoint t'
+    else if before = !last_runs then t'
+    else t'
+  in
+  (* ddmin's deletion candidates are always non-empty, so probe the
+     empty trace once up front: a violation that fires with no ops at
+     all (a broken invariant checker, a config-only failure) should
+     shrink to the empty reproducer, not to an arbitrary survivor op. *)
+  if trace <> [] && check [] then [] else fixpoint trace

@@ -1,0 +1,20 @@
+(** Seed shrinking: reduce a violating trace to a minimal deterministic
+    reproducer.
+
+    Delta-debugging over the op list (drop chunks, then single ops)
+    followed by delay shrinking (halve, then zero, each op's virtual
+    delay).  A candidate is kept only when the caller's [oracle] says
+    it still violates the {e same} invariant, so the two properties the
+    qcheck suite pins down hold by construction: the result still
+    violates, and it is never longer than its parent. *)
+
+val minimize :
+  ?max_runs:int -> oracle:(Op.trace -> bool) -> Op.trace -> Op.trace
+(** [minimize ~oracle trace] assumes [oracle trace = true] and returns
+    a trace no longer than [trace] for which [oracle] still holds.
+    [max_runs] (default 250) bounds the oracle invocations — each one
+    replays a whole scenario — so shrinking degrades gracefully on
+    stubborn traces instead of stalling the campaign. *)
+
+val runs : unit -> int
+(** Oracle invocations performed by the last {!minimize} call. *)

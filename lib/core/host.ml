@@ -154,6 +154,10 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
   let src_state = require (Server.vm_state src_srv ~vm_id) in
   let dst_ctx = require (Server.vm_ctx dst_srv ~vm_id) in
   let dst_state = require (Server.vm_state dst_srv ~vm_id) in
+  (* The destination context is fresh, so its id counter would re-mint
+     ids the replay is about to re-bind originals onto; reserve the
+     source's whole range first. *)
+  Server.Ctx.reserve dst_ctx (Server.Ctx.next_vid src_ctx);
   (* The content store belongs to the source front-end; the guest's
      stale refs heal through the cache-miss NAK/resend path. *)
   Server.flush_cache src_srv ~vm_id;
@@ -167,6 +171,12 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
       Server.clear_sva src_srv ~vm_id;
       Server.set_sva dst_srv ~vm_id ~iommu ~dma:(Gpu.dma gpus.(dst))
   | None -> ());
+  (* The drain window paused the worker, but a kernel the source device
+     already accepted is still running and writes its outputs only at
+     completion — snapshot now and the destination inherits pre-kernel
+     bytes (a clean tenant then reads back wrong results after a
+     mid-workload rebalance).  Wait for the silo's queues first. *)
+  Ava_simcl.Native.quiesce src_state.Cl_handlers.native;
   let bytes_moved = ref 0 in
   let snapshot =
     List.filter_map
@@ -493,6 +503,40 @@ let native_cl ?(gpu_timing = Timing.gtx1080) engine =
   (api, gpu)
 
 let recorder t ~vm_id = Hashtbl.find_opt t.recorders vm_id
+
+(* Retire a guest from the whole stack: pool residency (or the classic
+   server entry), circuit breaker, IOMMU pins, record log.  Idempotent
+   — retiring an unknown or already-retired VM returns [false] — and
+   validated: a VM mid-migration is refused (retry after the migration
+   completes).  The caller must ensure the VM has no in-flight calls;
+   its worker dies with its inbox.  Must run inside a simulation
+   process (the IOMMU teardown charges a shootdown). *)
+let retire_cl_vm t ~vm_id =
+  let ok =
+    match t.pool with
+    | Some pool when Option.is_some (Pool.device_of pool ~vm_id) ->
+        Pool.retire_vm pool ~vm_id
+    | _ -> (
+        (* Classic host — or a pooled host's User_rpc guest, which
+           bypasses placement and lives on device 0's server. *)
+        match Server.vm_ctx t.server ~vm_id with
+        | Some _ ->
+            Server.detach_vm t.server ~vm_id;
+            (* User_rpc guests have no router flow to clear. *)
+            (try Router.clear_breaker t.router ~vm_id
+             with Invalid_argument _ -> ());
+            true
+        | None -> false)
+  in
+  if ok then begin
+    (match Hashtbl.find_opt t.iommus vm_id with
+    | Some iommu ->
+        Iommu.release_all iommu;
+        Hashtbl.remove t.iommus vm_id
+    | None -> ());
+    Hashtbl.remove t.recorders vm_id
+  end;
+  ok
 
 (* --- MVNC hosts ----------------------------------------------------------- *)
 

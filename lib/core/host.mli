@@ -180,6 +180,15 @@ val native_cl :
 
 val recorder : cl_host -> vm_id:int -> Migrate.t option
 
+val retire_cl_vm : cl_host -> vm_id:int -> bool
+(** Retire a guest from the whole stack: pool residency (or the classic
+    server entry), circuit breaker, IOMMU pins ({!Iommu.release_all}),
+    record log.  Idempotent ([false] for an unknown or already-retired
+    VM) and validated (a VM mid-migration is refused; retry once the
+    migration completes).  The caller must ensure the VM has no
+    in-flight calls — its worker dies with its inbox.  Must run inside
+    a simulation process. *)
+
 (** {1 MVNC hosts} *)
 
 type nc_host = {

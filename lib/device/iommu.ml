@@ -152,3 +152,20 @@ let quiesce t =
   Mmio.write t.regs ~addr:reg_invalidate (-1L);
   t.shootdowns <- t.shootdowns + 1;
   Hashtbl.iter (fun _ m -> m.mp_faulted <- false) t.table
+
+(* Tear down the whole address space when its VM retires: one batched
+   shootdown (not one per mapping — nothing will ever access these
+   translations again), then unpin everything.  Idempotent: an empty
+   table costs nothing and makes no register writes. *)
+let release_all t =
+  if Hashtbl.length t.table > 0 then begin
+    Engine.delay t.timing.Timing.shootdown_ns;
+    Mmio.write t.regs ~addr:reg_invalidate (-1L);
+    t.shootdowns <- t.shootdowns + 1;
+    Hashtbl.iter
+      (fun _ m ->
+        t.unmaps <- t.unmaps + 1;
+        t.pinned_bytes <- t.pinned_bytes - (pages_of m.mp_size * page_size))
+      t.table;
+    Hashtbl.reset t.table
+  end

@@ -43,6 +43,12 @@ val quiesce : t -> unit
 (** One batched shootdown over the whole address space; every mapping
     refaults on next access.  Used when a VM migrates devices. *)
 
+val release_all : t -> unit
+(** Tear down every mapping: one batched shootdown, then unpin all
+    pages ({!pinned_bytes} and {!mappings} drop to 0).  Used when a VM
+    retires; idempotent, and free on an empty address space.  Must run
+    inside a simulation process. *)
+
 val pages_of : int -> int
 
 (** {1 Counters} *)

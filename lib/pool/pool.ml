@@ -58,6 +58,8 @@ type vm_info = {
   vi_vm : Vm.t;
   vi_footprint : int;  (** declared device-memory footprint, bytes *)
   mutable vi_device : int;
+  mutable vi_migrating : bool;
+      (** a migration of this VM is between pause and re-steer *)
 }
 
 type 'st t = {
@@ -74,6 +76,9 @@ type 'st t = {
   mutable migrations : int;
   mutable evacuations : int;
   mutable rebalances : int;
+  mutable retires : int;
+  mutable aborted_migrations : int;
+      (** migrations whose VM retired during the drain window *)
   mutable stopped : bool;  (** quiesces the skew monitor *)
 }
 
@@ -118,6 +123,8 @@ let create ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
     migrations = 0;
     evacuations = 0;
     rebalances = 0;
+    retires = 0;
+    aborted_migrations = 0;
     stopped = false;
   }
 
@@ -128,6 +135,8 @@ let placement t = t.placement
 let migrations t = t.migrations
 let evacuations t = t.evacuations
 let rebalances t = t.rebalances
+let retires t = t.retires
+let aborted_migrations t = t.aborted_migrations
 
 let device t i =
   if i < 0 || i >= Array.length t.devices then
@@ -276,7 +285,9 @@ let place ?(footprint = 0) ?device t ~vm =
         | None -> invalid_arg "Pool.place: no healthy device")
   in
   t.vms <-
-    (Vm.id vm, { vi_vm = vm; vi_footprint = footprint; vi_device = dev_id })
+    ( Vm.id vm,
+      { vi_vm = vm; vi_footprint = footprint; vi_device = dev_id;
+        vi_migrating = false } )
     :: t.vms;
   let d = t.devices.(dev_id) in
   d.dev_resident <- Vm.id vm :: d.dev_resident;
@@ -310,28 +321,96 @@ let migrate_vm t ~vm_id ~dest =
   if dest < 0 || dest >= Array.length t.devices then
     invalid_arg (Printf.sprintf "Pool.migrate_vm: no device %d" dest);
   if dest = info.vi_device then 0
+  else if info.vi_migrating then begin
+    (* Another process (skew monitor, evacuation) is already moving this
+       VM; a second pause/drain/attach interleaved with the first would
+       corrupt the re-steer.  First mover wins. *)
+    record_trace t "vm%d already migrating; request ignored" vm_id;
+    0
+  end
   else begin
     let src = t.devices.(info.vi_device) in
     let dst = t.devices.(dest) in
+    info.vi_migrating <- true;
     record_trace t "vm%d migrating dev%d -> dev%d" vm_id src.dev_id dst.dev_id;
     Server.pause_vm src.dev_server ~vm_id;
     Engine.delay t.drain_ns;
-    let seq = Router.next_seq t.router ~vm_id in
+    (* The drain is a suspension point: another process may have retired
+       the VM (admit/retire churn) while we slept.  A retired VM has no
+       residency, no server entry and no router flow left — abort the
+       migration instead of re-attaching a ghost. *)
+    if not (List.mem_assoc vm_id t.vms) then begin
+      t.aborted_migrations <- t.aborted_migrations + 1;
+      record_trace t "vm%d retired during drain; migration aborted" vm_id;
+      0
+    end
+    else begin
     let router_end, server_end = Transport.direct t.engine in
     ignore (Server.attach_vm dst.dev_server ~vm_id ~ep:server_end);
-    Server.set_expected dst.dev_server ~vm_id ~seq;
     let bytes = t.transfer ~vm_id ~src:src.dev_id ~dst:dest in
+    (* Seed the destination's in-order cursor only now, after the
+       transfer, in the same synchronous step as the re-steer.  The
+       drain window is a grace period, not a handshake: a blocking call
+       the source had already picked up (a [clFinish] riding out its
+       kernels) can complete — and be answered — during the transfer.
+       A cursor snapshotted at drain-end would still name that seq,
+       and the destination would wait forever for a call whose reply
+       the guest already consumed.  There is no suspension point
+       between here and [resteer], so the ledger cannot shift under
+       the snapshot. *)
+    let seq = Router.next_seq t.router ~vm_id in
+    Server.set_expected dst.dev_server ~vm_id ~seq;
+    (* Carry the reply log: a reply the source sent but the link lost
+       must still be replayable at the destination when the stub
+       retransmits its seq (which now reads as a pre-cursor dup). *)
+    Server.import_replies dst.dev_server ~vm_id
+      (Server.export_replies src.dev_server ~vm_id);
     Router.resteer t.router ~vm_id ~backend:dest ~server_side:router_end;
     (* After [transfer] — it still needs the source context and silo. *)
     Server.detach_vm src.dev_server ~vm_id;
     src.dev_resident <- List.filter (fun v -> v <> vm_id) src.dev_resident;
     dst.dev_resident <- vm_id :: dst.dev_resident;
     info.vi_device <- dest;
+    info.vi_migrating <- false;
     t.migrations <- t.migrations + 1;
     record_trace t "vm%d now on dev%d (expected seq %d, %dB moved)" vm_id
       dest seq bytes;
     bytes
+    end
   end
+
+(* {1 Retirement} *)
+
+(* Retire a VM from the pool: detach its server entry (terminating the
+   worker), drop residency on every device, and clear any circuit
+   breaker so a future tenant reusing the id starts clean.
+
+   Idempotent and validated rather than raising: admit/retire churn in a
+   chaos campaign races retirement against the skew monitor and
+   device-loss evacuation, so a double retire (or a retire that loses
+   the race to a concurrent migration) must be a refusal, not a crash.
+   A VM between pause and re-steer is refused — the migration holds the
+   server entries and router flow; the caller retries after it
+   completes (or the abort path in [migrate_vm] lets the next retire
+   succeed). *)
+let retire_vm t ~vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | None -> false
+  | Some info when info.vi_migrating ->
+      record_trace t "vm%d retire refused: migration in flight" vm_id;
+      false
+  | Some _ ->
+      Array.iter
+        (fun d ->
+          if Option.is_some (Server.vm_ctx d.dev_server ~vm_id) then
+            Server.detach_vm d.dev_server ~vm_id;
+          d.dev_resident <- List.filter (fun v -> v <> vm_id) d.dev_resident)
+        t.devices;
+      t.vms <- List.remove_assoc vm_id t.vms;
+      Router.clear_breaker t.router ~vm_id;
+      t.retires <- t.retires + 1;
+      record_trace t "vm%d retired" vm_id;
+      true
 
 (* {1 Device loss and evacuation} *)
 
@@ -354,16 +433,24 @@ let kill_device t ~device:dev_id =
     let victims = List.sort Stdlib.compare dev.dev_resident in
     List.iter
       (fun vm_id ->
-        let info = find_info t vm_id in
-        match choose t ~footprint:info.vi_footprint with
-        | None -> record_trace t "vm%d stranded: no healthy device" vm_id
-        | Some dest ->
-            ignore (migrate_vm t ~vm_id ~dest);
-            t.evacuations <- t.evacuations + 1;
-            dev.dev_evac_out <- dev.dev_evac_out + 1;
-            t.devices.(dest).dev_evac_in <- t.devices.(dest).dev_evac_in + 1;
-            if blamed <> Some vm_id then
-              Router.clear_breaker t.router ~vm_id)
+        (* Each evacuation migration drains (a suspension point), so a
+           victim later in the list may retire before its turn comes —
+           skip it rather than evacuate a ghost. *)
+        match List.assoc_opt vm_id t.vms with
+        | None -> ()
+        | Some info -> (
+            match choose t ~footprint:info.vi_footprint with
+            | None -> record_trace t "vm%d stranded: no healthy device" vm_id
+            | Some dest ->
+                ignore (migrate_vm t ~vm_id ~dest);
+                if List.mem_assoc vm_id t.vms then begin
+                  t.evacuations <- t.evacuations + 1;
+                  dev.dev_evac_out <- dev.dev_evac_out + 1;
+                  t.devices.(dest).dev_evac_in <-
+                    t.devices.(dest).dev_evac_in + 1;
+                  if blamed <> Some vm_id then
+                    Router.clear_breaker t.router ~vm_id
+                end))
       victims
   end
 

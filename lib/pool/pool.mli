@@ -88,6 +88,13 @@ val evacuations : 'st t -> int
 val rebalances : 'st t -> int
 (** Migrations initiated by {!rebalance_now} / the skew monitor. *)
 
+val retires : 'st t -> int
+(** Successful {!retire_vm} calls (refusals not counted). *)
+
+val aborted_migrations : 'st t -> int
+(** Migrations abandoned because their VM retired during the drain
+    window. *)
+
 (** Per-device snapshot for reports and benchmarks. *)
 type device_stats = {
   ds_id : int;
@@ -124,6 +131,17 @@ val migrate_vm : 'st t -> vm_id:int -> dest:int -> int
     source server executed but had not answered may execute again at
     the destination — at-least-once, the same contract as the
     restart/requeue path.  Must run inside a simulation process. *)
+
+(** {1 Retirement} *)
+
+val retire_vm : 'st t -> vm_id:int -> bool
+(** Retire the VM: detach its server entry (terminating the worker),
+    drop residency everywhere, clear any circuit breaker.  Idempotent —
+    an unknown (already retired) VM returns [false] — and validated: a
+    VM with a migration between pause and re-steer is refused
+    ([false]); retry after the migration completes.  The caller must
+    ensure the VM has no in-flight calls (its worker dies with its
+    inbox). *)
 
 val kill_device : 'st t -> device:int -> unit
 (** Permanently lose the device ({!Gpu.kill}) and evacuate its

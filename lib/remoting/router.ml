@@ -34,10 +34,35 @@ type vm_conn = {
   mutable server_side : Transport.endpoint;
       (** router's endpoint facing the VM's current backend server *)
   mutable rc_backend : int;  (** backend currently steering this VM *)
-  mutable last_seq : int;  (** highest call seq seen at ingress *)
+  mutable contig_seq : int;
+      (** highest seq such that every seq [<= contig_seq] has been seen
+          at ingress; -1 until the first call.  Two campaign-found
+          pitfalls shape this field.  Stub seqs start at 0, so
+          initializing to 0 would make [next_seq] report 1 for a VM
+          that has never sent traffic — migrating it then seeds the
+          destination's in-order cursor one past the guest's first real
+          seq and its first call parks forever.  And it must be the
+          {e contiguous} high-water mark, not the max: transport delay
+          can deliver seq [n+1] before seq [n], and a migration seeded
+          off the max would start the destination past a call that is
+          still on the wire — when it lands it reads as a pre-cursor
+          duplicate with no reply-log entry, unanswerable forever. *)
+  seen_ahead : (int, unit) Hashtbl.t;
+      (** seqs observed at ingress beyond [contig_seq] (out-of-order
+          arrivals), absorbed into it as the gaps fill *)
   mutable pending_seqs : int list;  (** seqs queued in the WFQ, unordered *)
   mutable skipped_seqs : int list;
       (** seqs policed away whose Skip notice went to the current backend *)
+  rejected_status : (int, int) Hashtbl.t;
+      (** rejection status by seq, for every call policed away or
+          quarantined.  A retransmit of such a seq must get the same
+          rejection replayed, never be forwarded: the backend already
+          consumed the Skip and advanced past the seq, so a forwarded
+          retransmit would read there as a pre-cursor duplicate with no
+          reply-log entry — unanswerable, parked in the in-flight
+          ledger forever.  (Campaign-found: a breaker half-open probe
+          forwarding a retransmit of a seq quarantined moments earlier;
+          see test/corpus/shrunk-seq-ledger-quarantine-retransmit.trace.) *)
   mutable bucket : Policy.Token_bucket.t option;
   mutable quota : Policy.Quota.t option;
   mutable in_flight : in_flight list;  (** newest first *)
@@ -145,6 +170,7 @@ let env_of_call (plan : Plan.call_plan) (c : Message.call) =
     [] plan.Plan.cp_params c.Message.call_args
 
 let reject_call conn (c : Message.call) status =
+  Hashtbl.replace conn.rejected_status c.Message.call_seq status;
   let reply =
     Message.Reply
       {
@@ -280,9 +306,11 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
       guest_side;
       server_side;
       rc_backend = backend;
-      last_seq = 0;
+      contig_seq = -1;
+      seen_ahead = Hashtbl.create 16;
       pending_seqs = [];
       skipped_seqs = [];
+      rejected_status = Hashtbl.create 16;
       bucket =
         Option.map
           (fun r -> Policy.Token_bucket.create t.engine ~rate_per_s:r ~burst)
@@ -313,7 +341,12 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
            spans then close on the rejection reply).  Also advances the
            high-water seq used by [next_seq] after a re-steer. *)
         let mark_in (c : Message.call) =
-          conn.last_seq <- Stdlib.max conn.last_seq c.Message.call_seq;
+          let seq = c.Message.call_seq in
+          if seq > conn.contig_seq then Hashtbl.replace conn.seen_ahead seq ();
+          while Hashtbl.mem conn.seen_ahead (conn.contig_seq + 1) do
+            Hashtbl.remove conn.seen_ahead (conn.contig_seq + 1);
+            conn.contig_seq <- conn.contig_seq + 1
+          done;
           match t.obs with
           | Some o ->
               Obs.mark o ~vm:(Vm.id vm) ~seq:c.Message.call_seq
@@ -361,14 +394,25 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
            calls are rejected outright with a distinct status — they
            never reach the WFQ, so other VMs' service is unperturbed. *)
         let admitted (c : Message.call) =
-          match conn.breaker with
-          | Some b when not (Policy.Breaker.admit b) ->
-              t.quarantined <- t.quarantined + 1;
-              record_trace_cat t "breaker" "vm%d quarantined %s seq=%d"
-                (Vm.id vm) c.Message.call_fn c.Message.call_seq;
-              reject_call conn c Server.status_vm_quarantined;
+          match Hashtbl.find_opt conn.rejected_status c.Message.call_seq with
+          | Some status ->
+              (* Retransmit of a seq this router already rejected (the
+                 guest's copy of the rejection was lost): replay the
+                 same verdict.  Forwarding instead would contradict the
+                 Skip the backend consumed for this seq. *)
+              record_trace_cat t "breaker" "vm%d reject replay seq=%d"
+                (Vm.id vm) c.Message.call_seq;
+              reject_call conn c status;
               None
-          | _ -> Some c
+          | None -> (
+              match conn.breaker with
+              | Some b when not (Policy.Breaker.admit b) ->
+                  t.quarantined <- t.quarantined + 1;
+                  record_trace_cat t "breaker" "vm%d quarantined %s seq=%d"
+                    (Vm.id vm) c.Message.call_fn c.Message.call_seq;
+                  reject_call conn c Server.status_vm_quarantined;
+                  None
+              | _ -> Some c)
         in
         let admit_and_police c =
           match admitted c with None -> None | Some c -> police c
@@ -548,6 +592,13 @@ let in_flight_calls t ~vm_id =
   | Some conn ->
       List.fold_left (fun a m -> a + List.length m.if_seqs) 0 conn.in_flight
 
+let in_flight_seqs t ~vm_id =
+  match find_conn t vm_id with
+  | None -> []
+  | Some conn ->
+      List.sort Stdlib.compare
+        (List.concat_map (fun m -> m.if_seqs) conn.in_flight)
+
 (* {1 Multi-backend steering (device pool)} *)
 
 let backend_of t ~vm_id =
@@ -556,9 +607,11 @@ let backend_of t ~vm_id =
   | Some conn -> conn.rc_backend
 
 (* The first live seq a new backend will observe for this VM: the
-   smallest seq still queued or in flight, else one past the ingress
-   high-water mark.  Migration calls this while the source worker is
-   paused, then seeds the destination's in-order cursor with it. *)
+   smallest seq still queued or in flight, else one past the contiguous
+   ingress high-water mark (which also covers seqs the guest sent that
+   have not reached ingress yet — a gap below the max keeps the cursor
+   behind it).  Migration calls this while the source worker is paused,
+   then seeds the destination's in-order cursor with it. *)
 let next_seq t ~vm_id =
   match find_conn t vm_id with
   | None -> invalid_arg "Router.next_seq: unknown vm"
@@ -567,7 +620,7 @@ let next_seq t ~vm_id =
         conn.pending_seqs
         @ List.concat_map (fun m -> m.if_seqs) conn.in_flight
       in
-      List.fold_left Stdlib.min (conn.last_seq + 1) outstanding
+      List.fold_left Stdlib.min (conn.contig_seq + 1) outstanding
 
 (* Live re-steer: move the VM's flow — WFQ backlog, in-flight calls,
    future ingress — onto another backend.  In-flight calls are

@@ -121,6 +121,10 @@ val in_flight_calls : t -> vm_id:int -> int
 (** Calls forwarded to the server whose replies have not yet flowed
     back. *)
 
+val in_flight_seqs : t -> vm_id:int -> int list
+(** The seqs behind {!in_flight_calls}, sorted — for diagnostics (a
+    seq-ledger violation can name the parked calls). *)
+
 (** {1 Multi-backend steering (device pool)}
 
     Each backend is an independent dispatch lane — its own WFQ and its

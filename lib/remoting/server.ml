@@ -44,6 +44,15 @@ module Ctx = struct
   (* The most recently assigned virtual id (used by migration replay to
      re-bind objects to their original ids). *)
   let last_fresh t = t.next_vid - 1
+  let next_vid t = t.next_vid
+
+  (* Advance the fresh-id counter to at least [vid].  Migration replay
+     onto a fresh context must reserve the source's id range first:
+     replay mints a fresh id for each re-created object before
+     re-binding it to its original id, and an unreserved counter mints
+     ids that collide with originals already re-bound — the mint's bind
+     silently overwrites, leaving a guest-held handle dangling. *)
+  let reserve t vid = if vid > t.next_vid then t.next_vid <- vid
 
   let bind t ~guest ~host = Hashtbl.replace t.handles guest host
 
@@ -856,6 +865,30 @@ let set_expected t ~vm_id ~seq =
   match find_vm t vm_id with
   | None -> invalid_arg "Server.set_expected: unknown vm"
   | Some e -> e.ve_expected <- seq
+
+(* Snapshot / restore the per-VM reply log across a migration.  The
+   destination's in-order cursor starts past every seq the source
+   already executed, so a retransmission of such a seq arrives as a
+   duplicate — and a duplicate can only be answered from the reply
+   log.  Without carrying the log over, a reply lost on the guest link
+   just before the move becomes unhealable: the destination has
+   nothing to replay and the stub retries to exhaustion. *)
+let export_replies t ~vm_id =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.export_replies: unknown vm"
+  | Some e ->
+      List.sort
+        (fun (a, _) (b, _) -> Stdlib.compare a b)
+        (Hashtbl.fold (fun seq reply acc -> (seq, reply) :: acc) e.ve_replay [])
+
+let import_replies t ~vm_id replies =
+  match find_vm t vm_id with
+  | None -> invalid_arg "Server.import_replies: unknown vm"
+  | Some e ->
+      List.iter
+        (fun (seq, reply) ->
+          if not (Hashtbl.mem e.ve_replay seq) then cache_reply e seq reply)
+        replies
 
 (* Suspend/resume a VM's worker (used by migration §4.3). *)
 let pause_vm t ~vm_id =

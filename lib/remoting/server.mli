@@ -32,6 +32,18 @@ module Ctx : sig
   (** The most recently assigned virtual id (used by migration replay to
       re-bind objects to their original ids). *)
 
+  val next_vid : t -> int
+  (** The next virtual id {!fresh} would mint. *)
+
+  val reserve : t -> int -> unit
+  (** Advance the fresh-id counter to at least the given id.  A
+      migration replaying into a fresh context must first reserve the
+      source context's range ([reserve dst (next_vid src)]): replay
+      mints a fresh id per re-created object before re-binding it to
+      its original id, and an unreserved counter mints ids colliding
+      with originals already re-bound — silently overwriting a binding
+      a guest-held handle still depends on. *)
+
   val bind : t -> guest:int -> host:int -> unit
   val resolve : t -> int -> int option
   val reverse : t -> host:int -> int option
@@ -226,6 +238,17 @@ val set_expected : 'st t -> vm_id:int -> seq:int -> unit
     entries with seq 0 (outside the live window), so the destination
     entry must be told where the guest's live seq stream resumes or
     every steered call would park as a future seq. *)
+
+val export_replies : 'st t -> vm_id:int -> (int * Message.reply) list
+(** Snapshot the VM's reply log (seq-sorted), for carrying across a
+    migration.  The destination's cursor starts past every seq the
+    source executed, so a duplicate of such a seq can only be answered
+    from this log — a reply lost on the guest link just before the
+    move is otherwise unhealable at the destination. *)
+
+val import_replies : 'st t -> vm_id:int -> (int * Message.reply) list -> unit
+(** Merge an exported reply log into the VM's entry (existing seqs
+    win). *)
 
 val pause_vm : 'st t -> vm_id:int -> unit
 (** Stall the worker before its next call (migration §4.3). *)

@@ -652,6 +652,15 @@ let calls st = st.calls
 let live_events st = Hashtbl.length st.events
 let live_mems st = Hashtbl.length st.mems
 
+(* Block until every command queue's tail operation has completed.  A
+   queue is in-order, so its last event covers everything before it.
+   Deferred errors ([q_failed]) are left armed for the owner's next
+   synchronization call.  Must run inside a simulation process. *)
+let quiesce st =
+  Hashtbl.iter
+    (fun _ q -> match q.q_last with Some e -> Ivar.read e.ev_done | None -> ())
+    st.queues
+
 (* Device buffer behind a mem handle (migration snapshot/restore). *)
 let find_mem st m =
   Option.map (fun mo -> mo.m_buf) (Hashtbl.find_opt st.mems m)

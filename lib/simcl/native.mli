@@ -27,4 +27,13 @@ val live_mems : st -> int
 val find_mem : st -> Types.mem -> Ava_device.Gpu.buffer option
 (** Device buffer behind a mem handle (migration snapshot/restore). *)
 
+val quiesce : st -> unit
+(** Block until every command queue has drained (each queue's tail
+    event completes; in-order queues make that cover the whole queue).
+    Deferred per-queue errors are left armed.  A migration must quiesce
+    before snapshotting buffers: a kernel the device already accepted
+    applies its memory effect only at completion, so an early snapshot
+    would copy pre-kernel bytes and the destination would replay stale
+    data.  Must run inside a simulation process. *)
+
 val kdriver : st -> Kdriver.t

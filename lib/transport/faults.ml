@@ -41,7 +41,7 @@ type stats = {
   mutable checksum_rejects : int;  (** corrupt frames caught on receive *)
 }
 
-type t = { rng : Rng.t; config : config; stats : stats }
+type t = { rng : Rng.t; mutable config : config; stats : stats }
 
 let create ~seed config =
   {
@@ -54,6 +54,12 @@ let create ~seed config =
 
 let stats t = t.stats
 let config t = t.config
+
+(* Flip the fault profile live.  The RNG stream and the checksum
+   envelope are untouched — only the probabilities the next draws are
+   compared against change — so a run that flips profiles at fixed
+   virtual instants replays exactly under the same seed. *)
+let set_config t config = t.config <- config
 
 (* --- checksum envelope -------------------------------------------------- *)
 

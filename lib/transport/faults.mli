@@ -44,6 +44,11 @@ val create : seed:int64 -> config -> t
 val stats : t -> stats
 val config : t -> config
 
+val set_config : t -> config -> unit
+(** Flip the fault profile live (scenario campaigns).  The seeded RNG
+    stream and the checksum envelope are untouched, so same-seed runs
+    that flip at the same virtual instants replay exactly. *)
+
 val wrap : t -> Transport.endpoint * Transport.endpoint -> unit
 (** Install fault hooks on both ends of a link.  Must happen before any
     traffic flows: the checksum envelope applies to every subsequent

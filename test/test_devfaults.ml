@@ -28,10 +28,7 @@ open Ava_core
 open Ava_workloads
 open Ava_simcl.Types
 
-let chaos_seed =
-  match Sys.getenv_opt "AVA_CHAOS_SEED" with
-  | Some s -> int_of_string s
-  | None -> 42
+let chaos_seed = Ava_campaign.Chaos_env.seed ~default:42
 
 let bench name = Option.get (Rodinia.find name)
 

@@ -136,10 +136,7 @@ let injection_tests =
    [Engine.run_process] raises [Stalled]. *)
 (* CI sweeps the chaos-case fault seeds via [AVA_CHAOS_SEED]; the
    fixed-seed determinism tests below are seed-independent. *)
-let chaos_seed_base =
-  match Sys.getenv_opt "AVA_CHAOS_SEED" with
-  | Some s -> Int64.of_string s
-  | None -> 0L
+let chaos_seed_base = Ava_campaign.Chaos_env.seed64 ~default:0L
 
 let run_chaos ?faults ?retry ~kind program =
   let e = Engine.create () in
