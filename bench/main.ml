@@ -15,6 +15,7 @@
      automation-metrics         §5 developer-effort metrics (E8)
      transport-sweep            pluggable-transport ablation
      pool-scaling               device-pool throughput + rebalancing
+     cluster-scaling            multi-host fleet under trace-driven load
      simcore                    DES engine self-benchmark (events/s, allocs)
      microbench                 Bechamel microbenchmarks (E9)
 *)
@@ -808,6 +809,289 @@ let pool_scaling () =
   write_json "BENCH_pool.json" json;
   Fmt.pr "wrote BENCH_pool.json@."
 
+(* --------------------------------------------------- cluster scaling -- *)
+
+module Cluster = Ava_cluster.Cluster
+module Tracegen = Ava_cluster.Tracegen
+
+(* Heavier than [Tracegen.default]: enough tenant overlap that one
+   2-device host queues and the fleet has something to absorb. *)
+let cluster_trace_cfg =
+  {
+    Tracegen.default with
+    Tracegen.tg_tenants = 32;
+    tg_mean_interarrival_ns = Time.us 10;
+    tg_sessions_mean = 4.0;
+    tg_think_mean_ns = Time.us 20;
+    tg_session_xm = 4.0;
+    tg_work_cap = 64;
+  }
+
+(* The identity baseline: the very same per-tenant schedule driven
+   straight at a bare pooled host, no cluster layer anywhere.  A
+   single-host cluster must match this makespan bit-for-bit. *)
+let cluster_bare_run events =
+  let e = Engine.create () in
+  let host =
+    Host.create_cl_host ~devices:2 ~placement:Host.Pool.Least_loaded e
+  in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let id = Tracegen.tenant ev in
+      let prev =
+        match Hashtbl.find_opt groups id with Some l -> l | None -> []
+      in
+      Hashtbl.replace groups id (ev :: prev))
+    events;
+  let ids =
+    List.sort Stdlib.compare
+      (Hashtbl.fold (fun id _ acc -> id :: acc) groups [])
+  in
+  let done_at = Hashtbl.create 64 in
+  let until at =
+    let now = Engine.now e in
+    if at > now then Engine.delay (at - now)
+  in
+  List.iter
+    (fun id ->
+      let evs = List.rev (Hashtbl.find groups id) in
+      Engine.spawn e
+        ~name:(Printf.sprintf "ava-cluster-tenant-%d" id)
+        (fun () ->
+          let api = ref None and vm = ref 0 in
+          List.iter
+            (fun ev ->
+              match ev with
+              | Tracegen.Arrive { at; _ } ->
+                  until at;
+                  let g =
+                    Host.add_cl_vm host
+                      ~name:(Printf.sprintf "trace-t%d" id)
+                  in
+                  vm := Ava_hv.Vm.id g.Host.g_vm;
+                  api := Some g.Host.g_api
+              | Tracegen.Session { at; work; _ } -> (
+                  until at;
+                  match !api with
+                  | None -> ()
+                  | Some a -> ignore (Cluster.run_session a ~work))
+              | Tracegen.Depart { at; _ } ->
+                  until at;
+                  ignore (Host.retire_cl_vm host ~vm_id:!vm);
+                  api := None)
+            evs;
+          Hashtbl.replace done_at id (Engine.now e)))
+    ids;
+  Engine.run e;
+  Hashtbl.fold (fun _ at acc -> Stdlib.max at acc) done_at 0
+
+let cluster_run ?policy ~hosts events =
+  let e = Engine.create () in
+  let obs = Ava_obs.Obs.create () in
+  let c = Cluster.create ?policy ~devices_per_host:2 ~obs ~hosts e in
+  let r = Cluster.run_trace c events in
+  (r, c)
+
+(* Fleet-level skew demo: every tenant carries the same affinity key,
+   so locality-aware admission piles them onto one of two hosts; the
+   cluster rebalancer then live-migrates across hosts. *)
+let cluster_skew_run ~rebalance () =
+  let skew_tenants = 6 in
+  let e = Engine.create () in
+  let c =
+    Cluster.create ~policy:Cluster.Affinity ~devices_per_host:2 ~hosts:2 e
+  in
+  let tenants =
+    List.init skew_tenants (fun i ->
+        Cluster.admit ~affinity:"hotspot" c
+          ~name:(Printf.sprintf "skew-%d" i))
+  in
+  let finished = ref 0 and last = ref 0 in
+  List.iter
+    (fun tn ->
+      Engine.spawn e (fun () ->
+          for _ = 1 to 4 do
+            ignore (Cluster.run_session (Cluster.api tn) ~work:24)
+          done;
+          incr finished;
+          last := Stdlib.max !last (Engine.now e)))
+    tenants;
+  if rebalance then Cluster.start_rebalancer ~interval:(Time.us 300) c;
+  Engine.spawn e (fun () ->
+      let rec wait () =
+        if !finished < skew_tenants then begin
+          Engine.delay (Time.us 100);
+          wait ()
+        end
+        else Cluster.stop c
+      in
+      wait ());
+  Engine.run e;
+  (!last, Cluster.cross_migrations c)
+
+let cluster_scaling () =
+  section "Extension | Cluster tier: multi-host scaling under trace load";
+  let cfg = cluster_trace_cfg in
+  let events = Tracegen.generate cfg in
+  Fmt.pr "trace: %s@." (Tracegen.describe cfg);
+  Fmt.pr "       %d events, %d sessions, %d work units@."
+    (List.length events)
+    (Tracegen.total_sessions events)
+    (Tracegen.total_work events);
+  hr ();
+  let bare = cluster_bare_run events in
+  Fmt.pr "bare pooled host (no cluster layer): makespan %s@."
+    (Time.to_string bare);
+  let rows =
+    List.map
+      (fun hosts ->
+        let r, c = cluster_run ~hosts events in
+        (hosts, r, c))
+      [ 1; 2; 4; 8 ]
+  in
+  let base1 =
+    match rows with (_, r, _) :: _ -> r.Cluster.tr_makespan | [] -> bare
+  in
+  let throughput (r : Cluster.trace_result) =
+    float_of_int r.Cluster.tr_sessions
+    /. (float_of_int r.Cluster.tr_makespan *. 1e-9)
+  in
+  let utilization (r : Cluster.trace_result) c =
+    let busy = ref 0 in
+    for i = 0 to Cluster.n_hosts c - 1 do
+      busy := !busy + Cluster.host_busy_ns c i
+    done;
+    float_of_int !busy
+    /. (float_of_int r.Cluster.tr_makespan
+       *. float_of_int (Cluster.total_devices c))
+  in
+  (* Per-tenant end-to-end latency spread: the median tenant's p50 and
+     the worst tenant's p99, from the shared obs registry. *)
+  let tenant_lat c =
+    let sums = Cluster.tenant_summaries c in
+    let p50s =
+      List.sort compare
+        (List.map (fun (_, s) -> s.Ava_obs.Hist.h_p50_ns) sums)
+    in
+    let p99 =
+      List.fold_left
+        (fun acc (_, s) -> Float.max acc s.Ava_obs.Hist.h_p99_ns)
+        0.0 sums
+    in
+    ((match p50s with
+     | [] -> 0.0
+     | l -> List.nth l (List.length l / 2)),
+      p99)
+  in
+  Fmt.pr "%-6s %14s %12s %9s %7s %6s %12s@." "hosts" "makespan"
+    "sessions/s" "speedup" "util" "fail" "worst p99";
+  List.iter
+    (fun (hosts, (r : Cluster.trace_result), c) ->
+      let _, p99 = tenant_lat c in
+      Fmt.pr "%-6d %14s %12.0f %8.2fx %6.1f%% %6d %12.1f@." hosts
+        (Time.to_string r.Cluster.tr_makespan)
+        (throughput r)
+        (float_of_int base1 /. float_of_int r.Cluster.tr_makespan)
+        (100.0 *. utilization r c)
+        r.Cluster.tr_failures p99)
+    rows;
+  hr ();
+  (* Gossip admission at 4 hosts: same trace, stale load views. *)
+  let gossip_policy =
+    Cluster.Gossip { g_fanout = 2; g_interval_ns = Time.us 200 }
+  in
+  let gr, gc = cluster_run ~policy:gossip_policy ~hosts:4 events in
+  let global4 =
+    match List.find_opt (fun (h, _, _) -> h = 4) rows with
+    | Some (_, r, _) -> r.Cluster.tr_makespan
+    | None -> base1
+  in
+  Fmt.pr "gossip admission (4 hosts, fanout 2, 200us): makespan %s vs \
+          global %s (%.2fx)@."
+    (Time.to_string gr.Cluster.tr_makespan)
+    (Time.to_string global4)
+    (float_of_int gr.Cluster.tr_makespan /. float_of_int global4);
+  (* Cross-host rebalancing of a deliberately skewed fleet. *)
+  let t_static, _ = cluster_skew_run ~rebalance:false () in
+  let t_rebal, moves = cluster_skew_run ~rebalance:true () in
+  Fmt.pr "affinity hotspot (6 tenants on 1 of 2 hosts): static %s, \
+          rebalanced %s (%d cross-host migrations, %.2fx gain)@."
+    (Time.to_string t_static) (Time.to_string t_rebal) moves
+    (float_of_int t_static /. float_of_int t_rebal);
+  let row_json (hosts, (r : Cluster.trace_result), c) =
+    let p50, p99 = tenant_lat c in
+    let gated =
+      (* hosts:1 is the identity configuration: the cluster layer on
+         top of one pooled host must cost exactly nothing. *)
+      if hosts = 1 then
+        [
+          ( "relative",
+            Json.Float
+              (float_of_int r.Cluster.tr_makespan /. float_of_int bare) );
+        ]
+      else []
+    in
+    Json.Obj
+      ([
+         ("hosts", Json.Int hosts);
+         ("makespan_ns", Json.Int r.Cluster.tr_makespan);
+         ("sessions", Json.Int r.Cluster.tr_sessions);
+         ("failures", Json.Int r.Cluster.tr_failures);
+         ("retired", Json.Int r.Cluster.tr_retired);
+         ("throughput_sessions_per_s", Json.Float (throughput r));
+         ( "speedup",
+           Json.Float
+             (float_of_int base1 /. float_of_int r.Cluster.tr_makespan) );
+         ("utilization", Json.Float (utilization r c));
+         ( "tenant_latency",
+           Json.Obj
+             [ ("p50_ns", Json.Float p50); ("p99_ns", Json.Float p99) ] );
+       ]
+      @ gated)
+  in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "cluster-scaling");
+        ( "trace",
+          Json.Obj
+            [
+              ("config", Json.String (Tracegen.describe cfg));
+              ("events", Json.Int (List.length events));
+              ("sessions", Json.Int (Tracegen.total_sessions events));
+              ("work_units", Json.Int (Tracegen.total_work events));
+            ] );
+        ("bare_makespan_ns", Json.Int bare);
+        ("rows", Json.List (List.map row_json rows));
+        ( "gossip_vs_global",
+          Json.Obj
+            [
+              ("hosts", Json.Int 4);
+              ("gossip_makespan_ns", Json.Int gr.Cluster.tr_makespan);
+              ("global_makespan_ns", Json.Int global4);
+              ( "slowdown",
+                Json.Float
+                  (float_of_int gr.Cluster.tr_makespan
+                  /. float_of_int global4) );
+              ("failures", Json.Int gr.Cluster.tr_failures);
+              ("admissions", Json.Int (Cluster.admissions gc));
+            ] );
+        ( "rebalance",
+          Json.Obj
+            [
+              ("static_makespan_ns", Json.Int t_static);
+              ("rebalanced_makespan_ns", Json.Int t_rebal);
+              ("cross_migrations", Json.Int moves);
+              ( "gain",
+                Json.Float
+                  (float_of_int t_static /. float_of_int t_rebal) );
+            ] );
+      ]
+  in
+  write_json "BENCH_cluster.json" json;
+  Fmt.pr "wrote BENCH_cluster.json@."
+
 (* ------------------------------------------------- transport ablation -- *)
 
 let transport_sweep () =
@@ -1190,6 +1474,7 @@ let experiments =
     ("batching-ablation", batching_ablation);
     ("consolidation", consolidation);
     ("pool-scaling", pool_scaling);
+    ("cluster-scaling", cluster_scaling);
     ("policy-overhead", policy_overhead);
     ("transport-sweep", transport_sweep);
     ("remoting-cache", remoting_cache);

@@ -42,20 +42,19 @@ let combine paths =
          (key, doc))
        paths)
 
-let emit_summary markdown =
-  (match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
-  | Some path when path <> "" ->
-      let oc =
-        open_out_gen [ Open_append; Open_creat ] 0o644 path
-      in
-      output_string oc markdown;
-      output_string oc "\n";
-      close_out oc
-  | _ -> ());
+let emit_summary ~no_summary markdown =
+  (if not no_summary then
+     match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+     | Some path when path <> "" ->
+         let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+         output_string oc markdown;
+         output_string oc "\n";
+         close_out oc
+     | _ -> ());
   print_string markdown;
   print_newline ()
 
-let run baseline_path write_baseline tolerance inflate currents =
+let run baseline_path write_baseline tolerance inflate no_summary currents =
   if currents = [] then begin
     prerr_endline "perf_gate: no bench JSON files given";
     2
@@ -86,7 +85,8 @@ let run baseline_path write_baseline tolerance inflate currents =
               Gate.compare_metrics ~tolerance_pct:tolerance ~baseline
                 ~current
             in
-            emit_summary (Gate.to_markdown ~tolerance_pct:tolerance verdict);
+            emit_summary ~no_summary
+              (Gate.to_markdown ~tolerance_pct:tolerance verdict);
             if Gate.passed verdict then begin
               Fmt.pr "perf gate: PASS (%d metrics compared)@."
                 verdict.Gate.v_compared;
@@ -129,6 +129,15 @@ let inflate_arg =
            current results by $(docv) percent before comparing.  CI uses \
            this to prove the gate actually fails on a regression.")
 
+let no_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "no-summary" ]
+        ~doc:
+          "Do not append the markdown verdict to $(b,GITHUB_STEP_SUMMARY) \
+           even when the variable is set (for self-test runs whose \
+           expected failure would clutter the job summary).")
+
 let currents_arg =
   Arg.(
     value & pos_all string []
@@ -146,4 +155,4 @@ let () =
        (Cmd.v info
           Term.(
             const run $ baseline_arg $ write_baseline_arg $ tolerance_arg
-            $ inflate_arg $ currents_arg)))
+            $ inflate_arg $ no_summary_arg $ currents_arg)))

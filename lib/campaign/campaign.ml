@@ -173,13 +173,39 @@ let verdict_detail = function
   | Scenario.Violation (_, d) | Scenario.Hang d -> d
   | Scenario.Pass -> ""
 
+(* Config simplification candidates for the shrinker, each strictly
+   toward the simplest stack: fewer devices (floor 2, so migration
+   stays exercisable), transfer cache off, SVA off, doorbells off.  A
+   candidate that stops reproducing is simply not adopted, so the
+   saved reproducer's config is always one the violation was actually
+   observed under. *)
+let shrink_config (c : Scenario.config) =
+  List.concat
+    [
+      (if c.Scenario.sc_devices > 2 then
+         [ { c with Scenario.sc_devices = c.Scenario.sc_devices - 1 } ]
+       else []);
+      (if c.Scenario.sc_cache > 0 then [ { c with Scenario.sc_cache = 0 } ]
+       else []);
+      (if c.Scenario.sc_sva then [ { c with Scenario.sc_sva = false } ]
+       else []);
+      (if c.Scenario.sc_doorbell then
+         [ { c with Scenario.sc_doorbell = false } ]
+       else []);
+    ]
+
 let record ?corpus_dir ~log ~iteration ~config ~verdict ~trace ~oracle () =
   let original_len = List.length trace in
-  let shrunk = Shrink.minimize ~oracle trace in
+  let original_config = config in
+  let config, shrunk =
+    Shrink.minimize_with_config ~shrink_config ~oracle config trace
+  in
   log
-    (Printf.sprintf "iteration %d: %s — shrunk %d ops to %d (%d replays)"
-       iteration (verdict_invariant verdict) original_len
-       (List.length shrunk) (Shrink.runs ()));
+    (Printf.sprintf
+       "iteration %d: %s — shrunk %d ops to %d%s (%d replays)" iteration
+       (verdict_invariant verdict) original_len (List.length shrunk)
+       (if config = original_config then "" else ", config simplified")
+       (Shrink.runs ()));
   let invariant = verdict_invariant verdict in
   let file =
     Option.map
@@ -240,8 +266,8 @@ let run ?(log = ignore) ?corpus_dir ?(twin_every = 16) ?(max_ops = 30)
            match Scenario.check_twin config trace with
            | Scenario.Pass -> ()
            | twin_verdict ->
-               let oracle cand =
-                 same_failure twin_verdict (Scenario.check_twin config cand)
+               let oracle cfg cand =
+                 same_failure twin_verdict (Scenario.check_twin cfg cand)
                in
                violations :=
                  record ?corpus_dir ~log ~iteration ~config
@@ -249,9 +275,8 @@ let run ?(log = ignore) ?corpus_dir ?(twin_every = 16) ?(max_ops = 30)
                  :: !violations
          end
      | verdict ->
-         let oracle cand =
-           same_failure verdict
-             (Scenario.run config cand).Scenario.oc_verdict
+         let oracle cfg cand =
+           same_failure verdict (Scenario.run cfg cand).Scenario.oc_verdict
          in
          violations :=
            record ?corpus_dir ~log ~iteration ~config ~verdict ~trace

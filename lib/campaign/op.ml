@@ -20,6 +20,8 @@ type kind =
   | Rebalance
   | Crash of int * int
   | Flip_faults of string
+  | Swap_pressure of int * int
+  | Quota_exhaust of int
 
 type op = { delay_ns : int; kind : kind }
 type trace = op list
@@ -37,6 +39,8 @@ let pp_kind ppf = function
   | Rebalance -> Format.pp_print_string ppf "rebalance"
   | Crash (s, ns) -> Format.fprintf ppf "crash %d %d" s ns
   | Flip_faults p -> Format.fprintf ppf "flip %s" p
+  | Swap_pressure (s, n) -> Format.fprintf ppf "swap-pressure %d %d" s n
+  | Quota_exhaust s -> Format.fprintf ppf "quota-exhaustion %d" s
 
 let pp ppf op = Format.fprintf ppf "+%dns %a" op.delay_ns pp_kind op.kind
 
@@ -87,6 +91,8 @@ let gen_kind rng cfg ~admitted =
         ( 1,
           fun () ->
             Flip_faults (if Rng.bool rng then "light" else "none") );
+        (1, fun () -> Swap_pressure (slot (), 2 + Rng.int rng 4));
+        (1, fun () -> Quota_exhaust (slot ()));
       ]
 
 let gen rng cfg =
@@ -135,5 +141,13 @@ let of_line line =
           | Some s, Some ns -> Ok { delay_ns; kind = Crash (s, ns) }
           | _ -> fail ())
       | Some delay_ns, [ "flip"; p ] -> Ok { delay_ns; kind = Flip_faults p }
+      | Some delay_ns, [ "swap-pressure"; s; n ] -> (
+          match (int_of s, int_of n) with
+          | Some s, Some n -> Ok { delay_ns; kind = Swap_pressure (s, n) }
+          | _ -> fail ())
+      | Some delay_ns, [ "quota-exhaustion"; s ] -> (
+          match int_of s with
+          | Some s -> Ok { delay_ns; kind = Quota_exhaust s }
+          | None -> fail ())
       | _ -> fail ())
   | _ -> fail ()

@@ -30,6 +30,14 @@ type kind =
       (** crash slot's server worker; restart and requeue after the
           given virtual outage (ns) *)
   | Flip_faults of string  (** switch every link's fault profile *)
+  | Swap_pressure of int * int
+      (** churn the given number of one-shot 256 KiB buffers on slot's
+          API (write, read back, verify, release) — memory pressure
+          against the swap / transfer-cache layers *)
+  | Quota_exhaust of int
+      (** clamp slot's device-time quota to a near-zero budget, then
+          run the reference workload through it: the router must
+          throttle, never wedge or reject *)
 
 type op = { delay_ns : int;  (** virtual delay before the op *) kind : kind }
 type trace = op list

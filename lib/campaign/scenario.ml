@@ -152,6 +152,38 @@ let vec_add api n =
   in
   got = List.map2 ( + ) av bv
 
+(* Buffer churn: [n] one-shot 256 KiB buffers written, read back,
+   verified and released in sequence — pure memory pressure against the
+   swap and transfer-cache layers, no kernel work. *)
+let buffer_churn api n =
+  let module CL = (val api : Ava_simcl.Api.S) in
+  let ok = Clutil.ok in
+  let p = List.hd (ok (CL.clGetPlatformIDs ())) in
+  let d = List.hd (ok (CL.clGetDeviceIDs p Device_gpu)) in
+  let ctx = ok (CL.clCreateContext [ d ]) in
+  let q = ok (CL.clCreateCommandQueue ctx d ~profiling:false) in
+  let size = 256 * 1024 in
+  let good = ref true in
+  for i = 1 to n do
+    let buf = ok (CL.clCreateBuffer ctx ~size) in
+    let src = Bytes.init size (fun j -> Char.chr ((i + j) land 0xff)) in
+    ignore
+      (ok
+         (CL.clEnqueueWriteBuffer q buf ~blocking:true ~offset:0 ~src
+            ~wait_list:[] ~want_event:false));
+    let back, _ =
+      ok
+        (CL.clEnqueueReadBuffer q buf ~blocking:true ~offset:0 ~size
+           ~wait_list:[] ~want_event:false)
+    in
+    if not (Bytes.equal back src) then good := false;
+    ok (CL.clReleaseMemObject buf)
+  done;
+  ok (CL.clFinish q);
+  ok (CL.clReleaseCommandQueue q);
+  ok (CL.clReleaseContext ctx);
+  !good
+
 (* --- interpreter ---------------------------------------------------------- *)
 
 type tenant = {
@@ -334,6 +366,31 @@ let crash st tn outage_ns =
         true
     | _ -> false
 
+let swap_pressure st tn n =
+  tn.tn_pending <- tn.tn_pending + 1;
+  Engine.spawn st.st_engine
+    ~name:(Printf.sprintf "campaign-churn-vm%d" tn.tn_vm_id)
+    (fun () ->
+      (try
+         if not (buffer_churn tn.tn_guest.Host.g_api n) then
+           tn.tn_bad_result <- true
+       with
+      | Clutil.Api_failure m -> tn.tn_failures <- m :: tn.tn_failures
+      | exn ->
+          if st.st_crash_exn = None then
+            st.st_crash_exn <- Some (Printexc.to_string exn));
+      tn.tn_pending <- tn.tn_pending - 1);
+  true
+
+(* Clamp the tenant's device-time quota to a near-zero budget and push
+   the reference workload through it: quota enforcement defers at
+   admission, so the run must throttle — visibly slower, never wedged,
+   rejected or wrong. *)
+let quota_exhaust st tn =
+  Router.set_quota st.st_host.Host.router ~vm_id:tn.tn_vm_id ~budget:5e3
+    ~window_ns:(Time.ms 1);
+  submit st tn (Op.Vec_add 64)
+
 let flip st profile =
   st.st_profile <- profile;
   List.iter
@@ -368,6 +425,15 @@ let apply st (op : Op.op) =
         | Some tn when tn.tn_live -> crash st tn outage_ns
         | _ -> false)
     | Op.Flip_faults p -> flip st p
+    | Op.Swap_pressure (slot, n) -> (
+        match tenant st slot with
+        | Some tn when tn.tn_live -> swap_pressure st tn n
+        | _ -> false)
+    | Op.Quota_exhaust slot -> (
+        match tenant st slot with
+        | Some tn when tn.tn_live && not tn.tn_crashed ->
+            quota_exhaust st tn
+        | _ -> false)
   in
   if applied then st.st_applied <- st.st_applied + 1
 

@@ -84,3 +84,38 @@ let minimize ?(max_runs = 250) ~oracle trace =
      all (a broken invariant checker, a config-only failure) should
      shrink to the empty reproducer, not to an arbitrary survivor op. *)
   if trace <> [] && check [] then [] else fixpoint trace
+
+(* Config-aware shrinking: first minimize the trace under the original
+   scenario config, then walk the caller's config-simplification
+   candidates to a fixpoint, re-shrinking the trace whenever a simpler
+   config still reproduces.  One oracle budget covers the whole
+   process; [runs] reports the grand total. *)
+let minimize_with_config ?(max_runs = 250) ~shrink_config ~oracle cfg trace =
+  let total = ref 0 in
+  let budget () = Stdlib.max 0 (max_runs - !total) in
+  let shrink_trace cfg trace =
+    if budget () = 0 then trace
+    else begin
+      let t = minimize ~max_runs:(budget ()) ~oracle:(oracle cfg) trace in
+      total := !total + !last_runs;
+      t
+    end
+  in
+  let trace = shrink_trace cfg trace in
+  let rec shrink_cfg cfg trace =
+    let rec probe = function
+      | [] -> None
+      | c :: rest ->
+          if budget () = 0 then None
+          else begin
+            incr total;
+            if oracle c trace then Some c else probe rest
+          end
+    in
+    match probe (shrink_config cfg) with
+    | None -> (cfg, trace)
+    | Some c -> shrink_cfg c (shrink_trace c trace)
+  in
+  let result = shrink_cfg cfg trace in
+  last_runs := !total;
+  result

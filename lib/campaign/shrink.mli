@@ -16,5 +16,22 @@ val minimize :
     replays a whole scenario — so shrinking degrades gracefully on
     stubborn traces instead of stalling the campaign. *)
 
+val minimize_with_config :
+  ?max_runs:int ->
+  shrink_config:('cfg -> 'cfg list) ->
+  oracle:('cfg -> Op.trace -> bool) ->
+  'cfg ->
+  Op.trace ->
+  'cfg * Op.trace
+(** Shrink the scenario config alongside the trace.  [shrink_config]
+    proposes strictly-simpler configs (fewer devices, cache off, ...);
+    a candidate is adopted only when [oracle candidate trace] still
+    violates, and each adoption re-shrinks the trace under the new
+    config, to a fixpoint.  The result's trace is never longer than the
+    plain {!minimize} result; its config is the original when no
+    candidate reproduced.  [max_runs] bounds oracle invocations across
+    the whole process. *)
+
 val runs : unit -> int
-(** Oracle invocations performed by the last {!minimize} call. *)
+(** Oracle invocations performed by the last {!minimize} /
+    {!minimize_with_config} call. *)

@@ -1,0 +1,170 @@
+(* Seeded synthetic tenant-load generator.
+
+   Structure of the randomness: one master stream seeds (in a fixed
+   order) an arrival stream plus one independent stream per tenant, so
+   a tenant's class / session draws do not perturb its neighbours'.
+   Diurnal modulation is applied *after* drawing — a raw exponential
+   gap is stretched or compressed by the instantaneous arrival rate —
+   so the draws (and with them the tenant population, classes and
+   session work) are invariant under the amplitude: modulation reshapes
+   time, never the load itself. *)
+
+open Ava_sim
+
+type klass = Normal | Hot | Straggler
+
+type event =
+  | Arrive of { at : Time.t; tenant : int; klass : klass }
+  | Session of { at : Time.t; tenant : int; work : int }
+  | Depart of { at : Time.t; tenant : int }
+
+type config = {
+  tg_seed : int64;
+  tg_tenants : int;
+  tg_mean_interarrival_ns : int;
+  tg_sessions_mean : float;
+  tg_think_mean_ns : int;
+  tg_session_alpha : float;
+  tg_session_xm : float;
+  tg_work_cap : int;
+  tg_diurnal_amplitude : float;
+  tg_diurnal_period_ns : int;
+  tg_hot_fraction : float;
+  tg_hot_factor : float;
+  tg_straggler_fraction : float;
+  tg_straggler_factor : float;
+}
+
+let default =
+  {
+    tg_seed = 42L;
+    tg_tenants = 24;
+    tg_mean_interarrival_ns = Time.us 50;
+    tg_sessions_mean = 3.0;
+    tg_think_mean_ns = Time.us 40;
+    tg_session_alpha = 1.5;
+    tg_session_xm = 1.0;
+    tg_work_cap = 32;
+    tg_diurnal_amplitude = 0.6;
+    tg_diurnal_period_ns = Time.ms 2;
+    tg_hot_fraction = 0.1;
+    tg_hot_factor = 4.0;
+    tg_straggler_fraction = 0.1;
+    tg_straggler_factor = 8.0;
+  }
+
+let at = function
+  | Arrive { at; _ } | Session { at; _ } | Depart { at; _ } -> at
+
+let tenant = function
+  | Arrive { tenant; _ } | Session { tenant; _ } | Depart { tenant; _ } ->
+      tenant
+
+(* Instantaneous arrival-rate factor at virtual time [t]: 1 at the
+   diurnal zero crossings, up to [1 + A] at peak, down to [1 - A] in
+   the trough.  A raw gap is divided by the factor, so peaks compress
+   interarrivals (more load) and troughs stretch them. *)
+let rate_factor cfg t =
+  if cfg.tg_diurnal_amplitude <= 0.0 then 1.0
+  else
+    let phase =
+      2.0 *. Float.pi
+      *. (float_of_int t /. float_of_int cfg.tg_diurnal_period_ns)
+    in
+    1.0 +. (cfg.tg_diurnal_amplitude *. sin phase)
+
+(* Geometric session count with the configured mean (>= 1). *)
+let draw_sessions rng mean =
+  if mean <= 1.0 then 1
+  else
+    let p = 1.0 /. mean in
+    let rec go n = if Rng.float rng < p then n else go (n + 1) in
+    go 1
+
+let draw_klass rng cfg =
+  let u = Rng.float rng in
+  if u < cfg.tg_hot_fraction then Hot
+  else if u < cfg.tg_hot_fraction +. cfg.tg_straggler_fraction then Straggler
+  else Normal
+
+let generate cfg =
+  if cfg.tg_tenants < 1 then invalid_arg "Tracegen.generate: no tenants";
+  if cfg.tg_diurnal_amplitude < 0.0 || cfg.tg_diurnal_amplitude >= 1.0 then
+    invalid_arg "Tracegen.generate: amplitude must be in [0, 1)";
+  let master = Rng.create cfg.tg_seed in
+  let arrivals = Rng.split master in
+  let events = ref [] and order = ref 0 in
+  let emit ev =
+    events := (at ev, !order, ev) :: !events;
+    incr order
+  in
+  let clock = ref 0 in
+  for tenant = 0 to cfg.tg_tenants - 1 do
+    let tr = Rng.split master in
+    (* Arrival: raw exponential gap, then diurnal time-warp. *)
+    let raw_gap =
+      Rng.exponential_ns arrivals ~mean_ns:cfg.tg_mean_interarrival_ns
+    in
+    let gap =
+      Stdlib.max 1
+        (int_of_float (float_of_int raw_gap /. rate_factor cfg !clock))
+    in
+    clock := !clock + gap;
+    let klass = draw_klass tr cfg in
+    emit (Arrive { at = !clock; tenant; klass });
+    let sessions = draw_sessions tr cfg.tg_sessions_mean in
+    let st = ref !clock in
+    for _ = 1 to sessions do
+      let raw =
+        Rng.pareto tr ~alpha:cfg.tg_session_alpha ~xm:cfg.tg_session_xm
+      in
+      let raw = Stdlib.max 1 (int_of_float raw) in
+      let work =
+        match klass with
+        | Hot ->
+            Stdlib.min cfg.tg_work_cap
+              (int_of_float (float_of_int raw *. cfg.tg_hot_factor))
+        | Normal | Straggler -> Stdlib.min cfg.tg_work_cap raw
+      in
+      emit (Session { at = !st; tenant; work });
+      let think = Rng.exponential_ns tr ~mean_ns:cfg.tg_think_mean_ns in
+      let think =
+        match klass with
+        | Straggler ->
+            int_of_float (float_of_int think *. cfg.tg_straggler_factor)
+        | Hot ->
+            (* Bursts: back-to-back sessions. *)
+            think / 4
+        | Normal -> think
+      in
+      st := !st + Stdlib.max 1 think
+    done;
+    emit (Depart { at = !st; tenant })
+  done;
+  List.map
+    (fun (_, _, ev) -> ev)
+    (List.sort
+       (fun (a1, o1, _) (a2, o2, _) ->
+         match Stdlib.compare a1 a2 with 0 -> Stdlib.compare o1 o2 | c -> c)
+       (List.rev !events))
+
+let total_work events =
+  List.fold_left
+    (fun acc -> function Session { work; _ } -> acc + work | _ -> acc)
+    0 events
+
+let total_sessions events =
+  List.fold_left
+    (fun acc -> function Session _ -> acc + 1 | _ -> acc)
+    0 events
+
+let describe cfg =
+  Printf.sprintf
+    "%d tenants, pareto(a=%.2f, xm=%.1f) work, %.0f%% hot x%.1f, %.0f%% \
+     straggler x%.1f, diurnal A=%.2f/%dns, seed=%Ld"
+    cfg.tg_tenants cfg.tg_session_alpha cfg.tg_session_xm
+    (100.0 *. cfg.tg_hot_fraction)
+    cfg.tg_hot_factor
+    (100.0 *. cfg.tg_straggler_fraction)
+    cfg.tg_straggler_factor cfg.tg_diurnal_amplitude cfg.tg_diurnal_period_ns
+    cfg.tg_seed

@@ -1,0 +1,66 @@
+(** Synthetic tenant-load traces for the cluster tier.
+
+    A trace models millions-of-users traffic shapes over a seeded
+    generator: tenant arrival/departure, heavy-tailed (Pareto) session
+    work, diurnal arrival-rate modulation, bursty hot tenants and
+    straggler sessions — instead of the 8 fixed Rodinia tenants of the
+    single-host benches.
+
+    Determinism: a [config] (seed included) fully determines the trace.
+    The diurnal amplitude only reshapes {e time} — every random draw is
+    made before modulation is applied — so the tenant population, class
+    assignment and per-session work are identical across amplitudes
+    (the "diurnal-phase conservation" property the tests pin). *)
+
+open Ava_sim
+
+(** Tenant classes: [Hot] tenants burst — heavier sessions arriving
+    back-to-back; [Straggler] tenants think far longer between
+    sessions, holding residency while contributing little load. *)
+type klass = Normal | Hot | Straggler
+
+type event =
+  | Arrive of { at : Time.t; tenant : int; klass : klass }
+  | Session of { at : Time.t; tenant : int; work : int }
+      (** run [work] kernel iterations no earlier than [at] *)
+  | Depart of { at : Time.t; tenant : int }
+
+type config = {
+  tg_seed : int64;
+  tg_tenants : int;
+  tg_mean_interarrival_ns : int;  (** base tenant arrival gap *)
+  tg_sessions_mean : float;  (** mean sessions per tenant (geometric) *)
+  tg_think_mean_ns : int;  (** mean gap between a tenant's sessions *)
+  tg_session_alpha : float;  (** Pareto tail index of session work *)
+  tg_session_xm : float;  (** Pareto scale: minimum work units *)
+  tg_work_cap : int;  (** clamp on one session's work units *)
+  tg_diurnal_amplitude : float;
+      (** arrival-rate modulation in [0, 1): rate scales by
+          [1 + A sin(2 pi t / period)] *)
+  tg_diurnal_period_ns : int;
+  tg_hot_fraction : float;  (** tenants drawn into the [Hot] class *)
+  tg_hot_factor : float;  (** work multiplier for hot sessions *)
+  tg_straggler_fraction : float;
+  tg_straggler_factor : float;  (** think-time multiplier *)
+}
+
+val default : config
+(** 24 tenants, 50 us base interarrival, Pareto(1.5) work from 1 unit
+    capped at 32, 10% hot (4x work, bursty), 10% stragglers (8x
+    think), one diurnal period per ~2 ms. *)
+
+val generate : config -> event list
+(** The trace, sorted by time (ties in generation order).  Every tenant
+    arrives exactly once, runs >= 1 sessions between arrival and
+    departure, and departs exactly once. *)
+
+val at : event -> Time.t
+val tenant : event -> int
+
+val total_work : event list -> int
+(** Summed session work units. *)
+
+val total_sessions : event list -> int
+
+val describe : config -> string
+(** One-line summary for bench JSON / logs. *)

@@ -58,6 +58,9 @@ type cl_host = {
   router : Router.t;
   server : Cl_handlers.state Server.t;  (** device 0's server when pooled *)
   kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
+  kds : Ava_simcl.Kdriver.t array;
+      (** per-device kernel drivers ([[| kd |]] on a classic host) —
+          the cluster tier's cross-host transfer needs them *)
   swap : Swap.t option;
   recorders : (int, Migrate.t) Hashtbl.t;
   trace : Ava_sim.Trace.t;
@@ -131,24 +134,23 @@ let pool_live_buffers recorder =
       else None)
     (Migrate.replay_log recorder)
 
-(* The pool's cross-server silo copy: snapshot live buffers off the
-   source device, replay the record log into the (freshly attached)
-   destination silo re-binding each object to its original virtual id,
-   then restore buffer contents — the same procedure as
-   [Migration.migrate], but across two servers instead of one server's
-   state swap.  Must run inside a simulation process. *)
-let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
-    ~(kds : Ava_simcl.Kdriver.t array) ~iommus ~(gpus : Gpu.t array) ~vm_id
-    ~src ~dst =
-  let src_srv = servers.(src) and dst_srv = servers.(dst) in
-  let recorder =
-    match Hashtbl.find_opt recorders vm_id with
-    | Some r -> r
-    | None -> invalid_arg "Host.pool_transfer: unknown vm"
-  in
+(* The cross-server silo copy: snapshot live buffers off the source
+   device, replay the record log into the (freshly attached) destination
+   silo re-binding each object to its original virtual id, then restore
+   buffer contents — the same procedure as [Migration.migrate], but
+   across two servers instead of one server's state swap.  Generic over
+   *which* host each server belongs to: the pool uses it between two
+   devices of one host, the cluster tier between devices of two hosts.
+   [iommu]/[dst_dma] re-point SVA at the destination device;
+   [suspend_recording]/[resume_recording] bracket the replay (which must
+   not re-record itself — the hooks consult the caller's recorder
+   tables).  Must run inside a simulation process. *)
+let cl_silo_transfer ~recorder ~(src_srv : Cl_handlers.state Server.t)
+    ~src_kd ~(dst_srv : Cl_handlers.state Server.t) ~dst_kd ~iommu ~dst_dma
+    ~suspend_recording ~resume_recording ~vm_id =
   let require = function
     | Some x -> x
-    | None -> invalid_arg "Host.pool_transfer: vm not attached"
+    | None -> invalid_arg "Host.cl_silo_transfer: vm not attached"
   in
   let src_ctx = require (Server.vm_ctx src_srv ~vm_id) in
   let src_state = require (Server.vm_state src_srv ~vm_id) in
@@ -165,11 +167,11 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
      but the source device's cached translations must die and resolution
      must re-point at the destination device — one batched shootdown,
      then every region refaults on first access from the new device. *)
-  (match Hashtbl.find_opt iommus vm_id with
+  (match iommu with
   | Some iommu ->
       Iommu.quiesce iommu;
       Server.clear_sva src_srv ~vm_id;
-      Server.set_sva dst_srv ~vm_id ~iommu ~dma:(Gpu.dma gpus.(dst))
+      Server.set_sva dst_srv ~vm_id ~iommu ~dma:dst_dma
   | None -> ());
   (* The drain window paused the worker, but a kernel the source device
      already accepted is still running and writes its outputs only at
@@ -190,7 +192,7 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
             | None -> None
             | Some buf ->
                 let data =
-                  Ava_simcl.Kdriver.read_buffer kds.(src) ~buf ~offset:0
+                  Ava_simcl.Kdriver.read_buffer src_kd ~buf ~offset:0
                     ~len:size
                 in
                 bytes_moved := !bytes_moved + size;
@@ -198,7 +200,7 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
       (pool_live_buffers recorder)
   in
   (* Replay with recording suspended so it doesn't re-record itself. *)
-  Hashtbl.remove recorders vm_id;
+  suspend_recording ();
   List.iter
     (fun (r : Migrate.recorded) ->
       let call =
@@ -221,7 +223,7 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
             | None -> ())
       | _ -> ())
     (Migrate.replay_log recorder);
-  Hashtbl.replace recorders vm_id recorder;
+  resume_recording ();
   List.iter
     (fun (vid, data) ->
       match Server.Ctx.resolve dst_ctx vid with
@@ -232,11 +234,29 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
           with
           | None -> ()
           | Some buf ->
-              Ava_simcl.Kdriver.write_buffer kds.(dst) ~buf ~offset:0
-                ~src:data;
+              Ava_simcl.Kdriver.write_buffer dst_kd ~buf ~offset:0 ~src:data;
               bytes_moved := !bytes_moved + Bytes.length data))
     snapshot;
   !bytes_moved
+
+(* The pool's transfer closure: both servers belong to one host, so the
+   recorder table is shared and recording is suspended by pulling the
+   entry for the replay window. *)
+let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
+    ~(kds : Ava_simcl.Kdriver.t array) ~iommus ~(gpus : Gpu.t array) ~vm_id
+    ~src ~dst =
+  let recorder =
+    match Hashtbl.find_opt recorders vm_id with
+    | Some r -> r
+    | None -> invalid_arg "Host.pool_transfer: unknown vm"
+  in
+  cl_silo_transfer ~recorder ~src_srv:servers.(src) ~src_kd:kds.(src)
+    ~dst_srv:servers.(dst) ~dst_kd:kds.(dst)
+    ~iommu:(Hashtbl.find_opt iommus vm_id)
+    ~dst_dma:(Gpu.dma gpus.(dst))
+    ~suspend_recording:(fun () -> Hashtbl.remove recorders vm_id)
+    ~resume_recording:(fun () -> Hashtbl.replace recorders vm_id recorder)
+    ~vm_id
 
 (* [swap_capacity] enables swapping with the given device-memory budget
    in bytes; [swap_page_granularity] switches the data movement from one
@@ -261,13 +281,14 @@ let pool_transfer ~recorders ~(servers : Cl_handlers.state Server.t array)
 let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     ?swap_capacity ?(swap_page_granularity = false) ?(sync_only = false)
     ?(transfer_cache = 0) ?(sva = false) ?doorbell ?(tracing = false)
-    ?devfaults ?tdr ?obs ?(devices = 1) ?placement ?rebalance engine =
+    ?devfaults ?tdr ?obs ?(devices = 1) ?placement ?rebalance ?vm_id_base
+    engine =
   if devices < 1 then invalid_arg "create_cl_host: devices must be >= 1";
   let pooled = devices > 1 || placement <> None || rebalance <> None in
   let trace = Ava_sim.Trace.create ~enabled:tracing () in
   if not pooled then begin
     let gpu = Gpu.create ~timing:gpu_timing ?devfault:devfaults engine in
-    let hv = Ava_hv.Hypervisor.create ~virt engine in
+    let hv = Ava_hv.Hypervisor.create ~virt ?vm_id_base engine in
     let spec, plan = load_cl_plan ~sync_only () in
     let kd = Ava_simcl.Kdriver.create gpu in
     (* Server-side watchdog: on overrun, reset the one physical GPU all
@@ -310,8 +331,9 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     let router = Router.create ~trace ?obs engine ~virt ~plan in
     let recorders = Hashtbl.create 8 in
     install_recorder_hook server ~plan ~recorders;
-    { engine; gpu; hv; plan; spec; router; server; kd; swap; recorders; trace;
-      obs; pool = None; sva; doorbell; iommus = Hashtbl.create 8 }
+    { engine; gpu; hv; plan; spec; router; server; kd; kds = [| kd |]; swap;
+      recorders; trace; obs; pool = None; sva; doorbell;
+      iommus = Hashtbl.create 8 }
   end
   else begin
     if swap_capacity <> None then
@@ -324,7 +346,7 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
       Array.init devices (fun _ ->
           Gpu.create ~timing:gpu_timing ?devfault:devfaults engine)
     in
-    let hv = Ava_hv.Hypervisor.create ~virt engine in
+    let hv = Ava_hv.Hypervisor.create ~virt ?vm_id_base engine in
     let spec, plan = load_cl_plan ~sync_only () in
     let kds = Array.map Ava_simcl.Kdriver.create gpus in
     let recorders = Hashtbl.create 8 in
@@ -362,8 +384,8 @@ let create_cl_host ?(virt = Timing.default_virt) ?(gpu_timing = Timing.gtx1080)
     in
     Option.iter (fun config -> Pool.start_rebalancer ~config pool) rebalance;
     { engine; gpu = gpus.(0); hv; plan; spec; router; server = servers.(0);
-      kd = kds.(0); swap = None; recorders; trace; obs; pool = Some pool;
-      sva; doorbell; iommus }
+      kd = kds.(0); kds; swap = None; recorders; trace; obs;
+      pool = Some pool; sva; doorbell; iommus }
   end
 
 (* Attach one guest VM with the chosen technique and policies.

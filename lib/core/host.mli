@@ -56,6 +56,9 @@ type cl_host = {
   router : Router.t;
   server : Cl_handlers.state Server.t;  (** device 0's server when pooled *)
   kd : Ava_simcl.Kdriver.t;  (** host kernel driver used by the server *)
+  kds : Ava_simcl.Kdriver.t array;
+      (** per-device kernel drivers ([[| kd |]] on a classic host) —
+          the cluster tier's cross-host transfer needs them *)
   swap : Swap.t option;
   recorders : (int, Migrate.t) Hashtbl.t;  (** per-VM migration recorders *)
   trace : Ava_sim.Trace.t;
@@ -100,6 +103,7 @@ val create_cl_host :
   ?devices:int ->
   ?placement:Pool.placement ->
   ?rebalance:Pool.rebalance ->
+  ?vm_id_base:int ->
   Engine.t ->
   cl_host
 (** [swap_capacity] enables swapping with the given device-memory budget
@@ -136,7 +140,11 @@ val create_cl_host :
     [Pool.stop] or [Engine.run] never returns).  With [devices:1] and
     neither [placement] nor [rebalance] the pool is not built and the
     stack is the classic single-device host, bit-identical to the
-    pre-pool code.  Swapping composes with single-device hosts only. *)
+    pre-pool code.  Swapping composes with single-device hosts only.
+
+    [vm_id_base] seeds the hypervisor's VM-id counter (default 1); a
+    cluster gives each host a disjoint base so VM ids stay globally
+    unique across hosts. *)
 
 val add_cl_vm :
   ?technique:technique ->
@@ -179,6 +187,29 @@ val native_cl :
     normalized to. *)
 
 val recorder : cl_host -> vm_id:int -> Migrate.t option
+
+val cl_silo_transfer :
+  recorder:Migrate.t ->
+  src_srv:Cl_handlers.state Server.t ->
+  src_kd:Ava_simcl.Kdriver.t ->
+  dst_srv:Cl_handlers.state Server.t ->
+  dst_kd:Ava_simcl.Kdriver.t ->
+  iommu:Iommu.t option ->
+  dst_dma:Dma.t ->
+  suspend_recording:(unit -> unit) ->
+  resume_recording:(unit -> unit) ->
+  vm_id:int ->
+  int
+(** The cross-server SimCL silo copy behind every migration: snapshot
+    live buffers off the source device, replay the record log into the
+    (freshly attached) destination silo re-binding objects to their
+    original virtual ids, restore buffer contents; returns bytes moved.
+    Generic over which host each server belongs to — the pool uses it
+    between two devices of one host, the cluster tier
+    ({!Ava_cluster.Cluster.migrate_tenant}) between devices of two
+    hosts.  [suspend_recording]/[resume_recording] bracket the replay
+    so it does not re-record itself.  Must run inside a simulation
+    process. *)
 
 val retire_cl_vm : cl_host -> vm_id:int -> bool
 (** Retire a guest from the whole stack: pool residency (or the classic

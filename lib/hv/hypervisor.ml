@@ -24,8 +24,9 @@ type t = {
       (** vm_id -> dedicated device, for pass-through / full-virt guests *)
 }
 
-let create ?(virt = Timing.default_virt) engine =
-  { engine; virt; vms = []; next_vm_id = 1; traps = 0; attachments = [] }
+let create ?(virt = Timing.default_virt) ?(vm_id_base = 1) engine =
+  if vm_id_base < 1 then invalid_arg "Hypervisor.create: vm_id_base must be >= 1";
+  { engine; virt; vms = []; next_vm_id = vm_id_base; traps = 0; attachments = [] }
 
 let engine t = t.engine
 let virt t = t.virt

@@ -57,6 +57,7 @@ let gated_suffixes =
     "max_relative";
     "p50_ns";
     "p95_ns";
+    "p99_ns";
     "transport_marshal_p50_ns";
     "ns_per_event";
     "alloc_bytes_per_event";

@@ -296,3 +296,22 @@ let total_summary t =
   let merged = Hist.create () in
   Hashtbl.iter (fun _ h -> Hist.merge ~into:merged h) t.totals;
   Hist.summary merged
+
+(* Per-VM end-to-end summaries, merged across APIs: the per-tenant
+   latency read-out the cluster tier reports p50/p99 from. *)
+let vm_totals t =
+  let by_vm = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (vm, _fn) h ->
+      let merged =
+        match Hashtbl.find_opt by_vm vm with
+        | Some m -> m
+        | None ->
+            let m = Hist.create () in
+            Hashtbl.add by_vm vm m;
+            m
+      in
+      Hist.merge ~into:merged h)
+    t.totals;
+  Hashtbl.fold (fun vm h acc -> (vm, Hist.summary h) :: acc) by_vm []
+  |> List.sort (fun (v1, _) (v2, _) -> Stdlib.compare v1 v2)

@@ -122,3 +122,7 @@ val phase_summaries : t -> (phase * Hist.summary) list
 
 val total_summary : t -> Hist.summary
 (** End-to-end summary merged across VMs and APIs. *)
+
+val vm_totals : t -> (int * Hist.summary) list
+(** Per-VM end-to-end summaries merged across APIs, sorted by vm id —
+    the per-tenant latency read-out (cluster p50/p99 reporting). *)

@@ -79,6 +79,8 @@ type 'st t = {
   mutable retires : int;
   mutable aborted_migrations : int;
       (** migrations whose VM retired during the drain window *)
+  mutable emigrations : int;
+      (** VMs handed off to another host's pool by the cluster tier *)
   mutable stopped : bool;  (** quiesces the skew monitor *)
 }
 
@@ -125,6 +127,7 @@ let create ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
     rebalances = 0;
     retires = 0;
     aborted_migrations = 0;
+    emigrations = 0;
     stopped = false;
   }
 
@@ -137,6 +140,13 @@ let evacuations t = t.evacuations
 let rebalances t = t.rebalances
 let retires t = t.retires
 let aborted_migrations t = t.aborted_migrations
+let emigrations t = t.emigrations
+
+let footprint_of t ~vm_id =
+  Option.map (fun i -> i.vi_footprint) (List.assoc_opt vm_id t.vms)
+
+let vm_of t ~vm_id =
+  Option.map (fun i -> i.vi_vm) (List.assoc_opt vm_id t.vms)
 
 let device t i =
   if i < 0 || i >= Array.length t.devices then
@@ -533,3 +543,41 @@ let start_rebalancer ?(config = default_rebalance) t =
       loop ())
 
 let stop t = t.stopped <- true
+
+(* {1 Cross-host emigration}
+
+   The cluster tier moves a VM to *another host's* pool.  This pool
+   only bookkeeps its side of the hand-off: [begin_emigration] claims
+   the VM under the same first-mover-wins flag that serializes local
+   migrations (so the skew monitor, evacuation and retirement all keep
+   their hands off while the cluster orchestrates pause / drain /
+   replay / cross-router transfer), and [complete_emigration] drops
+   residency and the VM entry without detaching the server — the
+   cluster detaches the source entry itself, after the transfer closure
+   has finished with the source context and silo. *)
+
+let begin_emigration t ~vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | None -> None
+  | Some info when info.vi_migrating ->
+      record_trace t "vm%d emigration refused: migration in flight" vm_id;
+      None
+  | Some info ->
+      info.vi_migrating <- true;
+      record_trace t "vm%d emigration begins from dev%d" vm_id info.vi_device;
+      Some info.vi_device
+
+let abort_emigration t ~vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | Some info -> info.vi_migrating <- false
+  | None -> ()
+
+let complete_emigration t ~vm_id =
+  match List.assoc_opt vm_id t.vms with
+  | None -> ()
+  | Some info ->
+      let d = t.devices.(info.vi_device) in
+      d.dev_resident <- List.filter (fun v -> v <> vm_id) d.dev_resident;
+      t.vms <- List.remove_assoc vm_id t.vms;
+      t.emigrations <- t.emigrations + 1;
+      record_trace t "vm%d emigrated off dev%d" vm_id info.vi_device

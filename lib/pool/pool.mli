@@ -95,6 +95,16 @@ val aborted_migrations : 'st t -> int
 (** Migrations abandoned because their VM retired during the drain
     window. *)
 
+val emigrations : 'st t -> int
+(** VMs handed off to another host's pool by the cluster tier
+    ({!complete_emigration}). *)
+
+val footprint_of : 'st t -> vm_id:int -> int option
+(** The VM's declared device-memory footprint. *)
+
+val vm_of : 'st t -> vm_id:int -> Vm.t option
+(** The VM object behind a resident vm id. *)
+
 (** Per-device snapshot for reports and benchmarks. *)
 type device_stats = {
   ds_id : int;
@@ -131,6 +141,30 @@ val migrate_vm : 'st t -> vm_id:int -> dest:int -> int
     source server executed but had not answered may execute again at
     the destination — at-least-once, the same contract as the
     restart/requeue path.  Must run inside a simulation process. *)
+
+(** {1 Cross-host emigration}
+
+    The cluster tier ({!Ava_cluster.Cluster}) moves a VM to {e another
+    host's} pool; this pool only bookkeeps its side of the hand-off.
+    The cluster calls [begin_emigration] before pausing the source
+    worker, orchestrates drain / replay / cross-router transfer itself,
+    detaches the source server entry, and finishes with
+    [complete_emigration]. *)
+
+val begin_emigration : 'st t -> vm_id:int -> int option
+(** Claim the VM for a cross-host move under the same first-mover-wins
+    flag that serializes local migrations — while held, the skew
+    monitor, evacuation and {!retire_vm} all refuse to touch the VM.
+    Returns its current device, or [None] if the VM is unknown or
+    already mid-migration. *)
+
+val abort_emigration : 'st t -> vm_id:int -> unit
+(** Release the claim without moving (destination refused, etc.). *)
+
+val complete_emigration : 'st t -> vm_id:int -> unit
+(** Drop the VM's residency and entry {e without} detaching its server
+    entry or clearing breakers — the cluster already detached the
+    source entry and the breaker moved with the VM's router flow. *)
 
 (** {1 Retirement} *)
 

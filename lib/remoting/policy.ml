@@ -346,6 +346,12 @@ module Quota = struct
   let rec charge t cost =
     rotate t;
     if t.used +. cost <= t.budget then t.used <- t.used +. cost
+    else if t.used = 0.0 then
+      (* The call is bigger than a whole window's budget, so no amount
+         of waiting would ever fit it.  Admit it at the fresh window
+         and overdraw: the quota degrades to one oversized call per
+         window instead of stalling the VM forever. *)
+      t.used <- cost
     else begin
       t.stalls <- t.stalls + 1;
       let now = Engine.now t.engine in

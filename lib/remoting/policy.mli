@@ -109,7 +109,10 @@ module Quota : sig
   val create : Engine.t -> window_ns:Time.t -> budget:float -> t
 
   val charge : t -> float -> unit
-  (** Consume budget, blocking across window boundaries as needed. *)
+  (** Consume budget, blocking across window boundaries as needed.  A
+      cost exceeding the whole window budget is admitted at a fresh
+      window (overdrawing it), so an oversized call throttles to one
+      per window rather than wedging the VM forever. *)
 
   val stalls : t -> int
 end

@@ -30,6 +30,11 @@ type in_flight = {
 
 type vm_conn = {
   rc_vm : Vm.t;
+  mutable rc_owner : t;
+      (** router currently owning this flow.  Normally the router that
+          attached it; a cross-host migration re-points it (see
+          {!transfer_flow}), and the ingress process re-reads it each
+          iteration so the guest's live connection follows the VM. *)
   guest_side : Transport.endpoint;  (** router's endpoint facing the guest *)
   mutable server_side : Transport.endpoint;
       (** router's endpoint facing the VM's current backend server *)
@@ -75,13 +80,13 @@ type vm_conn = {
 (* One dispatch lane: each backend server gets its own WFQ and its own
    pacing dispatcher, so a pool of devices schedules independently
    (lifting the single-popper limit of [Policy.Wfq.pop]). *)
-type backend = {
+and backend = {
   bs_id : int;
   bs_wfq : (vm_conn * float * bytes * int list) Policy.Wfq.t;
   mutable bs_started : bool;  (** dispatcher process spawned *)
 }
 
-type t = {
+and t = {
   engine : Engine.t;
   virt : Ava_device.Timing.virt;
   plan : Plan.t;
@@ -303,6 +308,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
   let conn =
     {
       rc_vm = vm;
+      rc_owner = t;
       guest_side;
       server_side;
       rc_backend = backend;
@@ -335,6 +341,11 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
     (fun () ->
       let rec loop () =
         let data = Transport.recv guest_side in
+        (* Re-read the owning router each iteration: a cross-host
+           migration re-points [rc_owner], and from then on this VM's
+           ingress verifies, polices and enqueues against the
+           destination router without respawning the process. *)
+        let t = conn.rc_owner in
         Engine.delay t.virt.Ava_device.Timing.router_check_ns;
         (* Ingress stamp: ends the guest->router transport phase for
            every call in the message (rejected ones included — their
@@ -660,3 +671,54 @@ let resteer t ~vm_id ~backend ~server_side =
       t.resteered <- t.resteered + 1;
       record_trace t "vm%d resteer %d->%d (%d queued, %d requeued)" vm_id
         src.bs_id dst.bs_id (List.length queued) requeued
+
+(* Cross-router flow transfer: the cluster-tier generalization of
+   [resteer].  The VM's whole connection — guest endpoint, seq ledger,
+   policy objects, in-flight ledger — moves wholesale to a backend of
+   {e another} router (another host's interposition point, same engine).
+   The live ingress process follows via [rc_owner]; policy objects
+   (bucket/quota/breaker) were built on the shared engine and move with
+   the conn unchanged.  Same at-least-once contract as [resteer]. *)
+let transfer_flow t ~dst ~vm_id ~backend ~server_side =
+  if t == dst then resteer t ~vm_id ~backend ~server_side
+  else
+    match find_conn t vm_id with
+    | None -> invalid_arg "Router.transfer_flow: unknown vm"
+    | Some conn ->
+        if t.engine != dst.engine then
+          invalid_arg "Router.transfer_flow: routers on different engines";
+        if not (List.mem_assoc backend dst.backends) then
+          invalid_arg
+            (Printf.sprintf "Router.transfer_flow: unknown backend %d" backend);
+        if List.mem_assoc vm_id dst.conns then
+          invalid_arg "Router.transfer_flow: vm already on destination router";
+        let src_b = backend_exn t conn.rc_backend in
+        let dst_b = backend_exn dst backend in
+        let weight = Policy.Wfq.flow_weight src_b.bs_wfq ~flow_id:vm_id in
+        let queued = Policy.Wfq.remove_flow src_b.bs_wfq ~flow_id:vm_id in
+        t.conns <- List.remove_assoc vm_id t.conns;
+        dst.conns <- (vm_id, conn) :: dst.conns;
+        conn.rc_owner <- dst;
+        conn.rc_backend <- backend;
+        conn.server_side <- server_side;
+        Policy.Wfq.add_flow dst_b.bs_wfq ~flow_id:vm_id ~weight;
+        List.iter
+          (fun (payload, cost) ->
+            Policy.Wfq.push dst_b.bs_wfq ~flow_id:vm_id ~cost payload)
+          queued;
+        let requeued = requeue_conn dst conn ~vm_id in
+        (* Skips the old backend consumed that the new one might wait on. *)
+        let expected = next_seq dst ~vm_id in
+        let live_skips =
+          List.sort_uniq Stdlib.compare
+            (List.filter (fun s -> s >= expected) conn.skipped_seqs)
+        in
+        conn.skipped_seqs <- [];
+        send_skip conn live_skips;
+        start_dispatcher dst dst_b;
+        spawn_egress dst conn server_side;
+        t.resteered <- t.resteered + 1;
+        dst.resteered <- dst.resteered + 1;
+        record_trace t "vm%d transfer-out lane %d (%d queued, %d requeued)"
+          vm_id src_b.bs_id (List.length queued) requeued;
+        record_trace dst "vm%d transfer-in lane %d" vm_id dst_b.bs_id

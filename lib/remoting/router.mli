@@ -154,3 +154,20 @@ val resteer : t -> vm_id:int -> backend:int -> server_side:Transport.endpoint ->
     restart/requeue path), skip notices the old backend consumed are
     re-sent, and future ingress steers to the new lane.  The old
     egress keeps draining residual replies harmlessly. *)
+
+val transfer_flow :
+  t ->
+  dst:t ->
+  vm_id:int ->
+  backend:int ->
+  server_side:Transport.endpoint ->
+  unit
+(** Cross-router generalization of {!resteer} for cluster-tier (cross-
+    host) migration: move the VM's whole connection — guest endpoint,
+    seq ledger, policy objects, WFQ backlog, in-flight ledger — onto
+    [backend] of the {e destination} router, whose server it reaches
+    via [server_side].  Both routers must share one engine.  The VM's
+    live ingress process follows the move (it re-reads its owning
+    router each message), so the guest keeps its stub, its transport
+    and its seq stream; only the interposition point changes hosts.
+    When [dst] is the same router this is exactly {!resteer}. *)

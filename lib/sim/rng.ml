@@ -40,6 +40,14 @@ let exponential_ns t ~mean_ns =
     let u = 1.0 -. float t in
     Time.of_float_ns (-.log u *. float_of_int mean_ns)
 
+(* Pareto-distributed value: P(X > x) = (xm / x)^alpha for x >= xm.
+   Heavy-tailed session lengths (alpha <= 2 has infinite variance). *)
+let pareto t ~alpha ~xm =
+  if alpha <= 0.0 then invalid_arg "Rng.pareto: alpha must be > 0";
+  if xm <= 0.0 then invalid_arg "Rng.pareto: xm must be > 0";
+  let u = 1.0 -. float t in
+  xm /. (u ** (1.0 /. alpha))
+
 (* Uniform duration in [lo, hi]. *)
 let uniform_ns t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.uniform_ns: hi < lo";

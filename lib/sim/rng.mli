@@ -27,3 +27,7 @@ val exponential_ns : t -> mean_ns:int -> Time.t
 
 val uniform_ns : t -> lo:Time.t -> hi:Time.t -> Time.t
 (** Uniform duration in [lo, hi]. *)
+
+val pareto : t -> alpha:float -> xm:float -> float
+(** Pareto-distributed value with tail index [alpha] and scale (minimum)
+    [xm]: P(X > x) = (xm / x)^alpha.  Heavy-tailed session lengths. *)

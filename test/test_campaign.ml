@@ -331,12 +331,116 @@ let smoke_tests =
              summary.Campaign.cs_violations));
   ]
 
+(* --- the pressure ops (satellite: swap-pressure / quota-exhaustion) ------- *)
+
+let pressure_op_tests =
+  [
+    Alcotest.test_case "new op kinds round-trip the corpus format" `Quick
+      (fun () ->
+        List.iter
+          (fun op ->
+            let line = Op.to_line op in
+            match Op.of_line line with
+            | Ok op' ->
+                Alcotest.(check string)
+                  (Printf.sprintf "round-trip %s" line)
+                  line (Op.to_line op')
+            | Error m -> Alcotest.failf "%s failed to parse: %s" line m)
+          [
+            { Op.delay_ns = 0; kind = Op.Swap_pressure (0, 3) };
+            { Op.delay_ns = Time.us 5; kind = Op.Swap_pressure (2, 1) };
+            { Op.delay_ns = 0; kind = Op.Quota_exhaust 1 };
+            { Op.delay_ns = Time.ms 1; kind = Op.Quota_exhaust 0 };
+          ]);
+    Alcotest.test_case "pressure ops run green in a scenario" `Quick
+      (fun () ->
+        (* Buffer churn against the transfer-cache layer plus a
+           near-zero device-time quota: the stack must throttle and
+           verify, never wedge or corrupt. *)
+        let config =
+          {
+            Scenario.default_config with
+            Scenario.sc_seed = chaos_seed;
+            sc_faults = "none";
+          }
+        in
+        let trace =
+          [
+            { Op.delay_ns = 0; kind = Op.Admit };
+            { Op.delay_ns = 0; kind = Op.Submit (0, Op.Vec_add 64) };
+            { Op.delay_ns = Time.us 50; kind = Op.Swap_pressure (0, 2) };
+            { Op.delay_ns = 0; kind = Op.Quota_exhaust 0 };
+            { Op.delay_ns = Time.us 50; kind = Op.Submit (0, Op.Vec_add 32) };
+          ]
+        in
+        let outcome = Scenario.run config trace in
+        Alcotest.(check string)
+          "verdict" "pass"
+          (Format.asprintf "%a" Scenario.pp_verdict
+             outcome.Scenario.oc_verdict);
+        Alcotest.(check int) "all ops applied" 5 outcome.Scenario.oc_applied);
+    Alcotest.test_case "generator emits the pressure ops" `Quick (fun () ->
+        let rng = Rng.create 7L in
+        let trace =
+          Op.gen rng { Op.g_devices = 3; g_max_tenants = 4; g_length = 400 }
+        in
+        let has p = List.exists (fun o -> p o.Op.kind) trace in
+        Alcotest.(check bool) "swap-pressure generated" true
+          (has (function Op.Swap_pressure _ -> true | _ -> false));
+        Alcotest.(check bool) "quota-exhaustion generated" true
+          (has (function Op.Quota_exhaust _ -> true | _ -> false)));
+  ]
+
+(* --- config-aware shrinking ------------------------------------------------ *)
+
+let config_shrink_tests =
+  [
+    Alcotest.test_case "config shrinks to the simplest reproducer" `Quick
+      (fun () ->
+        (* Synthetic oracle over (int config, trace): reproduces while
+           the config level is >= 2 and the trace still has a Submit.
+           The shrinker must walk the config down to exactly 2 and keep
+           the trace oracle-true and no longer than its parent. *)
+        let parent = gen_trace chaos_seed 12 in
+        let has_submit tr =
+          List.exists
+            (fun o -> match o.Op.kind with Op.Submit _ -> true | _ -> false)
+            tr
+        in
+        QCheck.assume (has_submit parent);
+        let oracle level tr = level >= 2 && has_submit tr in
+        let shrink_config level = if level > 0 then [ level - 1 ] else [] in
+        let level, shrunk =
+          Shrink.minimize_with_config ~max_runs:200 ~shrink_config ~oracle 5
+            parent
+        in
+        Alcotest.(check int) "config at its floor" 2 level;
+        Alcotest.(check bool) "still reproduces" true (oracle level shrunk);
+        Alcotest.(check bool)
+          "no longer than parent" true
+          (List.length shrunk <= List.length parent);
+        Alcotest.(check bool)
+          "subsequence of parent" true (subsequence shrunk parent));
+    Alcotest.test_case "non-reproducing config candidates are not adopted"
+      `Quick (fun () ->
+        let parent = gen_trace chaos_seed 8 in
+        let oracle level _ = level = 5 in
+        let shrink_config level = if level > 0 then [ level - 1 ] else [] in
+        let level, _ =
+          Shrink.minimize_with_config ~max_runs:100 ~shrink_config ~oracle 5
+            parent
+        in
+        Alcotest.(check int) "config unchanged" 5 level);
+  ]
+
 let () =
   Alcotest.run "ava_campaign"
     [
       ("determinism", determinism_tests);
       ("self-test", self_test_tests);
       ("shrinking", shrink_tests);
+      ("pressure-ops", pressure_op_tests);
+      ("config-shrink", config_shrink_tests);
       ("corpus", corpus_tests);
       ("retire", retire_tests);
       ("smoke", smoke_tests);

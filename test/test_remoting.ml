@@ -502,6 +502,26 @@ let policy_tests =
         (* 35 units at 10/ms: needs to reach the 4th window. *)
         Alcotest.(check bool) "stalled into later windows" true
           (Engine.now e >= Time.ms 3));
+    Alcotest.test_case "oversized call throttles instead of wedging" `Quick
+      (fun () ->
+        (* A call bigger than a whole window's budget can never fit;
+           it must overdraw a fresh window (one oversized call per
+           window), not stall forever. *)
+        let e = Engine.create () in
+        let finished = ref false in
+        Engine.run_process e (fun () ->
+            let q = Policy.Quota.create e ~window_ns:(Time.ms 1) ~budget:10.0 in
+            Policy.Quota.charge q 25.0;
+            (* First oversized call admits immediately at the fresh
+               window... *)
+            Alcotest.(check int) "no delay for the first" 0 (Engine.now e);
+            (* ...the second stalls to the next window boundary, then
+               admits. *)
+            Policy.Quota.charge q 25.0;
+            Alcotest.(check int)
+              "second waits one window" (Time.ms 1) (Engine.now e);
+            finished := true);
+        Alcotest.(check bool) "charges returned" true !finished);
   ]
 
 (* A miniature spec for stub/server plumbing tests. *)
