@@ -590,7 +590,13 @@ let automation_metrics () =
       ~spec_source:Ava_spec.Specs.qat_spec
       (Ava_spec.Specs.load_qat ())
   in
-  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report qat
+  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report qat;
+  let simst =
+    Ava_codegen.Metrics.analyze ~header_source:Ava_spec.Specs.simst_header
+      ~spec_source:Ava_spec.Specs.simst_spec
+      (Ava_spec.Specs.load_simst ())
+  in
+  Fmt.pr "%a@." Ava_codegen.Metrics.pp_report simst
 
 (* ------------------------------------------------ consolidation scaling -- *)
 
@@ -700,6 +706,173 @@ let pool_skew_run ?rebalance () =
   Engine.run e;
   (Array.fold_left Stdlib.max 0 done_at, Host.Pool.rebalances pool)
 
+(* ------------------------------------ heterogeneous (mixed) fleet -- *)
+
+(* Mixed GPU-class/NPU-class fleet behind one SimST host: stream
+   tenants pipeline vadd rounds, NPU tenants push scoring batches, and
+   capability-aware placement must keep each class on its own devices.
+   The gate: each class's makespan on the mixed fleet, relative to the
+   same tenants running alone on a homogeneous fleet of the same
+   devices, must stay ~1.0 — co-tenancy of the other capability is
+   free when placement respects the tags. *)
+
+let st_ok = function
+  | Ok v -> v
+  | Error _ -> failwith "simst bench call failed"
+
+let st_vadd_tenant (module A : Ava_simst.Api.S) ~rounds ~n =
+  let s = st_ok (A.stStreamCreate ()) in
+  let a = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let bm = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let out = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let buf_a = Bytes.create (4 * n) and buf_b = Bytes.create (4 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le buf_a (4 * i) (Int32.of_int i);
+    Bytes.set_int32_le buf_b (4 * i) (Int32.of_int (2 * i))
+  done;
+  for _ = 1 to rounds do
+    st_ok (A.stMemcpyHtoDAsync a ~src:buf_a s);
+    st_ok (A.stMemcpyHtoDAsync bm ~src:buf_b s);
+    st_ok (A.stLaunchKernel s ~name:"vadd" ~a ~b:bm ~out ~n);
+    let res = st_ok (A.stMemcpyDtoH ~size:(4 * n) out) in
+    if Bytes.get_int32_le res 4 <> 3l then failwith "vadd mismatch"
+  done;
+  st_ok (A.stStreamSynchronize s);
+  st_ok (A.stMemFree a);
+  st_ok (A.stMemFree bm);
+  st_ok (A.stMemFree out);
+  st_ok (A.stStreamDestroy s)
+
+let st_batch_tenant (module A : Ava_simst.Api.S) ~rounds ~items ~item_size =
+  let s = st_ok (A.stStreamCreate ()) in
+  let batch =
+    Bytes.init (items * item_size) (fun i -> Char.chr (i land 0x3f))
+  in
+  let expect = Ava_simst.Device.batch_scores ~batch ~item_size in
+  for _ = 1 to rounds do
+    let ticket = st_ok (A.stBatchSubmit s ~batch ~item_size) in
+    let scores = st_ok (A.stBatchCollect s ~ticket ~size:(4 * items)) in
+    if not (Bytes.equal scores expect) then failwith "batch score mismatch"
+  done;
+  st_ok (A.stStreamDestroy s)
+
+(* One tenant class: [count] VMs pinned to [cap], each running [work]. *)
+type st_class = {
+  stc_cap : Host.Pool.capability;
+  stc_count : int;
+  stc_work : (module Ava_simst.Api.S) -> unit;
+}
+
+let st_stream_class =
+  {
+    stc_cap = Host.Pool.Cap_stream;
+    stc_count = 4;
+    stc_work = (fun api -> st_vadd_tenant api ~rounds:6 ~n:256);
+  }
+
+let st_npu_class =
+  {
+    stc_cap = Host.Pool.Cap_npu;
+    stc_count = 4;
+    stc_work = (fun api -> st_batch_tenant api ~rounds:6 ~items:32 ~item_size:64);
+  }
+
+(* Run the given classes together on [fleet]; per-class makespan. *)
+let st_fleet_run ~fleet classes =
+  let e = Engine.create () in
+  let host =
+    Host.create_st_host ~fleet ~placement:Host.Pool.Round_robin e
+  in
+  let finished =
+    List.map (fun c -> (c, Array.make c.stc_count 0)) classes
+  in
+  List.iter
+    (fun (c, done_at) ->
+      let cap = Host.Pool.capability_to_string c.stc_cap in
+      for i = 0 to c.stc_count - 1 do
+        let guest =
+          Host.add_st_vm host ~requires:c.stc_cap
+            ~name:(Printf.sprintf "%s%d" cap i)
+        in
+        Engine.spawn e (fun () ->
+            c.stc_work guest.Host.sg_api;
+            done_at.(i) <- Engine.now e)
+      done)
+    finished;
+  Engine.run e;
+  List.map
+    (fun (c, done_at) -> (c, Array.fold_left Stdlib.max 0 done_at))
+    finished
+
+(* A compute-bound tenant that enqueues in rounds (burst of kernels,
+   then a sync) so a mid-run migration actually offloads future rounds:
+   work enqueued in one big burst would all be drained at the source by
+   the migration quiesce. *)
+let st_heavy_tenant (module A : Ava_simst.Api.S) ~rounds ~burst ~n =
+  let s = st_ok (A.stStreamCreate ()) in
+  let a = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let bm = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let out = st_ok (A.stMemAlloc ~size:(4 * n)) in
+  let buf = Bytes.make (4 * n) '\001' in
+  st_ok (A.stMemcpyHtoDAsync a ~src:buf s);
+  st_ok (A.stMemcpyHtoDAsync bm ~src:buf s);
+  for _ = 1 to rounds do
+    for _ = 1 to burst do
+      st_ok (A.stLaunchKernel s ~name:"vadd" ~a ~b:bm ~out ~n)
+    done;
+    st_ok (A.stStreamSynchronize s)
+  done;
+  st_ok (A.stMemFree a);
+  st_ok (A.stMemFree bm);
+  st_ok (A.stMemFree out);
+  st_ok (A.stStreamDestroy s)
+
+(* Same-type-only rebalancing: three stream tenants pinned to dev0 of
+   a [stream; stream; npu] fleet.  The skew monitor may move them
+   between the two stream devices but must never migrate one onto the
+   NPU. *)
+let st_skew_run ?rebalance () =
+  let e = Engine.create () in
+  let host =
+    Host.create_st_host
+      ~fleet:[ Host.Pool.Cap_stream; Host.Pool.Cap_stream; Host.Pool.Cap_npu ]
+      ~placement:Host.Pool.Round_robin ?rebalance e
+  in
+  let pool = Option.get host.Host.st_pool in
+  let done_at = Array.make 3 0 in
+  for i = 0 to 2 do
+    let guest =
+      Host.add_st_vm host ~requires:Host.Pool.Cap_stream ~device:0
+        ~name:(Printf.sprintf "st-heavy%d" i)
+    in
+    Engine.spawn e (fun () ->
+        st_heavy_tenant guest.Host.sg_api ~rounds:24 ~burst:8 ~n:262144;
+        done_at.(i) <- Engine.now e)
+  done;
+  if rebalance <> None then
+    Engine.spawn e (fun () ->
+        let rec wait () =
+          if Array.exists (fun t -> t = 0) done_at then begin
+            Engine.delay (Time.us 100);
+            wait ()
+          end
+          else Host.Pool.stop pool
+        in
+        wait ());
+  Engine.run e;
+  let npu_residents =
+    List.fold_left
+      (fun acc (d : Host.Pool.device_stats) ->
+        if d.Host.Pool.ds_capability = Host.Pool.Cap_npu then
+          acc + List.length d.Host.Pool.ds_resident
+        else acc)
+      0
+      (Host.Pool.stats pool)
+  in
+  ( Array.fold_left Stdlib.max 0 done_at,
+    Host.Pool.migrations pool,
+    npu_residents )
+
 let pool_scaling () =
   section "Extension | Device pool: throughput scaling and rebalancing";
   Fmt.pr
@@ -752,6 +925,50 @@ let pool_scaling () =
           %s (%d migrations, %.2fx gain)@."
     (Time.to_string t_static) (Time.to_string t_rebal) moves
     (float_of_int t_static /. float_of_int t_rebal);
+  hr ();
+  Fmt.pr "mixed fleet (SimST host, 2 stream + 2 npu devices, 4+4 tenants)@.";
+  let mixed =
+    st_fleet_run
+      ~fleet:
+        [
+          Host.Pool.Cap_stream;
+          Host.Pool.Cap_stream;
+          Host.Pool.Cap_npu;
+          Host.Pool.Cap_npu;
+        ]
+      [ st_stream_class; st_npu_class ]
+  in
+  let solo c =
+    match st_fleet_run ~fleet:[ c.stc_cap; c.stc_cap ] [ c ] with
+    | [ (_, m) ] -> m
+    | _ -> assert false
+  in
+  let class_rows =
+    List.map
+      (fun (c, mixed_ns) ->
+        let solo_ns = solo c in
+        let rel = float_of_int mixed_ns /. float_of_int solo_ns in
+        let cap = Host.Pool.capability_to_string c.stc_cap in
+        Fmt.pr
+          "%-8s %d tenants: solo %s, mixed %s (relative %.3f)@." cap
+          c.stc_count (Time.to_string solo_ns) (Time.to_string mixed_ns)
+          rel;
+        (cap, c.stc_count, solo_ns, mixed_ns, rel))
+      mixed
+  in
+  let st_static, _, _ = st_skew_run () in
+  let st_rebal, st_moves, st_npu_res =
+    st_skew_run
+      ~rebalance:{ Host.Pool.rb_interval = Time.us 500; rb_skew = 1.5 }
+      ()
+  in
+  if st_npu_res <> 0 then
+    failwith "mixed-fleet rebalancer parked a stream tenant on the NPU";
+  Fmt.pr
+    "same-type skew (3 stream tenants on dev0 of stream,stream,npu): \
+     static %s, rebalanced %s (%d migrations, npu residents %d)@."
+    (Time.to_string st_static) (Time.to_string st_rebal) st_moves
+    st_npu_res;
   let row_json (n, makespan, stats, migrations) =
     let gated =
       (* Only the pool-off-but-built configuration is latency-gated:
@@ -803,6 +1020,39 @@ let pool_scaling () =
               ( "gain",
                 Json.Float
                   (float_of_int t_static /. float_of_int t_rebal) );
+            ] );
+        (* Heterogeneous rows come last so every pre-existing path in
+           this document stays bit-identical to the homogeneous-only
+           bench. *)
+        ( "mixed_fleet",
+          Json.Obj
+            [
+              ("fleet", Json.String "stream,stream,npu,npu");
+              ( "classes",
+                Json.List
+                  (List.map
+                     (fun (cap, tenants, solo_ns, mixed_ns, rel) ->
+                       Json.Obj
+                         [
+                           ("capability", Json.String cap);
+                           ("tenants", Json.Int tenants);
+                           ("solo_makespan_ns", Json.Int solo_ns);
+                           ("mixed_makespan_ns", Json.Int mixed_ns);
+                           ("relative", Json.Float rel);
+                         ])
+                     class_rows) );
+              ( "skew",
+                Json.Obj
+                  [
+                    ("fleet", Json.String "stream,stream,npu");
+                    ("static_makespan_ns", Json.Int st_static);
+                    ("rebalanced_makespan_ns", Json.Int st_rebal);
+                    ("migrations", Json.Int st_moves);
+                    ("npu_residents", Json.Int st_npu_res);
+                    ( "gain",
+                      Json.Float
+                        (float_of_int st_static /. float_of_int st_rebal) );
+                  ] );
             ] );
       ]
   in

@@ -153,6 +153,18 @@ let generate_cmd =
             Fmt.pr "total: %d generated LoC for %d functions@."
               artifacts.Ava_codegen.Emit_c.art_total_loc
               (List.length spec.Ast.fns);
+            let dir = Filename.dirname spec_path in
+            (match spec.Ast.includes with
+            | inc :: _ -> (
+                match resolver ~dir inc with
+                | Some header_source ->
+                    let report =
+                      Ava_codegen.Metrics.analyze ~header_source
+                        ~spec_source:(read_file spec_path) spec
+                    in
+                    Fmt.pr "%a" Ava_codegen.Metrics.pp_report report
+                | None -> ())
+            | [] -> ());
             0)
   in
   Cmd.v
@@ -175,6 +187,8 @@ let dump_cmd =
     write_file (Filename.concat dir "mvnc.cava") Specs.mvnc_spec;
     write_file (Filename.concat dir "qa_sim.h") Specs.qat_header;
     write_file (Filename.concat dir "qat.cava") Specs.qat_spec;
+    write_file (Filename.concat dir "simst.h") Specs.simst_header;
+    write_file (Filename.concat dir "simst.cava") Specs.simst_spec;
     0
   in
   Cmd.v

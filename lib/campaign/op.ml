@@ -22,6 +22,8 @@ type kind =
   | Flip_faults of string
   | Swap_pressure of int * int
   | Quota_exhaust of int
+  | Submit_nc of int * int
+  | Submit_qa of int * int
 
 type op = { delay_ns : int; kind : kind }
 type trace = op list
@@ -41,6 +43,8 @@ let pp_kind ppf = function
   | Flip_faults p -> Format.fprintf ppf "flip %s" p
   | Swap_pressure (s, n) -> Format.fprintf ppf "swap-pressure %d %d" s n
   | Quota_exhaust s -> Format.fprintf ppf "quota-exhaustion %d" s
+  | Submit_nc (s, n) -> Format.fprintf ppf "submit-nc %d %d" s n
+  | Submit_qa (s, k) -> Format.fprintf ppf "submit-qa %d %d" s k
 
 let pp ppf op = Format.fprintf ppf "+%dns %a" op.delay_ns pp_kind op.kind
 
@@ -93,6 +97,8 @@ let gen_kind rng cfg ~admitted =
             Flip_faults (if Rng.bool rng then "light" else "none") );
         (1, fun () -> Swap_pressure (slot (), 2 + Rng.int rng 4));
         (1, fun () -> Quota_exhaust (slot ()));
+        (2, fun () -> Submit_nc (slot (), 16 * (1 + Rng.int rng 4)));
+        (2, fun () -> Submit_qa (slot (), 1 + Rng.int rng 8));
       ]
 
 let gen rng cfg =
@@ -149,5 +155,13 @@ let of_line line =
           match int_of s with
           | Some s -> Ok { delay_ns; kind = Quota_exhaust s }
           | None -> fail ())
+      | Some delay_ns, [ "submit-nc"; s; n ] -> (
+          match (int_of s, int_of n) with
+          | Some s, Some n -> Ok { delay_ns; kind = Submit_nc (s, n) }
+          | _ -> fail ())
+      | Some delay_ns, [ "submit-qa"; s; k ] -> (
+          match (int_of s, int_of k) with
+          | Some s, Some k -> Ok { delay_ns; kind = Submit_qa (s, k) }
+          | _ -> fail ())
       | _ -> fail ())
   | _ -> fail ()

@@ -2,8 +2,9 @@
 
     A trace is a list of delayed operations over an assembled pooled
     AvA stack — tenant admission and retirement, Rodinia-shaped work,
-    live migration, device loss, rebalancing, per-VM server outages and
-    live fault-profile flips.  Traces are generated from an explicit
+    live migration, device loss, rebalancing, per-VM server outages,
+    live fault-profile flips, plus side-silo work on the NC and QA
+    stacks (each tenant slot lazily gets its own guests there).  Traces are generated from an explicit
     seed, interpreted totally (an op whose reference is no longer valid
     is a no-op, so any subsequence of a valid trace is valid — the
     property the shrinker relies on), and serialized to a stable text
@@ -38,6 +39,14 @@ type kind =
       (** clamp slot's device-time quota to a near-zero budget, then
           run the reference workload through it: the router must
           throttle, never wedge or reject *)
+  | Submit_nc of int * int
+      (** run one MVNC inference (a tensor of the given byte size) on
+          slot's side-silo NCS guest — the NC stack is fault-free, so
+          any error or wrong-size output is an isolation violation *)
+  | Submit_qa of int * int
+      (** run one SimQA compress/decompress roundtrip (payload of the
+          given KiB) on slot's side-silo QAT guest; a roundtrip
+          mismatch counts as a wrong result *)
 
 type op = { delay_ns : int;  (** virtual delay before the op *) kind : kind }
 type trace = op list

@@ -186,6 +186,21 @@ let buffer_churn api n =
 
 (* --- interpreter ---------------------------------------------------------- *)
 
+(* Per-tenant side-silo sessions: the NC and QA stacks live next to the
+   pooled CL fleet on the same engine, one lazily created guest per
+   tenant slot.  Both stacks run fault-free, so their ops extend the
+   isolation check to two more generated remoting paths for free. *)
+type nc_session = {
+  ns_api : (module Ava_simnc.Api.S);
+  ns_graph : int;  (** resident graph handle *)
+}
+
+type qa_session = {
+  qs_api : (module Ava_simqa.Api.S);
+  qs_cs : int;  (** compress session *)
+  qs_ds : int;  (** decompress session *)
+}
+
 type tenant = {
   tn_slot : int;
   tn_guest : Host.cl_guest;
@@ -197,6 +212,8 @@ type tenant = {
   mutable tn_pending : int;  (** submissions not yet finished *)
   mutable tn_failures : string list;  (** API failures its workloads hit *)
   mutable tn_bad_result : bool;  (** a vec_add readback had wrong sums *)
+  mutable tn_nc : nc_session option;
+  mutable tn_qa : qa_session option;
 }
 
 type state = {
@@ -209,6 +226,8 @@ type state = {
   mutable st_applied : int;
   mutable st_crash_exn : string option;
   mutable st_retired : int;  (** successful retires, our side of the ledger *)
+  mutable st_nc_host : Host.nc_host option;  (** lazily built side silo *)
+  mutable st_qa_host : Host.qa_host option;
 }
 
 let profile_config = function "light" -> Faults.light | _ -> Faults.none
@@ -267,6 +286,8 @@ let admit st =
         tn_pending = 0;
         tn_failures = [];
         tn_bad_result = false;
+        tn_nc = None;
+        tn_qa = None;
       }
       :: st.st_tenants;
     true
@@ -391,6 +412,129 @@ let quota_exhaust st tn =
     ~window_ns:(Time.ms 1);
   submit st tn (Op.Vec_add 64)
 
+(* --- side-silo work (NC / QA) --------------------------------------------- *)
+
+let nc_output_bytes = 16
+
+let nc_ok = function
+  | Ok v -> v
+  | Error s ->
+      raise (Clutil.Api_failure ("mvnc " ^ Ava_simnc.Types.status_to_string s))
+
+let qa_ok = function
+  | Ok v -> v
+  | Error s ->
+      raise (Clutil.Api_failure ("qa " ^ Ava_simqa.Types.status_to_string s))
+
+let nc_host st =
+  match st.st_nc_host with
+  | Some h -> h
+  | None ->
+      let h = Host.create_nc_host st.st_engine in
+      st.st_nc_host <- Some h;
+      h
+
+let qa_host st =
+  match st.st_qa_host with
+  | Some h -> h
+  | None ->
+      let h = Host.create_qa_host st.st_engine in
+      st.st_qa_host <- Some h;
+      h
+
+(* Lazily stand up the tenant's side-silo guest on first use.  Two
+   overlapping first submissions may both build a session (setup blocks
+   on graph upload); the first to finish wins the slot and the loser's
+   guest just idles — wasteful, never wrong. *)
+let nc_session st tn =
+  match tn.tn_nc with
+  | Some s -> s
+  | None ->
+      let guest =
+        Host.add_nc_vm (nc_host st) ~name:(Printf.sprintf "t%d-nc" tn.tn_slot)
+      in
+      let module NC = (val guest.Host.ng_api) in
+      let name = nc_ok (NC.mvncGetDeviceName ~index:0) in
+      let d = nc_ok (NC.mvncOpenDevice ~name) in
+      let graph_data =
+        Ava_simnc.Graphdef.encode
+          {
+            Ava_simnc.Graphdef.layer_flops = [ 1e6; 2e6 ];
+            output_bytes = nc_output_bytes;
+          }
+      in
+      let g = nc_ok (NC.mvncAllocateGraph d ~graph_data) in
+      let s = { ns_api = guest.Host.ng_api; ns_graph = g } in
+      (match tn.tn_nc with None -> tn.tn_nc <- Some s | Some _ -> ());
+      s
+
+let qa_session st tn =
+  match tn.tn_qa with
+  | Some s -> s
+  | None ->
+      let guest =
+        Host.add_qa_vm (qa_host st) ~name:(Printf.sprintf "t%d-qa" tn.tn_slot)
+      in
+      let module QA = (val guest.Host.qg_api) in
+      let inst = qa_ok (QA.qaStartInstance ~index:0) in
+      let cs =
+        qa_ok (QA.qaCreateSession inst Ava_simqa.Types.Dir_compress ~level:5)
+      in
+      let ds =
+        qa_ok (QA.qaCreateSession inst Ava_simqa.Types.Dir_decompress ~level:5)
+      in
+      let s = { qs_api = guest.Host.qg_api; qs_cs = cs; qs_ds = ds } in
+      (match tn.tn_qa with None -> tn.tn_qa <- Some s | Some _ -> ());
+      s
+
+(* One MVNC inference on the tenant's side-silo guest: queue a tensor,
+   wait for the result, check the declared output size. *)
+let submit_nc st tn bytes =
+  tn.tn_pending <- tn.tn_pending + 1;
+  Engine.spawn st.st_engine
+    ~name:(Printf.sprintf "campaign-nc-vm%d" tn.tn_vm_id)
+    (fun () ->
+      (try
+         let s = nc_session st tn in
+         let module NC = (val s.ns_api) in
+         let tensor =
+           Bytes.init (max 1 bytes) (fun i -> Char.chr (i land 0xff))
+         in
+         nc_ok (NC.mvncLoadTensor s.ns_graph ~tensor);
+         let out = nc_ok (NC.mvncGetResult s.ns_graph) in
+         if Bytes.length out <> nc_output_bytes then tn.tn_bad_result <- true
+       with
+      | Clutil.Api_failure m -> tn.tn_failures <- m :: tn.tn_failures
+      | exn ->
+          if st.st_crash_exn = None then
+            st.st_crash_exn <- Some (Printexc.to_string exn));
+      tn.tn_pending <- tn.tn_pending - 1);
+  true
+
+(* One compress/decompress roundtrip; the decompressed payload must be
+   byte-identical to the original. *)
+let submit_qa st tn kib =
+  tn.tn_pending <- tn.tn_pending + 1;
+  Engine.spawn st.st_engine
+    ~name:(Printf.sprintf "campaign-qa-vm%d" tn.tn_vm_id)
+    (fun () ->
+      (try
+         let s = qa_session st tn in
+         let module QA = (val s.qs_api) in
+         let payload =
+           Bytes.init (1024 * max 1 kib) (fun i -> Char.chr (i * 7 land 0xff))
+         in
+         let packed = qa_ok (QA.qaCompress s.qs_cs ~src:payload) in
+         let back = qa_ok (QA.qaDecompress s.qs_ds ~src:packed) in
+         if not (Bytes.equal back payload) then tn.tn_bad_result <- true
+       with
+      | Clutil.Api_failure m -> tn.tn_failures <- m :: tn.tn_failures
+      | exn ->
+          if st.st_crash_exn = None then
+            st.st_crash_exn <- Some (Printexc.to_string exn));
+      tn.tn_pending <- tn.tn_pending - 1);
+  true
+
 let flip st profile =
   st.st_profile <- profile;
   List.iter
@@ -433,6 +577,14 @@ let apply st (op : Op.op) =
         match tenant st slot with
         | Some tn when tn.tn_live && not tn.tn_crashed ->
             quota_exhaust st tn
+        | _ -> false)
+    | Op.Submit_nc (slot, n) -> (
+        match tenant st slot with
+        | Some tn when tn.tn_live -> submit_nc st tn n
+        | _ -> false)
+    | Op.Submit_qa (slot, k) -> (
+        match tenant st slot with
+        | Some tn when tn.tn_live -> submit_qa st tn k
         | _ -> false)
   in
   if applied then st.st_applied <- st.st_applied + 1
@@ -616,6 +768,8 @@ let run ?(obs = false) ?(sabotage = false) config trace =
       st_applied = 0;
       st_crash_exn = None;
       st_retired = 0;
+      st_nc_host = None;
+      st_qa_host = None;
     }
   in
   let verdict = ref Pass in

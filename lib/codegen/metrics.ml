@@ -26,6 +26,15 @@ type report = {
   per_fn : fn_effort list;
 }
 
+(* Fraction of the remoting surface that was generated rather than
+   hand-written.  The denominator counts only lines a human authored:
+   the refined spec's prototypes are copied from the vendor header and
+   most annotations are inference output, so what the developer typed is
+   the annotation diff against re-run inference. *)
+let generated_fraction r =
+  let total = r.generated_loc + r.developer_lines in
+  if total = 0 then 0.0 else float_of_int r.generated_loc /. float_of_int total
+
 (* Count the annotation lines a function's refinement needs: one per
    explicit parameter annotation, sync override, resource and record
    declaration that differs from the preliminary inference. *)
@@ -42,11 +51,14 @@ let annotation_lines ~(prelim : Ast.fn_spec) ~(refined : Ast.fn_spec) =
       0 prelim.Ast.f_params refined.Ast.f_params
   in
   let sync_lines = if prelim.Ast.f_sync <> refined.Ast.f_sync then 1 else 0 in
+  let stream_lines =
+    if prelim.Ast.f_stream <> refined.Ast.f_stream then 1 else 0
+  in
   let record_lines =
     if prelim.Ast.f_record <> refined.Ast.f_record then 1 else 0
   in
   let resource_lines = List.length refined.Ast.f_resources in
-  param_lines + sync_lines + record_lines + resource_lines
+  param_lines + sync_lines + stream_lines + record_lines + resource_lines
 
 let count_lines s =
   String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
@@ -107,4 +119,6 @@ let pp_report ppf r =
     r.generated_loc;
   Fmt.pf ppf "  leverage (generated / hand-written):    %.1fx@."
     (float_of_int r.generated_loc
-    /. float_of_int (Stdlib.max 1 r.developer_lines))
+    /. float_of_int (Stdlib.max 1 r.developer_lines));
+  Fmt.pf ppf "  remoting surface generated:             %.0f%%@."
+    (100.0 *. generated_fraction r)

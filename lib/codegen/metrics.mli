@@ -24,6 +24,12 @@ type report = {
   per_fn : fn_effort list;
 }
 
+val generated_fraction : report -> float
+(** Fraction of the remoting surface generated rather than hand-written:
+    generated LoC over generated LoC plus the developer's annotation
+    lines (prototypes are copied from the header, and unchanged
+    annotations are inference output, so neither counts as authored). *)
+
 val annotation_lines :
   prelim:Ava_spec.Ast.fn_spec -> refined:Ava_spec.Ast.fn_spec -> int
 (** Annotation lines a function's refinement needed, by diffing the

@@ -27,10 +27,16 @@ type sync_plan =
   | Always_sync
   | Always_async
   | Sync_when_eq of { sp_param : string; sp_value : int }
+  | Sync_on_completion of { sp_key : string }
+      (** forwarded synchronously; the reply is withheld until work
+          ordered before the named handle (event/stream) completes *)
 
 type call_plan = {
   cp_name : string;
   cp_sync : sync_plan;
+  cp_stream : string option;
+      (** [ava_stream] ordering key: the handle parameter whose queue
+          orders this call's server-side execution *)
   cp_params : (string * arg_action) list;
   cp_record : record_class;
   cp_resources : (string * expr) list;
@@ -70,6 +76,7 @@ let compile_sync spec fn =
   match fn.f_sync with
   | Sync -> Ok Always_sync
   | Async -> Ok Always_async
+  | Sync_on { sync_param } -> Ok (Sync_on_completion { sp_key = sync_param })
   | Sync_if { cond_param; cond_const } -> (
       match int_of_string_opt cond_const with
       | Some v -> Ok (Sync_when_eq { sp_param = cond_param; sp_value = v })
@@ -99,6 +106,7 @@ let compile_fn spec fn =
             {
               cp_name = fn.f_name;
               cp_sync;
+              cp_stream = fn.f_stream;
               cp_params;
               cp_record = fn.f_record;
               cp_resources = fn.f_resources;
@@ -202,6 +210,7 @@ let is_sync plan ~env =
   match plan.cp_sync with
   | Always_sync -> true
   | Always_async -> false
+  | Sync_on_completion _ -> true
   | Sync_when_eq { sp_param; sp_value } -> (
       match List.assoc_opt sp_param env with
       | Some v -> v = sp_value

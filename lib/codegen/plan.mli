@@ -27,10 +27,16 @@ type sync_plan =
   | Always_sync
   | Always_async
   | Sync_when_eq of { sp_param : string; sp_value : int }
+  | Sync_on_completion of { sp_key : string }
+      (** forwarded synchronously; the reply is withheld until work
+          ordered before the named handle (event/stream) completes *)
 
 type call_plan = {
   cp_name : string;
   cp_sync : sync_plan;
+  cp_stream : string option;
+      (** [ava_stream] ordering key: the handle parameter whose queue
+          orders this call's server-side execution *)
   cp_params : (string * arg_action) list;
   cp_record : record_class;
   cp_resources : (string * expr) list;

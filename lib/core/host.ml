@@ -748,3 +748,289 @@ let native_qa ?(qat_timing = Ava_simqa.Device.dh895xcc) engine =
   let dev = Ava_simqa.Device.create ~timing:qat_timing engine in
   let api, _ = Ava_simqa.Native.create dev in
   (api, dev)
+
+(* --- SimST hosts ----------------------------------------------------------- *)
+
+type st_host = {
+  st_engine : Engine.t;
+  st_hv : Ava_hv.Hypervisor.t;
+  st_plan : Plan.t;
+  st_spec : Ava_spec.Ast.api_spec;
+  st_router : Router.t;
+  st_server : St_handlers.state Server.t;  (** device 0's server when pooled *)
+  st_devs : Ava_simst.Device.t array;  (** per pool device; [[| dev |]] classic *)
+  st_recorders : (int, Migrate.t) Hashtbl.t;
+  st_trace : Ava_sim.Trace.t;
+  st_obs : Obs.t option;
+  st_pool : St_handlers.state Pool.t option;
+}
+
+type st_guest = {
+  sg_vm : Ava_hv.Vm.t;
+  sg_api : (module Ava_simst.Api.S);
+  sg_stub : Stub.t option;
+}
+
+let load_st_plan () =
+  let spec = Ava_spec.Specs.load_simst () in
+  match Plan.compile spec with
+  | Ok plan -> (spec, plan)
+  | Error e -> failwith ("simst plan compilation failed: " ^ e)
+
+(* Heterogeneous fleets: the capability tag picks the device model.  The
+   SimST API runs on all three — what differs is the timing profile, so
+   capability-aware placement is measurable, not cosmetic. *)
+let st_timing_of ~stream_timing = function
+  | Pool.Cap_stream -> stream_timing
+  | Pool.Cap_gpu -> Ava_simst.Device.gpu_class
+  | Pool.Cap_npu -> Ava_simst.Device.npu_class
+
+let st_phys cap dev =
+  {
+    Pool.ph_cap = cap;
+    ph_busy_ns = (fun () -> Ava_simst.Device.busy_ns dev);
+    ph_kernels = (fun () -> Ava_simst.Device.kernels_executed dev);
+    ph_capacity = Ava_simst.Device.capacity dev;
+    ph_wedged_by = (fun () -> Ava_simst.Device.wedged_by dev);
+    ph_kill = (fun () -> Ava_simst.Device.kill dev);
+    ph_gpu = None;
+  }
+
+(* Live stMemAlloc allocations still in a record log, sizes recovered
+   from the recorded arguments (layout: [out placeholder; size]). *)
+let st_live_mems recorder =
+  List.filter_map
+    (fun (r : Migrate.recorded) ->
+      if String.equal r.Migrate.rc_fn "stMemAlloc" then
+        match (r.Migrate.rc_primary, r.Migrate.rc_args) with
+        | Some vid, [ _out; Ava_remoting.Wire.I64 size ] ->
+            Some (vid, Int64.to_int size)
+        | _ -> None
+      else None)
+    (Migrate.replay_log recorder)
+
+(* The cross-server SimST silo copy, the stream-silo analogue of
+   [cl_silo_transfer]: quiesce every stream (an enqueue the source
+   already accepted writes its outputs only at completion), snapshot
+   live device memory, replay the record log into the destination
+   re-binding originals, restore contents.  Only object lifetimes are
+   recorded — enqueue-shaped calls are [no_record]; after the quiesce
+   all streams are idle and all events complete, which is exactly the
+   state freshly replayed objects have. *)
+let st_silo_transfer ~recorder ~(src_srv : St_handlers.state Server.t)
+    ~(dst_srv : St_handlers.state Server.t) ~suspend_recording
+    ~resume_recording ~vm_id =
+  let require = function
+    | Some x -> x
+    | None -> invalid_arg "Host.st_silo_transfer: vm not attached"
+  in
+  let src_ctx = require (Server.vm_ctx src_srv ~vm_id) in
+  let src_state = require (Server.vm_state src_srv ~vm_id) in
+  let dst_ctx = require (Server.vm_ctx dst_srv ~vm_id) in
+  let dst_state = require (Server.vm_state dst_srv ~vm_id) in
+  Server.Ctx.reserve dst_ctx (Server.Ctx.next_vid src_ctx);
+  Server.flush_cache src_srv ~vm_id;
+  Ava_simst.Native.quiesce src_state.St_handlers.native;
+  let bytes_moved = ref 0 in
+  let snapshot =
+    List.filter_map
+      (fun (vid, size) ->
+        match Server.Ctx.resolve src_ctx vid with
+        | None -> None
+        | Some host_mem -> (
+            match
+              Ava_simst.Native.find_mem src_state.St_handlers.native host_mem
+            with
+            | None -> None
+            | Some buf ->
+                bytes_moved := !bytes_moved + size;
+                Some (vid, Bytes.copy buf)))
+      (st_live_mems recorder)
+  in
+  suspend_recording ();
+  List.iter
+    (fun (r : Migrate.recorded) ->
+      let call =
+        {
+          Ava_remoting.Message.call_seq = 0;
+          call_vm = vm_id;
+          call_fn = r.Migrate.rc_fn;
+          call_args = r.Migrate.rc_args;
+        }
+      in
+      ignore (Server.execute_direct dst_srv ~vm_id call);
+      match (r.Migrate.rc_class, r.Migrate.rc_primary) with
+      | Ava_spec.Ast.Object_alloc, Some orig_vid -> (
+          let fresh_vid = Server.Ctx.last_fresh dst_ctx in
+          if fresh_vid <> orig_vid then
+            match Server.Ctx.resolve dst_ctx fresh_vid with
+            | Some host_h ->
+                Server.Ctx.forget dst_ctx fresh_vid;
+                Server.Ctx.bind dst_ctx ~guest:orig_vid ~host:host_h
+            | None -> ())
+      | _ -> ())
+    (Migrate.replay_log recorder);
+  resume_recording ();
+  List.iter
+    (fun (vid, data) ->
+      match Server.Ctx.resolve dst_ctx vid with
+      | None -> ()
+      | Some host_mem -> (
+          match
+            Ava_simst.Native.find_mem dst_state.St_handlers.native host_mem
+          with
+          | None -> ()
+          | Some buf ->
+              let len = min (Bytes.length data) (Bytes.length buf) in
+              Bytes.blit data 0 buf 0 len;
+              bytes_moved := !bytes_moved + len))
+    snapshot;
+  !bytes_moved
+
+let st_pool_transfer ~recorders ~(servers : St_handlers.state Server.t array)
+    ~vm_id ~src ~dst =
+  let recorder =
+    match Hashtbl.find_opt recorders vm_id with
+    | Some r -> r
+    | None -> invalid_arg "Host.st_pool_transfer: unknown vm"
+  in
+  st_silo_transfer ~recorder ~src_srv:servers.(src) ~dst_srv:servers.(dst)
+    ~suspend_recording:(fun () -> Hashtbl.remove recorders vm_id)
+    ~resume_recording:(fun () -> Hashtbl.replace recorders vm_id recorder)
+    ~vm_id
+
+(* [fleet] is the capability tag per pool device; a one-device
+   [Cap_stream] fleet with no placement or rebalance builds the classic
+   single-device host (no pool at all).  [st_timing] overrides the
+   balanced preset for [Cap_stream] devices; GPU- and NPU-class devices
+   keep their class presets — that contrast is the point of a mixed
+   fleet. *)
+let create_st_host ?(virt = Timing.default_virt)
+    ?(st_timing = Ava_simst.Device.sm_stream) ?(tracing = false) ?obs
+    ?(fleet = [ Pool.Cap_stream ]) ?placement ?rebalance ?vm_id_base engine =
+  if fleet = [] then invalid_arg "create_st_host: fleet must be non-empty";
+  let pooled =
+    List.length fleet > 1 || placement <> None || rebalance <> None
+  in
+  let trace = Ava_sim.Trace.create ~enabled:tracing () in
+  let hv = Ava_hv.Hypervisor.create ~virt ?vm_id_base engine in
+  let spec, plan = load_st_plan () in
+  let caps = Array.of_list fleet in
+  let devs =
+    Array.map
+      (fun cap ->
+        Ava_simst.Device.create ~timing:(st_timing_of ~stream_timing:st_timing cap)
+          engine)
+      caps
+  in
+  let recorders = Hashtbl.create 8 in
+  let make_server i =
+    let server =
+      Server.create ~trace ?obs ~device_id:i engine ~plan
+        ~make_state:(St_handlers.make_state devs.(i))
+    in
+    St_handlers.register server;
+    install_recorder_hook server ~plan ~recorders;
+    server
+  in
+  let router = Router.create ~trace ?obs engine ~virt ~plan in
+  if not pooled then
+    {
+      st_engine = engine;
+      st_hv = hv;
+      st_plan = plan;
+      st_spec = spec;
+      st_router = router;
+      st_server = make_server 0;
+      st_devs = devs;
+      st_recorders = recorders;
+      st_trace = trace;
+      st_obs = obs;
+      st_pool = None;
+    }
+  else begin
+    let servers = Array.init (Array.length devs) make_server in
+    let pool =
+      Pool.create_het ~trace engine ~router
+        ~placement:(Option.value placement ~default:Pool.Round_robin)
+        ~transfer:(st_pool_transfer ~recorders ~servers)
+        (Array.to_list
+           (Array.mapi (fun i cap -> (st_phys cap devs.(i), servers.(i))) caps))
+    in
+    Option.iter (fun config -> Pool.start_rebalancer ~config pool) rebalance;
+    {
+      st_engine = engine;
+      st_hv = hv;
+      st_plan = plan;
+      st_spec = spec;
+      st_router = router;
+      st_server = servers.(0);
+      st_devs = devs;
+      st_recorders = recorders;
+      st_trace = trace;
+      st_obs = obs;
+      st_pool = Some pool;
+    }
+  end
+
+(* SimST fault budget: server device-lost plus the ST-level device-lost
+   a killed accelerator reports. *)
+let st_fault_statuses =
+  [
+    Server.status_device_lost;
+    Ava_simst.Types.status_to_code Ava_simst.Types.St_device_lost;
+  ]
+
+(* [requires] declares the VM's capability requirement: placement only
+   considers matching devices and migration refuses cross-capability
+   destinations; portable VMs ([None]) go wherever the policy points. *)
+let add_st_vm ?(transport = Transport.Shm_ring) ?rate_per_s ?weight ?breaker
+    ?requires ?footprint ?device t ~name =
+  let vm = Ava_hv.Hypervisor.create_vm t.st_hv ~name in
+  let vm_id = Ava_hv.Vm.id vm in
+  Hashtbl.replace t.st_recorders vm_id (Migrate.create ());
+  let backend, server =
+    match t.st_pool with
+    | Some pool ->
+        let d = Pool.place ?footprint ?requires ?device pool ~vm in
+        (d, Pool.server pool d)
+    | None -> (0, t.st_server)
+  in
+  let virt = Ava_hv.Hypervisor.virt t.st_hv in
+  let guest_end, router_guest_end = Transport.make transport t.st_engine ~virt in
+  let router_server_end, server_end = Transport.direct t.st_engine in
+  ignore
+    (Router.attach_vm ?rate_per_s ?weight ?breaker
+       ~breaker_statuses:st_fault_statuses ~backend t.st_router vm
+       ~guest_side:router_guest_end ~server_side:router_server_end);
+  ignore (Server.attach_vm server ~vm_id ~ep:server_end);
+  let stub =
+    Stub.create ?obs:t.st_obs t.st_engine ~vm_id ~plan:t.st_plan ~ep:guest_end
+  in
+  let api, remote = St_remote.create stub in
+  ignore remote;
+  { sg_vm = vm; sg_api = api; sg_stub = Some stub }
+
+(* Retire a SimST guest: pool residency (or the classic server entry),
+   circuit breaker, record log.  Same contract as {!retire_cl_vm}. *)
+let retire_st_vm t ~vm_id =
+  let ok =
+    match t.st_pool with
+    | Some pool when Option.is_some (Pool.device_of pool ~vm_id) ->
+        Pool.retire_vm pool ~vm_id
+    | _ -> (
+        match Server.vm_ctx t.st_server ~vm_id with
+        | Some _ ->
+            Server.detach_vm t.st_server ~vm_id;
+            (try Router.clear_breaker t.st_router ~vm_id
+             with Invalid_argument _ -> ());
+            true
+        | None -> false)
+  in
+  if ok then Hashtbl.remove t.st_recorders vm_id;
+  ok
+
+let native_st ?(st_timing = Ava_simst.Device.sm_stream) engine =
+  let dev = Ava_simst.Device.create ~timing:st_timing engine in
+  let api, _ = Ava_simst.Native.create dev in
+  (api, dev)

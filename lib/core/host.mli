@@ -315,3 +315,79 @@ val native_qa :
   ?qat_timing:Ava_simqa.Device.timing ->
   Engine.t ->
   (module Ava_simqa.Api.S) * Ava_simqa.Device.t
+
+(** {1 SimST hosts (the stream-accelerator silo)}
+
+    The fourth API virtualized by this reproduction: a CUDA-style
+    stream accelerator whose calls are mostly asynchronous enqueues —
+    the API shape AvA's ordering and completion annotations exist for.
+    A SimST host may front a {e heterogeneous} fleet: each pool device
+    carries a {!Pool.capability} tag picking its timing class, VMs may
+    require one, and placement / evacuation / rebalancing respect it. *)
+
+type st_host = {
+  st_engine : Engine.t;
+  st_hv : Ava_hv.Hypervisor.t;
+  st_plan : Plan.t;
+  st_spec : Ava_spec.Ast.api_spec;
+  st_router : Router.t;
+  st_server : St_handlers.state Server.t;  (** device 0's server when pooled *)
+  st_devs : Ava_simst.Device.t array;
+      (** one per pool device; [[| dev |]] on a classic host *)
+  st_recorders : (int, Migrate.t) Hashtbl.t;
+  st_trace : Ava_sim.Trace.t;
+  st_obs : Obs.t option;
+  st_pool : St_handlers.state Pool.t option;
+      (** the device pool; [None] on a classic single-device host *)
+}
+
+type st_guest = {
+  sg_vm : Ava_hv.Vm.t;
+  sg_api : (module Ava_simst.Api.S);
+  sg_stub : Stub.t option;
+}
+
+val load_st_plan : unit -> Ava_spec.Ast.api_spec * Plan.t
+
+val st_fault_statuses : int list
+(** Reply statuses counting against a SimST VM's error budget. *)
+
+val create_st_host :
+  ?virt:Timing.virt ->
+  ?st_timing:Ava_simst.Device.timing ->
+  ?tracing:bool ->
+  ?obs:Obs.t ->
+  ?fleet:Pool.capability list ->
+  ?placement:Pool.placement ->
+  ?rebalance:Pool.rebalance ->
+  ?vm_id_base:int ->
+  Engine.t ->
+  st_host
+(** [fleet] tags one pool device per element (default a single
+    [Cap_stream] device, which builds the classic pool-less host when no
+    [placement] or [rebalance] is given).  [st_timing] overrides the
+    balanced preset for [Cap_stream] devices; [Cap_gpu] / [Cap_npu]
+    devices use their class presets.  [obs] as in {!create_cl_host}. *)
+
+val add_st_vm :
+  ?transport:Transport.kind ->
+  ?rate_per_s:float ->
+  ?weight:float ->
+  ?breaker:Ava_remoting.Policy.Breaker.config ->
+  ?requires:Pool.capability ->
+  ?footprint:int ->
+  ?device:int ->
+  st_host ->
+  name:string ->
+  st_guest
+(** [requires] pins placement (and migration) to devices of that
+    capability; omitted means portable.  [device] pins a pool device
+    explicitly (validated against [requires]). *)
+
+val retire_st_vm : st_host -> vm_id:int -> bool
+(** As {!retire_cl_vm}, for the stream silo. *)
+
+val native_st :
+  ?st_timing:Ava_simst.Device.timing ->
+  Engine.t ->
+  (module Ava_simst.Api.S) * Ava_simst.Device.t

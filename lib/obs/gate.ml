@@ -6,24 +6,22 @@
 
 (* {1 Flattening} *)
 
-(* Array elements are named by their "name"/"phase"/"workload" member
-   when one exists, so metric paths stay stable as lists are reordered
-   or extended; anonymous elements fall back to their index. *)
+(* Array elements are named by their "name"/"phase"/"workload"/
+   "capability" member when one exists, so metric paths stay stable as
+   lists are reordered or extended; anonymous elements fall back to
+   their index. *)
 let element_label v i =
   let tag key =
     match Json.member key v with
     | Some (Json.String s) -> Some s
     | _ -> None
   in
-  match tag "name" with
-  | Some s -> s
-  | None -> (
-      match tag "phase" with
-      | Some s -> s
-      | None -> (
-          match tag "workload" with
-          | Some s -> s
-          | None -> string_of_int i))
+  let rec first = function
+    | [] -> string_of_int i
+    | key :: rest -> (
+        match tag key with Some s -> s | None -> first rest)
+  in
+  first [ "name"; "phase"; "workload"; "capability" ]
 
 let flatten json =
   let out = ref [] in

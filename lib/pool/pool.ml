@@ -44,9 +44,50 @@ type rebalance = { rb_interval : Time.t; rb_skew : float }
 
 let default_rebalance = { rb_interval = Time.ms 5; rb_skew = 1.5 }
 
+(* What a device can do.  A heterogeneous fleet mixes capabilities; a
+   VM either requires one (its silo state only replays onto a same-type
+   device) or is portable across the fleet. *)
+type capability = Cap_gpu | Cap_npu | Cap_stream
+
+let capability_to_string = function
+  | Cap_gpu -> "gpu"
+  | Cap_npu -> "npu"
+  | Cap_stream -> "stream"
+
+let capability_of_string = function
+  | "gpu" -> Some Cap_gpu
+  | "npu" -> Some Cap_npu
+  | "stream" -> Some Cap_stream
+  | _ -> None
+
+(* The pool's view of one physical accelerator: capability tag plus the
+   handful of read-outs and controls the orchestration needs, as
+   closures so any device model can sit behind a lane.  [ph_gpu] keeps
+   the concrete GPU reachable for the OpenCL-specific callers. *)
+type phys = {
+  ph_cap : capability;
+  ph_busy_ns : unit -> Time.t;
+  ph_kernels : unit -> int;
+  ph_capacity : int;  (** device-memory capacity, bytes *)
+  ph_wedged_by : unit -> int option;
+  ph_kill : unit -> unit;
+  ph_gpu : Gpu.t option;
+}
+
+let phys_of_gpu gpu =
+  {
+    ph_cap = Cap_gpu;
+    ph_busy_ns = (fun () -> Gpu.busy_ns gpu);
+    ph_kernels = (fun () -> Gpu.kernels_executed gpu);
+    ph_capacity = Devmem.capacity (Gpu.mem gpu);
+    ph_wedged_by = (fun () -> Gpu.wedged_by gpu);
+    ph_kill = (fun () -> Gpu.kill gpu);
+    ph_gpu = Some gpu;
+  }
+
 type 'st device = {
   dev_id : int;
-  dev_gpu : Gpu.t;
+  dev_phys : phys;
   dev_server : 'st Server.t;
   mutable dev_healthy : bool;
   mutable dev_resident : int list;  (** vm ids, unordered *)
@@ -57,10 +98,15 @@ type 'st device = {
 type vm_info = {
   vi_vm : Vm.t;
   vi_footprint : int;  (** declared device-memory footprint, bytes *)
+  vi_requires : capability option;  (** [None]: portable across the fleet *)
   mutable vi_device : int;
   mutable vi_migrating : bool;
       (** a migration of this VM is between pause and re-steer *)
 }
+
+(* Can this device host a VM with this requirement? *)
+let compatible requires (d : 'st device) =
+  match requires with None -> true | Some c -> d.dev_phys.ph_cap = c
 
 type 'st t = {
   engine : Engine.t;
@@ -90,16 +136,16 @@ let record_trace t fmt =
       Trace.record tr ~at:(Engine.now t.engine) ~category:trace_category fmt
   | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let create ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
+let create_het ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
     ~transfer devices =
   if devices = [] then invalid_arg "Pool.create: no devices";
   let devices =
     Array.of_list
       (List.mapi
-         (fun i (gpu, server) ->
+         (fun i (phys, server) ->
            {
              dev_id = i;
-             dev_gpu = gpu;
+             dev_phys = phys;
              dev_server = server;
              dev_healthy = true;
              dev_resident = [];
@@ -131,6 +177,11 @@ let create ?trace ?(drain_ns = Time.us 200) engine ~router ~placement
     stopped = false;
   }
 
+(* The homogeneous entry point: a fleet of GPUs, as before. *)
+let create ?trace ?drain_ns engine ~router ~placement ~transfer devices =
+  create_het ?trace ?drain_ns engine ~router ~placement ~transfer
+    (List.map (fun (gpu, server) -> (phys_of_gpu gpu, server)) devices)
+
 (* {1 Read-out} *)
 
 let n_devices t = Array.length t.devices
@@ -145,6 +196,9 @@ let emigrations t = t.emigrations
 let footprint_of t ~vm_id =
   Option.map (fun i -> i.vi_footprint) (List.assoc_opt vm_id t.vms)
 
+let requires_of t ~vm_id =
+  Option.bind (List.assoc_opt vm_id t.vms) (fun i -> i.vi_requires)
+
 let vm_of t ~vm_id =
   Option.map (fun i -> i.vi_vm) (List.assoc_opt vm_id t.vms)
 
@@ -153,7 +207,15 @@ let device t i =
     invalid_arg (Printf.sprintf "Pool.device: no device %d" i);
   t.devices.(i)
 
-let gpu t i = (device t i).dev_gpu
+let gpu t i =
+  match (device t i).dev_phys.ph_gpu with
+  | Some g -> g
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Pool.gpu: device %d is a %s, not a GPU" i
+           (capability_to_string (device t i).dev_phys.ph_cap))
+
+let capability t i = (device t i).dev_phys.ph_cap
 let server t i = (device t i).dev_server
 let is_healthy t i = (device t i).dev_healthy
 let resident t i = List.sort Stdlib.compare (device t i).dev_resident
@@ -191,6 +253,7 @@ let footprint_used t (d : 'st device) =
 
 type device_stats = {
   ds_id : int;
+  ds_capability : capability;
   ds_healthy : bool;
   ds_resident : int list;
   ds_load_ns : Time.t;
@@ -207,11 +270,12 @@ let stats t =
        (fun d ->
          {
            ds_id = d.dev_id;
+           ds_capability = d.dev_phys.ph_cap;
            ds_healthy = d.dev_healthy;
            ds_resident = List.sort Stdlib.compare d.dev_resident;
            ds_load_ns = load t d;
-           ds_busy_ns = Gpu.busy_ns d.dev_gpu;
-           ds_kernels = Gpu.kernels_executed d.dev_gpu;
+           ds_busy_ns = d.dev_phys.ph_busy_ns ();
+           ds_kernels = d.dev_phys.ph_kernels ();
            ds_footprint = footprint_used t d;
            ds_evac_in = d.dev_evac_in;
            ds_evac_out = d.dev_evac_out;
@@ -223,10 +287,12 @@ let stats t =
 let healthy_list t =
   List.filter (fun d -> d.dev_healthy) (Array.to_list t.devices)
 
-(* Pick a device for a VM with the given declared footprint; [None]
-   when every device is lost. *)
-let choose t ~footprint =
-  let healthy = healthy_list t in
+(* Pick a device for a VM with the given declared footprint and
+   capability requirement; [None] when no compatible healthy device is
+   left.  With [requires = None] the behaviour (including round-robin
+   cursor motion) is exactly the homogeneous pool's. *)
+let choose ?requires t ~footprint =
+  let healthy = List.filter (compatible requires) (healthy_list t) in
   match healthy with
   | [] -> None
   | _ -> (
@@ -237,7 +303,7 @@ let choose t ~footprint =
             if steps >= n then None
             else
               let d = t.devices.(k mod n) in
-              if d.dev_healthy then begin
+              if d.dev_healthy && compatible requires d then begin
                 t.rr_cursor <- (k + 1) mod n;
                 Some d.dev_id
               end
@@ -261,9 +327,7 @@ let choose t ~footprint =
              VM still fits, the one with the least remaining slack; if
              nothing fits (declared footprints oversubscribe memory),
              fall back to the least-committed device. *)
-          let slack d =
-            Devmem.capacity (Gpu.mem d.dev_gpu) - footprint_used t d
-          in
+          let slack d = d.dev_phys.ph_capacity - footprint_used t d in
           let fits = List.filter (fun d -> slack d >= footprint) healthy in
           let pick_min key ds =
             List.fold_left
@@ -281,28 +345,41 @@ let choose t ~footprint =
           in
           Option.map (fun (d, _) -> d.dev_id) best)
 
-(* Place a new VM, recording residency; [device] pins it explicitly. *)
-let place ?(footprint = 0) ?device t ~vm =
+(* Place a new VM, recording residency; [device] pins it explicitly
+   (still validated against [requires] — a pin must not sneak a silo
+   onto a device that cannot replay it). *)
+let place ?(footprint = 0) ?requires ?device t ~vm =
   let dev_id =
     match device with
     | Some i ->
         if i < 0 || i >= Array.length t.devices then
           invalid_arg (Printf.sprintf "Pool.place: no device %d" i);
+        if not (compatible requires t.devices.(i)) then
+          invalid_arg
+            (Printf.sprintf "Pool.place: device %d is %s, vm requires %s" i
+               (capability_to_string t.devices.(i).dev_phys.ph_cap)
+               (match requires with
+               | Some c -> capability_to_string c
+               | None -> "-"));
         i
     | None -> (
-        match choose t ~footprint with
+        match choose ?requires t ~footprint with
         | Some i -> i
-        | None -> invalid_arg "Pool.place: no healthy device")
+        | None -> invalid_arg "Pool.place: no compatible healthy device")
   in
   t.vms <-
     ( Vm.id vm,
-      { vi_vm = vm; vi_footprint = footprint; vi_device = dev_id;
-        vi_migrating = false } )
+      { vi_vm = vm; vi_footprint = footprint; vi_requires = requires;
+        vi_device = dev_id; vi_migrating = false } )
     :: t.vms;
   let d = t.devices.(dev_id) in
   d.dev_resident <- Vm.id vm :: d.dev_resident;
-  record_trace t "vm%d placed on dev%d (%s, footprint=%dB)" (Vm.id vm) dev_id
+  record_trace t "vm%d placed on dev%d (%s%s, footprint=%dB)" (Vm.id vm)
+    dev_id
     (placement_to_string t.placement)
+    (match requires with
+    | Some c -> ", requires " ^ capability_to_string c
+    | None -> "")
     footprint;
   dev_id
 
@@ -331,6 +408,15 @@ let migrate_vm t ~vm_id ~dest =
   if dest < 0 || dest >= Array.length t.devices then
     invalid_arg (Printf.sprintf "Pool.migrate_vm: no device %d" dest);
   if dest = info.vi_device then 0
+  else if not (compatible info.vi_requires t.devices.(dest)) then begin
+    (* Record/replay only reconstructs a silo on a same-type device; a
+       capability-pinned VM refuses the move rather than wedging. *)
+    record_trace t "vm%d migration to dev%d refused: requires %s" vm_id dest
+      (match info.vi_requires with
+      | Some c -> capability_to_string c
+      | None -> "-");
+    0
+  end
   else if info.vi_migrating then begin
     (* Another process (skew monitor, evacuation) is already moving this
        VM; a second pause/drain/attach interleaved with the first would
@@ -433,9 +519,9 @@ let retire_vm t ~vm_id =
 let kill_device t ~device:dev_id =
   let dev = device t dev_id in
   if dev.dev_healthy then begin
-    (* Blame before [Gpu.kill]: the kill clears the wedge. *)
-    let blamed = Gpu.wedged_by dev.dev_gpu in
-    Gpu.kill dev.dev_gpu;
+    (* Blame before the kill: the kill clears the wedge. *)
+    let blamed = dev.dev_phys.ph_wedged_by () in
+    dev.dev_phys.ph_kill ();
     dev.dev_healthy <- false;
     record_trace t "dev%d lost (%d resident, blamed=%s)" dev_id
       (List.length dev.dev_resident)
@@ -449,8 +535,12 @@ let kill_device t ~device:dev_id =
         match List.assoc_opt vm_id t.vms with
         | None -> ()
         | Some info -> (
-            match choose t ~footprint:info.vi_footprint with
-            | None -> record_trace t "vm%d stranded: no healthy device" vm_id
+            match choose ?requires:info.vi_requires t
+                    ~footprint:info.vi_footprint
+            with
+            | None ->
+                record_trace t "vm%d stranded: no compatible healthy device"
+                  vm_id
             | Some dest ->
                 ignore (migrate_vm t ~vm_id ~dest);
                 if List.mem_assoc vm_id t.vms then begin
@@ -502,6 +592,9 @@ let rebalance_now ?(skew = default_rebalance.rb_skew) t =
           (fun acc vm_id ->
             match List.assoc_opt vm_id t.vms with
             | None -> acc
+            (* A capability-pinned resident can only move to a same-type
+               device; skip it when the cold device doesn't match. *)
+            | Some info when not (compatible info.vi_requires cold) -> acc
             | Some info ->
                 let w = Vm.device_time_ns info.vi_vm in
                 if w = 0 then acc

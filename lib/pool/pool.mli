@@ -1,6 +1,11 @@
-(** The device pool: N simulated GPUs, each fronted by its own API
-    server and router dispatch lane, with pluggable placement of
+(** The device pool: N simulated accelerators, each fronted by its own
+    API server and router dispatch lane, with pluggable placement of
     remoted VMs onto backends and migration-driven rebalancing.
+
+    The fleet may be heterogeneous: each device carries a
+    {!capability} tag, VMs may require one (their silo state only
+    replays onto same-type devices), and placement, evacuation and the
+    skew monitor all respect compatibility.
 
     The pool is generic over the silo state ['st]: the API-specific
     work of moving a VM's silo between devices — replaying the record
@@ -34,9 +39,31 @@ type rebalance = { rb_interval : Time.t; rb_skew : float }
 val default_rebalance : rebalance
 (** 5 ms interval, 1.5x skew. *)
 
+(** Device capability tags for heterogeneous fleets. *)
+type capability = Cap_gpu | Cap_npu | Cap_stream
+
+val capability_to_string : capability -> string
+val capability_of_string : string -> capability option
+
+type phys = {
+  ph_cap : capability;
+  ph_busy_ns : unit -> Time.t;
+  ph_kernels : unit -> int;
+  ph_capacity : int;  (** device-memory capacity, bytes *)
+  ph_wedged_by : unit -> int option;
+  ph_kill : unit -> unit;
+  ph_gpu : Gpu.t option;
+}
+(** The pool's view of one physical accelerator: a capability tag plus
+    the read-outs and controls orchestration needs, as closures so any
+    device model can sit behind a lane. *)
+
+val phys_of_gpu : Gpu.t -> phys
+(** Wrap a simulated GPU as a [Cap_gpu] pool device. *)
+
 type 'st device = {
   dev_id : int;
-  dev_gpu : Gpu.t;
+  dev_phys : phys;
   dev_server : 'st Server.t;
   mutable dev_healthy : bool;
   mutable dev_resident : int list;  (** vm ids, unordered *)
@@ -61,14 +88,31 @@ val create :
     [transfer] performs the API-specific silo copy between two device
     ids for a VM already attached to both servers, returning the bytes
     moved.  [drain_ns] is the quiesce window a migration waits after
-    pausing the source worker (default 200 us). *)
+    pausing the source worker (default 200 us).  All devices are
+    [Cap_gpu]; behaviour is identical to the pre-heterogeneity pool. *)
+
+val create_het :
+  ?trace:Trace.t ->
+  ?drain_ns:Time.t ->
+  Engine.t ->
+  router:Router.t ->
+  placement:placement ->
+  transfer:(vm_id:int -> src:int -> dst:int -> int) ->
+  (phys * 'st Server.t) list ->
+  'st t
+(** Like {!create} over an explicitly tagged, possibly mixed fleet. *)
 
 (** {1 Read-out} *)
 
 val n_devices : 'st t -> int
 val placement : 'st t -> placement
 val device : 'st t -> int -> 'st device
+
 val gpu : 'st t -> int -> Gpu.t
+(** The concrete GPU behind a [Cap_gpu] device.
+    @raise Invalid_argument for non-GPU devices. *)
+
+val capability : 'st t -> int -> capability
 val server : 'st t -> int -> 'st Server.t
 val is_healthy : 'st t -> int -> bool
 
@@ -102,12 +146,17 @@ val emigrations : 'st t -> int
 val footprint_of : 'st t -> vm_id:int -> int option
 (** The VM's declared device-memory footprint. *)
 
+val requires_of : 'st t -> vm_id:int -> capability option
+(** The VM's capability requirement; [None] when portable (or
+    unknown). *)
+
 val vm_of : 'st t -> vm_id:int -> Vm.t option
 (** The VM object behind a resident vm id. *)
 
 (** Per-device snapshot for reports and benchmarks. *)
 type device_stats = {
   ds_id : int;
+  ds_capability : capability;
   ds_healthy : bool;
   ds_resident : int list;
   ds_load_ns : Time.t;  (** estimated (charged) device time *)
@@ -123,24 +172,31 @@ val stats : 'st t -> device_stats list
 
 (** {1 Placement} *)
 
-val choose : 'st t -> footprint:int -> int option
+val choose : ?requires:capability -> 'st t -> footprint:int -> int option
 (** The device the policy would pick for a VM with the given declared
-    footprint; [None] when every device is lost.  Round-robin advances
-    its cursor. *)
+    footprint and capability requirement; [None] when no compatible
+    healthy device is left.  Round-robin advances its cursor. *)
 
-val place : ?footprint:int -> ?device:int -> 'st t -> vm:Vm.t -> int
+val place :
+  ?footprint:int -> ?requires:capability -> ?device:int -> 'st t ->
+  vm:Vm.t -> int
 (** Place a new VM (recording residency) and return its device;
-    [device] pins it explicitly, bypassing the policy.
-    @raise Invalid_argument when no healthy device remains. *)
+    [device] pins it explicitly, bypassing the policy (but still
+    validated against [requires]).
+    @raise Invalid_argument when no compatible healthy device
+    remains. *)
 
 (** {1 Live migration} *)
 
 val migrate_vm : 'st t -> vm_id:int -> dest:int -> int
 (** Move the VM's silo onto [dest] and re-steer its call flow there;
-    returns the bytes moved (0 when already resident).  Calls the
-    source server executed but had not answered may execute again at
-    the destination — at-least-once, the same contract as the
-    restart/requeue path.  Must run inside a simulation process. *)
+    returns the bytes moved (0 when already resident, or when [dest]'s
+    capability doesn't satisfy the VM's requirement — record/replay
+    only reconstructs a silo on a same-type device, so the move is
+    refused rather than wedged).  Calls the source server executed but
+    had not answered may execute again at the destination —
+    at-least-once, the same contract as the restart/requeue path.  Must
+    run inside a simulation process. *)
 
 (** {1 Cross-host emigration}
 

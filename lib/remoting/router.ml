@@ -56,6 +56,19 @@ type vm_conn = {
       (** seqs observed at ingress beyond [contig_seq] (out-of-order
           arrivals), absorbed into it as the gaps fill *)
   mutable pending_seqs : int list;  (** seqs queued in the WFQ, unordered *)
+  mutable policing_seqs : int list;
+      (** seqs past [mark_in] but still inside admission/policing —
+          the ingress process can stall there for whole quota windows
+          ([Policy.Quota.charge] sleeps until a window with room), and
+          during the stall the call is in no other ledger: [mark_in]
+          already advanced [contig_seq] over it, yet it reaches
+          [pending_seqs] only when the charge completes.  [next_seq]
+          must count these as outstanding, else a migration racing the
+          stall seeds the destination cursor past the call and it (plus
+          every retransmit, each re-stalled by the same quota) parks in
+          the in-flight ledger forever.  (Campaign-found: quota
+          clamped to a near-zero budget, then a live migrate; see
+          test/corpus/shrunk-seq-ledger-quota-stall-migrate.trace.) *)
   mutable skipped_seqs : int list;
       (** seqs policed away whose Skip notice went to the current backend *)
   rejected_status : (int, int) Hashtbl.t;
@@ -315,6 +328,7 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
       contig_seq = -1;
       seen_ahead = Hashtbl.create 16;
       pending_seqs = [];
+      policing_seqs = [];
       skipped_seqs = [];
       rejected_status = Hashtbl.create 16;
       bucket =
@@ -366,7 +380,10 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         in
         (* Push into whichever backend currently steers this VM. *)
         let push_wfq ~cost data seqs =
-          let b = backend_exn t conn.rc_backend in
+          (* Re-read the owner: a policing stall above can span a
+             cross-router transfer, and the push must land in the
+             backend table of whichever router owns the VM now. *)
+          let b = backend_exn conn.rc_owner conn.rc_backend in
           conn.pending_seqs <- seqs @ conn.pending_seqs;
           Policy.Wfq.push b.bs_wfq ~flow_id:(Vm.id vm) ~cost
             (conn, cost, data, seqs)
@@ -427,6 +444,24 @@ let attach_vm ?rate_per_s ?(burst = 32.0) ?(weight = 1.0) ?quota_cost
         in
         let admit_and_police c =
           match admitted c with None -> None | Some c -> police c
+        in
+        (* Policing can stall (quota window, token bucket); keep the
+           seq visible to [next_seq] for the whole stall.  Ingress is
+           one sequential process, so removing one occurrence is
+           exact even across retransmits of the same seq. *)
+        let remove_one x =
+          let rec go = function
+            | [] -> []
+            | y :: rest -> if y = x then rest else y :: go rest
+          in
+          go
+        in
+        let admit_and_police c =
+          let seq = c.Message.call_seq in
+          conn.policing_seqs <- seq :: conn.policing_seqs;
+          let verdict = admit_and_police c in
+          conn.policing_seqs <- remove_one seq conn.policing_seqs;
+          verdict
         in
         (match Message.decode data with
         | Error _ -> t.rejected <- t.rejected + 1
@@ -628,7 +663,7 @@ let next_seq t ~vm_id =
   | None -> invalid_arg "Router.next_seq: unknown vm"
   | Some conn ->
       let outstanding =
-        conn.pending_seqs
+        conn.policing_seqs @ conn.pending_seqs
         @ List.concat_map (fun m -> m.if_seqs) conn.in_flight
       in
       List.fold_left Stdlib.min (conn.contig_seq + 1) outstanding

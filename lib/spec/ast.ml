@@ -39,6 +39,7 @@ type expr =
   | Add of expr * expr
   | Sub of expr * expr
   | Mul of expr * expr
+  | Div of expr * expr
 
 let rec expr_to_string = function
   | Const n -> string_of_int n
@@ -46,11 +47,13 @@ let rec expr_to_string = function
   | Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
   | Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
   | Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (expr_to_string a) (expr_to_string b)
 
 let rec expr_params = function
   | Const _ -> []
   | Param p -> [ p ]
-  | Add (a, b) | Sub (a, b) | Mul (a, b) -> expr_params a @ expr_params b
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      expr_params a @ expr_params b
 
 (* Evaluate an expression against runtime argument values. *)
 let rec eval_expr env = function
@@ -62,6 +65,11 @@ let rec eval_expr env = function
   | Add (a, b) -> bin env a b ( + )
   | Sub (a, b) -> bin env a b ( - )
   | Mul (a, b) -> bin env a b ( * )
+  | Div (a, b) -> (
+      match (eval_expr env a, eval_expr env b) with
+      | Ok _, Ok 0 -> Error "division by zero"
+      | Ok x, Ok y -> Ok (x / y)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
 
 and bin env a b op =
   match (eval_expr env a, eval_expr env b) with
@@ -103,6 +111,10 @@ type sync_class =
   | Async
   | Sync_if of { cond_param : string; cond_const : string }
       (** sync when [cond_param] equals the named constant, else async *)
+  | Sync_on of { sync_param : string }
+      (** completion point: forwarded synchronously, and the reply is
+          withheld until all work ordered before the object named by
+          [sync_param] (an event or stream handle) has completed *)
 
 type record_class =
   | Global_config  (** e.g. cuInit: replay verbatim on migration *)
@@ -123,6 +135,9 @@ type fn_spec = {
   f_ret : ctype;
   f_params : param_spec list;
   f_sync : sync_class;
+  f_stream : string option;
+      (** [ava_stream] ordering key: the handle parameter whose queue
+          orders this call relative to other enqueued work *)
   f_record : record_class;
   f_resources : (string * expr) list;
       (** named resource estimates, e.g. ("bus_bytes", size) *)

@@ -25,6 +25,7 @@ type expr =
   | Add of expr * expr
   | Sub of expr * expr
   | Mul of expr * expr
+  | Div of expr * expr
 
 val expr_to_string : expr -> string
 
@@ -33,7 +34,7 @@ val expr_params : expr -> string list
 
 val eval_expr : (string * int) list -> expr -> (int, string) result
 (** Evaluate against runtime argument values; [Error] on an unbound
-    parameter. *)
+    parameter or a zero divisor. *)
 
 type direction = In | Out | In_out
 
@@ -67,6 +68,10 @@ type sync_class =
   | Async
   | Sync_if of { cond_param : string; cond_const : string }
       (** sync when [cond_param] equals the named constant, else async *)
+  | Sync_on of { sync_param : string }
+      (** completion point: forwarded synchronously, and the reply is
+          withheld until all work ordered before the object named by
+          [sync_param] (an event or stream handle) has completed *)
 
 (** Record/replay classes for VM migration (§4.3). *)
 type record_class =
@@ -83,6 +88,9 @@ type fn_spec = {
   f_ret : ctype;
   f_params : param_spec list;
   f_sync : sync_class;
+  f_stream : string option;
+      (** [ava_stream] ordering key: the handle parameter whose queue
+          orders this call relative to other enqueued work *)
   f_record : record_class;
   f_resources : (string * expr) list;
       (** named resource estimates, e.g. [("bus_bytes", size)] *)

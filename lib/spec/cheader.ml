@@ -159,7 +159,14 @@ let parse_typedef header c =
 let parse_params header c =
   Cursor.expect c Lexer.LPAREN;
   if Cursor.accept c Lexer.RPAREN then []
-  else if Cursor.accept_kw c "void" && Cursor.accept c Lexer.RPAREN then []
+  else if
+    (* [(void)] only — a leading [void *p] parameter is a real type. *)
+    Cursor.peek c = Lexer.IDENT "void" && Cursor.peek2 c = Lexer.RPAREN
+  then begin
+    Cursor.advance c;
+    Cursor.advance c;
+    []
+  end
   else begin
     let rec go acc =
       let ty = parse_type header c in

@@ -161,11 +161,26 @@ let preliminary header (decl : Cheader.fn_decl) =
   let params = List.map classify decl.Cheader.d_params in
   let record = guess_record_class decl.Cheader.d_name in
   note "record class %s (name heuristic)" (record_class_to_string record);
+  (* Ordering-key heuristic: a handle parameter whose typedef names a
+     stream carries the call's enqueue order (CUDA's cudaStream_t
+     convention). *)
+  let stream =
+    List.find_map
+      (fun p ->
+        match (p.p_kind, p.p_type) with
+        | Handle, Named n when name_contains n "stream" -> Some p.p_name
+        | _ -> None)
+      params
+  in
+  Option.iter
+    (fun s -> note "%s: ordering key (stream-typed handle)" s)
+    stream;
   {
     f_name = decl.Cheader.d_name;
     f_ret = decl.Cheader.d_ret;
     f_params = params;
     f_sync = Sync;
+    f_stream = stream;
     f_record = record;
     f_resources = [];
     f_inferred = List.rev !inferred;
@@ -185,13 +200,20 @@ let empty_param_ann =
 
 type fn_ann = {
   an_sync : sync_class option;
+  an_stream : string option;
   an_params : (string * param_ann) list;
   an_resources : (string * expr) list;
   an_record : record_class option;
 }
 
 let empty_fn_ann =
-  { an_sync = None; an_params = []; an_resources = []; an_record = None }
+  {
+    an_sync = None;
+    an_stream = None;
+    an_params = [];
+    an_resources = [];
+    an_record = None;
+  }
 
 (* Apply developer annotations to a preliminary spec.  Any explicitly
    annotated parameter is considered resolved. *)
@@ -226,6 +248,8 @@ let apply_annotations spec ann =
     spec with
     f_params = params;
     f_sync = Option.value ~default:spec.f_sync ann.an_sync;
+    f_stream =
+      (match ann.an_stream with Some _ as s -> s | None -> spec.f_stream);
     f_record = Option.value ~default:spec.f_record ann.an_record;
     f_resources = spec.f_resources @ ann.an_resources;
     f_unresolved = still_unresolved;

@@ -39,6 +39,7 @@ val empty_param_ann : param_ann
 
 type fn_ann = {
   an_sync : sync_class option;
+  an_stream : string option;  (** [ava_stream(p)] ordering key *)
   an_params : (string * param_ann) list;
   an_resources : (string * expr) list;
   an_record : record_class option;

@@ -18,6 +18,7 @@ type token =
   | SEMI
   | COMMA
   | STAR
+  | SLASH
   | PLUS
   | MINUS
   | EQEQ
@@ -36,6 +37,7 @@ let token_to_string = function
   | SEMI -> "';'"
   | COMMA -> "','"
   | STAR -> "'*'"
+  | SLASH -> "'/'"
   | PLUS -> "'+'"
   | MINUS -> "'-'"
   | EQEQ -> "'=='"
@@ -129,6 +131,11 @@ let tokenize src =
           incr i
       | ' ' | '\t' | '\r' -> incr i
       | '/' when peek 1 = Some '/' -> skip_line ()
+      | '/' when peek 1 <> Some '*' ->
+          (* Division in a size expression; only [//] and [/*] open
+             comments. *)
+          emit SLASH;
+          incr i
       | '/' when peek 1 = Some '*' ->
           i := !i + 2;
           let rec find_close () =

@@ -18,6 +18,7 @@ type token =
   | SEMI
   | COMMA
   | STAR
+  | SLASH
   | PLUS
   | MINUS
   | EQEQ

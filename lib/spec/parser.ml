@@ -32,23 +32,31 @@ let errorf line fmt =
 (* --- expressions ------------------------------------------------------ *)
 
 let rec parse_expr c =
-  let lhs = parse_term c in
-  match Cursor.peek c with
-  | Lexer.PLUS ->
-      Cursor.advance c;
-      Add (lhs, parse_expr c)
-  | Lexer.MINUS ->
-      Cursor.advance c;
-      Sub (lhs, parse_expr c)
-  | _ -> lhs
+  (* Left-associative: a - b + c parses as (a - b) + c. *)
+  let rec go lhs =
+    match Cursor.peek c with
+    | Lexer.PLUS ->
+        Cursor.advance c;
+        go (Add (lhs, parse_term c))
+    | Lexer.MINUS ->
+        Cursor.advance c;
+        go (Sub (lhs, parse_term c))
+    | _ -> lhs
+  in
+  go (parse_term c)
 
 and parse_term c =
-  let lhs = parse_primary c in
-  match Cursor.peek c with
-  | Lexer.STAR ->
-      Cursor.advance c;
-      Mul (lhs, parse_term c)
-  | _ -> lhs
+  let rec go lhs =
+    match Cursor.peek c with
+    | Lexer.STAR ->
+        Cursor.advance c;
+        go (Mul (lhs, parse_primary c))
+    | Lexer.SLASH ->
+        Cursor.advance c;
+        go (Div (lhs, parse_primary c))
+    | _ -> lhs
+  in
+  go (parse_primary c)
 
 and parse_primary c =
   match Cursor.next c with
@@ -142,6 +150,18 @@ let parse_fn_body header c =
       (match Cursor.expect_ident c with
       | "sync" -> ann := { !ann with Infer.an_sync = Some Sync }
       | "async" -> ann := { !ann with Infer.an_sync = Some Async }
+      | "sync_on" ->
+          (* sync_on(event): event-completion synchrony. *)
+          Cursor.expect c Lexer.LPAREN;
+          let sync_param = Cursor.expect_ident c in
+          Cursor.expect c Lexer.RPAREN;
+          ann := { !ann with Infer.an_sync = Some (Sync_on { sync_param }) }
+      | "ava_stream" ->
+          (* ava_stream(stream): per-object ordering key. *)
+          Cursor.expect c Lexer.LPAREN;
+          let sname = Cursor.expect_ident c in
+          Cursor.expect c Lexer.RPAREN;
+          ann := { !ann with Infer.an_stream = Some sname }
       | "if" ->
           (* if (param == CONST) sync; else async; *)
           Cursor.expect c Lexer.LPAREN;

@@ -53,7 +53,11 @@ let pp_fn ppf fn =
   | Sync -> Fmt.pf ppf "  sync;@."
   | Async -> Fmt.pf ppf "  async;@."
   | Sync_if { cond_param; cond_const } ->
-      Fmt.pf ppf "  if (%s == %s) sync; else async;@." cond_param cond_const);
+      Fmt.pf ppf "  if (%s == %s) sync; else async;@." cond_param cond_const
+  | Sync_on { sync_param } -> Fmt.pf ppf "  sync_on(%s);@." sync_param);
+  (match fn.f_stream with
+  | Some s -> Fmt.pf ppf "  ava_stream(%s);@." s
+  | None -> ());
   List.iter
     (fun p -> if needs_annotation p then pp_param_ann ppf p)
     fn.f_params;

@@ -79,6 +79,26 @@ let check_fn spec fn =
   let issues =
     match fn.f_sync with
     | Sync | Async -> issues
+    | Sync_on { sync_param } -> (
+        (* The completion object must be a handle the server can key the
+           reply on. *)
+        match integer_param fn sync_param with
+        | Some { p_kind = Handle; _ } -> issues
+        | Some _ ->
+            {
+              fn = fn.f_name;
+              what =
+                Printf.sprintf "sync_on refers to non-handle %S" sync_param;
+            }
+            :: issues
+        | None ->
+            {
+              fn = fn.f_name;
+              what =
+                Printf.sprintf "sync_on refers to unknown parameter %S"
+                  sync_param;
+            }
+            :: issues)
     | Sync_if { cond_param; cond_const } ->
         let issues =
           match integer_param fn cond_param with
@@ -110,7 +130,29 @@ let check_fn spec fn =
           }
           :: issues
   in
-  (* 5. Async functions must not have output parameters (the fidelity
+  (* 5. The ava_stream ordering key must name a handle parameter: the
+        server orders enqueued work per stream object. *)
+  let issues =
+    match fn.f_stream with
+    | None -> issues
+    | Some s -> (
+        match integer_param fn s with
+        | Some { p_kind = Handle; _ } -> issues
+        | Some _ ->
+            {
+              fn = fn.f_name;
+              what = Printf.sprintf "ava_stream refers to non-handle %S" s;
+            }
+            :: issues
+        | None ->
+            {
+              fn = fn.f_name;
+              what =
+                Printf.sprintf "ava_stream refers to unknown parameter %S" s;
+            }
+            :: issues)
+  in
+  (* 6. Async functions must not have output parameters (the fidelity
         caveat of §4.2): flag them as issues unless explicitly annotated
         async (then it's an accepted fidelity loss, reported only). *)
   issues
@@ -154,7 +196,11 @@ let fidelity_report spec =
                     "async output %S delivered by a deferred reply" p.p_name
               | _ -> ())
             fn.f_params
-      | Sync | Sync_if _ -> ());
+      | Sync | Sync_if _ -> ()
+      | Sync_on { sync_param } ->
+          note
+            "completion point: reply withheld until work ordered before %S drains"
+            sync_param);
       (* 3. Deallocating calls must target a handle parameter. *)
       List.iter
         (fun p ->

@@ -1,0 +1,25 @@
+
+/* SimST: the public API of the simulated stream-accelerator silo. */
+#define ST_SUCCESS 0
+
+typedef int stStatus;
+typedef struct _stStream *stStream;
+typedef struct _stEvent *stEvent;
+typedef struct _stMem *stMem;
+
+stStatus stDeviceGetCount(int *count);
+stStatus stStreamCreate(stStream *stream);
+stStatus stStreamDestroy(stStream stream);
+stStatus stStreamSynchronize(stStream stream);
+stStatus stEventCreate(stEvent *event);
+stStatus stEventDestroy(stEvent event);
+stStatus stEventRecord(stEvent event, stStream stream);
+stStatus stEventSynchronize(stEvent event);
+stStatus stStreamWaitEvent(stStream stream, stEvent event);
+stStatus stMemAlloc(stMem *mem, unsigned int size);
+stStatus stMemFree(stMem mem);
+stStatus stMemcpyHtoDAsync(stMem dst, const void *src, unsigned int size, stStream stream);
+stStatus stMemcpyDtoH(void *dst, unsigned int size, stMem src);
+stStatus stLaunchKernel(stStream stream, const char *name, unsigned int name_size, stMem a, stMem b, stMem out, unsigned int n);
+stStatus stBatchSubmit(stStream stream, const void *batch, unsigned int batch_size, unsigned int item_size, int *ticket);
+stStatus stBatchCollect(stStream stream, int ticket, void *scores, unsigned int scores_size);

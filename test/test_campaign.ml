@@ -351,7 +351,50 @@ let pressure_op_tests =
             { Op.delay_ns = Time.us 5; kind = Op.Swap_pressure (2, 1) };
             { Op.delay_ns = 0; kind = Op.Quota_exhaust 1 };
             { Op.delay_ns = Time.ms 1; kind = Op.Quota_exhaust 0 };
+            { Op.delay_ns = 0; kind = Op.Submit_nc (0, 4096) };
+            { Op.delay_ns = Time.us 9; kind = Op.Submit_nc (3, 16384) };
+            { Op.delay_ns = 0; kind = Op.Submit_qa (1, 64) };
+            { Op.delay_ns = Time.ms 2; kind = Op.Submit_qa (0, 256) };
           ]);
+    Alcotest.test_case "side-silo ops run green in a scenario" `Quick
+      (fun () ->
+        (* NC and QA work interleaved with pool-silo submissions: the
+           side silos are fault-free, so any error there is a real
+           isolation violation and the run must stay green. *)
+        let config =
+          {
+            Scenario.default_config with
+            Scenario.sc_seed = chaos_seed;
+            sc_faults = "none";
+          }
+        in
+        let trace =
+          [
+            { Op.delay_ns = 0; kind = Op.Admit };
+            { Op.delay_ns = 0; kind = Op.Admit };
+            { Op.delay_ns = 0; kind = Op.Submit_nc (0, 4096) };
+            { Op.delay_ns = Time.us 20; kind = Op.Submit (1, Op.Vec_add 64) };
+            { Op.delay_ns = 0; kind = Op.Submit_qa (1, 32) };
+            { Op.delay_ns = Time.us 20; kind = Op.Submit_nc (1, 1024) };
+            { Op.delay_ns = 0; kind = Op.Submit_qa (0, 8) };
+          ]
+        in
+        let outcome = Scenario.run config trace in
+        Alcotest.(check string)
+          "verdict" "pass"
+          (Format.asprintf "%a" Scenario.pp_verdict
+             outcome.Scenario.oc_verdict);
+        Alcotest.(check int) "all ops applied" 7 outcome.Scenario.oc_applied);
+    Alcotest.test_case "generator emits the side-silo ops" `Quick (fun () ->
+        let rng = Rng.create 11L in
+        let trace =
+          Op.gen rng { Op.g_devices = 3; g_max_tenants = 4; g_length = 400 }
+        in
+        let has p = List.exists (fun o -> p o.Op.kind) trace in
+        Alcotest.(check bool) "nc submits generated" true
+          (has (function Op.Submit_nc _ -> true | _ -> false));
+        Alcotest.(check bool) "qa submits generated" true
+          (has (function Op.Submit_qa _ -> true | _ -> false)));
     Alcotest.test_case "pressure ops run green in a scenario" `Quick
       (fun () ->
         (* Buffer churn against the transfer-cache layer plus a

@@ -14,6 +14,11 @@ let mvnc_plan () =
   | Ok p -> p
   | Error e -> Alcotest.failf "plan compile failed: %s" e
 
+let simst_plan () =
+  match Plan.compile (Specs.load_simst ()) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan compile failed: %s" e
+
 let plan_tests =
   [
     Alcotest.test_case "both embedded specs compile" `Quick (fun () ->
@@ -99,6 +104,30 @@ let plan_tests =
         let write = Option.get (Plan.find plan "clEnqueueWriteBuffer") in
         Alcotest.(check (option string)) "target" (Some "buf")
           write.Plan.cp_target_param);
+    Alcotest.test_case "simst plan: stream ops, sync_on, queue slots" `Quick
+      (fun () ->
+        let plan = simst_plan () in
+        Alcotest.(check int) "16 fns" 16 (Plan.function_count plan);
+        let sync name =
+          Plan.is_sync (Option.get (Plan.find plan name)) ~env:[]
+        in
+        (* Stream-ordered submissions return immediately; the fences
+           (stream/event synchronize, batch collect) block. *)
+        Alcotest.(check bool) "launch async" false (sync "stLaunchKernel");
+        Alcotest.(check bool) "htod async" false (sync "stMemcpyHtoDAsync");
+        Alcotest.(check bool) "record async" false (sync "stEventRecord");
+        Alcotest.(check bool) "wait-event async" false
+          (sync "stStreamWaitEvent");
+        Alcotest.(check bool) "stream sync blocks" true
+          (sync "stStreamSynchronize");
+        Alcotest.(check bool) "collect blocks" true (sync "stBatchCollect");
+        (* The Div estimate: a 128-byte batch of 4-byte items claims 32
+           queue slots. *)
+        let submit = Option.get (Plan.find plan "stBatchSubmit") in
+        Alcotest.(check (option int)) "queue_slots" (Some 32)
+          (Plan.resource_estimate submit
+             ~env:[ ("batch_size", 128); ("item_size", 4) ]
+             "queue_slots"));
     Alcotest.test_case "negative length evaluates to zero bytes" `Quick
       (fun () ->
         let plan = simcl_plan () in
@@ -176,6 +205,17 @@ let metrics_tests =
         Alcotest.(check int) "functions" 10 r.Metrics.functions;
         Alcotest.(check bool) "leverage >= 10x" true
           (r.Metrics.generated_loc >= 10 * r.Metrics.developer_lines));
+    Alcotest.test_case "simst automation report: >= 80% generated" `Quick
+      (fun () ->
+        let r =
+          Metrics.analyze ~header_source:Specs.simst_header
+            ~spec_source:Specs.simst_spec (Specs.load_simst ())
+        in
+        Alcotest.(check int) "functions" 16 r.Metrics.functions;
+        Alcotest.(check bool) "generated fraction >= 0.8" true
+          (Metrics.generated_fraction r >= 0.8);
+        Alcotest.(check bool) "per-fn rows" true
+          (List.length r.Metrics.per_fn = 16));
   ]
 
 let () =

@@ -184,6 +184,40 @@ let infer_tests =
         match (List.hd refined.Ast.f_params).Ast.p_kind with
         | Ast.Buffer { len = Ast.Const 16; _ } -> ()
         | _ -> Alcotest.fail "annotation not applied");
+    Alcotest.test_case "simst header inference raises targeted guidance"
+      `Quick (fun () ->
+        (* What [ava_gen infer specs/simst.h] walks: preliminary specs
+           for all 16 declarations.  The buffer conventions resolve
+           even stLaunchKernel's [name]/[name_size] pair, but
+           stBatchSubmit's [ticket] out-pointer has no derivable
+           length, so the developer must get a question about it
+           rather than a silent misclassification. *)
+        let h = parse_header Specs.simst_header in
+        Alcotest.(check int) "16 decls" 16 (List.length h.Cheader.h_decls);
+        let prelims = List.map (Infer.preliminary h) h.Cheader.h_decls in
+        let spec =
+          {
+            Ast.api_name = "simst";
+            includes = [];
+            constants = [];
+            types = [];
+            fns = prelims;
+          }
+        in
+        let guidance = Validate.guidance spec in
+        Alcotest.(check bool) "some guidance" true (guidance <> []);
+        let launch =
+          List.find (fun f -> f.Ast.f_name = "stLaunchKernel") prelims
+        in
+        Alcotest.(check int) "name/name_size convention resolves launch" 0
+          (List.length launch.Ast.f_unresolved);
+        let submit =
+          List.find (fun f -> f.Ast.f_name = "stBatchSubmit") prelims
+        in
+        Alcotest.(check bool) "ticket length questioned" true
+          (List.exists
+             (fun q -> contains q "ticket")
+             submit.Ast.f_unresolved));
     Alcotest.test_case "record-class name heuristics" `Quick (fun () ->
         let check name expected =
           Alcotest.(check string) name expected
@@ -286,7 +320,11 @@ let validate_tests =
         Alcotest.(check (list string)) "mvnc" []
           (List.map
              (fun i -> Fmt.str "%a" Validate.pp_issue i)
-             (Validate.check (Specs.load_mvnc ()))));
+             (Validate.check (Specs.load_mvnc ())));
+        Alcotest.(check (list string)) "simst" []
+          (List.map
+             (fun i -> Fmt.str "%a" Validate.pp_issue i)
+             (Validate.check (Specs.load_simst ()))));
     Alcotest.test_case "unresolved kind is an issue" `Quick (fun () ->
         let h = parse_header "int f(const char *mystery);" in
         let d = Option.get (Cheader.find_decl h "f") in
@@ -407,6 +445,66 @@ let roundtrip_tests =
                            a.Ast.f_params b.Ast.f_params))
                   spec.Ast.fns spec2.Ast.fns)
           [ Specs.load_mvnc (); Specs.load_qat () ]);
+    Alcotest.test_case "simst stream annotations survive roundtrip" `Quick
+      (fun () ->
+        let spec = Specs.load_simst () in
+        let printed = Pretty.spec_to_string spec in
+        match
+          Parser.parse ~resolve_include:Specs.resolve_builtin_include printed
+        with
+        | Error e ->
+            Alcotest.failf "simst reparse failed line %d: %s\n%s"
+              e.Parser.line e.Parser.message printed
+        | Ok spec2 ->
+            Alcotest.(check int) "functions survive"
+              (List.length spec.Ast.fns)
+              (List.length spec2.Ast.fns);
+            List.iter2
+              (fun (a : Ast.fn_spec) (b : Ast.fn_spec) ->
+                Alcotest.(check bool)
+                  (a.Ast.f_name ^ " sync/stream/record survive")
+                  true
+                  (a.Ast.f_sync = b.Ast.f_sync
+                  && a.Ast.f_stream = b.Ast.f_stream
+                  && a.Ast.f_record = b.Ast.f_record
+                  && a.Ast.f_resources = b.Ast.f_resources))
+              spec.Ast.fns spec2.Ast.fns;
+            (* The stream-ordering forms actually occur: at least one
+               sync_on, one ava_stream and one Div resource estimate
+               (the batch queue_slots model), so the checks above are
+               not vacuous. *)
+            let any f = List.exists f spec2.Ast.fns in
+            Alcotest.(check bool) "has sync_on" true
+              (any (fun fn ->
+                   match fn.Ast.f_sync with
+                   | Ast.Sync_on _ -> true
+                   | _ -> false));
+            Alcotest.(check bool) "has ava_stream" true
+              (any (fun fn -> fn.Ast.f_stream <> None));
+            let rec has_div = function
+              | Ast.Div _ -> true
+              | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) ->
+                  has_div a || has_div b
+              | Ast.Const _ | Ast.Param _ -> false
+            in
+            Alcotest.(check bool) "has Div estimate" true
+              (any (fun fn ->
+                   List.exists (fun (_, e) -> has_div e) fn.Ast.f_resources)));
+    Alcotest.test_case "on-disk specs match the embedded sources" `Quick
+      (fun () ->
+        let read path =
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        Alcotest.(check string) "specs/simst.h"
+          (String.trim Specs.simst_header)
+          (String.trim (read "../specs/simst.h"));
+        Alcotest.(check string) "specs/simst.cava"
+          (String.trim Specs.simst_spec)
+          (String.trim (read "../specs/simst.cava")));
     Alcotest.test_case "guidance text renders" `Quick (fun () ->
         let h = parse_header "int f(const char *mystery);" in
         let d = Option.get (Cheader.find_decl h "f") in
@@ -461,6 +559,51 @@ let fidelity_tests =
              (List.exists (fun n -> n.Validate.fn_note = "clFinish") notes)));
   ]
 
+(* Random size expressions over the demo spec's [size] parameter, for
+   the pretty -> reparse equivalence property.  [expr_to_string] is
+   fully parenthesized, so structural equality must survive exactly. *)
+let expr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof [ map (fun c -> Ast.Const c) (int_range 0 20); return (Ast.Param "size") ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map (fun c -> Ast.Const c) (int_range 0 20);
+                return (Ast.Param "size");
+                map2 (fun a b -> Ast.Add (a, b)) sub sub;
+                map2 (fun a b -> Ast.Sub (a, b)) sub sub;
+                map2 (fun a b -> Ast.Mul (a, b)) sub sub;
+                map2 (fun a b -> Ast.Div (a, b)) sub sub;
+              ])
+        (min n 8))
+
+let expr_arb = QCheck.make ~print:Ast.expr_to_string expr_gen
+
+let reparse_resource_expr printed =
+  let text =
+    Printf.sprintf
+      {|
+api("demo");
+#include "demo.h"
+type(cl_int) { success(CL_SUCCESS); }
+
+cl_int doWork(cl_mem buf, size_t size, const float *input, float *output) {
+  sync;
+  parameter(output) { out; buffer(size, 4); }
+  resource(device_time, %s);
+}
+|}
+      printed
+  in
+  let spec = parse_spec text in
+  let fn = List.hd spec.Ast.fns in
+  snd (List.hd fn.Ast.f_resources)
+
 let expr_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -479,6 +622,39 @@ let expr_tests =
             Alcotest.(check bool) "names parameter" true
               (String.length msg > 0)
         | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "division evaluates, zero divisor is an error" `Quick
+      (fun () ->
+        Alcotest.(check bool) "128/4 = 32" true
+          (Ast.eval_expr []
+             (Ast.Div (Ast.Const 128, Ast.Const 4))
+          = Ok 32);
+        Alcotest.(check bool) "batch_size/item_size" true
+          (Ast.eval_expr
+             [ ("batch_size", 96); ("item_size", 3) ]
+             (Ast.Div (Ast.Param "batch_size", Ast.Param "item_size"))
+          = Ok 32);
+        (match Ast.eval_expr [] (Ast.Div (Ast.Const 10, Ast.Const 0)) with
+        | Error msg ->
+            Alcotest.(check bool) "names the zero divisor" true
+              (contains msg "zero")
+        | Ok n -> Alcotest.failf "10/0 evaluated to %d" n);
+        (* A failing operand wins over the zero check: errors propagate. *)
+        match
+          Ast.eval_expr [] (Ast.Div (Ast.Param "ghost", Ast.Const 0))
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unbound numerator should error");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"expr pretty then reparse is identity"
+         ~count:100 expr_arb (fun e ->
+           reparse_resource_expr (Ast.expr_to_string e) = e));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"reparsed expr evaluates identically" ~count:100
+         QCheck.(pair expr_arb (int_range 0 64))
+         (fun (e, size) ->
+           let env = [ ("size", size) ] in
+           Ast.eval_expr env (reparse_resource_expr (Ast.expr_to_string e))
+           = Ast.eval_expr env e));
   ]
 
 let () =
